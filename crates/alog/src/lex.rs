@@ -1,0 +1,391 @@
+//! Lexer for the Alog surface syntax.
+
+use std::fmt;
+
+/// A token of the Alog language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier: `housePages`, `bold-font`, `b&n_price`, `NULL`.
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:-`
+    ColonDash,
+    /// `.` — rule terminator
+    Dot,
+    /// `?` — existence annotation
+    Question,
+    /// `#` — input-argument marker
+    Hash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=` (also `≠`)
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::ColonDash => write!(f, ":-"),
+            Tok::Dot => write!(f, "."),
+            Tok::Question => write!(f, "?"),
+            Tok::Hash => write!(f, "#"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+        }
+    }
+}
+
+/// A token plus its line/column, for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The tok.
+    pub tok: Tok,
+    /// The line.
+    pub line: u32,
+    /// The col.
+    pub col: u32,
+}
+
+/// Lexing/parsing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntaxError {
+    /// The line.
+    pub line: u32,
+    /// The col.
+    pub col: u32,
+    /// The message.
+    pub message: String,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+fn ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '&'
+}
+
+/// Tokenizes Alog source. Comments run from `%` or `//` to end of line.
+/// Identifiers may contain interior hyphens (`bold-font`) when both sides
+/// are identifier characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, SyntaxError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(SpannedTok {
+                tok: $tok,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '%' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            ',' => push!(Tok::Comma, 1),
+            '.' => push!(Tok::Dot, 1),
+            '?' => push!(Tok::Question, 1),
+            '#' => push!(Tok::Hash, 1),
+            '=' => push!(Tok::Eq, 1),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::Le, 2)
+                } else {
+                    push!(Tok::Lt, 1)
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::Ge, 2)
+                } else {
+                    push!(Tok::Gt, 1)
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    push!(Tok::Ne, 2)
+                } else {
+                    return Err(SyntaxError {
+                        line,
+                        col,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&'-') {
+                    push!(Tok::ColonDash, 2)
+                } else {
+                    return Err(SyntaxError {
+                        line,
+                        col,
+                        message: "expected '-' after ':'".into(),
+                    });
+                }
+            }
+            '≠' => push!(Tok::Ne, 1),
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    match chars.get(j) {
+                        None | Some('\n') => {
+                            return Err(SyntaxError {
+                                line,
+                                col,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some('"') => break,
+                        Some('\\') => {
+                            match chars.get(j + 1) {
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                Some(&other) => s.push(other),
+                                None => {
+                                    return Err(SyntaxError {
+                                        line,
+                                        col,
+                                        message: "dangling escape in string".into(),
+                                    })
+                                }
+                            }
+                            j += 2;
+                        }
+                        Some(&other) => {
+                            s.push(other);
+                            j += 1;
+                        }
+                    }
+                }
+                let len = j + 1 - i;
+                push!(Tok::Str(s), len);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '.') {
+                    // A '.' followed by a non-digit ends the number (it is
+                    // the rule terminator).
+                    if chars[j] == '.'
+                        && !chars.get(j + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+                    {
+                        break;
+                    }
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let n: f64 = text.parse().map_err(|_| SyntaxError {
+                    line,
+                    col,
+                    message: format!("bad number: {text}"),
+                })?;
+                let len = j - start;
+                push!(Tok::Num(n), len);
+            }
+            c if ident_start(c) => {
+                let start = i;
+                let mut j = i + 1;
+                loop {
+                    match chars.get(j) {
+                        Some(&ch) if ident_continue(ch) => j += 1,
+                        // interior hyphen: bold-font, distinct-yes
+                        Some('-')
+                            if chars
+                                .get(j + 1)
+                                .map(|c| ident_continue(*c))
+                                .unwrap_or(false) =>
+                        {
+                            j += 2
+                        }
+                        _ => break,
+                    }
+                }
+                let text: String = chars[start..j].iter().collect();
+                let len = j - start;
+                push!(Tok::Ident(text), len);
+            }
+            other => {
+                return Err(SyntaxError {
+                    line,
+                    col,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_rule_tokens() {
+        let ts = toks("q(x) :- p(x), x > 5.");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("q".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::ColonDash,
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Ident("x".into()),
+                Tok::Gt,
+                Tok::Num(5.0),
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphen_and_amp_identifiers() {
+        let ts = toks("bold-font b&n_price distinct-yes");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("bold-font".into()),
+                Tok::Ident("b&n_price".into()),
+                Tok::Ident("distinct-yes".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_then_rule_dot() {
+        // "x > 5." — the '.' terminates the rule, not the number
+        let ts = toks("5. 3.5");
+        assert_eq!(ts, vec![Tok::Num(5.0), Tok::Dot, Tok::Num(3.5)]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let ts = toks(r#""Price:" "a\"b""#);
+        assert_eq!(
+            ts,
+            vec![Tok::Str("Price:".into()), Tok::Str("a\"b".into())]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let ts = toks("< <= > >= = != ≠");
+        assert_eq!(
+            ts,
+            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne, Tok::Ne]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ts = toks("a % comment\nb // other\nc");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = lex("a\n  @").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 3);
+        assert!(lex("\"open").is_err());
+        assert!(lex(": x").is_err());
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn hash_inputs() {
+        let ts = toks("from(#x, y)");
+        assert!(ts.contains(&Tok::Hash));
+    }
+}

@@ -1,0 +1,43 @@
+//! # iflex-alog
+//!
+//! **Alog**: the declarative language for *approximate* information-
+//! extraction programs introduced by iFlex (§2 of *Toward Best-Effort
+//! Information Extraction*, SIGMOD 2008). Alog extends Xlog (a Datalog
+//! variant with embedded extraction predicates) with:
+//!
+//! * **predicate description rules** — partial implementations of IE
+//!   predicates as sets of domain constraints over text features
+//!   (`numeric(p) = yes`, `bold-font(s) = distinct-yes`);
+//! * **annotations** giving rules a possible-worlds semantics: existence
+//!   annotations (`head(...)? :- ...`) and attribute annotations
+//!   (`head(x, <p>) :- ...`).
+//!
+//! This crate provides the surface syntax (lexer + parser), the AST,
+//! static validation (safety, no recursion), and description-rule
+//! unfolding. Execution lives in `iflex-engine`.
+//!
+//! ```
+//! use iflex_alog::{parse_program, validate, ValidateEnv};
+//!
+//! let prog = parse_program(r#"
+//!     houses(x, <p>) :- housePages(x), extractPrice(#x, p).
+//!     extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+//! "#).unwrap();
+//! let env = ValidateEnv::new().with_extensional(&["housePages"]);
+//! assert!(validate(&prog, &env).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lex;
+pub mod parse;
+pub mod unfold;
+pub mod validate;
+
+pub use ast::{Arg, BodyAtom, CmpOp, ConstraintArg, Head, HeadArg, Program, Rule, Term};
+pub use lex::SyntaxError;
+pub use parse::{parse_program, parse_rule};
+pub use unfold::unfold;
+pub use validate::{evaluation_order, validate, ValidateEnv, ValidateError};

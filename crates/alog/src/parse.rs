@@ -1,0 +1,370 @@
+//! Parser for Alog programs.
+
+use crate::ast::{Arg, BodyAtom, CmpOp, ConstraintArg, Head, HeadArg, Program, Rule, Term};
+use crate::lex::{lex, SpannedTok, SyntaxError, Tok};
+
+
+/// Parses a whole program. The query predicate defaults to the head of the
+/// last non-description rule.
+pub fn parse_program(src: &str) -> Result<Program, SyntaxError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        rules.push(p.rule()?);
+    }
+    let query = rules
+        .iter()
+        .rev()
+        .find(|r| !r.is_description())
+        .or(rules.last())
+        .map(|r| r.head.name.clone())
+        .unwrap_or_default();
+    Ok(Program { rules, query })
+}
+
+/// Parses a single rule (must consume all input).
+pub fn parse_rule(src: &str) -> Result<Rule, SyntaxError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let r = p.rule()?;
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after rule"));
+    }
+    Ok(r)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> SyntaxError {
+        let (line, col) = self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| (t.line, t.col))
+            .unwrap_or((0, 0));
+        SyntaxError {
+            line,
+            col,
+            message: msg.to_string(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), SyntaxError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!(
+                "expected {what}, found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or("end".into())
+            )))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SyntaxError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                if let Some(Tok::Ident(s)) = self.bump() {
+                    Ok(s)
+                } else {
+                    unreachable!()
+                }
+            }
+            _ => Err(self.err(&format!("expected {what}"))),
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, SyntaxError> {
+        let head = self.head()?;
+        self.expect(&Tok::ColonDash, "':-'")?;
+        let mut body = vec![self.atom()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            body.push(self.atom()?);
+        }
+        self.expect(&Tok::Dot, "'.' at end of rule")?;
+        Ok(Rule { head, body })
+    }
+
+    fn head(&mut self) -> Result<Head, SyntaxError> {
+        let name = self.ident("rule head predicate name")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                args.push(self.head_arg()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        let existence = if self.peek() == Some(&Tok::Question) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        Ok(Head {
+            name,
+            args,
+            existence,
+        })
+    }
+
+    fn head_arg(&mut self) -> Result<HeadArg, SyntaxError> {
+        match self.peek() {
+            Some(Tok::Hash) => {
+                self.pos += 1;
+                let var = self.ident("input variable after '#'")?;
+                Ok(HeadArg {
+                    var,
+                    input: true,
+                    annotated: false,
+                })
+            }
+            Some(Tok::Lt) => {
+                self.pos += 1;
+                let var = self.ident("annotated variable after '<'")?;
+                self.expect(&Tok::Gt, "'>' closing attribute annotation")?;
+                Ok(HeadArg {
+                    var,
+                    input: false,
+                    annotated: true,
+                })
+            }
+            _ => {
+                let var = self.ident("head variable")?;
+                Ok(HeadArg {
+                    var,
+                    input: false,
+                    annotated: false,
+                })
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<BodyAtom, SyntaxError> {
+        // Predicate or constraint when IDENT '('; otherwise a comparison.
+        if matches!(self.peek(), Some(Tok::Ident(_))) && self.peek2() == Some(&Tok::LParen) {
+            let name = self.ident("predicate name")?;
+            self.expect(&Tok::LParen, "'('")?;
+            let mut args = Vec::new();
+            if self.peek() != Some(&Tok::RParen) {
+                loop {
+                    let input = if self.peek() == Some(&Tok::Hash) {
+                        self.pos += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    let term = self.term()?;
+                    args.push(Arg { term, input });
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen, "')'")?;
+            if self.peek() == Some(&Tok::Eq) {
+                // Domain constraint: feature(var) = value
+                self.pos += 1;
+                let value = self.constraint_arg()?;
+                if args.len() != 1 {
+                    return Err(self.err("domain constraint takes exactly one variable"));
+                }
+                let var = match &args[0].term {
+                    Term::Var(v) => v.clone(),
+                    _ => return Err(self.err("domain constraint argument must be a variable")),
+                };
+                return Ok(BodyAtom::Constraint {
+                    feature: name,
+                    var,
+                    value,
+                });
+            }
+            return Ok(BodyAtom::Pred { name, args });
+        }
+        // Comparison.
+        let left = self.term()?;
+        let op = match self.bump() {
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            _ => return Err(self.err("expected comparison operator")),
+        };
+        let right = self.term()?;
+        let mut offset = 0.0;
+        if matches!(self.peek(), Some(Tok::Plus) | Some(Tok::Minus)) {
+            let negate = self.peek() == Some(&Tok::Minus);
+            self.pos += 1;
+            match self.bump() {
+                Some(Tok::Num(n)) => offset = if negate { -n } else { n },
+                _ => return Err(self.err("expected number after '+'/'-'")),
+            }
+        }
+        Ok(BodyAtom::Compare {
+            left,
+            op,
+            right,
+            offset,
+        })
+    }
+
+    fn term(&mut self) -> Result<Term, SyntaxError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) if s == "NULL" => Ok(Term::Null),
+            Some(Tok::Ident(s)) => Ok(Term::Var(s)),
+            Some(Tok::Num(n)) => Ok(Term::Num(n)),
+            Some(Tok::Str(s)) => Ok(Term::Str(s)),
+            _ => Err(self.err("expected a term")),
+        }
+    }
+
+    fn constraint_arg(&mut self) -> Result<ConstraintArg, SyntaxError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(ConstraintArg::Symbol(s)),
+            Some(Tok::Num(n)) => Ok(ConstraintArg::Num(n)),
+            Some(Tok::Str(s)) => Ok(ConstraintArg::Str(s)),
+            _ => Err(self.err("expected constraint value (yes/no/number/string)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BodyAtom;
+
+    #[test]
+    fn parses_figure_2_program() {
+        let src = r#"
+            % Figure 2.c of the paper
+            houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(#x, p, a, h).
+            schools(s)? :- schoolPages(y), extractSchools(#y, s).
+            Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000,
+                             a > 4500, approxMatch(#h, #s).
+            extractHouses(#x, p, a, h) :- from(#x, p), from(#x, a), from(#x, h),
+                                          numeric(p) = yes, numeric(a) = yes.
+            extractSchools(#y, s) :- from(#y, s), bold-font(s) = yes.
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.rules.len(), 5);
+        assert_eq!(prog.query, "Q");
+        let houses = &prog.rules[0];
+        assert_eq!(houses.head.annotated_vars(), vec!["p", "a", "h"]);
+        assert!(!houses.head.existence);
+        let schools = &prog.rules[1];
+        assert!(schools.head.existence);
+        assert!(prog.rules[3].is_description());
+        assert!(prog.rules[4].is_description());
+        assert_eq!(prog.description_rules().count(), 2);
+    }
+
+    #[test]
+    fn constraint_forms() {
+        let r = parse_rule(
+            r#"e(#d, x) :- from(#d, x), preceded-by(x) = "Price:", max-value(x) = 100, bold-font(x) = distinct-yes."#,
+        )
+        .unwrap();
+        let consts: Vec<_> = r
+            .body
+            .iter()
+            .filter(|a| matches!(a, BodyAtom::Constraint { .. }))
+            .collect();
+        assert_eq!(consts.len(), 3);
+    }
+
+    #[test]
+    fn comparisons_including_null() {
+        let r = parse_rule("t4(t) :- pubs(t, jy), jy != NULL, t = t.").unwrap();
+        assert!(matches!(
+            &r.body[1],
+            BodyAtom::Compare {
+                right: Term::Null,
+                op: CmpOp::Ne,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn query_defaults_to_last_non_description() {
+        let src = r#"
+            a(x) :- base(x).
+            e(#d, x) :- from(#d, x).
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.query, "a");
+    }
+
+    #[test]
+    fn string_constants_in_predicates() {
+        let r = parse_rule(r#"q(x) :- p(x, "Lincoln"), x > 3."#).unwrap();
+        match &r.body[0] {
+            BodyAtom::Pred { args, .. } => {
+                assert_eq!(args[1].term, Term::Str("Lincoln".into()));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_rule("q(x)").is_err()); // no body
+        assert!(parse_rule("q(x) :- p(x)").is_err()); // missing dot
+        assert!(parse_rule("q(x) :- numeric(a, b) = yes.").is_err()); // 2-arg constraint
+        assert!(parse_rule("q(x) :- numeric(3) = yes.").is_err()); // const constraint
+        assert!(parse_rule("q(<x) :- p(x).").is_err()); // unclosed annotation
+        assert!(parse_program("q(x) :- p(x). extra").is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let src = "houses(x, <p>)? :- housePages(x), numeric(p) = yes, p > 500000.";
+        let r = parse_rule(src).unwrap();
+        let r2 = parse_rule(&r.to_string()).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn task_t8_style_rule() {
+        let r = parse_rule(
+            "t8(title) :- amazon(x), extractAmazon(#x, listPrice, newPrice, usedPrice), listPrice = newPrice, usedPrice < newPrice.",
+        )
+        .unwrap();
+        assert_eq!(r.body.len(), 4);
+        assert!(matches!(&r.body[2], BodyAtom::Compare { op: CmpOp::Eq, .. }));
+    }
+}

@@ -1,0 +1,279 @@
+//! Rule unfolding (§4): replacing IE predicates in rule bodies with the
+//! bodies of their description rules, unifying variables.
+
+use crate::ast::{Arg, BodyAtom, Program, Rule, Term};
+use std::collections::BTreeMap;
+
+/// Unfolds all description rules into the non-description rules of
+/// `program`. IE predicates with several description rules multiply the
+/// using rule (one unfolded variant per combination). Predicates without
+/// description rules (registered procedures) are left in place.
+pub fn unfold(program: &Program) -> Program {
+    let desc: BTreeMap<&str, Vec<&Rule>> = {
+        let mut m: BTreeMap<&str, Vec<&Rule>> = BTreeMap::new();
+        for r in program.description_rules() {
+            m.entry(r.head.name.as_str()).or_default().push(r);
+        }
+        m
+    };
+
+    let mut rules = Vec::new();
+    for rule in program.rules.iter().filter(|r| !r.is_description()) {
+        let mut work = vec![rule.clone()];
+        // Repeat until no IE predicate with a description rule remains.
+        loop {
+            let mut next = Vec::new();
+            let mut changed = false;
+            for r in work {
+                match first_unfoldable(&r, &desc) {
+                    None => next.push(r),
+                    Some(idx) => {
+                        changed = true;
+                        let name = match &r.body[idx] {
+                            BodyAtom::Pred { name, .. } => name.clone(),
+                            _ => unreachable!(),
+                        };
+                        for d in &desc[name.as_str()] {
+                            next.push(unfold_at(&r, idx, d, next.len()));
+                        }
+                    }
+                }
+            }
+            work = next;
+            if !changed {
+                break;
+            }
+        }
+        rules.extend(work);
+    }
+
+    Program {
+        rules,
+        query: program.query.clone(),
+    }
+}
+
+fn first_unfoldable(rule: &Rule, desc: &BTreeMap<&str, Vec<&Rule>>) -> Option<usize> {
+    rule.body.iter().position(|a| {
+        matches!(a, BodyAtom::Pred { name, .. } if desc.contains_key(name.as_str()))
+    })
+}
+
+/// Replaces `rule.body[idx]` (a call to `desc`'s head) with `desc`'s body,
+/// substituting head variables by the call arguments and freshening every
+/// other variable of the description rule.
+fn unfold_at(rule: &Rule, idx: usize, desc: &Rule, uniq: usize) -> Rule {
+    let call_args = match &rule.body[idx] {
+        BodyAtom::Pred { args, .. } => args.clone(),
+        _ => unreachable!(),
+    };
+    // Head var → caller term.
+    let mut subst: BTreeMap<&str, Term> = BTreeMap::new();
+    for (harg, carg) in desc.head.args.iter().zip(call_args.iter()) {
+        subst.insert(harg.var.as_str(), carg.term.clone());
+    }
+    let fresh_prefix = format!("__{}_{uniq}_", desc.head.name);
+    let rename = |t: &Term| -> Term {
+        match t {
+            Term::Var(v) => match subst.get(v.as_str()) {
+                Some(mapped) => mapped.clone(),
+                None => Term::Var(format!("{fresh_prefix}{v}")),
+            },
+            other => other.clone(),
+        }
+    };
+    let mut new_body = Vec::with_capacity(rule.body.len() + desc.body.len() - 1);
+    new_body.extend_from_slice(&rule.body[..idx]);
+    for atom in &desc.body {
+        new_body.push(match atom {
+            BodyAtom::Pred { name, args } => BodyAtom::Pred {
+                name: name.clone(),
+                args: args
+                    .iter()
+                    .map(|a| Arg {
+                        term: rename(&a.term),
+                        input: a.input,
+                    })
+                    .collect(),
+            },
+            BodyAtom::Compare {
+                left,
+                op,
+                right,
+                offset,
+            } => BodyAtom::Compare {
+                left: rename(left),
+                op: *op,
+                right: rename(right),
+                offset: *offset,
+            },
+            BodyAtom::Constraint {
+                feature,
+                var,
+                value,
+            } => {
+                let new_var = match rename(&Term::Var(var.clone())) {
+                    Term::Var(v) => v,
+                    // A constraint var substituted by a constant would be a
+                    // validation error upstream; keep the original name.
+                    _ => var.clone(),
+                };
+                BodyAtom::Constraint {
+                    feature: feature.clone(),
+                    var: new_var,
+                    value: value.clone(),
+                }
+            }
+        });
+    }
+    new_body.extend_from_slice(&rule.body[idx + 1..]);
+    Rule {
+        head: rule.head.clone(),
+        body: new_body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    #[test]
+    fn figure_4_unfolding() {
+        let prog = parse_program(
+            r#"
+            houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(#x, p, a, h).
+            schools(s)? :- schoolPages(y), extractSchools(#y, s).
+            extractHouses(#x, p, a, h) :- from(#x, p), from(#x, a), from(#x, h),
+                                          numeric(p) = yes, numeric(a) = yes.
+            extractSchools(#y, s) :- from(#y, s), bold-font(s) = yes.
+        "#,
+        )
+        .unwrap();
+        let unf = unfold(&prog);
+        assert_eq!(unf.rules.len(), 2);
+        let houses = &unf.rules[0];
+        // extractHouses replaced with 3 from's + 2 constraints
+        assert_eq!(houses.body.len(), 1 + 3 + 2);
+        let s = houses.to_string();
+        assert!(s.contains("from(#x, p)"));
+        assert!(s.contains("numeric(p) = yes"));
+        assert!(!s.contains("extractHouses"));
+        // annotations preserved
+        assert_eq!(houses.head.annotated_vars(), vec!["p", "a", "h"]);
+        let schools = &unf.rules[1];
+        assert!(schools.head.existence);
+        assert!(schools.to_string().contains("bold-font(s) = yes"));
+    }
+
+    #[test]
+    fn unfolding_renames_local_vars() {
+        let prog = parse_program(
+            r#"
+            q(x, v) :- base(x), e(#x, v).
+            e(#d, out) :- from(#d, tmp), from(#d, out), numeric(tmp) = yes.
+        "#,
+        )
+        .unwrap();
+        let unf = unfold(&prog);
+        let s = unf.rules[0].to_string();
+        // `tmp` is local to the description rule and must be freshened
+        assert!(s.contains("__e_"), "{s}");
+        // `d` maps to x, `out` maps to v
+        assert!(s.contains("from(#x"));
+        assert!(s.contains(", v)"), "{s}");
+    }
+
+    #[test]
+    fn multiple_description_rules_multiply() {
+        let prog = parse_program(
+            r#"
+            q(x, v) :- base(x), e(#x, v).
+            e(#d, o) :- from(#d, o), numeric(o) = yes.
+            e(#d, o) :- from(#d, o), bold-font(o) = yes.
+        "#,
+        )
+        .unwrap();
+        let unf = unfold(&prog);
+        assert_eq!(unf.rules.len(), 2);
+        assert!(unf.rules.iter().all(|r| r.head.name == "q"));
+    }
+
+    #[test]
+    fn procedures_left_in_place() {
+        let prog = parse_program("q(x) :- base(x), proc(#x, y), y > 3.").unwrap();
+        let unf = unfold(&prog);
+        assert!(unf.rules[0].to_string().contains("proc(#x, y)"));
+    }
+
+    #[test]
+    fn nested_unfolding() {
+        let prog = parse_program(
+            r#"
+            q(v) :- base(x), outer(#x, v).
+            outer(#d, o) :- inner(#d, o), numeric(o) = yes.
+            inner(#d, o) :- from(#d, o).
+        "#,
+        )
+        .unwrap();
+        let unf = unfold(&prog);
+        assert_eq!(unf.rules.len(), 1);
+        let s = unf.rules[0].to_string();
+        assert!(s.contains("from(#x"));
+        assert!(!s.contains("outer"));
+        assert!(!s.contains("inner("));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    #[test]
+    fn constants_survive_unfolding() {
+        let prog = parse_program(
+            r#"
+            q(v) :- base(x), e(#x, v, "label").
+            e(#d, o, l) :- from(#d, o), p(l).
+        "#,
+        )
+        .unwrap();
+        let unf = unfold(&prog);
+        assert!(unf.rules[0].to_string().contains("p(\"label\")"), "{}", unf.rules[0]);
+    }
+
+    #[test]
+    fn same_predicate_twice_in_one_rule() {
+        let prog = parse_program(
+            r#"
+            q(a, b) :- t1(x), e(#x, a), t2(y), e(#y, b).
+            e(#d, o) :- from(#d, o), numeric(o) = yes.
+        "#,
+        )
+        .unwrap();
+        let unf = unfold(&prog);
+        assert_eq!(unf.rules.len(), 1);
+        let s = unf.rules[0].to_string();
+        assert!(s.contains("from(#x, a)"));
+        assert!(s.contains("from(#y, b)"));
+        // local variables of the two call sites stay distinct
+        assert!(!s.contains("extract"), "{s}");
+    }
+
+    #[test]
+    fn annotations_never_migrate_into_unfolded_bodies() {
+        let prog = parse_program(
+            r#"
+            q(x, <v>)? :- base(x), e(#x, v).
+            e(#d, o) :- from(#d, o).
+        "#,
+        )
+        .unwrap();
+        let unf = unfold(&prog);
+        let head = &unf.rules[0].head;
+        assert!(head.existence);
+        assert_eq!(head.annotated_vars(), vec!["v"]);
+        assert_eq!(unf.rules[0].body.len(), 2);
+    }
+}

@@ -1,0 +1,394 @@
+//! Static checks on Alog programs: safety (§2.2.2), no recursion, sane
+//! annotations, and bound constraint variables.
+
+use crate::ast::{BodyAtom, Program, Term};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// What the validator knows about the outside world.
+#[derive(Debug, Clone, Default)]
+pub struct ValidateEnv {
+    /// Extensional relation names (tables provided to the program).
+    pub extensional: BTreeSet<String>,
+    /// Registered p-predicates / p-functions (procedures), e.g.
+    /// `approxMatch`, `similar`, or cleanup procedures.
+    pub procedures: BTreeSet<String>,
+}
+
+impl ValidateEnv {
+    /// Creates a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds extensional relation names.
+    pub fn with_extensional(mut self, names: &[&str]) -> Self {
+        self.extensional.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Adds registered procedure names.
+    pub fn with_procedures(mut self, names: &[&str]) -> Self {
+        self.procedures.extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+}
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// A head variable is not bound by the body (unsafe rule).
+    Unsafe {
+        /// The offending rule, rendered.
+        rule: String,
+        /// The variable concerned.
+        var: String,
+    },
+    /// The dependency graph has a cycle (Xlog forbids recursion).
+    Recursive {
+        /// The predicate on the cycle.
+        predicate: String,
+    },
+    /// A constraint refers to a variable not bound by any predicate.
+    UnboundConstraintVar {
+        /// The offending rule, rendered.
+        rule: String,
+        /// The variable concerned.
+        var: String,
+    },
+    /// A description-rule head carries annotations (not allowed; annotate
+    /// the rule that *uses* the IE predicate instead).
+    AnnotatedDescription {
+        /// The offending rule, rendered.
+        rule: String,
+    },
+    /// A body predicate is neither extensional, intensional, a description
+    /// rule head, a registered procedure, nor the built-in `from`.
+    UnknownPredicate {
+        /// The offending rule, rendered.
+        rule: String,
+        /// The predicate / relation name.
+        name: String,
+    },
+    /// The query predicate has no defining rule.
+    MissingQuery {
+        /// The predicate / relation name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Unsafe { rule, var } => {
+                write!(f, "unsafe rule (head var {var} unbound): {rule}")
+            }
+            ValidateError::Recursive { predicate } => {
+                write!(f, "recursion through predicate {predicate} is not allowed")
+            }
+            ValidateError::UnboundConstraintVar { rule, var } => {
+                write!(f, "constraint variable {var} is not bound in: {rule}")
+            }
+            ValidateError::AnnotatedDescription { rule } => {
+                write!(f, "description rule may not be annotated: {rule}")
+            }
+            ValidateError::UnknownPredicate { rule, name } => {
+                write!(f, "unknown predicate {name} in: {rule}")
+            }
+            ValidateError::MissingQuery { name } => {
+                write!(f, "query predicate {name} has no defining rule")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates `program` against `env`. Returns all errors found.
+pub fn validate(program: &Program, env: &ValidateEnv) -> Vec<ValidateError> {
+    let mut errors = Vec::new();
+    let heads: BTreeSet<&str> = program.rules.iter().map(|r| r.head.name.as_str()).collect();
+    let desc_heads: BTreeSet<&str> = program
+        .description_rules()
+        .map(|r| r.head.name.as_str())
+        .collect();
+
+    // Query must exist.
+    if !program.query.is_empty() && !heads.contains(program.query.as_str()) {
+        errors.push(ValidateError::MissingQuery {
+            name: program.query.clone(),
+        });
+    }
+
+    for rule in &program.rules {
+        let rule_str = rule.to_string();
+
+        // Annotated description rules are rejected.
+        if rule.is_description() && (rule.head.existence || !rule.head.annotated_vars().is_empty())
+        {
+            errors.push(ValidateError::AnnotatedDescription {
+                rule: rule_str.clone(),
+            });
+        }
+
+        // Bound variables: appear (as non-input or input) in some predicate.
+        let mut bound: BTreeSet<&str> = BTreeSet::new();
+        // Description-rule inputs are provided by the caller.
+        for a in &rule.head.args {
+            if a.input {
+                bound.insert(a.var.as_str());
+            }
+        }
+        for atom in &rule.body {
+            if let BodyAtom::Pred { args, .. } = atom {
+                for a in args {
+                    if let Term::Var(v) = &a.term {
+                        bound.insert(v.as_str());
+                    }
+                }
+            }
+        }
+
+        // Safety: every non-input head var bound.
+        for a in &rule.head.args {
+            if !a.input && !bound.contains(a.var.as_str()) {
+                errors.push(ValidateError::Unsafe {
+                    rule: rule_str.clone(),
+                    var: a.var.clone(),
+                });
+            }
+        }
+
+        // Constraint vars bound.
+        for atom in &rule.body {
+            if let BodyAtom::Constraint { var, .. } = atom {
+                if !bound.contains(var.as_str()) {
+                    errors.push(ValidateError::UnboundConstraintVar {
+                        rule: rule_str.clone(),
+                        var: var.clone(),
+                    });
+                }
+            }
+        }
+
+        // Known predicates.
+        for atom in &rule.body {
+            if let BodyAtom::Pred { name, .. } = atom {
+                let known = name == "from"
+                    || heads.contains(name.as_str())
+                    || desc_heads.contains(name.as_str())
+                    || env.extensional.contains(name)
+                    || env.procedures.contains(name);
+                if !known {
+                    errors.push(ValidateError::UnknownPredicate {
+                        rule: rule_str.clone(),
+                        name: name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Recursion check: DFS over head → body-predicate edges.
+    let mut deps: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for rule in &program.rules {
+        let entry = deps.entry(rule.head.name.as_str()).or_default();
+        for atom in &rule.body {
+            if let BodyAtom::Pred { name, .. } = atom {
+                if heads.contains(name.as_str()) {
+                    entry.insert(name.as_str());
+                }
+            }
+        }
+    }
+    let mut visiting: BTreeSet<&str> = BTreeSet::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    fn dfs<'a>(
+        node: &'a str,
+        deps: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        visiting: &mut BTreeSet<&'a str>,
+        done: &mut BTreeSet<&'a str>,
+    ) -> Option<&'a str> {
+        if done.contains(node) {
+            return None;
+        }
+        if !visiting.insert(node) {
+            return Some(node);
+        }
+        if let Some(next) = deps.get(node) {
+            for n in next {
+                if let Some(cyc) = dfs(n, deps, visiting, done) {
+                    return Some(cyc);
+                }
+            }
+        }
+        visiting.remove(node);
+        done.insert(node);
+        None
+    }
+    let nodes: Vec<&str> = deps.keys().copied().collect();
+    for n in nodes {
+        if let Some(cyc) = dfs(n, &deps, &mut visiting, &mut done) {
+            errors.push(ValidateError::Recursive {
+                predicate: cyc.to_string(),
+            });
+            break;
+        }
+    }
+
+    errors
+}
+
+/// Topological evaluation order of intensional predicates (dependencies
+/// first). Fails when the program is recursive.
+pub fn evaluation_order(program: &Program) -> Result<Vec<String>, ValidateError> {
+    let heads: BTreeSet<&str> = program
+        .rules
+        .iter()
+        .filter(|r| !r.is_description())
+        .map(|r| r.head.name.as_str())
+        .collect();
+    let mut deps: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for rule in program.rules.iter().filter(|r| !r.is_description()) {
+        let entry = deps.entry(rule.head.name.as_str()).or_default();
+        for atom in &rule.body {
+            if let BodyAtom::Pred { name, .. } = atom {
+                if heads.contains(name.as_str()) && name != &rule.head.name {
+                    entry.insert(name.as_str());
+                }
+            }
+        }
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    let mut guard = 0usize;
+    while done.len() < deps.len() {
+        guard += 1;
+        if guard > deps.len() + 1 {
+            return Err(ValidateError::Recursive {
+                predicate: deps
+                    .keys()
+                    .find(|k| !done.contains(**k))
+                    .copied()
+                    .unwrap_or("?")
+                    .to_string(),
+            });
+        }
+        for (head, ds) in &deps {
+            if done.contains(head) {
+                continue;
+            }
+            if ds.iter().all(|d| done.contains(d)) {
+                done.insert(head);
+                order.push(head.to_string());
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn env() -> ValidateEnv {
+        ValidateEnv::new()
+            .with_extensional(&["housePages", "schoolPages"])
+            .with_procedures(&["approxMatch"])
+    }
+
+    #[test]
+    fn figure_2_program_validates() {
+        let prog = parse_program(
+            r#"
+            houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(#x, p, a, h).
+            schools(s)? :- schoolPages(y), extractSchools(#y, s).
+            Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000,
+                             a > 4500, approxMatch(#h, #s).
+            extractHouses(#x, p, a, h) :- from(#x, p), from(#x, a), from(#x, h),
+                                          numeric(p) = yes, numeric(a) = yes.
+            extractSchools(#y, s) :- from(#y, s), bold-font(s) = yes.
+        "#,
+        )
+        .unwrap();
+        assert_eq!(validate(&prog, &env()), vec![]);
+    }
+
+    #[test]
+    fn unsafe_rule_detected() {
+        // §2.2.2: extractHouses without `from` is unsafe.
+        let prog = parse_program(
+            "extractHouses(#x, p, a) :- numeric(p) = yes, numeric(a) = yes.",
+        )
+        .unwrap();
+        let errs = validate(&prog, &env());
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::Unsafe { var, .. } if var == "p")));
+        // constraint vars also unbound
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UnboundConstraintVar { .. })));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let prog = parse_program(
+            r#"
+            a(x) :- b(x).
+            b(x) :- a(x).
+        "#,
+        )
+        .unwrap();
+        let errs = validate(&prog, &env());
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::Recursive { .. })));
+        assert!(evaluation_order(&prog).is_err());
+    }
+
+    #[test]
+    fn unknown_predicate_detected() {
+        let prog = parse_program("a(x) :- mystery(x).").unwrap();
+        let errs = validate(&prog, &env());
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UnknownPredicate { name, .. } if name == "mystery")));
+    }
+
+    #[test]
+    fn annotated_description_rejected() {
+        let prog = parse_program("e(#d, <x>) :- from(#d, x).").unwrap();
+        let errs = validate(&prog, &env());
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::AnnotatedDescription { .. })));
+    }
+
+    #[test]
+    fn evaluation_order_respects_deps() {
+        let prog = parse_program(
+            r#"
+            base2(x) :- housePages(x).
+            mid(x) :- base2(x).
+            top(x) :- mid(x), base2(x).
+        "#,
+        )
+        .unwrap();
+        let order = evaluation_order(&prog).unwrap();
+        let pos = |n: &str| order.iter().position(|o| o == n).unwrap();
+        assert!(pos("base2") < pos("mid"));
+        assert!(pos("mid") < pos("top"));
+    }
+
+    #[test]
+    fn missing_query_detected() {
+        let mut prog = parse_program("a(x) :- housePages(x).").unwrap();
+        prog.query = "nothere".into();
+        let errs = validate(&prog, &env());
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::MissingQuery { .. })));
+    }
+}

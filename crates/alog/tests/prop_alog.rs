@@ -1,0 +1,75 @@
+//! Property tests: Alog display ↔ parse round-trips and parser robustness.
+
+use iflex_alog::{parse_program, parse_rule, ConstraintArg, Term};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,6}".prop_map(|s| s)
+}
+
+proptest! {
+    #[test]
+    fn rule_display_parse_roundtrip(
+        head in ident(),
+        table in ident(),
+        v1 in ident(),
+        v2 in ident(),
+        existence in proptest::bool::ANY,
+        annotated in proptest::bool::ANY,
+        threshold in 0u32..1_000_000,
+    ) {
+        prop_assume!(head != table && v1 != v2);
+        let ann = if annotated { format!("<{v2}>") } else { v2.clone() };
+        let q = if existence { "?" } else { "" };
+        let src = format!(
+            "{head}({v1}, {ann}){q} :- {table}({v1}), from(#{v1}, {v2}), \
+             numeric({v2}) = yes, {v2} > {threshold}."
+        );
+        let r1 = parse_rule(&src).unwrap();
+        let r2 = parse_rule(&r1.to_string()).unwrap();
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn parser_never_panics(src in ".{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    #[test]
+    fn constraint_values_roundtrip(
+        feature in "[a-z]{1,4}(-[a-z]{1,4}){0,2}",
+        var in ident(),
+        num in 0.0f64..1e6,
+    ) {
+        for value in [
+            ConstraintArg::Symbol("distinct-yes".into()),
+            ConstraintArg::Num(num.round()),
+            ConstraintArg::Str("Price: $".into()),
+        ] {
+            let src = format!("q({var}) :- t({var}), {feature}({var}) = {value}.");
+            let r = parse_rule(&src).unwrap();
+            let r2 = parse_rule(&r.to_string()).unwrap();
+            prop_assert_eq!(r, r2);
+        }
+    }
+
+    #[test]
+    fn numbers_parse_back_exactly(n in 0u32..10_000_000) {
+        let src = format!("q(x) :- t(x), x > {n}.");
+        let r = parse_rule(&src).unwrap();
+        match &r.body[1] {
+            iflex_alog::BodyAtom::Compare { right: Term::Num(v), .. } => {
+                prop_assert_eq!(*v, n as f64);
+            }
+            other => prop_assert!(false, "unexpected atom {other:?}"),
+        }
+    }
+
+    #[test]
+    fn offsets_roundtrip(off in 1u32..100) {
+        let src = format!("q(a, b) :- t(a, b), a < b + {off}.");
+        let r = parse_rule(&src).unwrap();
+        let r2 = parse_rule(&r.to_string()).unwrap();
+        prop_assert_eq!(r, r2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Convergence detection (§5.1): notify the developer when the result set
+//! and the number of produced assignments have been stable for `k`
+//! iterations (the paper uses k = 3).
+
+use iflex_ctable::TableStats;
+
+/// Monitors per-iteration result statistics and reports convergence.
+#[derive(Debug, Clone)]
+pub struct ConvergenceMonitor {
+    k: usize,
+    history: Vec<(usize, usize)>,
+}
+
+impl ConvergenceMonitor {
+    /// A monitor requiring `k` consecutive stable iterations.
+    pub fn new(k: usize) -> Self {
+        ConvergenceMonitor {
+            k: k.max(1),
+            history: Vec::new(),
+        }
+    }
+
+    /// The paper's default (k = 3).
+    pub fn paper_default() -> Self {
+        Self::new(3)
+    }
+
+    /// Records one iteration's result statistics.
+    pub fn observe(&mut self, stats: &TableStats) {
+        self.history.push((stats.tuples, stats.assignments));
+    }
+
+    /// Number of iterations observed.
+    pub fn iterations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Per-iteration result sizes (tuple counts).
+    pub fn sizes(&self) -> Vec<usize> {
+        self.history.iter().map(|&(t, _)| t).collect()
+    }
+
+    /// True when the last `k` observations are identical.
+    pub fn converged(&self) -> bool {
+        if self.history.len() < self.k {
+            return false;
+        }
+        let tail = &self.history[self.history.len() - self.k..];
+        tail.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Clears the history (e.g. after switching from subset evaluation to
+    /// the full input).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(tuples: usize, assignments: usize) -> TableStats {
+        TableStats {
+            tuples,
+            maybe_tuples: 0,
+            assignments,
+        }
+    }
+
+    #[test]
+    fn converges_after_k_stable() {
+        let mut m = ConvergenceMonitor::new(3);
+        m.observe(&stats(10, 50));
+        assert!(!m.converged());
+        m.observe(&stats(5, 20));
+        m.observe(&stats(5, 20));
+        assert!(!m.converged()); // only 2 stable
+        m.observe(&stats(5, 20));
+        assert!(m.converged());
+    }
+
+    #[test]
+    fn assignment_change_breaks_stability() {
+        let mut m = ConvergenceMonitor::new(2);
+        m.observe(&stats(5, 20));
+        m.observe(&stats(5, 19)); // same tuples, fewer assignments
+        assert!(!m.converged());
+        m.observe(&stats(5, 19));
+        assert!(m.converged());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = ConvergenceMonitor::new(1);
+        m.observe(&stats(1, 1));
+        assert!(m.converged());
+        m.reset();
+        assert!(!m.converged());
+        assert_eq!(m.iterations(), 0);
+    }
+
+    #[test]
+    fn sizes_recorded() {
+        let mut m = ConvergenceMonitor::paper_default();
+        m.observe(&stats(60, 100));
+        m.observe(&stats(10, 40));
+        assert_eq!(m.sizes(), vec![60, 10]);
+    }
+}

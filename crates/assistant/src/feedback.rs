@@ -1,0 +1,181 @@
+//! Richer developer feedback (§5.1.1 "More Types of Feedback"): the
+//! developer can *mark up a sample value* for an attribute. The assistant
+//! then (a) rules out answers the example contradicts — "if this title is
+//! bold, … the answer cannot be 'no'" — shrinking the simulation's answer
+//! space, and (b) can derive an initial batch of constraints directly
+//! from the example's feature values.
+
+use crate::question::Attribute;
+use iflex_engine::Engine;
+use iflex_features::{FeatureArg, FeatureValue};
+use iflex_text::Span;
+use std::collections::BTreeMap;
+
+/// Marked-up example values, per attribute display name.
+#[derive(Debug, Clone, Default)]
+pub struct Examples {
+    by_attr: BTreeMap<String, Vec<Span>>,
+}
+
+impl Examples {
+    /// No examples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a developer-highlighted true value for `attr`.
+    pub fn add(&mut self, attr: &Attribute, span: Span) {
+        self.by_attr.entry(attr.display()).or_default().push(span);
+    }
+
+    /// The examples recorded for an attribute.
+    pub fn for_attr(&self, attr: &Attribute) -> &[Span] {
+        self.by_attr
+            .get(&attr.display())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of attributes with at least one example.
+    pub fn len(&self) -> usize {
+        self.by_attr.len()
+    }
+
+    /// True when no examples have been given.
+    pub fn is_empty(&self) -> bool {
+        self.by_attr.is_empty()
+    }
+
+    /// True when answer `arg` for `feature` is consistent with every
+    /// example of `attr`: a truthful developer cannot give an answer the
+    /// highlighted true value fails to verify. Unknown features or
+    /// unverifiable argument types stay consistent (no information).
+    pub fn consistent(
+        &self,
+        engine: &Engine,
+        attr: &Attribute,
+        feature: &str,
+        arg: &FeatureArg,
+    ) -> bool {
+        let spans = self.for_attr(attr);
+        if spans.is_empty() {
+            return true;
+        }
+        let Ok(f) = engine.features().get(feature) else {
+            return true;
+        };
+        spans.iter().all(|s| {
+            f.verify(engine.store(), *s, arg).unwrap_or(true)
+        })
+    }
+}
+
+/// The tri-state features an example can answer outright.
+const TRI_FEATURES: &[&str] = &[
+    "numeric",
+    "bold-font",
+    "italic-font",
+    "underlined",
+    "hyperlinked",
+    "in-title",
+    "in-list",
+    "capitalized",
+    "person-name",
+    "first-half",
+];
+
+/// Derives the strongest tri-state answer each appearance/location feature
+/// gives on the example: `distinct-yes` where it verifies, else `yes`,
+/// else `no`. These are exactly the answers the developer would give when
+/// asked — the example answers them all at once.
+pub fn implied_answers(engine: &Engine, example: Span) -> Vec<(String, FeatureArg)> {
+    let mut out = Vec::new();
+    for fname in TRI_FEATURES {
+        let Ok(f) = engine.features().get(fname) else {
+            continue;
+        };
+        let store = engine.store();
+        let ans = if f
+            .verify(store, example, &FeatureArg::distinct_yes())
+            .unwrap_or(false)
+        {
+            FeatureArg::distinct_yes()
+        } else if f.verify(store, example, &FeatureArg::yes()).unwrap_or(false) {
+            FeatureArg::yes()
+        } else {
+            FeatureArg::Tri(FeatureValue::No)
+        };
+        out.push((fname.to_string(), ans));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_text::DocumentStore;
+    use std::sync::Arc;
+
+    fn setup() -> (Engine, Span) {
+        let mut store = DocumentStore::new();
+        let id = store.add_markup("noise 12 <b>42</b> tail");
+        let doc_text = store.doc(id).text().to_string();
+        let pos = doc_text.find("42").unwrap() as u32;
+        let span = Span::new(id, pos, pos + 2);
+        (Engine::new(Arc::new(store)), span)
+    }
+
+    fn attr() -> Attribute {
+        Attribute {
+            pred: "e".into(),
+            var: "v".into(),
+            pos: 1,
+        }
+    }
+
+    #[test]
+    fn implied_answers_read_the_example() {
+        let (eng, span) = setup();
+        let answers = implied_answers(&eng, span);
+        let get = |n: &str| {
+            answers
+                .iter()
+                .find(|(f, _)| f == n)
+                .map(|(_, a)| a.clone())
+                .unwrap()
+        };
+        assert_eq!(get("numeric"), FeatureArg::distinct_yes());
+        assert_eq!(get("bold-font"), FeatureArg::distinct_yes());
+        assert_eq!(get("italic-font"), FeatureArg::Tri(FeatureValue::No));
+    }
+
+    #[test]
+    fn consistency_prunes_contradicted_answers() {
+        let (eng, span) = setup();
+        let mut ex = Examples::new();
+        ex.add(&attr(), span);
+        // the example IS bold → "bold = no" is impossible
+        assert!(!ex.consistent(&eng, &attr(), "bold-font", &FeatureArg::no()));
+        assert!(ex.consistent(&eng, &attr(), "bold-font", &FeatureArg::yes()));
+        // the example is 42 → max-value 10 impossible, 100 fine
+        assert!(!ex.consistent(&eng, &attr(), "max-value", &FeatureArg::Num(10.0)));
+        assert!(ex.consistent(&eng, &attr(), "max-value", &FeatureArg::Num(100.0)));
+        // attributes without examples are unconstrained
+        let other = Attribute {
+            pred: "e".into(),
+            var: "w".into(),
+            pos: 2,
+        };
+        assert!(ex.consistent(&eng, &other, "bold-font", &FeatureArg::no()));
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let (_, span) = setup();
+        let mut ex = Examples::new();
+        assert!(ex.is_empty());
+        ex.add(&attr(), span);
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex.for_attr(&attr()).len(), 1);
+    }
+}

@@ -1,0 +1,418 @@
+//! Question-selection strategies (§5.1): **sequential** (predefined order
+//! over the question space) and **simulation** (execute each candidate
+//! refinement and pick the question with the largest expected reduction).
+
+use crate::feedback::Examples;
+use crate::probe::dynamic_answer_space;
+use crate::question::{add_constraint, answer_space, attributes, question_space, Attribute, Question};
+use iflex_alog::{BodyAtom, Program, Term};
+use iflex_engine::{Engine, Sample};
+use std::collections::BTreeSet;
+
+/// Everything a strategy may look at when choosing the next question.
+pub struct AssistContext<'a> {
+    /// The program.
+    pub program: &'a Program,
+    /// The engine.
+    pub engine: &'a mut Engine,
+    /// Questions already asked (attribute display name, feature).
+    pub asked: &'a BTreeSet<(String, String)>,
+    /// Sampling policy used for simulations.
+    pub sample: Sample,
+    /// Probability the developer answers "I do not know" (§5.1).
+    pub alpha: f64,
+    /// Result size (tuples) of the current program on the sample.
+    pub current_size: usize,
+    /// Marked-up example values (§5.1.1); prune contradicted answers.
+    pub examples: Examples,
+}
+
+/// A question-selection strategy.
+pub trait Strategy {
+    /// The strategy / feature name.
+    fn name(&self) -> &'static str;
+
+    /// Picks the next question, or `None` when the space is exhausted.
+    fn next_question(&mut self, ctx: &mut AssistContext<'_>) -> Option<Question>;
+}
+
+/// The curated feature order of the sequential strategy: appearance first
+/// (quick to answer visually), then location, then semantics.
+pub const FEATURE_ORDER: &[&str] = &[
+    "numeric",
+    "bold-font",
+    "italic-font",
+    "underlined",
+    "hyperlinked",
+    "in-title",
+    "in-list",
+    "capitalized",
+    "person-name",
+    "preceded-by",
+    "followed-by",
+    "max-value",
+    "min-value",
+    "max-length",
+    "starts-with",
+    "ends-with",
+    "prec-label-contains",
+    "prec-label-max-dist",
+    "first-half",
+    "min-length",
+];
+
+fn feature_rank(name: &str) -> usize {
+    FEATURE_ORDER
+        .iter()
+        .position(|f| *f == name)
+        .unwrap_or(FEATURE_ORDER.len())
+}
+
+/// Importance of an attribute (§5.1: "whether an attribute participates in
+/// a join, commonly appears in a variety of Web pages, etc."): higher
+/// scores are asked about first.
+pub fn attribute_importance(program: &Program, attr: &Attribute) -> u32 {
+    let mut score = 0u32;
+    for rule in program.rules.iter().filter(|r| !r.is_description()) {
+        // The caller variable bound to this attribute's position.
+        let mut caller_vars: Vec<&str> = Vec::new();
+        for atom in &rule.body {
+            if let BodyAtom::Pred { name, args } = atom {
+                if name == &attr.pred {
+                    if let Some(arg) = args.get(attr.pos) {
+                        if let Term::Var(v) = &arg.term {
+                            caller_vars.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        for v in caller_vars {
+            // participates in a comparison?
+            for atom in &rule.body {
+                match atom {
+                    BodyAtom::Compare { left, right, .. }
+                        if (left.var() == Some(v) || right.var() == Some(v)) => {
+                            score += 3;
+                        }
+                    BodyAtom::Pred { name, args } if name != &attr.pred
+                        && args.iter().any(|a| a.term.var() == Some(v)) => {
+                            score += 2; // join / p-function participation
+                        }
+                    _ => {}
+                }
+            }
+            // exported by the head?
+            if rule.head.args.iter().any(|a| a.var == v) {
+                score += 1;
+            }
+        }
+    }
+    score
+}
+
+/// Orders the whole question space the way the sequential strategy walks
+/// it: attributes by decreasing importance, features by the curated order.
+pub fn ordered_questions(ctx: &AssistContext<'_>) -> Vec<Question> {
+    let mut qs = question_space(ctx.program, ctx.engine.features(), ctx.asked);
+    let attrs = attributes(ctx.program);
+    let importance: std::collections::BTreeMap<String, u32> = attrs
+        .iter()
+        .map(|a| (a.display(), attribute_importance(ctx.program, a)))
+        .collect();
+    qs.sort_by_key(|q| {
+        (
+            std::cmp::Reverse(*importance.get(&q.attr.display()).unwrap_or(&0)),
+            q.attr.display(),
+            feature_rank(&q.feature),
+        )
+    });
+    qs
+}
+
+/// §5.1 "Sequential Strategy".
+#[derive(Debug, Default)]
+pub struct Sequential;
+
+impl Strategy for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn next_question(&mut self, ctx: &mut AssistContext<'_>) -> Option<Question> {
+        ordered_questions(ctx).into_iter().next()
+    }
+}
+
+/// §5.1 "Simulation Strategy": selects the question minimizing the
+/// expected result size after the developer's answer.
+#[derive(Debug)]
+pub struct Simulation {
+    /// Cap on how many candidate questions are simulated per iteration
+    /// (the space can be large; candidates are taken in sequential order).
+    pub max_candidates: usize,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Simulation { max_candidates: 24 }
+    }
+}
+
+impl Strategy for Simulation {
+    fn name(&self) -> &'static str {
+        "simulation"
+    }
+
+    fn next_question(&mut self, ctx: &mut AssistContext<'_>) -> Option<Question> {
+        let by_attr = ordered_questions(ctx);
+        if by_attr.is_empty() {
+            return None;
+        }
+        // Interleave candidates round-robin across attributes so every
+        // attribute gets simulated within the budget (the sequential
+        // attribute-exhaustion order would starve late attributes).
+        let mut buckets: Vec<(String, std::collections::VecDeque<Question>)> = Vec::new();
+        for q in by_attr {
+            let key = q.attr.display();
+            match buckets.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, b)) => b.push_back(q),
+                None => {
+                    let mut d = std::collections::VecDeque::new();
+                    d.push_back(q);
+                    buckets.push((key, d));
+                }
+            }
+        }
+        let mut ordered: Vec<Question> = Vec::new();
+        loop {
+            let mut any = false;
+            for (_, b) in buckets.iter_mut() {
+                if let Some(q) = b.pop_front() {
+                    ordered.push(q);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        // (expected size, expected assignments, index): primary criterion
+        // is the paper's expected result size; expected assignments break
+        // ties so that refinements invisible to the projected size (e.g.
+        // exactifying one side of a conjunctive condition) still register
+        // as progress.
+        let mut best: Option<(f64, f64, usize)> = None;
+        let mut considered = 0usize;
+        for (i, q) in ordered.iter().enumerate() {
+            let mut space = answer_space(&q.feature);
+            if space.is_empty() {
+                // derive an answer space from the data being queried (§5.1)
+                space = dynamic_answer_space(
+                    ctx.engine,
+                    ctx.program,
+                    &q.attr,
+                    &q.feature,
+                    ctx.sample,
+                );
+            }
+            if space.is_empty() {
+                continue; // cannot simulate free-text answers
+            }
+            // §5.1.1: answers the marked-up examples contradict need not
+            // be simulated.
+            space.retain(|v| ctx.examples.consistent(ctx.engine, &q.attr, &q.feature, v));
+            if space.is_empty() {
+                continue;
+            }
+            considered += 1;
+            if considered > self.max_candidates {
+                break;
+            }
+            // expected = α·|current| + Σ_v (1-α)/|V| · |exec(g(P,(a,f,v)))|
+            // Answers whose simulated result is empty are contradicted by
+            // the data (superset semantics: the true result is contained
+            // in every approximate result) — a truthful developer cannot
+            // give them, so they are excluded and V renormalized.
+            let mut sizes: Vec<(usize, usize)> = Vec::with_capacity(space.len());
+            for v in &space {
+                let refined = add_constraint(ctx.program, &q.attr, &q.feature, v);
+                let size = match ctx.engine.run_sampled(&refined, ctx.sample) {
+                    Ok(t) => {
+                        let sz =
+                            t.expanded_len(ctx.engine.store()).min(usize::MAX as u64) as usize;
+                        (sz, ctx.engine.stats.assignments_produced)
+                    }
+                    Err(_) => (ctx.current_size, usize::MAX), // failure → no info
+                };
+                sizes.push(size);
+            }
+            let feasible: Vec<(usize, usize)> =
+                sizes.iter().copied().filter(|&(s, _)| s > 0).collect();
+            if feasible.is_empty() {
+                continue; // every answer contradicted: nothing to learn
+            }
+            let per_answer = (1.0 - ctx.alpha) / feasible.len() as f64;
+            let mut expected = ctx.alpha * ctx.current_size as f64;
+            let mut expected_assigns = 0.0;
+            for (s, a) in &feasible {
+                expected += per_answer * *s as f64;
+                expected_assigns += per_answer * *a as f64;
+            }
+            let better = match best {
+                None => true,
+                Some((bs, ba, _)) => {
+                    expected + 1e-9 < bs
+                        || ((expected - bs).abs() <= 1e-9 && expected_assigns + 1e-9 < ba)
+                }
+            };
+            if better {
+                best = Some((expected, expected_assigns, i));
+            }
+        }
+        match best {
+            Some((_, _, i)) => Some(ordered[i].clone()),
+            // Nothing simulatable: fall back to the sequential order.
+            None => ordered.into_iter().next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_alog::parse_program;
+    use iflex_ctable::CompactTable;
+    use iflex_ctable::Value;
+    use iflex_text::DocumentStore;
+    use std::sync::Arc;
+
+    fn engine_with_pages() -> Engine {
+        let mut store = DocumentStore::new();
+        let a = store.add_markup("noise 7 words <b>42</b> more 99 noise");
+        let b = store.add_markup("plain 5 page <b>77</b> stuff 1234");
+        let store = Arc::new(store);
+        let mut eng = Engine::new(store);
+        eng.add_doc_table("pages", &[a, b]);
+        eng.add_table(
+            "limits",
+            CompactTable::from_exact_rows(vec!["l".into()], vec![vec![Value::Num(50.0)]]),
+        );
+        eng
+    }
+
+    fn prog() -> Program {
+        parse_program(
+            r#"
+            q(x, v) :- pages(x), extractV(#x, v), v < 1000.
+            extractV(#x, v) :- from(#x, v), numeric(v) = yes.
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn importance_prefers_compared_attributes() {
+        let p = parse_program(
+            r#"
+            q(x, v) :- pages(x), extractV(#x, v, w), v < 1000.
+            extractV(#x, v, w) :- from(#x, v), from(#x, w).
+        "#,
+        )
+        .unwrap();
+        let attrs = attributes(&p);
+        let v = attrs.iter().find(|a| a.var == "v").unwrap();
+        let w = attrs.iter().find(|a| a.var == "w").unwrap();
+        assert!(attribute_importance(&p, v) > attribute_importance(&p, w));
+    }
+
+    #[test]
+    fn sequential_asks_in_feature_order() {
+        let p = prog();
+        let mut eng = engine_with_pages();
+        let asked = BTreeSet::new();
+        let mut ctx = AssistContext {
+            program: &p,
+            engine: &mut eng,
+            asked: &asked,
+            sample: Sample::new(1.0, 0),
+            alpha: 0.1,
+            current_size: 10,
+            examples: Default::default(),
+        };
+        let q = Sequential.next_question(&mut ctx).unwrap();
+        // numeric is already constrained; next in order is bold-font
+        assert_eq!(q.feature, "bold-font");
+    }
+
+    #[test]
+    fn asked_questions_are_skipped() {
+        let p = prog();
+        let mut eng = engine_with_pages();
+        let mut asked = BTreeSet::new();
+        asked.insert(("extractV.v".to_string(), "bold-font".to_string()));
+        let mut ctx = AssistContext {
+            program: &p,
+            engine: &mut eng,
+            asked: &asked,
+            sample: Sample::new(1.0, 0),
+            alpha: 0.1,
+            current_size: 10,
+            examples: Default::default(),
+        };
+        let q = Sequential.next_question(&mut ctx).unwrap();
+        assert_ne!(
+            (q.attr.display(), q.feature.clone()),
+            ("extractV.v".to_string(), "bold-font".to_string())
+        );
+    }
+
+    #[test]
+    fn simulation_picks_a_reducing_question() {
+        let p = prog();
+        let mut eng = engine_with_pages();
+        let asked = BTreeSet::new();
+        let current = eng.run(&p).unwrap().len();
+        let mut ctx = AssistContext {
+            program: &p,
+            engine: &mut eng,
+            asked: &asked,
+            sample: Sample::new(1.0, 0),
+            alpha: 0.1,
+            current_size: current,
+            examples: Default::default(),
+        };
+        let q = Simulation::default().next_question(&mut ctx).unwrap();
+        // Simulation must pick *some* simulatable question; on this corpus
+        // the bold-font answer collapses each page to one number, so an
+        // appearance or value-bound feature is expected.
+        assert!(
+            !answer_space(&q.feature).is_empty() || q.feature == "preceded-by"
+                || q.feature == "followed-by" || q.feature == "max-value"
+                || q.feature == "min-value",
+            "{q:?}"
+        );
+    }
+
+    #[test]
+    fn space_exhaustion_returns_none() {
+        let p = prog();
+        let mut eng = engine_with_pages();
+        // mark everything asked
+        let mut asked = BTreeSet::new();
+        for q in question_space(&p, eng.features(), &BTreeSet::new()) {
+            asked.insert((q.attr.display(), q.feature));
+        }
+        let mut ctx = AssistContext {
+            program: &p,
+            engine: &mut eng,
+            asked: &asked,
+            sample: Sample::new(1.0, 0),
+            alpha: 0.1,
+            current_size: 1,
+            examples: Default::default(),
+        };
+        assert!(Sequential.next_question(&mut ctx).is_none());
+        assert!(Simulation::default().next_question(&mut ctx).is_none());
+    }
+}

@@ -1,0 +1,21 @@
+//! # iflex-baseline
+//!
+//! The two comparison methods of §6:
+//!
+//! * [`manual`] — a human collects the answer by hand from the raw
+//!   records (cost model calibrated against Table 3's Manual column);
+//! * [`xlog`] — the precise-Xlog method: hand-written procedural
+//!   extractors (the Rust equivalent of the paper's Perl modules) that
+//!   produce exact results, plus its development-time model.
+//!
+//! The precise extractors double as an independent cross-check of the
+//! corpus ground truth: `xlog::run_precise` must reproduce `Task::truth`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manual;
+pub mod xlog;
+
+pub use manual::manual_minutes;
+pub use xlog::{run_precise, xlog_dev_minutes};

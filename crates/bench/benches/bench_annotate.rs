@@ -1,0 +1,47 @@
+//! Micro-bench ablation: the ψ annotation operator (§4.3) — the paper's
+//! exact BAnnotate (via a-table conversion) vs the compact-direct variant.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iflex::engine::annotate::{bannotate_compact, bannotate_exact};
+use iflex::prelude::*;
+use iflex_ctable::{Assignment, CompactTuple};
+use std::sync::Arc;
+
+fn table_with(keys: usize, values_per_key: usize) -> (Arc<DocumentStore>, CompactTable) {
+    let mut store = DocumentStore::new();
+    let mut t = CompactTable::new(vec!["k".into(), "v".into()]);
+    for k in 0..keys {
+        let text: Vec<String> = (0..values_per_key).map(|i| format!("v{k}x{i}")).collect();
+        let id = store.add_plain(text.join(" "));
+        let doc = store.doc(id);
+        let assigns: Vec<Assignment> = doc
+            .tokens()
+            .tokens()
+            .iter()
+            .map(|tok| Assignment::exact_span(Span::new(id, tok.start, tok.end)))
+            .collect();
+        t.push(CompactTuple::new(vec![
+            Cell::exact(Value::Num(k as f64)),
+            Cell::expansion(assigns),
+        ]));
+    }
+    (Arc::new(store), t)
+}
+
+fn bench_annotate_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("annotate/exact_vs_compact");
+    for (keys, vals) in [(64usize, 8usize), (256, 16)] {
+        let (store, table) = table_with(keys, vals);
+        let label = format!("{keys}x{vals}");
+        g.bench_with_input(BenchmarkId::new("bannotate_exact", &label), &0, |b, _| {
+            b.iter(|| black_box(bannotate_exact(&table, &[1], &store, 10_000_000).unwrap().len()))
+        });
+        g.bench_with_input(BenchmarkId::new("bannotate_compact", &label), &0, |b, _| {
+            b.iter(|| black_box(bannotate_compact(&table, &[1], &store).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_annotate_paths);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-bench: the compact-table representation (§3) — condensation,
+//! expansion, value enumeration, and the memory/size claim that motivates
+//! compact tables over a-tables (one `contain` assignment vs enumerating
+//! every token-aligned sub-span).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iflex::prelude::*;
+use iflex_ctable::{ATable, Assignment, CompactTuple};
+use std::sync::Arc;
+
+fn store_with_doc(tokens: usize) -> (Arc<DocumentStore>, DocId) {
+    let mut store = DocumentStore::new();
+    let text: Vec<String> = (0..tokens).map(|i| format!("w{i}")).collect();
+    let id = store.add_plain(text.join(" "));
+    (Arc::new(store), id)
+}
+
+fn bench_value_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctable/value_enumeration");
+    for tokens in [8usize, 32, 64] {
+        let (store, id) = store_with_doc(tokens);
+        let span = store.doc(id).full_span();
+        let cell = Cell::contain(span);
+        g.bench_with_input(BenchmarkId::from_parameter(tokens), &tokens, |b, _| {
+            b.iter(|| black_box(cell.values(&store).count()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_condense(c: &mut Criterion) {
+    let (store, id) = store_with_doc(48);
+    let doc_len = store.doc(id).len();
+    // many overlapping contains + exacts
+    let assigns: Vec<Assignment> = (0..24)
+        .map(|i| {
+            let s = (i * 7) % (doc_len / 2);
+            Assignment::Contain(Span::new(id, s, s + doc_len / 3))
+        })
+        .collect();
+    c.bench_function("ctable/condense_24_overlapping", |b| {
+        b.iter(|| {
+            let mut cell = Cell::of(assigns.clone());
+            cell.condense(&store);
+            black_box(cell.assignments().len())
+        })
+    });
+}
+
+fn bench_compact_vs_atable(c: &mut Criterion) {
+    // the §3 claim: converting to an a-table explodes, staying compact
+    // is O(1) per cell
+    let mut g = c.benchmark_group("ctable/compact_vs_atable");
+    for tokens in [8usize, 24] {
+        let (store, id) = store_with_doc(tokens);
+        let span = store.doc(id).full_span();
+        let mut table = CompactTable::new(vec!["s".into()]);
+        for _ in 0..16 {
+            table.push(CompactTuple::new(vec![Cell::expansion(vec![
+                Assignment::Contain(span),
+            ])]));
+        }
+        g.bench_with_input(BenchmarkId::new("to_atable", tokens), &tokens, |b, _| {
+            b.iter(|| black_box(ATable::from_compact(&table, &store, 1_000_000).unwrap().len()))
+        });
+        g.bench_with_input(BenchmarkId::new("stay_compact", tokens), &tokens, |b, _| {
+            b.iter(|| black_box(table.expanded_len(&store)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let (store, id) = store_with_doc(16);
+    let span = store.doc(id).full_span();
+    let tuple = CompactTuple::new(vec![
+        Cell::exact(Value::Num(1.0)),
+        Cell::expansion(vec![Assignment::Contain(span)]),
+    ]);
+    c.bench_function("ctable/expand_fully_16_tokens", |b| {
+        b.iter(|| black_box(tuple.expand_fully(&store, 100_000).unwrap().len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_value_enumeration,
+    bench_condense,
+    bench_compact_vs_atable,
+    bench_expand
+);
+criterion_main!(benches);

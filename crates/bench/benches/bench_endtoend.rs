@@ -1,0 +1,27 @@
+//! Macro-bench: one full best-effort session per domain (execute → ask →
+//! refine → converge → full reuse run), over the tiny corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iflex_bench::{run_session, Strat};
+use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+
+fn bench_sessions(c: &mut Criterion) {
+    let corpus = Corpus::build(CorpusConfig::tiny());
+    let mut g = c.benchmark_group("endtoend/session");
+    g.sample_size(10);
+    for (id, n) in [
+        (TaskId::T1, Some(30)),   // Movies
+        (TaskId::T4, Some(30)),   // DBLP
+        (TaskId::T8, Some(40)),   // Books
+        (TaskId::Panel, None),    // DBLife
+    ] {
+        let task = corpus.task(id, n);
+        g.bench_with_input(BenchmarkId::from_parameter(id.name()), &0, |b, _| {
+            b.iter(|| black_box(run_session(&corpus, &task, Strat::Sim).quality.result_tuples))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Micro-bench: the regex-lite engine (Pike VM) — linear-time matching on
+//! the patterns the features actually use.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iflex::pattern::Pattern;
+
+fn bench_patterns(c: &mut Criterion) {
+    let haystack: String = (0..200)
+        .map(|i| {
+            if i % 9 == 0 {
+                format!("SIGMOD {} ", 1975 + i % 30)
+            } else {
+                format!("word{i} ")
+            }
+        })
+        .collect();
+    let mut g = c.benchmark_group("pattern/find_iter");
+    for (name, pat) in [
+        ("digits", "\\d+"),
+        ("caps", "[A-Z][A-Z]+"),
+        ("year_alt", "0\\d|19\\d\\d|20\\d\\d"),
+        ("price", "\\$\\d+(\\.\\d\\d)?"),
+    ] {
+        let p = Pattern::new(pat).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &0, |b, _| {
+            b.iter(|| black_box(p.find_iter(&haystack).count()))
+        });
+    }
+    g.finish();
+
+    // pathological backtracking case: linear for a Pike VM
+    let evil = Pattern::new("(a+)+b").unwrap_or_else(|_| Pattern::new("a+b").unwrap());
+    let as_only = "a".repeat(64);
+    c.bench_function("pattern/no_catastrophic_backtracking", |b| {
+        b.iter(|| black_box(evil.is_match(&as_only)))
+    });
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Micro-bench: domain-constraint selection via `Verify`/`Refine` (§4.2)
+//! against the naive strategy of enumerating every token-aligned sub-span
+//! and verifying each — the optimization that makes `from` + constraints
+//! tractable.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iflex::engine::{constraint::apply_constraint, CompiledConstraint};
+use iflex::prelude::*;
+use std::sync::Arc;
+
+fn page(words: usize) -> (Arc<DocumentStore>, Span) {
+    let mut store = DocumentStore::new();
+    let mut text = String::new();
+    for i in 0..words {
+        if i % 7 == 3 {
+            text.push_str(&format!("<b>{}</b> ", i * 13));
+        } else if i % 5 == 0 {
+            text.push_str(&format!("{} ", i));
+        } else {
+            text.push_str(&format!("word{i} "));
+        }
+    }
+    let id = store.add_markup(&text);
+    let span = store.doc(id).full_span();
+    (Arc::new(store), span)
+}
+
+fn numeric_constraint() -> CompiledConstraint {
+    CompiledConstraint {
+        feature: "numeric".into(),
+        arg: FeatureArg::yes(),
+    }
+}
+
+fn bench_refine_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refine/numeric_constraint");
+    for words in [16usize, 64, 128] {
+        let (store, span) = page(words);
+        let reg = FeatureRegistry::default();
+        let cell = Cell::contain(span);
+        g.bench_with_input(BenchmarkId::new("refine", words), &words, |b, _| {
+            b.iter(|| {
+                black_box(
+                    apply_constraint(&cell, &numeric_constraint(), &[], &store, &reg).unwrap(),
+                )
+            })
+        });
+        // naive: enumerate every token-aligned sub-span, verify each
+        g.bench_with_input(BenchmarkId::new("naive_enumerate", words), &words, |b, _| {
+            let f = reg.get("numeric").unwrap();
+            b.iter(|| {
+                let mut kept = 0usize;
+                for v in cell.values(&store) {
+                    if let Value::Span(s) = v {
+                        if f.verify(&store, s, &FeatureArg::yes()).unwrap() {
+                            kept += 1;
+                        }
+                    }
+                }
+                black_box(kept)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chained_constraints(c: &mut Criterion) {
+    let (store, span) = page(64);
+    let reg = FeatureRegistry::default();
+    let cell = Cell::contain(span);
+    let bold = CompiledConstraint {
+        feature: "bold-font".into(),
+        arg: FeatureArg::yes(),
+    };
+    c.bench_function("refine/chain_numeric_then_bold", |b| {
+        b.iter(|| {
+            let c1 = apply_constraint(&cell, &numeric_constraint(), &[], &store, &reg).unwrap();
+            let c2 =
+                apply_constraint(&c1, &bold, std::slice::from_ref(&numeric_constraint()), &store, &reg)
+                    .unwrap();
+            black_box(c2.assignment_count())
+        })
+    });
+}
+
+criterion_group!(benches, bench_refine_vs_naive, bench_chained_constraints);
+criterion_main!(benches);

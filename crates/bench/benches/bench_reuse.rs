@@ -1,0 +1,37 @@
+//! Micro-bench: multi-iteration reuse (§5.2) — re-running a refined
+//! program with a warm cache (only the changed rule recomputes) vs a cold
+//! engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+use iflex::assistant::{add_constraint, attributes};
+use iflex::prelude::FeatureArg;
+
+fn bench_reuse(c: &mut Criterion) {
+    let corpus = Corpus::build(CorpusConfig::tiny());
+    let task = corpus.task(TaskId::T1, Some(30));
+    let attrs = attributes(&task.program);
+    let votes = attrs.iter().find(|a| a.var == "votes").unwrap();
+    let refined = add_constraint(
+        &task.program,
+        votes,
+        "underlined",
+        &FeatureArg::distinct_yes(),
+    );
+
+    c.bench_function("reuse/warm_cache_refined_rerun", |b| {
+        let mut eng = task.engine(&corpus);
+        eng.run(&task.program).unwrap();
+        b.iter(|| black_box(eng.run(&refined).unwrap().len()))
+    });
+    c.bench_function("reuse/cold_engine_each_run", |b| {
+        b.iter(|| {
+            let mut eng = task.engine(&corpus);
+            eng.run(&task.program).unwrap();
+            black_box(eng.run(&refined).unwrap().len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_reuse);
+criterion_main!(benches);

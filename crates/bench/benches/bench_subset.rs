@@ -1,0 +1,26 @@
+//! Micro-bench: subset evaluation (§5.2) — execution cost vs sample
+//! fraction, the lever that makes assistant simulations affordable.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iflex::prelude::Sample;
+use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+
+fn bench_subset_fractions(c: &mut Criterion) {
+    let corpus = Corpus::build(CorpusConfig::tiny());
+    let task = corpus.task(TaskId::T8, None);
+    let mut g = c.benchmark_group("subset/fraction");
+    for pct in [5u32, 15, 30, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, &pct| {
+            let mut eng = task.engine(&corpus);
+            let sample = Sample::new(pct as f64 / 100.0, 7);
+            b.iter(|| {
+                eng.clear_cache();
+                black_box(eng.run_sampled(&task.program, sample).unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_subset_fractions);
+criterion_main!(benches);

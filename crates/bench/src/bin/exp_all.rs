@@ -1,0 +1,32 @@
+//! Runs every table experiment in order (convenience wrapper); accepts
+//! the same `--scale <f>` flag and forwards it.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("binary directory");
+    for bin in [
+        "exp_table1",
+        "exp_table2",
+        "exp_table3",
+        "exp_table4",
+        "exp_table5",
+        "exp_table6",
+        "exp_ablation",
+        "exp_scaling",
+    ] {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} failed: {status}");
+            std::process::exit(1);
+        }
+    }
+}

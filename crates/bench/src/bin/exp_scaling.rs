@@ -1,0 +1,28 @@
+//! Machine-time scaling: final-program execution wall clock vs corpus
+//! scale, one representative task per domain. §6.3's anecdotal claim —
+//! "the approximate query processor proves quite efficient even on large
+//! data sets" — corresponds to near-linear growth here.
+
+use iflex_bench::{run_session, Strat};
+use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+use std::time::Instant;
+
+fn main() {
+    println!("Scaling: session wall clock (seconds) vs corpus scale");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "scale", "T1", "T5", "T8", "Panel"
+    );
+    for scale in [0.1, 0.25, 0.5, 1.0] {
+        let corpus = Corpus::build(CorpusConfig::scaled(scale));
+        let mut row = format!("{scale:>6}");
+        for id in [TaskId::T1, TaskId::T5, TaskId::T8, TaskId::Panel] {
+            let task = corpus.task(id, None);
+            let t0 = Instant::now();
+            let run = run_session(&corpus, &task, Strat::Sim);
+            assert!(run.quality.recall > 0.99, "{id:?} at scale {scale}");
+            row += &format!(" {:>9.2}s", t0.elapsed().as_secs_f64());
+        }
+        println!("{row}");
+    }
+}

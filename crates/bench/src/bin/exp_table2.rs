@@ -1,0 +1,13 @@
+//! Table 2: the nine IE tasks and their initial (approximate) programs.
+
+use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+
+fn main() {
+    let corpus = Corpus::build(CorpusConfig::tiny());
+    println!("Table 2: IE tasks for our experiments\n");
+    for id in TaskId::TABLE2 {
+        let task = corpus.task(id, Some(10));
+        println!("== {} ({}) — {}", id.name(), id.domain(), id.description());
+        println!("{}", task.program);
+    }
+}

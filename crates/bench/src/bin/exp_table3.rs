@@ -1,0 +1,97 @@
+//! Table 3: run-time performance (simulated developer minutes + measured
+//! machine time) of Manual / Xlog / iFlex over 27 scenarios — 9 tasks ×
+//! 3 input sizes. iFlex uses the simulation strategy (its default); the
+//! parenthesized component is cleanup-code time.
+//!
+//! `--scale <f>` scales the corpus (default 1.0 = the paper's sizes);
+//! `--convergence` additionally reports the §6.2 convergence summary.
+
+use iflex_baseline::{manual_minutes, run_precise, xlog_dev_minutes};
+use iflex_bench::{fmt_minutes, fmt_opt_minutes, fmt_pct, run_session, scenario_label, table3_scenarios, Strat};
+use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let report_convergence = args.iter().any(|a| a == "--convergence");
+
+    let cfg = if (scale - 1.0).abs() < 1e-9 {
+        CorpusConfig::default()
+    } else {
+        CorpusConfig::scaled(scale)
+    };
+    eprintln!("building corpus (scale {scale})...");
+    let corpus = Corpus::build(cfg);
+
+    println!("Table 3: Run time performance over 27 IE scenarios (minutes)");
+    println!(
+        "{:<5} {:>10} {:>8} {:>6} {:>10}   {:>9} {:>7}",
+        "Task", "Tuples", "Manual", "Xlog", "iFlex", "Superset", "Machine"
+    );
+    println!("{}", "-".repeat(64));
+
+    let mut converged_exact = 0usize;
+    let mut outlier_supersets: Vec<(String, f64)> = Vec::new();
+    let mut scenarios_run = 0usize;
+
+    for id in TaskId::TABLE2 {
+        for n in table3_scenarios(id) {
+            let task = corpus.task(id, n);
+            let records = task.tables[0].1.len();
+
+            // Manual: cost model over the primary table.
+            let manual = manual_minutes(id, records);
+
+            // Xlog: development model + measured precise execution.
+            let t0 = Instant::now();
+            let precise = run_precise(&corpus, id, n);
+            let xlog_machine = t0.elapsed().as_secs_f64();
+            let xlog = xlog_dev_minutes(id) + xlog_machine / 60.0;
+            assert_eq!(precise.len(), task.truth.len(), "{id:?} truth cross-check");
+
+            // iFlex: full session (simulation strategy).
+            let t1 = Instant::now();
+            let run = run_session(&corpus, &task, Strat::Sim);
+            let wall = t1.elapsed().as_secs_f64();
+
+            scenarios_run += 1;
+            if (run.quality.superset_pct - 100.0).abs() < 0.5 {
+                converged_exact += 1;
+            } else {
+                outlier_supersets
+                    .push((format!("{} @{}", id.name(), scenario_label(&task, n)), run.quality.superset_pct));
+            }
+
+            println!(
+                "{:<5} {:>10} {:>8} {:>6} {:>10}   {:>9} {:>6.1}s",
+                id.name(),
+                scenario_label(&task, n),
+                fmt_opt_minutes(manual),
+                fmt_minutes(xlog, 0.0),
+                fmt_minutes(run.outcome.minutes, run.outcome.cleanup_minutes),
+                fmt_pct(run.quality.superset_pct),
+                wall,
+            );
+        }
+    }
+
+    if report_convergence {
+        println!("\n§6.2 convergence summary:");
+        println!(
+            "  converged to the correct result in {converged_exact} of {scenarios_run} scenarios"
+        );
+        if !outlier_supersets.is_empty() {
+            outlier_supersets.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            println!("  remaining cases converged to:");
+            for (label, pct) in outlier_supersets {
+                println!("    {label}: {}", fmt_pct(pct));
+            }
+        }
+    }
+}

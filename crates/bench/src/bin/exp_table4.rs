@@ -1,0 +1,65 @@
+//! Table 4: effects of soliciting domain knowledge — per-iteration result
+//! sizes (subset-evaluation iterations in normal font, the final
+//! reuse-mode full run emphasized), number of questions, time, and
+//! superset size, for the paper's nine selected scenarios.
+
+use iflex_bench::{fmt_pct, run_session, Strat};
+use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+
+fn main() {
+    let scale = std::env::args()
+        .skip_while(|a| a != "--scale")
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let cfg = if (scale - 1.0).abs() < 1e-9 {
+        CorpusConfig::default()
+    } else {
+        CorpusConfig::scaled(scale)
+    };
+    eprintln!("building corpus (scale {scale})...");
+    let corpus = Corpus::build(cfg);
+
+    // The paper's nine randomly selected scenarios (Table 4).
+    let scenarios: [(TaskId, Option<usize>); 9] = [
+        (TaskId::T1, Some(10)),
+        (TaskId::T2, Some(100)),
+        (TaskId::T3, None),
+        (TaskId::T4, Some(10)),
+        (TaskId::T5, Some(500)),
+        (TaskId::T6, Some(500)),
+        (TaskId::T7, Some(500)),
+        (TaskId::T8, None),
+        (TaskId::T9, Some(100)),
+    ];
+
+    println!("Table 4: Effects of soliciting domain knowledge in iFlex");
+    println!(
+        "{:<5} {:>7} {:>8}  {:<44} {:>5} {:>8} {:>9}",
+        "Task", "Tuples", "Correct", "Tuples after each iteration (*: reuse mode)", "Qs", "Time(m)", "Superset"
+    );
+    println!("{}", "-".repeat(94));
+    for (id, n) in scenarios {
+        let task = corpus.task(id, n);
+        let run = run_session(&corpus, &task, Strat::Sim);
+        let sizes: Vec<String> = run
+            .outcome
+            .records
+            .iter()
+            .map(|r| match r.mode {
+                iflex::ExecMode::Subset => format!("{}", r.result_tuples),
+                iflex::ExecMode::Reuse => format!("*{}", r.result_tuples),
+            })
+            .collect();
+        println!(
+            "{:<5} {:>7} {:>8}  {:<44} {:>5} {:>8.2} {:>9}",
+            id.name(),
+            task.tables[0].1.len(),
+            run.quality.correct_tuples,
+            sizes.join(", "),
+            run.outcome.questions_asked,
+            run.outcome.minutes,
+            fmt_pct(run.quality.superset_pct),
+        );
+    }
+}

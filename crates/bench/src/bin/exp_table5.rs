@@ -1,0 +1,66 @@
+//! Table 5: evaluating the question-selection strategies — for each of
+//! nine scenarios, the sequential and simulation strategies' iterations,
+//! questions asked, total time, and superset size. The expected shape:
+//! sequential is faster (no simulation cost) but can converge early to
+//! much larger supersets on multi-attribute and join tasks.
+
+use iflex_bench::{fmt_pct, run_session, Strat};
+use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+
+fn main() {
+    let scale = std::env::args()
+        .skip_while(|a| a != "--scale")
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let cfg = if (scale - 1.0).abs() < 1e-9 {
+        CorpusConfig::default()
+    } else {
+        CorpusConfig::scaled(scale)
+    };
+    eprintln!("building corpus (scale {scale})...");
+    let corpus = Corpus::build(cfg);
+
+    // The paper's nine Table 5 scenarios.
+    let scenarios: [(TaskId, Option<usize>); 9] = [
+        (TaskId::T1, Some(100)),
+        (TaskId::T2, Some(100)),
+        (TaskId::T3, Some(100)),
+        (TaskId::T4, Some(100)),
+        (TaskId::T5, Some(500)),
+        (TaskId::T6, Some(500)),
+        (TaskId::T7, Some(500)),
+        (TaskId::T8, Some(500)),
+        (TaskId::T9, Some(500)),
+    ];
+
+    println!("Table 5: Evaluating question selection strategies");
+    println!(
+        "{:<5} {:>7} {:>8} {:<6} {:>6} {:>5} {:>9} {:>10}",
+        "Task", "Tuples", "Correct", "Scheme", "Iters", "Qs", "Time(m)", "Superset"
+    );
+    println!("{}", "-".repeat(64));
+    for (id, n) in scenarios {
+        let task = corpus.task(id, n);
+        for strat in [Strat::Seq, Strat::Sim] {
+            let run = run_session(&corpus, &task, strat);
+            let superset = if run.outcome.full_run_within_budget {
+                fmt_pct(run.quality.superset_pct)
+            } else {
+                format!("{}†", fmt_pct(run.quality.superset_pct))
+            };
+            println!(
+                "{:<5} {:>7} {:>8} {:<6} {:>6} {:>5} {:>9.2} {:>10}",
+                id.name(),
+                task.tables[0].1.len(),
+                run.quality.correct_tuples,
+                strat.name(),
+                run.outcome.iterations,
+                run.outcome.questions_asked,
+                run.outcome.minutes,
+                superset,
+            );
+        }
+    }
+    println!("† full run exceeded the materialization budget; subset-estimate shown");
+}

@@ -1,0 +1,43 @@
+//! Table 6 / §6.3: the DBLife evaluation — the three extraction programs
+//! (Panel, Project, Chair) over the heterogeneous snapshot, reporting
+//! iFlex development minutes (cleanup in parentheses) and the final
+//! program's full-execution machine time.
+
+use iflex_bench::{fmt_minutes, run_session, Strat};
+use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+
+fn main() {
+    let scale = std::env::args()
+        .skip_while(|a| a != "--scale")
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let cfg = if (scale - 1.0).abs() < 1e-9 {
+        CorpusConfig::default()
+    } else {
+        CorpusConfig::scaled(scale)
+    };
+    eprintln!("building corpus (scale {scale})...");
+    let corpus = Corpus::build(cfg);
+    println!(
+        "Table 6: Experiments on DBLife data ({} pages)",
+        corpus.dblife.docs.len()
+    );
+    println!(
+        "{:<8} {:<58} {:>11} {:>9} {:>8}",
+        "Task", "Description", "iFlex (min)", "Final run", "Recall"
+    );
+    println!("{}", "-".repeat(100));
+    for id in TaskId::DBLIFE {
+        let task = corpus.task(id, None);
+        let run = run_session(&corpus, &task, Strat::Sim);
+        println!(
+            "{:<8} {:<58} {:>11} {:>8.2}s {:>7.0}%",
+            id.name(),
+            id.description(),
+            fmt_minutes(run.outcome.minutes, run.outcome.cleanup_minutes),
+            run.outcome.final_run_secs,
+            run.quality.recall * 100.0,
+        );
+    }
+}

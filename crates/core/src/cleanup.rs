@@ -1,0 +1,196 @@
+//! Reusable cleanup procedures (§2.2.4): when a sub-task is cumbersome to
+//! express declaratively — the paper's example is extracting the *last
+//! author* from an author list, since Alog has no ordered sequences — the
+//! developer writes a procedural p-predicate and plugs it in. This module
+//! provides the common ones as ready-made generator closures for
+//! [`iflex_engine::ProcRegistry::register_generator`].
+
+use iflex_ctable::Value;
+use iflex_pattern::Pattern;
+use iflex_text::{DocumentStore, Span};
+
+/// Splits a span on `sep`, yielding one trimmed sub-span per element —
+/// e.g. an author list `"A. Lee, B. Cho"` into its authors. Non-span
+/// inputs produce nothing.
+pub fn split_list(sep: char) -> impl Fn(&DocumentStore, &[Value]) -> Vec<Vec<Value>> {
+    move |store, args| {
+        let Some(Value::Span(s)) = args.first() else {
+            return vec![];
+        };
+        element_spans(store, *s, sep)
+            .into_iter()
+            .map(|e| vec![Value::Span(e)])
+            .collect()
+    }
+}
+
+/// The paper's §2.2.4 scenario: the *last* element of a separated list
+/// ("extract the individual authors and select the last author").
+pub fn last_of_list(sep: char) -> impl Fn(&DocumentStore, &[Value]) -> Vec<Vec<Value>> {
+    move |store, args| {
+        let Some(Value::Span(s)) = args.first() else {
+            return vec![];
+        };
+        match element_spans(store, *s, sep).into_iter().last() {
+            Some(e) => vec![vec![Value::Span(e)]],
+            None => vec![],
+        }
+    }
+}
+
+/// The first element of a separated list.
+pub fn first_of_list(sep: char) -> impl Fn(&DocumentStore, &[Value]) -> Vec<Vec<Value>> {
+    move |store, args| {
+        let Some(Value::Span(s)) = args.first() else {
+            return vec![];
+        };
+        element_spans(store, *s, sep)
+            .into_iter()
+            .next()
+            .map(|e| vec![vec![Value::Span(e)]])
+            .unwrap_or_default()
+    }
+}
+
+/// The first regex-lite match inside the span, as a sub-span.
+/// Panics at registration time on an invalid pattern — cleanup code is
+/// developer-written and should fail fast.
+pub fn first_match(pattern: &str) -> impl Fn(&DocumentStore, &[Value]) -> Vec<Vec<Value>> {
+    let pat = Pattern::new(pattern).expect("valid cleanup pattern");
+    move |store, args| {
+        let Some(Value::Span(s)) = args.first() else {
+            return vec![];
+        };
+        let text = store.span_text(s);
+        pat.find(text)
+            .map(|m| {
+                vec![vec![Value::Span(Span::new(
+                    s.doc,
+                    s.start + m.start as u32,
+                    s.start + m.end as u32,
+                ))]]
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Classifies a span by the label immediately before it: returns the
+/// first of `labels` (as a string value) such that the preceding text
+/// ends with `"<label><suffix>"` — the Chair task's `extractType`.
+pub fn label_before(
+    labels: Vec<String>,
+    suffix: &str,
+) -> impl Fn(&DocumentStore, &[Value]) -> Vec<Vec<Value>> {
+    let suffix = suffix.to_string();
+    move |store, args| {
+        let Some(Value::Span(s)) = args.first() else {
+            return vec![];
+        };
+        let text = store.doc(s.doc).text();
+        let before = text[..s.start as usize].trim_end();
+        for l in &labels {
+            if before.ends_with(&format!("{l}{suffix}")) {
+                return vec![vec![Value::Str(l.clone())]];
+            }
+        }
+        vec![]
+    }
+}
+
+/// Token-aligned element spans of `span` split on `sep`.
+fn element_spans(store: &DocumentStore, span: Span, sep: char) -> Vec<Span> {
+    let doc = store.doc(span.doc);
+    let text = &doc.text()[span.range()];
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let bytes_len = text.len();
+    for (i, c) in text.char_indices().chain(std::iter::once((bytes_len, sep))) {
+        if c != sep {
+            continue;
+        }
+        let piece = &text[start..i];
+        let lead = piece.len() - piece.trim_start().len();
+        let trail = piece.len() - piece.trim_end().len();
+        if lead + trail < piece.len() {
+            out.push(Span::new(
+                span.doc,
+                span.start + (start + lead) as u32,
+                span.start + (i - trail) as u32,
+            ));
+        }
+        start = i + sep.len_utf8();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(text: &str) -> (DocumentStore, Span) {
+        let mut st = DocumentStore::new();
+        let id = st.add_plain(text);
+        let s = st.doc(id).full_span();
+        (st, s)
+    }
+
+    #[test]
+    fn split_list_yields_trimmed_elements() {
+        let (st, s) = store_with("Alice Lee, Bob Cho,  Carol Wu");
+        let f = split_list(',');
+        let rows = f(&st, &[Value::Span(s)]);
+        let texts: Vec<&str> = rows
+            .iter()
+            .map(|r| st.span_text(&r[0].span().unwrap()))
+            .collect();
+        assert_eq!(texts, vec!["Alice Lee", "Bob Cho", "Carol Wu"]);
+    }
+
+    #[test]
+    fn last_author_scenario() {
+        // the paper's §2.2.4 example verbatim
+        let (st, s) = store_with("H. Garcia-Molina, J. Widom, J. Ullman");
+        let f = last_of_list(',');
+        let rows = f(&st, &[Value::Span(s)]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(st.span_text(&rows[0][0].span().unwrap()), "J. Ullman");
+    }
+
+    #[test]
+    fn first_of_list_and_empty_pieces() {
+        let (st, s) = store_with(",,Alice,,Bob,");
+        let f = first_of_list(',');
+        let rows = f(&st, &[Value::Span(s)]);
+        assert_eq!(st.span_text(&rows[0][0].span().unwrap()), "Alice");
+    }
+
+    #[test]
+    fn first_match_extracts_subspan() {
+        let (st, s) = store_with("published in VLDB 1998 proceedings");
+        let f = first_match("19\\d\\d|20\\d\\d");
+        let rows = f(&st, &[Value::Span(s)]);
+        assert_eq!(st.span_text(&rows[0][0].span().unwrap()), "1998");
+    }
+
+    #[test]
+    fn label_before_classifies() {
+        let (st, _) = store_with("PC Chair: Alice Lee and General Chair: Bob Cho");
+        let text = st.doc(iflex_text::DocId(0)).text().to_string();
+        let alice = text.find("Alice").unwrap() as u32;
+        let span = Span::new(iflex_text::DocId(0), alice, alice + 9);
+        let f = label_before(vec!["PC".into(), "General".into()], " Chair:");
+        let rows = f(&st, &[Value::Span(span)]);
+        assert_eq!(rows, vec![vec![Value::Str("PC".into())]]);
+        let bob = text.find("Bob").unwrap() as u32;
+        let span = Span::new(iflex_text::DocId(0), bob, bob + 7);
+        let rows = f(&st, &[Value::Span(span)]);
+        assert_eq!(rows, vec![vec![Value::Str("General".into())]]);
+    }
+
+    #[test]
+    fn non_span_inputs_produce_nothing() {
+        let (st, _) = store_with("x");
+        assert!(split_list(',')(&st, &[Value::Num(3.0)]).is_empty());
+        assert!(first_match("a")(&st, &[]).is_empty());
+    }
+}

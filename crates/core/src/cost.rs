@@ -1,0 +1,126 @@
+//! The simulated developer-time cost model.
+//!
+//! The paper's Tables 3–6 report *human development minutes* measured on
+//! volunteers. We reproduce them by charging each developer action a fixed
+//! cost and adding real machine time. The constants below were calibrated
+//! once against the magnitudes in Table 3 (e.g. a precise Perl extractor ≈
+//! 25–30 min including debugging; answering a visual question ≈ 10 s;
+//! manually inspecting one record ≈ 0.7 s) — after calibration, every
+//! ordering and crossover in the reproduced tables is produced by counting
+//! the *actions* each method actually needs, not by the constants.
+
+/// Per-action costs in (simulated) seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Manual method: visually inspecting one record for the answer.
+    pub inspect_record_secs: f64,
+    /// Manual method: fixed setup (opening pages, understanding layout).
+    pub manual_setup_secs: f64,
+    /// Writing the initial Xlog/Alog skeleton rules for one task.
+    pub write_skeleton_secs: f64,
+    /// Xlog method: implementing one precise procedural extractor.
+    pub write_extractor_secs: f64,
+    /// Xlog method: one run-and-debug cycle per extractor.
+    pub debug_cycle_secs: f64,
+    /// iFlex: answering one assistant question (after visual inspection).
+    pub answer_question_secs: f64,
+    /// iFlex: reviewing one iteration's result before continuing.
+    pub review_iteration_secs: f64,
+    /// iFlex: writing one procedural cleanup predicate (§2.2.4).
+    pub write_cleanup_secs: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            inspect_record_secs: 0.7,
+            manual_setup_secs: 30.0,
+            write_skeleton_secs: 25.0,
+            write_extractor_secs: 25.0 * 60.0,
+            debug_cycle_secs: 3.0 * 60.0,
+            answer_question_secs: 10.0,
+            review_iteration_secs: 5.0,
+            write_cleanup_secs: 5.0 * 60.0,
+        }
+    }
+}
+
+/// A clock accumulating simulated developer time and real machine time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimClock {
+    /// Simulated developer seconds spent.
+    pub developer_secs: f64,
+    /// Measured machine seconds spent.
+    pub machine_secs: f64,
+    /// Portion of developer time spent writing cleanup code (reported in
+    /// parentheses in Table 3).
+    pub cleanup_secs: f64,
+}
+
+impl SimClock {
+    /// Creates a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges developer time.
+    pub fn charge(&mut self, secs: f64) {
+        self.developer_secs += secs;
+    }
+
+    /// Charges cleanup-writing time (counted inside developer time too).
+    pub fn charge_cleanup(&mut self, secs: f64) {
+        self.developer_secs += secs;
+        self.cleanup_secs += secs;
+    }
+
+    /// Adds measured machine time.
+    pub fn charge_machine(&mut self, secs: f64) {
+        self.machine_secs += secs;
+    }
+
+    /// Total elapsed (developer + machine) in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.developer_secs + self.machine_secs
+    }
+
+    /// Total in minutes (the unit of Tables 3–6).
+    pub fn total_minutes(&self) -> f64 {
+        self.total_secs() / 60.0
+    }
+
+    /// Cleanup minutes (parenthesized component of Table 3).
+    pub fn cleanup_minutes(&self) -> f64 {
+        self.cleanup_secs / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3_magnitudes() {
+        let c = CostModel::default();
+        // One extractor + a few debug cycles lands in Table 3's Xlog band
+        // (~28–35 min for single-extractor tasks).
+        let xlog_one = c.write_skeleton_secs + c.write_extractor_secs + 2.0 * c.debug_cycle_secs;
+        assert!((25.0 * 60.0..40.0 * 60.0).contains(&xlog_one));
+        // A handful of questions stays near a minute (Table 3, iFlex T1).
+        let iflex_small = c.write_skeleton_secs + 4.0 * c.answer_question_secs;
+        assert!(iflex_small < 2.0 * 60.0);
+    }
+
+    #[test]
+    fn clock_accumulates() {
+        let mut clk = SimClock::new();
+        clk.charge(60.0);
+        clk.charge_machine(30.0);
+        clk.charge_cleanup(120.0);
+        assert_eq!(clk.developer_secs, 180.0);
+        assert_eq!(clk.cleanup_secs, 120.0);
+        assert_eq!(clk.total_secs(), 210.0);
+        assert!((clk.total_minutes() - 3.5).abs() < 1e-9);
+        assert!((clk.cleanup_minutes() - 2.0).abs() < 1e-9);
+    }
+}

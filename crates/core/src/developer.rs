@@ -1,0 +1,137 @@
+//! Developers: the human in the paper's loop, abstracted. The experiments
+//! use a [`SimulatedDeveloper`] whose answers come from the corpus
+//! generator's ground truth ("volunteers" in §6 answered after visual
+//! inspection; our oracle answers from the template that generated the
+//! pages — see DESIGN.md, substitution table).
+
+use iflex_assistant::{Answer, Question};
+use iflex_features::FeatureArg;
+use std::collections::BTreeMap;
+
+/// Something that can answer next-effort-assistant questions.
+pub trait Developer {
+    /// Answers a question (possibly with "I do not know").
+    fn answer(&mut self, question: &Question) -> Answer;
+}
+
+/// Ground-truth feature knowledge about the attributes of one task:
+/// `(attribute display name, feature name) → answer`.
+#[derive(Debug, Clone, Default)]
+pub struct OracleSpec {
+    answers: BTreeMap<(String, String), FeatureArg>,
+}
+
+impl OracleSpec {
+    /// Creates a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares that `feature(attr) = value` truly holds on the corpus.
+    pub fn knows(mut self, attr: &str, feature: &str, value: FeatureArg) -> Self {
+        self.answers
+            .insert((attr.to_string(), feature.to_string()), value);
+        self
+    }
+
+    /// Looks up the true answer, if the oracle knows one.
+    pub fn lookup(&self, attr: &str, feature: &str) -> Option<&FeatureArg> {
+        self.answers.get(&(attr.to_string(), feature.to_string()))
+    }
+
+    /// Number of known facts.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// True when the oracle knows nothing.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+}
+
+/// A developer that answers from an [`OracleSpec`], saying "I do not know"
+/// for anything outside it. Records every question asked.
+#[derive(Debug, Clone)]
+pub struct SimulatedDeveloper {
+    oracle: OracleSpec,
+    /// `(question text, answered)` log, in order.
+    pub transcript: Vec<(String, bool)>,
+}
+
+impl SimulatedDeveloper {
+    /// Creates a new instance.
+    pub fn new(oracle: OracleSpec) -> Self {
+        SimulatedDeveloper {
+            oracle,
+            transcript: Vec::new(),
+        }
+    }
+
+    /// Questions answered with a concrete value so far.
+    pub fn answered_count(&self) -> usize {
+        self.transcript.iter().filter(|(_, a)| *a).count()
+    }
+}
+
+impl Developer for SimulatedDeveloper {
+    fn answer(&mut self, question: &Question) -> Answer {
+        let key = question.attr.display();
+        match self.oracle.lookup(&key, &question.feature) {
+            Some(v) => {
+                self.transcript.push((question.text.clone(), true));
+                Answer::Value(v.clone())
+            }
+            None => {
+                self.transcript.push((question.text.clone(), false));
+                Answer::DontKnow
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_assistant::Attribute;
+
+    fn q(attr: &str, var: &str, feature: &str) -> Question {
+        Question {
+            attr: Attribute {
+                pred: attr.to_string(),
+                var: var.to_string(),
+                pos: 1,
+            },
+            feature: feature.to_string(),
+            text: format!("is {attr}.{var} {feature}?"),
+        }
+    }
+
+    #[test]
+    fn oracle_answers_known_questions() {
+        let oracle = OracleSpec::new().knows("extractV.p", "bold-font", FeatureArg::yes());
+        let mut dev = SimulatedDeveloper::new(oracle);
+        match dev.answer(&q("extractV", "p", "bold-font")) {
+            Answer::Value(v) => assert_eq!(v, FeatureArg::yes()),
+            _ => panic!("expected an answer"),
+        }
+        assert_eq!(dev.answered_count(), 1);
+    }
+
+    #[test]
+    fn unknown_questions_get_dont_know() {
+        let mut dev = SimulatedDeveloper::new(OracleSpec::new());
+        assert_eq!(dev.answer(&q("e", "x", "in-title")), Answer::DontKnow);
+        assert_eq!(dev.answered_count(), 0);
+        assert_eq!(dev.transcript.len(), 1);
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let o = OracleSpec::new().knows("a.b", "numeric", FeatureArg::yes());
+        assert_eq!(o.len(), 1);
+        assert!(!o.is_empty());
+        assert!(o.lookup("a.b", "numeric").is_some());
+        assert!(o.lookup("a.b", "bold-font").is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! # iflex
+//!
+//! A from-scratch Rust reproduction of **iFlex** — the best-effort
+//! information-extraction system of *Toward Best-Effort Information
+//! Extraction* (Shen, DeRose, McCann, Doan, Ramakrishnan — SIGMOD 2008).
+//!
+//! iFlex relaxes the precise-IE requirement: a developer writes an initial
+//! *approximate* extraction program in the declarative **Alog** language,
+//! executes it immediately to get a well-defined approximate result (a
+//! possible-worlds superset), then iteratively refines it — assisted by a
+//! **next-effort assistant** that suggests which feature question to
+//! answer next — until the result converges.
+//!
+//! ## Crate map
+//!
+//! * [`iflex_text`] — documents, spans, markup, tokens
+//! * [`iflex_pattern`] — regex-lite engine
+//! * [`iflex_ctable`] — compact tables / a-tables / possible worlds
+//! * [`iflex_features`] — text features with `Verify`/`Refine`
+//! * [`iflex_alog`] — the Alog language
+//! * [`iflex_engine`] — the approximate query processor
+//! * [`iflex_assistant`] — question selection + convergence
+//! * this crate — the [`Session`] loop, simulated [`developer`]s, the
+//!   [`cost`] model, and result [`metrics`]
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use iflex::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 1. a tiny corpus
+//! let mut store = DocumentStore::new();
+//! let page = store.add_markup("beds 3 price <b>351000</b> sqft 2750");
+//! let mut engine = Engine::new(Arc::new(store));
+//! engine.add_doc_table("pages", &[page]);
+//!
+//! // 2. an initial approximate program
+//! let prog = parse_program(r#"
+//!     q(x, <p>) :- pages(x), extractPrice(#x, p).
+//!     extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+//! "#).unwrap();
+//!
+//! // 3. execute best-effort, immediately
+//! let result = engine.run(&prog).unwrap();
+//! assert_eq!(result.len(), 1); // one house, price still ambiguous
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cleanup;
+pub mod io;
+pub mod cost;
+pub mod developer;
+pub mod metrics;
+pub mod session;
+
+pub use cost::{CostModel, SimClock};
+pub use developer::{Developer, OracleSpec, SimulatedDeveloper};
+pub use metrics::{norm_text, score, truth_rows, Quality, Truth};
+pub use session::{ExecMode, IterationRecord, Session, SessionConfig, SessionOutcome, StopReason};
+
+// Re-export the stack for single-dependency consumers.
+pub use iflex_alog as alog;
+pub use iflex_assistant as assistant;
+pub use iflex_ctable as ctable;
+pub use iflex_engine as engine;
+pub use iflex_features as features;
+pub use iflex_pattern as pattern;
+pub use iflex_text as text;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::cost::{CostModel, SimClock};
+    pub use crate::developer::{Developer, OracleSpec, SimulatedDeveloper};
+    pub use crate::metrics::{score, truth_rows, Quality};
+    pub use crate::session::{Session, SessionConfig, SessionOutcome, StopReason};
+    pub use iflex_alog::{parse_program, parse_rule, Program};
+    pub use iflex_assistant::{Answer, Question, Sequential, Simulation, Strategy};
+    pub use iflex_ctable::{Assignment, Cell, CompactTable, CompactTuple, Value};
+    pub use iflex_engine::{Engine, EngineError, Sample};
+    pub use iflex_features::{FeatureArg, FeatureRegistry, FeatureValue};
+    pub use iflex_text::{DocId, DocumentStore, Span};
+}

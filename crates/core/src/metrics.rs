@@ -1,0 +1,226 @@
+//! Result-quality metrics: superset size relative to ground truth, and
+//! coverage (does the approximate result still contain every true tuple?).
+
+use iflex_ctable::{CompactTable, Value};
+use iflex_text::DocumentStore;
+
+/// Normalizes a text cell for ground-truth comparison: lowercase,
+/// alphanumeric tokens joined by single spaces, numbers canonicalized.
+pub fn norm_text(s: &str) -> String {
+    if let Some(n) = iflex_text::parse_number(s) {
+        if n.fract() == 0.0 && n.abs() < 1e15 {
+            return format!("{}", n as i64);
+        }
+        return format!("{n}");
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut in_word = false;
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            if !in_word && !out.is_empty() {
+                out.push(' ');
+            }
+            out.push(c.to_ascii_lowercase());
+            in_word = true;
+        } else {
+            in_word = false;
+        }
+    }
+    out
+}
+
+/// A ground-truth relation: normalized text rows.
+pub type Truth = Vec<Vec<String>>;
+
+/// Builds a truth relation from raw strings.
+pub fn truth_rows(rows: &[Vec<&str>]) -> Truth {
+    rows.iter()
+        .map(|r| r.iter().map(|c| norm_text(c)).collect())
+        .collect()
+}
+
+/// Quality of an approximate result against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Result tuples (what the user must sift through).
+    pub result_tuples: usize,
+    /// True tuples.
+    pub correct_tuples: usize,
+    /// `result / correct` in percent — Table 4/5's "Superset Size".
+    pub superset_pct: f64,
+    /// Fraction of true tuples covered by some result tuple.
+    pub recall: f64,
+    /// Tuples present in *every* possible world (`certain ⊆ truth`):
+    /// the lower bound of the answer bracket.
+    pub certain_tuples: usize,
+    /// Fraction of certain tuples that are actually true — 1.0 whenever
+    /// the superset guarantee holds (a certain tuple cannot be wrong
+    /// unless the program itself is wrong).
+    pub certain_precision: f64,
+}
+
+/// One tuple's normalized text values for the compared columns;
+/// `None` marks a cell too large to enumerate (treated as covering,
+/// which is superset-safe for recall).
+type TupleSets = Vec<Option<std::collections::BTreeSet<String>>>;
+
+fn tuple_sets(
+    t: &iflex_ctable::CompactTuple,
+    cols: &[usize],
+    store: &DocumentStore,
+    cap: u64,
+) -> TupleSets {
+    cols.iter()
+        .map(|&c| {
+            let cell = &t.cells[c];
+            if cell.value_count(store) > cap {
+                return None;
+            }
+            Some(
+                cell.values(store)
+                    .map(|v| match &v {
+                        Value::Span(s) => norm_text(store.span_text(s)),
+                        other => norm_text(&other.as_text(store)),
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn sets_cover_row(sets: &TupleSets, row: &[String]) -> bool {
+    row.iter().zip(sets).all(|(truth_cell, set)| match set {
+        None => true,
+        Some(s) => s.contains(truth_cell),
+    })
+}
+
+/// Scores `result` against `truth`, comparing the given result columns
+/// (in truth-column order). Per-tuple value sets are computed once, so
+/// scoring is `O(tuples·values + rows·tuples)` rather than re-enumerating
+/// cells per row.
+pub fn score(
+    result: &CompactTable,
+    cols: &[usize],
+    truth: &Truth,
+    store: &DocumentStore,
+) -> Quality {
+    let cap = 256;
+    let expanded = result.expanded_len(store).min(usize::MAX as u64) as usize;
+    let all_sets: Vec<TupleSets> = result
+        .tuples()
+        .iter()
+        .map(|t| tuple_sets(t, cols, store, cap))
+        .collect();
+    let covered = truth
+        .iter()
+        .filter(|row| all_sets.iter().any(|sets| sets_cover_row(sets, row)))
+        .count();
+    let correct = truth.len();
+    // Certain tuples, normalized for comparison against the truth rows.
+    let truth_set: std::collections::BTreeSet<&[String]> =
+        truth.iter().map(|r| r.as_slice()).collect();
+    let certain: Vec<Vec<String>> = result
+        .certain_tuples(store, 100_000)
+        .into_iter()
+        .map(|row| {
+            cols.iter()
+                .map(|&c| match &row[c] {
+                    Value::Span(s) => norm_text(store.span_text(s)),
+                    other => norm_text(&other.as_text(store)),
+                })
+                .collect::<Vec<String>>()
+        })
+        .collect();
+    let certain_true = certain
+        .iter()
+        .filter(|r| truth_set.contains(r.as_slice()))
+        .count();
+    Quality {
+        result_tuples: expanded,
+        correct_tuples: correct,
+        superset_pct: if correct == 0 {
+            if expanded == 0 {
+                100.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            expanded as f64 / correct as f64 * 100.0
+        },
+        recall: if correct == 0 {
+            1.0
+        } else {
+            covered as f64 / correct as f64
+        },
+        certain_tuples: certain.len(),
+        certain_precision: if certain.is_empty() {
+            1.0
+        } else {
+            certain_true as f64 / certain.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_ctable::{Cell, CompactTuple};
+    use std::sync::Arc;
+
+    #[test]
+    fn norm_text_cases() {
+        assert_eq!(norm_text("The  Big, Sleep!"), "the big sleep");
+        assert_eq!(norm_text("351,000"), "351000");
+        assert_eq!(norm_text("$35.99"), "35.99");
+    }
+
+    #[test]
+    fn score_exact_match() {
+        let mut store = DocumentStore::new();
+        let d = store.add_plain("alpha beta");
+        let store = Arc::new(store);
+        let mut t = CompactTable::new(vec!["w".into()]);
+        t.push(CompactTuple::new(vec![Cell::exact(Value::Span(
+            iflex_text::Span::new(d, 0, 5),
+        ))]));
+        let truth = truth_rows(&[vec!["Alpha"]]);
+        let q = score(&t, &[0], &truth, &store);
+        assert_eq!(q.result_tuples, 1);
+        assert_eq!(q.correct_tuples, 1);
+        assert!((q.superset_pct - 100.0).abs() < 1e-9);
+        assert!((q.recall - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superset_pct_reflects_overextraction() {
+        let store = Arc::new(DocumentStore::new());
+        let mut t = CompactTable::new(vec!["v".into()]);
+        for i in 0..4 {
+            t.push(CompactTuple::new(vec![Cell::exact(Value::Num(i as f64))]));
+        }
+        let truth = truth_rows(&[vec!["2"], vec!["3"]]);
+        let q = score(&t, &[0], &truth, &store);
+        assert!((q.superset_pct - 200.0).abs() < 1e-9);
+        assert!((q.recall - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_truth_lowers_recall() {
+        let store = Arc::new(DocumentStore::new());
+        let mut t = CompactTable::new(vec!["v".into()]);
+        t.push(CompactTuple::new(vec![Cell::exact(Value::Num(1.0))]));
+        let truth = truth_rows(&[vec!["1"], vec!["7"]]);
+        let q = score(&t, &[0], &truth, &store);
+        assert!((q.recall - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_truth_scores() {
+        let store = Arc::new(DocumentStore::new());
+        let t = CompactTable::new(vec!["v".into()]);
+        let q = score(&t, &[0], &truth_rows(&[]), &store);
+        assert_eq!(q.superset_pct, 100.0);
+        assert_eq!(q.recall, 1.0);
+    }
+}

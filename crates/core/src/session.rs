@@ -1,0 +1,492 @@
+//! The iFlex development session: the execute → examine → refine loop of
+//! §2.2.4 and §5, driven by a question-selection strategy and a developer
+//! (human or simulated).
+
+use crate::cost::{CostModel, SimClock};
+use crate::developer::Developer;
+use iflex_alog::Program;
+use iflex_assistant::{
+    add_constraint, attributes, implied_answers, Answer, AssistContext, ConvergenceMonitor,
+    Examples, Strategy,
+};
+use iflex_ctable::CompactTable;
+use iflex_engine::{Engine, EngineError, Sample};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// How an iteration executed (Table 4 distinguishes subset-evaluation
+/// iterations from the final reuse-mode full run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Subset evaluation over a sampled input (§5.2).
+    Subset,
+    /// Full input with the reuse cache warm.
+    Reuse,
+}
+
+/// One row of the session log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// The iteration.
+    pub iteration: usize,
+    /// The mode.
+    pub mode: ExecMode,
+    /// Result size (expanded tuples) this iteration.
+    pub result_tuples: usize,
+    /// The assignments.
+    pub assignments: usize,
+    /// The questions this iter.
+    pub questions_this_iter: usize,
+}
+
+/// Why the session stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The convergence monitor fired (§5.1).
+    Converged,
+    /// The question space was exhausted.
+    QuestionsExhausted,
+    /// The iteration cap was hit.
+    MaxIterations,
+}
+
+/// Session tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Questions asked per iteration (the paper's volunteers answered
+    /// roughly two per iteration — Table 4).
+    pub questions_per_iteration: usize,
+    /// Probability of "I do not know" assumed by the simulation strategy.
+    pub alpha: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Seed for subset sampling.
+    pub sample_seed: u64,
+    /// Disable to always execute on the full input.
+    pub use_sampling: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            questions_per_iteration: 2,
+            alpha: 0.1,
+            max_iterations: 30,
+            sample_seed: 7,
+            use_sampling: true,
+        }
+    }
+}
+
+/// The outcome of a full session run.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The final result over the full input (or the last subset result
+    /// scaled check `full_run_within_budget`).
+    pub table: CompactTable,
+    /// False when the final full execution exceeded the engine budget and
+    /// the subset result was returned instead (an unconverged program over
+    /// the full input can be enormous — the user would refine further).
+    pub full_run_within_budget: bool,
+    /// The stop.
+    pub stop: StopReason,
+    /// The iterations.
+    pub iterations: usize,
+    /// Total questions asked across the session.
+    pub questions_asked: usize,
+    /// Simulated developer + machine minutes (Tables 3–6).
+    pub minutes: f64,
+    /// Cleanup-writing minutes (parenthesized in Table 3).
+    pub cleanup_minutes: f64,
+    /// Per-iteration log (Table 4 rows).
+    pub records: Vec<IterationRecord>,
+    /// Wall-clock seconds of the final full-input execution (§6.3 reports
+    /// this for the DBLife programs).
+    pub final_run_secs: f64,
+    /// Total machine seconds across the whole session.
+    pub machine_secs: f64,
+}
+
+/// An interactive best-effort IE session.
+pub struct Session {
+    /// The engine.
+    pub engine: Engine,
+    program: Program,
+    strategy: Box<dyn Strategy>,
+    developer: Box<dyn Developer>,
+    asked: BTreeSet<(String, String)>,
+    monitor: ConvergenceMonitor,
+    /// The cost.
+    pub cost: CostModel,
+    /// The clock.
+    pub clock: SimClock,
+    /// The config.
+    pub config: SessionConfig,
+    records: Vec<IterationRecord>,
+    questions_asked: usize,
+    examples: Examples,
+}
+
+impl Session {
+    /// Starts a session: charges the skeleton-writing cost and takes
+    /// ownership of the engine and the initial approximate program.
+    pub fn new(
+        engine: Engine,
+        program: Program,
+        strategy: Box<dyn Strategy>,
+        developer: Box<dyn Developer>,
+    ) -> Self {
+        let cost = CostModel::default();
+        let mut clock = SimClock::new();
+        clock.charge(cost.write_skeleton_secs);
+        Session {
+            engine,
+            program,
+            strategy,
+            developer,
+            asked: BTreeSet::new(),
+            monitor: ConvergenceMonitor::paper_default(),
+            cost,
+            clock,
+            config: SessionConfig::default(),
+            records: Vec::new(),
+            questions_asked: 0,
+            examples: Examples::new(),
+        }
+    }
+
+    /// Records a developer-highlighted true value for an attribute
+    /// (§5.1.1 "mark up a sample title"), charging one inspection's worth
+    /// of time. Answers the example contradicts are pruned from the
+    /// simulation strategy's answer spaces. With `derive_constraints`,
+    /// the example's tri-state feature values are folded straight into
+    /// the description rules (and marked as asked).
+    pub fn add_example(
+        &mut self,
+        attr_display: &str,
+        span: iflex_text::Span,
+        derive_constraints: bool,
+    ) -> bool {
+        let Some(attr) = attributes(&self.program)
+            .into_iter()
+            .find(|a| a.display() == attr_display)
+        else {
+            return false;
+        };
+        self.clock.charge(self.cost.answer_question_secs);
+        self.examples.add(&attr, span);
+        if derive_constraints {
+            for (feature, arg) in implied_answers(&self.engine, span) {
+                self.asked.insert((attr.display(), feature.clone()));
+                self.program = add_constraint(&self.program, &attr, &feature, &arg);
+            }
+        }
+        true
+    }
+
+    /// The current program text.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Registers a cleanup procedure (§2.2.4), charging its writing cost.
+    pub fn add_cleanup_generator(
+        &mut self,
+        name: &str,
+        out_arity: usize,
+        f: impl Fn(&iflex_text::DocumentStore, &[iflex_ctable::Value]) -> Vec<Vec<iflex_ctable::Value>>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.clock.charge_cleanup(self.cost.write_cleanup_secs);
+        self.engine.procs_mut().register_generator(name, out_arity, f);
+    }
+
+    /// Registers a cleanup filter (§2.2.4), charging its writing cost.
+    pub fn add_cleanup_filter(
+        &mut self,
+        name: &str,
+        f: impl Fn(&iflex_text::DocumentStore, &[iflex_ctable::Value]) -> bool
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.clock.charge_cleanup(self.cost.write_cleanup_secs);
+        self.engine.procs_mut().register_filter(name, f);
+    }
+
+    /// Replaces the program wholesale (manual refinement outside the
+    /// assistant loop).
+    pub fn set_program(&mut self, program: Program) {
+        self.program = program;
+    }
+
+    fn input_size(&self) -> usize {
+        self.engine.ext_tables().map(|(_, t)| t.len()).max().unwrap_or(0)
+    }
+
+    fn sample(&self) -> Sample {
+        if self.config.use_sampling {
+            Sample::auto(self.input_size(), self.config.sample_seed)
+        } else {
+            Sample::new(1.0, self.config.sample_seed)
+        }
+    }
+
+    fn timed_run(
+        &mut self,
+        sample: Option<Sample>,
+    ) -> Result<CompactTable, EngineError> {
+        let t0 = Instant::now();
+        let out = match sample {
+            Some(s) if s.fraction < 1.0 => self.engine.run_sampled(&self.program, s),
+            _ => self.engine.run(&self.program),
+        };
+        self.clock.charge_machine(t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Runs the full loop: subset iterations with questions until the
+    /// monitor converges (or the space/iteration budget is exhausted),
+    /// then one full reuse-mode execution.
+    pub fn run(&mut self) -> Result<SessionOutcome, EngineError> {
+        let sample = self.sample();
+        let mut stop = StopReason::MaxIterations;
+        for iter in 1..=self.config.max_iterations {
+            let table = self.timed_run(Some(sample))?;
+            let mut stats = table.stats();
+            // The paper's result size counts expanded tuples; its monitor
+            // watches the assignments of the whole extraction process.
+            stats.tuples = table.expanded_len(self.engine.store()).min(usize::MAX as u64) as usize;
+            stats.assignments = self.engine.stats.assignments_produced;
+            self.monitor.observe(&stats);
+            self.clock.charge(self.cost.review_iteration_secs);
+            let mut rec = IterationRecord {
+                iteration: iter,
+                mode: ExecMode::Subset,
+                result_tuples: stats.tuples,
+                assignments: stats.assignments,
+                questions_this_iter: 0,
+            };
+            if self.monitor.converged() {
+                self.records.push(rec);
+                stop = StopReason::Converged;
+                break;
+            }
+            // Ask questions and fold answers in.
+            let mut asked_now = 0usize;
+            for _ in 0..self.config.questions_per_iteration {
+                let question = {
+                    let mut ctx = AssistContext {
+                        program: &self.program,
+                        engine: &mut self.engine,
+                        asked: &self.asked,
+                        sample,
+                        alpha: self.config.alpha,
+                        current_size: stats.tuples,
+                        examples: self.examples.clone(),
+                    };
+                    self.strategy.next_question(&mut ctx)
+                };
+                let Some(q) = question else { break };
+                self.asked.insert((q.attr.display(), q.feature.clone()));
+                self.clock.charge(self.cost.answer_question_secs);
+                self.questions_asked += 1;
+                asked_now += 1;
+                if let Answer::Value(v) = self.developer.answer(&q) {
+                    self.program = add_constraint(&self.program, &q.attr, &q.feature, &v);
+                }
+            }
+            rec.questions_this_iter = asked_now;
+            self.records.push(rec);
+            if asked_now == 0 {
+                stop = StopReason::QuestionsExhausted;
+                break;
+            }
+        }
+
+        // Final full execution; reuse makes this cheap for the rules the
+        // last refinements did not touch. If the (possibly unconverged)
+        // program explodes over the full input, keep the subset result.
+        let mut full_run_within_budget = true;
+        let machine_before_final = self.clock.machine_secs;
+        let table = match self.timed_run(None) {
+            Ok(t) => t,
+            Err(EngineError::TooLarge(_)) => {
+                full_run_within_budget = false;
+                self.timed_run(Some(sample))?
+            }
+            Err(e) => return Err(e),
+        };
+        let final_run_secs = self.clock.machine_secs - machine_before_final;
+        let mut stats = table.stats();
+        stats.tuples = table.expanded_len(self.engine.store()).min(usize::MAX as u64) as usize;
+        stats.assignments = self.engine.stats.assignments_produced;
+        self.records.push(IterationRecord {
+            iteration: self.records.len() + 1,
+            mode: ExecMode::Reuse,
+            result_tuples: stats.tuples,
+            assignments: stats.assignments,
+            questions_this_iter: 0,
+        });
+        Ok(SessionOutcome {
+            table,
+            full_run_within_budget,
+            final_run_secs,
+            machine_secs: self.clock.machine_secs,
+            stop,
+            iterations: self.records.len(),
+            questions_asked: self.questions_asked,
+            minutes: self.clock.total_minutes(),
+            cleanup_minutes: self.clock.cleanup_minutes(),
+            records: self.records.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::developer::{OracleSpec, SimulatedDeveloper};
+    use iflex_alog::parse_program;
+    use iflex_assistant::Sequential;
+    use iflex_features::FeatureArg;
+    use iflex_text::DocumentStore;
+    use std::sync::Arc;
+
+    fn engine() -> Engine {
+        let mut store = DocumentStore::new();
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            ids.push(store.add_markup(&format!(
+                "junk {} words <b>{}</b> tail {}",
+                i * 3 + 1,
+                (i + 1) * 100,
+                i * 7 + 2
+            )));
+        }
+        let store = Arc::new(store);
+        let mut eng = Engine::new(store);
+        eng.add_doc_table("pages", &ids);
+        eng
+    }
+
+    fn program() -> Program {
+        parse_program(
+            r#"
+            q(x, <v>) :- pages(x), extractV(#x, v).
+            extractV(#x, v) :- from(#x, v), numeric(v) = yes.
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn session_converges_with_oracle() {
+        let oracle = OracleSpec::new().knows("extractV.v", "bold-font", FeatureArg::yes());
+        let mut session = Session::new(
+            engine(),
+            program(),
+            Box::new(Sequential),
+            Box::new(SimulatedDeveloper::new(oracle)),
+        );
+        session.config.use_sampling = false;
+        let out = session.run().unwrap();
+        assert_eq!(out.stop, StopReason::Converged);
+        // After the bold-font answer every page has exactly one candidate.
+        assert_eq!(out.table.len(), 6);
+        let store = session.engine.store();
+        for t in out.table.tuples() {
+            assert_eq!(t.cells[1].value_set(store).len(), 1);
+        }
+        assert!(out.questions_asked >= 1);
+        assert!(out.minutes > 0.0);
+        // last record is the reuse-mode full run
+        assert_eq!(out.records.last().unwrap().mode, ExecMode::Reuse);
+    }
+
+    #[test]
+    fn ignorant_developer_exhausts_or_converges() {
+        let mut session = Session::new(
+            engine(),
+            program(),
+            Box::new(Sequential),
+            Box::new(SimulatedDeveloper::new(OracleSpec::new())),
+        );
+        session.config.use_sampling = false;
+        session.config.max_iterations = 50;
+        let out = session.run().unwrap();
+        // Nothing changes, so the monitor converges quickly.
+        assert_eq!(out.stop, StopReason::Converged);
+        assert!(out.iterations <= 5);
+    }
+
+    #[test]
+    fn cleanup_registration_charges_time() {
+        let mut session = Session::new(
+            engine(),
+            program(),
+            Box::new(Sequential),
+            Box::new(SimulatedDeveloper::new(OracleSpec::new())),
+        );
+        let before = session.clock.cleanup_minutes();
+        session.add_cleanup_filter("alwaysTrue", |_, _| true);
+        assert!(session.clock.cleanup_minutes() > before);
+    }
+
+    #[test]
+    fn max_iterations_cap_stops_the_loop() {
+        // a developer who keeps giving useful-looking but size-neutral
+        // answers forever is cut off at the cap
+        let mut session = Session::new(
+            engine(),
+            program(),
+            Box::new(Sequential),
+            Box::new(SimulatedDeveloper::new(OracleSpec::new())),
+        );
+        session.config.max_iterations = 2;
+        session.config.use_sampling = false;
+        let out = session.run().unwrap();
+        assert!(out.iterations <= 3); // 2 subset + 1 reuse
+    }
+
+    #[test]
+    fn sampling_mode_still_produces_full_final_result() {
+        let oracle = OracleSpec::new().knows("extractV.v", "bold-font", FeatureArg::yes());
+        let mut session = Session::new(
+            engine(),
+            program(),
+            Box::new(Sequential),
+            Box::new(SimulatedDeveloper::new(oracle)),
+        );
+        session.config.use_sampling = true;
+        let out = session.run().unwrap();
+        // final reuse-mode run covers the full input: 6 pages
+        assert_eq!(out.records.last().unwrap().result_tuples, 6);
+        assert!(out.machine_secs >= 0.0);
+        assert!(out.final_run_secs >= 0.0);
+    }
+
+    #[test]
+    fn record_log_shapes() {
+        let oracle = OracleSpec::new().knows("extractV.v", "bold-font", FeatureArg::yes());
+        let mut session = Session::new(
+            engine(),
+            program(),
+            Box::new(Sequential),
+            Box::new(SimulatedDeveloper::new(oracle)),
+        );
+        session.config.use_sampling = false;
+        let out = session.run().unwrap();
+        assert!(!out.records.is_empty());
+        assert!(out
+            .records
+            .iter()
+            .take(out.records.len() - 1)
+            .all(|r| r.mode == ExecMode::Subset));
+        // result sizes monotonically shrink or stay (bold answer narrows)
+        let sizes: Vec<usize> = out.records.iter().map(|r| r.result_tuples).collect();
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0] || w[1] == sizes[sizes.len() - 1]));
+    }
+}

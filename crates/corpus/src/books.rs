@@ -1,0 +1,175 @@
+//! The Books domain (Table 1): Amazon and Barnes & Noble result pages for
+//! a "Database" query.
+//!
+//! Record layouts:
+//! * Amazon: `<b>TITLE</b> List: $<u>L</u> New: $N Used: $<i>U</i> ref R ships S days`
+//! * Barnes: `<b>TITLE</b> our price $<u>P</u> member M% ref R`
+//!
+//! Amazon titles are `book_title(0..n_amazon)`, Barnes titles
+//! `book_title(base..base+n_barnes)` with `base = 2·n_amazon/5`, so the
+//! title ranges overlap — task T9 compares prices across the overlap. The
+//! `ref` number is large numeric noise that keeps initial price
+//! comparisons approximate.
+
+use crate::words;
+use iflex_text::{DocId, DocumentStore};
+
+/// One Amazon record. Prices in cents to keep arithmetic exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmazonRec {
+    /// The title.
+    pub title: String,
+    /// List price in cents.
+    pub list_cents: u32,
+    /// New price in cents.
+    pub new_cents: u32,
+    /// Used price in cents.
+    pub used_cents: u32,
+}
+
+/// One Barnes & Noble record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarnesRec {
+    /// The title.
+    pub title: String,
+    /// Price in cents.
+    pub price_cents: u32,
+}
+
+/// The generated Books domain.
+#[derive(Debug, Clone, Default)]
+pub struct Books {
+    /// The amazon.
+    pub amazon: Vec<(DocId, AmazonRec)>,
+    /// The barnes.
+    pub barnes: Vec<(DocId, BarnesRec)>,
+}
+
+/// Barnes title-index base scales with the Amazon size (overlap with
+/// Amazon runs from here): 2n/5, i.e. 996 at the paper's n = 2490.
+pub fn barnes_base(n_amazon: usize) -> usize {
+    n_amazon * 2 / 5
+}
+
+fn dollars(cents: u32) -> String {
+    format!("{}.{:02}", cents / 100, cents % 100)
+}
+
+/// Amazon prices for title index `k`. ~17 % of records satisfy T8
+/// (list == new && used < new).
+pub fn amazon_prices(k: usize) -> (u32, u32, u32) {
+    let list = 1_499 + ((k as u32) * 731) % 14_000; // $14.99 .. $159.98
+    if k.is_multiple_of(6) {
+        // T8-qualifying: new equals list, used strictly below
+        let used = list.saturating_sub(300 + ((k as u32) * 17) % 800).max(199);
+        (list, list, used)
+    } else {
+        let new = list.saturating_sub(200 + ((k as u32) * 53) % 3_000).max(499);
+        let used = if k.is_multiple_of(3) { new + 150 } else { new.saturating_sub(100).max(99) };
+        (list, new, used)
+    }
+}
+
+/// Barnes price for title index `k`: for titles shared with Amazon,
+/// 40 % are priced above Amazon's new price (T9's answer set).
+pub fn barnes_price(k: usize) -> u32 {
+    let (_, new, _) = amazon_prices(k);
+    if k % 5 < 2 {
+        new + 1_000 // Amazon cheaper
+    } else {
+        new.saturating_sub(500).max(199)
+    }
+}
+
+/// Builds the Books domain into `store`.
+pub fn build(store: &mut DocumentStore, n_amazon: usize, n_barnes: usize) -> Books {
+    let mut out = Books::default();
+    for k in 0..n_amazon {
+        let (list, new, used) = amazon_prices(k);
+        let rec = AmazonRec {
+            title: words::book_title(k),
+            list_cents: list,
+            new_cents: new,
+            used_cents: used,
+        };
+        let markup = format!(
+            "<b>{}</b> List: $<u>{}</u> New: ${} Used: $<i>{}</i> ref {} ships {} days",
+            rec.title,
+            dollars(list),
+            dollars(new),
+            dollars(used),
+            700_000 + k * 13,
+            k % 9 + 1
+        );
+        let id = store.add_markup(&markup);
+        out.amazon.push((id, rec));
+    }
+    let base = barnes_base(n_amazon);
+    for j in 0..n_barnes {
+        let k = base + j;
+        let rec = BarnesRec {
+            title: words::book_title(k),
+            price_cents: barnes_price(k),
+        };
+        let markup = format!(
+            "<b>{}</b> our price $<u>{}</u> member {}% ref {}",
+            rec.title,
+            dollars(rec.price_cents),
+            j % 25 + 5,
+            900_000 + j * 17
+        );
+        let id = store.add_markup(&markup);
+        out.barnes.push((id, rec));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t8_qualifying_share() {
+        let qualifying = (0..2490)
+            .map(amazon_prices)
+            .filter(|&(l, n, u)| l == n && u < n)
+            .count();
+        let frac = qualifying as f64 / 2490.0;
+        assert!((0.1..0.25).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn overlap_and_t9_share() {
+        let n_amazon = 2490;
+        let overlap: Vec<usize> = (barnes_base(n_amazon)..n_amazon).collect();
+        assert_eq!(overlap.len(), 1494);
+        let cheaper_at_amazon = overlap
+            .iter()
+            .filter(|&&k| amazon_prices(k).1 < barnes_price(k))
+            .count();
+        let frac = cheaper_at_amazon as f64 / overlap.len() as f64;
+        assert!((0.3..0.5).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn markup_labels_designed_for_preceded_by() {
+        let mut store = DocumentStore::new();
+        let b = build(&mut store, 3, 2);
+        let (id, rec) = &b.amazon[0];
+        let text = store.doc(*id).text().to_string();
+        assert!(text.contains(&format!("List: ${}", dollars(rec.list_cents))));
+        assert!(text.contains(&format!("New: ${}", dollars(rec.new_cents))));
+        assert!(text.contains(&format!("Used: ${}", dollars(rec.used_cents))));
+        let (id, rec) = &b.barnes[0];
+        let text = store.doc(*id).text().to_string();
+        assert!(text.contains(&format!("our price ${}", dollars(rec.price_cents))));
+    }
+
+    #[test]
+    fn used_prices_never_zero() {
+        for k in 0..5000 {
+            let (_, _, u) = amazon_prices(k);
+            assert!(u > 0);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The DBLife domain (§6.3): a heterogeneous snapshot of database-community
+//! Web pages — conference homepages (with panel and organization
+//! sections), project pages, person homepages, and mailing-list posts
+//! (pure noise for the three extraction tasks).
+//!
+//! Page layouts:
+//! * Conference: `<title>CONF YEAR Conference</title>` +
+//!   `<h2>Call for Papers</h2> …` + `<h2>Panel Sessions</h2> NAME (AFFIL), …`
+//!   + `<h2>Organization</h2> PC Chair: NAME … General Chair: NAME …`
+//! * Project: `<title>NAME Project</title>` + `<h2>Members</h2> NAME, …`
+//! * Person / mailing list: noise.
+
+use crate::words;
+use iflex_text::{DocId, DocumentStore};
+
+/// Ground truth for the three DBLife tasks.
+#[derive(Debug, Clone, Default)]
+pub struct DbLife {
+    /// All page ids (the `docs` table).
+    pub docs: Vec<DocId>,
+    /// `(panelist, conference-title)` pairs.
+    pub panels: Vec<(String, String)>,
+    /// `(person, project)` pairs.
+    pub projects: Vec<(String, String)>,
+    /// `(chair person, chair type, conference-title)` triples.
+    pub chairs: Vec<(String, String, String)>,
+}
+
+fn conf_title(i: usize) -> String {
+    format!("{} {}", words::conference(i), 1998 + i % 10)
+}
+
+/// Builds the DBLife snapshot: `n_conf` conference pages, `n_proj`
+/// project pages, and `n_noise` noise pages.
+pub fn build(store: &mut DocumentStore, n_conf: usize, n_proj: usize, n_noise: usize) -> DbLife {
+    let mut out = DbLife::default();
+    for i in 0..n_conf {
+        let title = conf_title(i);
+        let n_panelists = 2 + i % 3;
+        let panelists: Vec<String> = (0..n_panelists)
+            .map(|k| words::person(i * 17 + k * 311 + 29))
+            .collect();
+        let pc_chair = words::person(i * 13 + 401);
+        let general_chair = words::person(i * 19 + 613);
+        let panel_list = panelists
+            .iter()
+            .enumerate()
+            .map(|(k, p)| format!("{p} (University {})", k + 1))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let markup = format!(
+            "<title>{title} Conference</title>\n\
+             <h2>Call for Papers</h2>\nWe invite submissions on all database topics. \
+             Deadline {d1} March. Notification {d2} June.\n\
+             <h2>Panel Sessions</h2>\nPanel on the future of data management: {panel_list}.\n\
+             <h2>Organization</h2>\nPC Chair: {pc_chair}. General Chair: {general_chair}. \
+             Local arrangements by volunteers.\n\
+             <h2>Venue</h2>\nThe conference is held downtown, near hall {h}.",
+            d1 = i % 27 + 1,
+            d2 = i % 25 + 2,
+            h = i % 9 + 1,
+        );
+        let id = store.add_markup(&markup);
+        out.docs.push(id);
+        for p in &panelists {
+            out.panels.push((p.clone(), title.clone()));
+        }
+        out.chairs
+            .push((pc_chair.clone(), "PC".to_string(), title.clone()));
+        out.chairs
+            .push((general_chair.clone(), "General".to_string(), title.clone()));
+    }
+    for i in 0..n_proj {
+        let name = format!("{} Project", words::project_name(i));
+        let members: Vec<String> = (0..2 + i % 3)
+            .map(|k| words::person(i * 23 + k * 157 + 71))
+            .collect();
+        let markup = format!(
+            "<title>{name}</title>\n\
+             <h2>Overview</h2>\nA research system exploring new data models. Started {y}.\n\
+             <h2>Members</h2>\n{members}.\n\
+             <h2>Publications</h2>\nSee our papers at major venues.",
+            y = 1999 + i % 8,
+            members = members.join(", "),
+        );
+        let id = store.add_markup(&markup);
+        out.docs.push(id);
+        for m in &members {
+            out.projects.push((m.clone(), name.clone()));
+        }
+    }
+    for i in 0..n_noise {
+        let markup = match i % 3 {
+            0 => format!(
+                "<title>Homepage of {}</title>\nI am an associate professor interested in \
+                 query processing and storage systems. Office hours {} pm.",
+                words::person(i * 7 + 3),
+                i % 5 + 1
+            ),
+            1 => format!(
+                "<title>DBWorld post {}</title>\nCall for participation: workshop on data \
+                 quality. Registration fee {} dollars.",
+                i,
+                100 + i % 300
+            ),
+            _ => format!(
+                "<title>Course CS{}</title>\nIntroduction to database systems. Lecture room \
+                 {}. Homework due weekly.",
+                400 + i % 100,
+                i % 30 + 1
+            ),
+        };
+        let id = store.add_markup(&markup);
+        out.docs.push(id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_line_up() {
+        let mut store = DocumentStore::new();
+        let d = build(&mut store, 10, 5, 20);
+        assert_eq!(d.docs.len(), 35);
+        assert_eq!(d.chairs.len(), 20);
+        assert!(d.panels.len() >= 20);
+        assert!(d.projects.len() >= 10);
+    }
+
+    #[test]
+    fn conference_pages_have_sections() {
+        let mut store = DocumentStore::new();
+        let d = build(&mut store, 1, 0, 0);
+        let doc = store.doc(d.docs[0]);
+        assert!(doc.title_range().is_some());
+        let labels: Vec<&str> = doc
+            .labels()
+            .iter()
+            .map(|l| &doc.text()[l.start as usize..l.end as usize])
+            .collect();
+        assert!(labels.iter().any(|l| l.contains("Panel")));
+        assert!(labels.iter().any(|l| l.contains("Organization")));
+    }
+
+    #[test]
+    fn panelists_appear_after_panel_label() {
+        let mut store = DocumentStore::new();
+        let d = build(&mut store, 1, 0, 0);
+        let doc = store.doc(d.docs[0]);
+        let text = doc.text();
+        let panel_pos = text.find("Panel Sessions").unwrap();
+        let (p, _) = &d.panels[0];
+        let p_pos = text.find(p.as_str()).unwrap();
+        assert!(p_pos > panel_pos);
+    }
+
+    #[test]
+    fn chair_labels() {
+        let mut store = DocumentStore::new();
+        let d = build(&mut store, 2, 0, 0);
+        for id in &d.docs {
+            let text = store.doc(*id).text().to_string();
+            assert!(text.contains("PC Chair:"));
+            assert!(text.contains("General Chair:"));
+        }
+    }
+}

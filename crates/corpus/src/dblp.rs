@@ -1,0 +1,217 @@
+//! The DBLP domain (Table 1): Garcia-Molina's publication list and the
+//! SIGMOD / ICDE / VLDB proceedings.
+//!
+//! Record layouts:
+//! * Garcia-Molina journal pub:
+//!   `<i>TITLE</i> by AUTHORS <u>JOURNAL</u> journal year <b>YEAR</b> vol V`
+//! * Garcia-Molina conference pub:
+//!   `<i>TITLE</i> by AUTHORS in proceedings CONF YEAR`
+//! * Proceedings record:
+//!   `CONF YEAR <b>TITLE</b> by <i>AUTHORS</i> pages <u>P1</u>-P2 track T`
+//!
+//! A slice of ICDE records reuses the author sets of SIGMOD records so
+//! task T6 ("pubs sharing authors") has an answer.
+
+use crate::words;
+use iflex_text::{DocId, DocumentStore};
+
+/// One Garcia-Molina list entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GmRec {
+    /// The title.
+    pub title: String,
+    /// The authors.
+    pub authors: String,
+    /// `(journal name, year)` for journal publications.
+    pub journal: Option<(&'static str, u32)>,
+    /// Conference venue/year otherwise.
+    pub conf: Option<(&'static str, u32)>,
+}
+
+/// One proceedings record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubRec {
+    /// The title.
+    pub title: String,
+    /// The authors.
+    pub authors: String,
+    /// The year.
+    pub year: u32,
+    /// First page number of the paper.
+    pub first_page: u32,
+    /// Last page number of the paper.
+    pub last_page: u32,
+}
+
+/// The generated DBLP domain.
+#[derive(Debug, Clone, Default)]
+pub struct Dblp {
+    /// The gm.
+    pub gm: Vec<(DocId, GmRec)>,
+    /// The sigmod.
+    pub sigmod: Vec<(DocId, PubRec)>,
+    /// The icde.
+    pub icde: Vec<(DocId, PubRec)>,
+    /// The vldb.
+    pub vldb: Vec<(DocId, PubRec)>,
+}
+
+/// Paper-title index bases to keep the lists disjoint.
+const GM_BASE: usize = 0;
+const SIGMOD_BASE: usize = 400;
+const ICDE_BASE: usize = 2600;
+const VLDB_BASE: usize = 4800;
+
+/// Page length of proceedings record `i` (T5 looks for `< 5`).
+pub fn page_len(i: usize) -> u32 {
+    1 + ((i as u32) * 7) % 13
+}
+
+/// Author seed of a SIGMOD record; ICDE records with `i % 6 == 0` reuse
+/// the author set of SIGMOD record `(i * 7) % n_sigmod`.
+fn author_seed(venue: usize, i: usize) -> usize {
+    venue * 1_000 + i
+}
+
+fn proceedings_record(conf: &'static str, base: usize, venue: usize, i: usize, n_sigmod: usize) -> PubRec {
+    let (aseed, acount) = if conf == "ICDE" && i.is_multiple_of(6) && n_sigmod > 0 {
+        // share the authors of a SIGMOD record
+        let j = (i * 7) % n_sigmod;
+        (author_seed(1, j), 2 + j % 2)
+    } else {
+        (author_seed(venue, i), 2 + i % 2)
+    };
+    let fp = 1 + ((i as u32) * 17) % 400;
+    PubRec {
+        title: words::paper_title(base + i),
+        authors: words::author_list(aseed, acount),
+        year: 1975 + ((i as u32) * 31) % 31,
+        first_page: fp,
+        last_page: fp + page_len(i),
+    }
+}
+
+fn markup_proceedings(conf: &str, r: &PubRec, i: usize) -> String {
+    format!(
+        "{} {} <b>{}</b> by <i>{}</i> pages <u>{}</u>-{} track {}",
+        conf,
+        r.year,
+        r.title,
+        r.authors,
+        r.first_page,
+        r.last_page,
+        i % 6 + 1
+    )
+}
+
+/// Builds the DBLP domain into `store`.
+pub fn build(
+    store: &mut DocumentStore,
+    n_gm: usize,
+    n_sigmod: usize,
+    n_icde: usize,
+    n_vldb: usize,
+) -> Dblp {
+    let mut out = Dblp::default();
+    for i in 0..n_gm {
+        let is_journal = i % 3 == 0;
+        let rec = GmRec {
+            title: words::paper_title(GM_BASE + i),
+            authors: format!("Hector Garcia-Molina, {}", words::person(i * 3 + 5)),
+            journal: is_journal.then(|| (words::journal(i), 1980 + ((i as u32) * 13) % 25)),
+            conf: (!is_journal).then(|| (words::conference(i), 1978 + ((i as u32) * 17) % 27)),
+        };
+        let tail = match (&rec.journal, &rec.conf) {
+            (Some((j, y)), _) => format!("<u>{j}</u> journal year <b>{y}</b> vol {}", i % 30 + 1),
+            (_, Some((c, y))) => format!("in proceedings {c} {y}"),
+            _ => unreachable!(),
+        };
+        let markup = format!("<i>{}</i> by {} {}", rec.title, rec.authors, tail);
+        let id = store.add_markup(&markup);
+        out.gm.push((id, rec));
+    }
+    for i in 0..n_sigmod {
+        let rec = proceedings_record("SIGMOD", SIGMOD_BASE, 1, i, 0);
+        let id = store.add_markup(&markup_proceedings("SIGMOD", &rec, i));
+        out.sigmod.push((id, rec));
+    }
+    for i in 0..n_icde {
+        let rec = proceedings_record("ICDE", ICDE_BASE, 2, i, n_sigmod);
+        let id = store.add_markup(&markup_proceedings("ICDE", &rec, i));
+        out.icde.push((id, rec));
+    }
+    for i in 0..n_vldb {
+        let rec = proceedings_record("VLDB", VLDB_BASE, 3, i, 0);
+        let id = store.add_markup(&markup_proceedings("VLDB", &rec, i));
+        out.vldb.push((id, rec));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_share_is_a_third() {
+        let mut store = DocumentStore::new();
+        let d = build(&mut store, 312, 0, 0, 0);
+        let journals = d.gm.iter().filter(|(_, r)| r.journal.is_some()).count();
+        assert_eq!(journals, 104);
+    }
+
+    #[test]
+    fn journal_year_label_present_only_for_journals() {
+        let mut store = DocumentStore::new();
+        let d = build(&mut store, 12, 0, 0, 0);
+        for (id, r) in &d.gm {
+            let text = store.doc(*id).text().to_string();
+            assert_eq!(text.contains("journal year"), r.journal.is_some());
+        }
+    }
+
+    #[test]
+    fn icde_shares_sigmod_authors() {
+        let mut store = DocumentStore::new();
+        let d = build(&mut store, 0, 120, 120, 0);
+        let sig_authors: std::collections::BTreeSet<_> =
+            d.sigmod.iter().map(|(_, r)| r.authors.clone()).collect();
+        let sharing = d
+            .icde
+            .iter()
+            .filter(|(_, r)| sig_authors.contains(&r.authors))
+            .count();
+        assert!(sharing >= 120 / 6, "{sharing}");
+    }
+
+    #[test]
+    fn short_papers_fraction() {
+        let short = (0..2136).filter(|&i| page_len(i) < 5).count();
+        let frac = short as f64 / 2136.0;
+        assert!((0.2..0.45).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn titles_disjoint_across_lists() {
+        let mut store = DocumentStore::new();
+        let d = build(&mut store, 50, 50, 50, 50);
+        let mut all: Vec<String> = Vec::new();
+        all.extend(d.gm.iter().map(|(_, r)| r.title.clone()));
+        all.extend(d.sigmod.iter().map(|(_, r)| r.title.clone()));
+        all.extend(d.icde.iter().map(|(_, r)| r.title.clone()));
+        all.extend(d.vldb.iter().map(|(_, r)| r.title.clone()));
+        let set: std::collections::BTreeSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn pages_are_consistent() {
+        let mut store = DocumentStore::new();
+        let d = build(&mut store, 0, 20, 0, 0);
+        for (id, r) in &d.sigmod {
+            assert!(r.last_page > r.first_page);
+            let text = store.doc(*id).text().to_string();
+            assert!(text.contains(&format!("pages {}-{}", r.first_page, r.last_page)));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! # iflex-corpus
+//!
+//! Synthetic reproductions of the paper's experimental domains (Table 1)
+//! with per-record ground truth, plus the IE tasks of Tables 2 and 6.
+//!
+//! The paper crawled real Web pages (Movies: 3 pages, DBLP: 85, Books:
+//! 749, DBLife: 10 007). Those crawls are not available, so this crate
+//! generates pages with the same *structure*: every extraction target
+//! carries the text features the paper's refinement loop exploits
+//! (bold/italic/underline styling, labels like `Price:` and
+//! `Panel Sessions`, page titles), surrounded by realistic numeric and
+//! textual noise that makes the initial approximate programs genuinely
+//! over-extract. See DESIGN.md (§2, substitutions) for the full argument.
+//!
+//! Generation is deterministic: the same [`CorpusConfig`] always yields
+//! byte-identical pages and ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod books;
+pub mod dblife;
+pub mod dblp;
+pub mod movies;
+pub mod tasks;
+pub mod words;
+
+pub use tasks::{register_type_cleanup, Task, TaskId};
+
+use iflex_text::DocumentStore;
+use std::sync::Arc;
+
+/// Sizing knobs. Defaults match Table 1 and §6.3's 10 007-page DBLife
+/// snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// IMDB records.
+    pub n_imdb: usize,
+    /// Ebert records.
+    pub n_ebert: usize,
+    /// Prasanna records.
+    pub n_prasanna: usize,
+    /// Garcia-Molina records.
+    pub n_gm: usize,
+    /// SIGMOD records.
+    pub n_sigmod: usize,
+    /// ICDE records.
+    pub n_icde: usize,
+    /// VLDB records.
+    pub n_vldb: usize,
+    /// Amazon records.
+    pub n_amazon: usize,
+    /// Barnes & Noble records.
+    pub n_barnes: usize,
+    /// DBLife conference pages.
+    pub dblife_conf: usize,
+    /// DBLife project pages.
+    pub dblife_proj: usize,
+    /// DBLife noise pages (homepages, posts, courses).
+    pub dblife_noise: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            n_imdb: 250,
+            n_ebert: 242,
+            n_prasanna: 517,
+            n_gm: 312,
+            n_sigmod: 1787,
+            n_icde: 1798,
+            n_vldb: 2136,
+            n_amazon: 2490,
+            n_barnes: 5000,
+            dblife_conf: 120,
+            dblife_proj: 80,
+            dblife_noise: 9_807,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small configuration for unit tests and quick demos.
+    pub fn tiny() -> Self {
+        CorpusConfig {
+            n_imdb: 30,
+            n_ebert: 30,
+            n_prasanna: 60,
+            n_gm: 30,
+            n_sigmod: 40,
+            n_icde: 40,
+            n_vldb: 40,
+            n_amazon: 40,
+            n_barnes: 60,
+            dblife_conf: 5,
+            dblife_proj: 4,
+            dblife_noise: 10,
+        }
+    }
+
+    /// Scales every table size by `f` (at least one record each).
+    pub fn scaled(f: f64) -> Self {
+        let d = Self::default();
+        let s = |n: usize| ((n as f64 * f).round() as usize).max(1);
+        CorpusConfig {
+            n_imdb: s(d.n_imdb),
+            n_ebert: s(d.n_ebert),
+            n_prasanna: s(d.n_prasanna),
+            n_gm: s(d.n_gm),
+            n_sigmod: s(d.n_sigmod),
+            n_icde: s(d.n_icde),
+            n_vldb: s(d.n_vldb),
+            n_amazon: s(d.n_amazon),
+            n_barnes: s(d.n_barnes),
+            dblife_conf: s(d.dblife_conf),
+            dblife_proj: s(d.dblife_proj),
+            dblife_noise: s(d.dblife_noise),
+        }
+    }
+}
+
+/// All generated domains over one shared document store.
+pub struct Corpus {
+    /// The store.
+    pub store: Arc<DocumentStore>,
+    /// The movies.
+    pub movies: movies::Movies,
+    /// The dblp.
+    pub dblp: dblp::Dblp,
+    /// The books.
+    pub books: books::Books,
+    /// The dblife.
+    pub dblife: dblife::DbLife,
+}
+
+impl Corpus {
+    /// Generates the full corpus.
+    pub fn build(cfg: CorpusConfig) -> Self {
+        let mut store = DocumentStore::new();
+        let movies = movies::build(&mut store, cfg.n_imdb, cfg.n_ebert, cfg.n_prasanna);
+        let dblp = dblp::build(
+            &mut store,
+            cfg.n_gm,
+            cfg.n_sigmod,
+            cfg.n_icde,
+            cfg.n_vldb,
+        );
+        let books = books::build(&mut store, cfg.n_amazon, cfg.n_barnes);
+        let dblife = dblife::build(
+            &mut store,
+            cfg.dblife_conf,
+            cfg.dblife_proj,
+            cfg.dblife_noise,
+        );
+        Corpus {
+            store: Arc::new(store),
+            movies,
+            dblp,
+            books,
+            dblife,
+        }
+    }
+
+    /// Table 1 rows: `(domain, table, description, records)`.
+    pub fn table1(&self) -> Vec<(&'static str, &'static str, &'static str, usize)> {
+        vec![
+            ("Movies", "Ebert", "Roger Ebert's Greatest Movies List", self.movies.ebert.len()),
+            ("Movies", "IMDB", "IMDB Top 250 Movies", self.movies.imdb.len()),
+            ("Movies", "Prasanna", "Prasanna's Top Movies List", self.movies.prasanna.len()),
+            ("DBLP", "Garcia-Molina", "Hector Garcia-Molina Pubs List", self.dblp.gm.len()),
+            ("DBLP", "SIGMOD", "SIGMOD Papers '75-'05", self.dblp.sigmod.len()),
+            ("DBLP", "ICDE", "ICDE Papers '84-'05", self.dblp.icde.len()),
+            ("DBLP", "VLDB", "VLDB Papers '75-'05", self.dblp.vldb.len()),
+            ("Books", "Amazon", "Amazon query on 'Database'", self.books.amazon.len()),
+            ("Books", "Barnes", "Barnes & Noble query on 'Database'", self.books.barnes.len()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_corpus_builds_deterministically() {
+        let a = Corpus::build(CorpusConfig::tiny());
+        let b = Corpus::build(CorpusConfig::tiny());
+        assert_eq!(a.store.len(), b.store.len());
+        for (x, y) in a.store.iter().zip(b.store.iter()) {
+            assert_eq!(x.text(), y.text());
+        }
+    }
+
+    #[test]
+    fn table1_counts_match_config() {
+        let c = Corpus::build(CorpusConfig::tiny());
+        let t1 = c.table1();
+        assert_eq!(t1.len(), 9);
+        assert_eq!(t1[1].3, 30); // IMDB
+        assert_eq!(t1[8].3, 60); // Barnes
+    }
+
+    #[test]
+    fn default_matches_paper_sizes() {
+        let d = CorpusConfig::default();
+        assert_eq!(d.n_imdb, 250);
+        assert_eq!(d.n_vldb, 2136);
+        assert_eq!(d.n_amazon, 2490);
+        assert_eq!(d.n_barnes, 5000);
+    }
+
+    #[test]
+    fn all_tasks_construct() {
+        let c = Corpus::build(CorpusConfig::tiny());
+        for id in TaskId::TABLE2 {
+            let t = c.task(id, Some(10));
+            assert!(!t.tables.is_empty(), "{:?}", id);
+            assert!(!t.program.rules.is_empty());
+        }
+        for id in TaskId::DBLIFE {
+            let t = c.task(id, None);
+            assert!(!t.tables.is_empty(), "{:?}", id);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The Movies domain (Table 1): Roger Ebert's greatest-movies list, the
+//! IMDB top-250 list, and Prasanna's movie list — generated synthetically
+//! with the same structural features the paper's tasks rely on
+//! (see DESIGN.md substitution table).
+//!
+//! Record layouts (each record is one extraction document):
+//! * IMDB: `rank R <b>TITLE</b> (YEAR) STUDIO votes <u>VOTES</u> score S.S`
+//!   — rank / year / score are numeric decoys for votes.
+//! * Ebert: `P. <i>TITLE</i> released <u>YEAR</u> rating R stars [restored YEAR2]`
+//! * Prasanna: `pick N <b>TITLE</b> genre GENRE`
+//!
+//! Title index ranges overlap across the three lists so that task T3
+//! ("movies in all three lists") has a non-trivial answer.
+
+use crate::words;
+use iflex_text::{DocId, DocumentStore};
+
+/// One IMDB record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImdbRec {
+    /// The title.
+    pub title: String,
+    /// The year.
+    pub year: u32,
+    /// The votes.
+    pub votes: u32,
+    /// The rank.
+    pub rank: u32,
+    /// The studio.
+    pub studio: &'static str,
+}
+
+/// One Ebert record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EbertRec {
+    /// The title.
+    pub title: String,
+    /// The year.
+    pub year: u32,
+    /// The rating.
+    pub rating: u32,
+    /// The restored.
+    pub restored: Option<u32>,
+}
+
+/// One Prasanna record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrasannaRec {
+    /// The title.
+    pub title: String,
+    /// The genre.
+    pub genre: &'static str,
+}
+
+/// The generated Movies domain.
+#[derive(Debug, Clone, Default)]
+pub struct Movies {
+    /// The imdb.
+    pub imdb: Vec<(DocId, ImdbRec)>,
+    /// The ebert.
+    pub ebert: Vec<(DocId, EbertRec)>,
+    /// The prasanna.
+    pub prasanna: Vec<(DocId, PrasannaRec)>,
+}
+
+/// Title-index bases scale with the IMDB size: IMDB uses `0..n`, Ebert
+/// starts at 2n/5, Prasanna at 4n/5 — at the paper's n = 250 this gives
+/// bases 100 and 200 and a 50-title triple overlap.
+pub fn ebert_base(n_imdb: usize) -> usize {
+    n_imdb * 2 / 5
+}
+
+/// See [`ebert_base`].
+pub fn prasanna_base(n_imdb: usize) -> usize {
+    n_imdb * 4 / 5
+}
+
+/// IMDB votes for record `i`: roughly 12 % fall below the T1 threshold of
+/// 25 000.
+pub fn imdb_votes(i: usize) -> u32 {
+    if i.is_multiple_of(8) {
+        9_000 + (i as u32) * 37
+    } else {
+        26_000 + ((i as u32) * 1_831) % 450_000
+    }
+}
+
+/// Ebert release year for record `i`.
+pub fn ebert_year(i: usize) -> u32 {
+    1930 + ((i as u32) * 11) % 75
+}
+
+/// Builds the Movies domain into `store`.
+pub fn build(store: &mut DocumentStore, n_imdb: usize, n_ebert: usize, n_pras: usize) -> Movies {
+    let mut out = Movies::default();
+    for i in 0..n_imdb {
+        let rec = ImdbRec {
+            title: words::movie_title(i),
+            year: 1920 + ((i as u32) * 7) % 90,
+            votes: imdb_votes(i),
+            rank: i as u32 + 1,
+            studio: words::studio(i),
+        };
+        let markup = format!(
+            "rank {} <b>{}</b> ({}) {} votes <u>{}</u> score {}.{}",
+            rec.rank,
+            rec.title,
+            rec.year,
+            rec.studio,
+            rec.votes,
+            i % 9 + 1,
+            i % 10
+        );
+        let id = store.add_markup(&markup);
+        out.imdb.push((id, rec));
+    }
+    for i in 0..n_ebert {
+        let rec = EbertRec {
+            title: words::movie_title(ebert_base(n_imdb) + i),
+            year: ebert_year(i),
+            rating: (i as u32) % 4 + 1,
+            restored: if i % 3 == 0 {
+                Some(1950 + ((i as u32) * 13) % 55)
+            } else {
+                None
+            },
+        };
+        let restored = rec
+            .restored
+            .map(|y| format!(" restored {y}"))
+            .unwrap_or_default();
+        let markup = format!(
+            "{}. <i>{}</i> released <u>{}</u> rating {} stars{restored}",
+            i + 1,
+            rec.title,
+            rec.year,
+            rec.rating,
+        );
+        let id = store.add_markup(&markup);
+        out.ebert.push((id, rec));
+    }
+    for i in 0..n_pras {
+        let rec = PrasannaRec {
+            title: words::movie_title(prasanna_base(n_imdb) + i),
+            genre: words::genre(i),
+        };
+        let markup = format!(
+            "pick {} <b>{}</b> genre {}",
+            i + 1,
+            rec.title,
+            rec.genre
+        );
+        let id = store.add_markup(&markup);
+        out.prasanna.push((id, rec));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_text::{markup::style, Coverage};
+
+    #[test]
+    fn imdb_records_have_designed_features() {
+        let mut store = DocumentStore::new();
+        let m = build(&mut store, 5, 0, 0);
+        let (id, rec) = &m.imdb[0];
+        let doc = store.doc(*id);
+        let text = doc.text();
+        // title is bold and distinct
+        let ts = text.find(&rec.title).unwrap() as u32;
+        let te = ts + rec.title.len() as u32;
+        assert_eq!(doc.style_coverage(ts, te, style::BOLD), Coverage::Full);
+        assert!(doc.style_distinct(ts, te, style::BOLD));
+        // votes underlined and preceded by "votes"
+        let vs = text.find(&rec.votes.to_string()).unwrap() as u32;
+        let ve = vs + rec.votes.to_string().len() as u32;
+        assert_eq!(doc.style_coverage(vs, ve, style::UNDERLINE), Coverage::Full);
+        assert!(text[..vs as usize].trim_end().ends_with("votes"));
+    }
+
+    #[test]
+    fn votes_distribution_crosses_threshold() {
+        let below = (0..250).filter(|&i| imdb_votes(i) < 25_000).count();
+        assert!((20..60).contains(&below), "{below}");
+    }
+
+    #[test]
+    fn overlap_ranges() {
+        let mut store = DocumentStore::new();
+        let m = build(&mut store, 250, 242, 517);
+        let imdb: std::collections::BTreeSet<_> =
+            m.imdb.iter().map(|(_, r)| r.title.clone()).collect();
+        let ebert: std::collections::BTreeSet<_> =
+            m.ebert.iter().map(|(_, r)| r.title.clone()).collect();
+        let pras: std::collections::BTreeSet<_> =
+            m.prasanna.iter().map(|(_, r)| r.title.clone()).collect();
+        let triple = imdb
+            .intersection(&ebert)
+            .cloned()
+            .collect::<std::collections::BTreeSet<_>>();
+        let triple: Vec<_> = triple.intersection(&pras).collect();
+        assert_eq!(triple.len(), 50); // titles 200..250
+    }
+
+    #[test]
+    fn ebert_restored_year_is_numeric_noise() {
+        let mut store = DocumentStore::new();
+        let m = build(&mut store, 0, 9, 0);
+        let with_restored = m.ebert.iter().filter(|(_, r)| r.restored.is_some()).count();
+        assert_eq!(with_restored, 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic text generators: movie/book/paper titles, person names,
+//! venue names. Injective per generator (distinct indices → distinct
+//! strings) so ground truth can be computed by construction.
+
+const ADJ: &[&str] = &[
+    "Silent", "Crimson", "Broken", "Golden", "Hidden", "Burning", "Frozen", "Distant",
+    "Savage", "Gentle", "Electric", "Hollow", "Scarlet", "Wandering", "Midnight", "Ancient",
+    "Restless", "Shattered", "Velvet", "Iron", "Pale", "Wicked", "Quiet", "Blazing",
+    "Lonely", "Painted", "Rising", "Fallen", "Secret", "Raging", "Emerald", "Stolen",
+];
+
+const NOUN: &[&str] = &[
+    "River", "Harvest", "Empire", "Garden", "Voyage", "Shadow", "Fortress", "Mirror",
+    "Horizon", "Symphony", "Lantern", "Compass", "Orchard", "Tempest", "Canyon", "Harbor",
+    "Meadow", "Citadel", "Beacon", "Labyrinth", "Summit", "Valley", "Crossing", "Cathedral",
+    "Island", "Monument", "Carousel", "Junction", "Prairie", "Avalanche", "Reef", "Tundra",
+];
+
+const NOUN2: &[&str] = &[
+    "Dawn", "Winter", "Memory", "Fortune", "Silence", "Glory", "Destiny", "Sorrow",
+    "Thunder", "Twilight", "Ashes", "Wonder", "Courage", "Exile", "Mercy", "Legend",
+];
+
+const FIRST: &[&str] = &[
+    "Alice", "Robert", "Carol", "David", "Elena", "Frank", "Grace", "Henry", "Irene",
+    "James", "Karen", "Louis", "Maria", "Nathan", "Olivia", "Peter", "Quinn", "Rachel",
+    "Samuel", "Teresa", "Victor", "Wendy", "Xavier", "Yvonne", "Zachary", "Bridget",
+    "Carlos", "Diana", "Edward", "Fiona", "Gustav", "Helena",
+];
+
+const LAST: &[&str] = &[
+    "Anderson", "Brooks", "Carmichael", "Donovan", "Eastman", "Fletcher", "Grayson",
+    "Holloway", "Ivanov", "Jennings", "Kowalski", "Lancaster", "Mercer", "Nakamura",
+    "Osborne", "Pemberton", "Quintero", "Rutherford", "Sanderson", "Thornton", "Underwood",
+    "Vasquez", "Whitfield", "Xu", "Yamamoto", "Zimmerman", "Ashford", "Blackwell",
+    "Castellano", "Delacroix", "Engelhart", "Fairbanks",
+];
+
+const TOPIC: &[&str] = &[
+    "Indexing", "Joins", "Transactions", "Recovery", "Replication", "Partitioning",
+    "Caching", "Scheduling", "Compression", "Sampling", "Clustering", "Provenance",
+    "Integration", "Extraction", "Optimization", "Streaming", "Warehousing", "Mining",
+    "Ranking", "Crawling", "Annotation", "Materialization", "Sharding", "Versioning",
+];
+
+const METHOD: &[&str] = &[
+    "Adaptive", "Incremental", "Parallel", "Distributed", "Approximate", "Scalable",
+    "Declarative", "Probabilistic", "Hierarchical", "Lazy", "Speculative", "Robust",
+    "Hybrid", "Online", "Cost-Based", "Learned",
+];
+
+const OBJECT: &[&str] = &[
+    "Query Plans", "XML Views", "Web Tables", "Data Streams", "Key-Value Stores",
+    "Column Stores", "Sensor Networks", "Text Corpora", "Log Archives", "Graph Databases",
+    "Spatial Indexes", "Materialized Views", "Schema Mappings", "Data Cubes",
+    "Temporal Relations", "Wide Tables",
+];
+
+const STUDIO: &[&str] = &[
+    "Pinnacle", "Meridian", "Borealis", "Zenith", "Cascadia", "Vanguard", "Atlas",
+    "Polaris",
+];
+
+const GENRE: &[&str] = &[
+    "Drama", "Noir", "Western", "Thriller", "Comedy", "Mystery", "Adventure", "Romance",
+];
+
+const JOURNAL: &[&str] = &["VLDB Journal", "TODS", "Information Systems", "SIGMOD Record"];
+
+const CONFERENCE: &[&str] = &[
+    "SIGMOD", "VLDB", "ICDE", "EDBT", "CIDR", "PODS", "WWW", "KDD", "ICDM", "CIKM",
+];
+
+const PROJECT_NAME: &[&str] = &[
+    "Trio", "Orchestra", "Hazy", "Cimple", "Nile", "Aurora", "Borealis", "Telegraph",
+    "Mariposa", "Condor", "Quickstep", "Peloton", "Umbra", "Kite", "Datalography",
+    "Proton",
+];
+
+/// Deterministic, injective movie title for `i` (valid for `i < 16384`).
+pub fn movie_title(i: usize) -> String {
+    let a = ADJ[i % ADJ.len()];
+    let n = NOUN[(i / ADJ.len()) % NOUN.len()];
+    let block = i / (ADJ.len() * NOUN.len());
+    match block % 3 {
+        0 => format!("{a} {n}"),
+        1 => format!("The {a} {n}"),
+        _ => format!("{a} {n} of {}", NOUN2[block % NOUN2.len()]),
+    }
+}
+
+/// Deterministic, injective paper title (`i < 12288`).
+pub fn paper_title(i: usize) -> String {
+    let t = TOPIC[i % TOPIC.len()];
+    let m = METHOD[(i / TOPIC.len()) % METHOD.len()];
+    let o = OBJECT[(i / (TOPIC.len() * METHOD.len())) % OBJECT.len()];
+    match (i / (TOPIC.len() * METHOD.len() * OBJECT.len())) % 2 {
+        0 => format!("{m} {t} for {o}"),
+        _ => format!("{t} over {o} the {m} Way"),
+    }
+}
+
+/// Deterministic, injective book title (`i < 12288`).
+pub fn book_title(i: usize) -> String {
+    let t = TOPIC[i % TOPIC.len()];
+    let m = METHOD[(i / TOPIC.len()) % METHOD.len()];
+    let o = OBJECT[(i / (TOPIC.len() * METHOD.len())) % OBJECT.len()];
+    match (i / (TOPIC.len() * METHOD.len() * OBJECT.len())) % 2 {
+        0 => format!("{m} Database {t} with {o}"),
+        _ => format!("{m} {t} Handbook for {o}"),
+    }
+}
+
+/// Deterministic person name (`i < 1024` distinct).
+pub fn person(i: usize) -> String {
+    format!(
+        "{} {}",
+        FIRST[i % FIRST.len()],
+        LAST[(i / FIRST.len()) % LAST.len()]
+    )
+}
+
+/// A small pool of author-group sizes and helpers.
+pub fn author_list(seed: usize, count: usize) -> String {
+    let names: Vec<String> = (0..count).map(|k| person(seed * 7 + k * 131 + 13)).collect();
+    names.join(", ")
+}
+
+/// Studio.
+pub fn studio(i: usize) -> &'static str {
+    STUDIO[i % STUDIO.len()]
+}
+
+/// Genre.
+pub fn genre(i: usize) -> &'static str {
+    GENRE[i % GENRE.len()]
+}
+
+/// Journal.
+pub fn journal(i: usize) -> &'static str {
+    JOURNAL[i % JOURNAL.len()]
+}
+
+/// Conference.
+pub fn conference(i: usize) -> &'static str {
+    CONFERENCE[i % CONFERENCE.len()]
+}
+
+/// Project name.
+pub fn project_name(i: usize) -> &'static str {
+    PROJECT_NAME[i % PROJECT_NAME.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn titles_are_injective() {
+        for gen in [movie_title as fn(usize) -> String, paper_title, book_title] {
+            let set: BTreeSet<String> = (0..3000).map(gen).collect();
+            assert_eq!(set.len(), 3000);
+        }
+    }
+
+    #[test]
+    fn persons_distinct_within_pool() {
+        let set: BTreeSet<String> = (0..1024).map(person).collect();
+        assert_eq!(set.len(), 1024);
+    }
+
+    #[test]
+    fn titles_are_capitalized_words() {
+        for i in 0..200 {
+            let t = movie_title(i);
+            assert!(t.split_whitespace().count() >= 2);
+            assert!(t.chars().next().unwrap().is_uppercase());
+        }
+    }
+
+    #[test]
+    fn author_lists_join_names() {
+        let a = author_list(3, 2);
+        assert_eq!(a.split(", ").count(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Assignments: the building block of compact-table cells (§3 of the paper).
+//!
+//! `exact(s)` encodes exactly one value; `contain(s)` encodes *every*
+//! token-aligned sub-span of `s`. `contain` is what lets compact tables
+//! stay polynomially smaller than the a-tables they stand for.
+
+use crate::value::Value;
+use iflex_text::{DocumentStore, Span};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One assignment within a cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Assignment {
+    /// Exactly this value (modulo string→numeric cast at use sites).
+    Exact(Value),
+    /// Any token-aligned sub-span of this span.
+    Contain(Span),
+}
+
+impl Assignment {
+    /// Shorthand for `Exact(Value::Span(s))`.
+    pub fn exact_span(s: Span) -> Self {
+        Assignment::Exact(Value::Span(s))
+    }
+
+    /// Number of values this assignment encodes.
+    pub fn value_count(&self, store: &DocumentStore) -> u64 {
+        match self {
+            Assignment::Exact(_) => 1,
+            Assignment::Contain(s) => store.doc(s.doc).tokens().subspan_count(s.start, s.end),
+        }
+    }
+
+    /// Iterates the values this assignment encodes.
+    pub fn values<'a>(&'a self, store: &'a DocumentStore) -> Box<dyn Iterator<Item = Value> + 'a> {
+        match self {
+            Assignment::Exact(v) => Box::new(std::iter::once(v.clone())),
+            Assignment::Contain(s) => Box::new(
+                store
+                    .doc(s.doc)
+                    .tokens()
+                    .subspans(s.start, s.end)
+                    .map(move |(a, b)| Value::Span(Span::new(s.doc, a, b))),
+            ),
+        }
+    }
+
+    /// True when this assignment's value set includes `v`.
+    pub fn encodes(&self, v: &Value, store: &DocumentStore) -> bool {
+        match self {
+            Assignment::Exact(e) => e == v,
+            Assignment::Contain(s) => match v {
+                Value::Span(vs) => {
+                    if !s.contains(vs) || vs.is_empty() {
+                        return false;
+                    }
+                    // must be token-aligned within the doc
+                    let toks = store.doc(s.doc).tokens();
+                    let r = toks.tokens_within(vs.start, vs.end);
+                    toks.cover(r) == Some((vs.start, vs.end))
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// True when every value of `other` is also a value of `self`.
+    pub fn covers(&self, other: &Assignment, store: &DocumentStore) -> bool {
+        match (self, other) {
+            (Assignment::Contain(a), Assignment::Contain(b)) => a.contains(b),
+            (_, Assignment::Exact(v)) => self.encodes(v, store),
+            (Assignment::Exact(_), Assignment::Contain(b)) => {
+                // only possible if b encodes exactly one value equal to ours
+                let toks = store.doc(b.doc).tokens();
+                if toks.subspan_count(b.start, b.end) != 1 {
+                    return false;
+                }
+                let (s, e) = toks
+                    .cover(toks.tokens_within(b.start, b.end))
+                    .expect("count==1 implies cover");
+                self.encodes(&Value::Span(Span::new(b.doc, s, e)), store)
+            }
+        }
+    }
+
+    /// The span the assignment ranges over, when any.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Assignment::Exact(v) => v.span(),
+            Assignment::Contain(s) => Some(*s),
+        }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Assignment::Exact(v) => write!(f, "exact({v})"),
+            Assignment::Contain(s) => write!(f, "contain({s})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_text::DocId;
+
+    fn store_with(text: &str) -> (DocumentStore, DocId) {
+        let mut st = DocumentStore::new();
+        let id = st.add_plain(text);
+        (st, id)
+    }
+
+    #[test]
+    fn exact_counts_one() {
+        let (st, d) = store_with("a b c");
+        let a = Assignment::exact_span(Span::new(d, 0, 1));
+        assert_eq!(a.value_count(&st), 1);
+        assert_eq!(a.values(&st).count(), 1);
+    }
+
+    #[test]
+    fn contain_enumerates_token_subspans() {
+        let (st, d) = store_with("one two three");
+        let a = Assignment::Contain(Span::new(d, 0, 13));
+        assert_eq!(a.value_count(&st), 6);
+        let vals: Vec<_> = a.values(&st).collect();
+        assert_eq!(vals.len(), 6);
+        assert!(vals.contains(&Value::Span(Span::new(d, 0, 3)))); // "one"
+        assert!(vals.contains(&Value::Span(Span::new(d, 4, 13)))); // "two three"
+    }
+
+    #[test]
+    fn encodes_respects_token_alignment() {
+        let (st, d) = store_with("one two");
+        let a = Assignment::Contain(Span::new(d, 0, 7));
+        assert!(a.encodes(&Value::Span(Span::new(d, 0, 3)), &st));
+        assert!(a.encodes(&Value::Span(Span::new(d, 0, 7)), &st));
+        assert!(!a.encodes(&Value::Span(Span::new(d, 0, 2)), &st)); // "on"
+        assert!(!a.encodes(&Value::Str("one".into()), &st));
+    }
+
+    #[test]
+    fn covers_relation() {
+        let (st, d) = store_with("one two three");
+        let big = Assignment::Contain(Span::new(d, 0, 13));
+        let small = Assignment::Contain(Span::new(d, 0, 7));
+        let ex = Assignment::exact_span(Span::new(d, 4, 7));
+        assert!(big.covers(&small, &st));
+        assert!(!small.covers(&big, &st));
+        assert!(big.covers(&ex, &st));
+        assert!(!ex.covers(&big, &st));
+        // single-token contain covered by matching exact
+        let one_tok = Assignment::Contain(Span::new(d, 4, 7));
+        assert!(ex.covers(&one_tok, &st));
+    }
+}

@@ -1,0 +1,255 @@
+//! Compact tuples and their expansion semantics.
+
+use crate::cell::Cell;
+use crate::value::Value;
+use iflex_text::DocumentStore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compact tuple: one cell per attribute plus the *maybe* flag
+/// (existence uncertainty).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompactTuple {
+    /// The cells.
+    pub cells: Vec<Cell>,
+    /// The maybe.
+    pub maybe: bool,
+}
+
+impl CompactTuple {
+    /// Creates a new instance.
+    pub fn new(cells: Vec<Cell>) -> Self {
+        CompactTuple {
+            cells,
+            maybe: false,
+        }
+    }
+
+    /// Maybe.
+    pub fn maybe(cells: Vec<Cell>) -> Self {
+        CompactTuple { cells, maybe: true }
+    }
+
+    #[inline]
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total assignments across cells (convergence monitor metric).
+    pub fn assignment_count(&self) -> usize {
+        self.cells.iter().map(Cell::assignment_count).sum()
+    }
+
+    /// True when some cell encodes no values (tuple cannot exist).
+    pub fn has_empty_cell(&self) -> bool {
+        self.cells.iter().any(Cell::is_empty)
+    }
+
+    /// Index of the first expansion cell, if any.
+    pub fn first_expansion(&self) -> Option<usize> {
+        self.cells.iter().position(Cell::is_expand)
+    }
+
+    /// Expands the first expansion cell: one output tuple per encoded
+    /// value, the cell replaced by `exact(value)`. Per §3, expanded tuples
+    /// inherit the maybe flag.
+    pub fn expand_once(&self, store: &DocumentStore) -> Option<Vec<CompactTuple>> {
+        let idx = self.first_expansion()?;
+        let vals = self.cells[idx].value_set(store);
+        let mut out = Vec::with_capacity(vals.len());
+        for v in vals {
+            let mut cells = self.cells.clone();
+            cells[idx] = Cell::exact(v);
+            out.push(CompactTuple {
+                cells,
+                maybe: self.maybe,
+            });
+        }
+        Some(out)
+    }
+
+    /// Fully expands all expansion cells. `limit` bounds the output size;
+    /// `None` is returned when it would be exceeded.
+    pub fn expand_fully(
+        &self,
+        store: &DocumentStore,
+        limit: usize,
+    ) -> Option<Vec<CompactTuple>> {
+        let mut work = vec![self.clone()];
+        loop {
+            let Some(pos) = work.iter().position(|t| t.first_expansion().is_some()) else {
+                return Some(work);
+            };
+            let t = work.swap_remove(pos);
+            let expanded = t.expand_once(store).expect("expansion cell present");
+            if work.len() + expanded.len() > limit {
+                return None;
+            }
+            work.extend(expanded);
+        }
+    }
+
+    /// Number of concrete tuples this compact tuple represents (product of
+    /// cell value counts for non-expansion cells, sum-factor for expansion
+    /// cells), saturating.
+    pub fn possible_tuple_count(&self, store: &DocumentStore) -> u64 {
+        self.cells
+            .iter()
+            .fold(1u64, |acc, c| acc.saturating_mul(c.value_count(store)))
+    }
+
+    /// Enumerates the concrete `Vec<Value>` tuples represented, after full
+    /// expansion, bounded by `limit`.
+    pub fn possible_tuples(
+        &self,
+        store: &DocumentStore,
+        limit: usize,
+    ) -> Option<Vec<Vec<Value>>> {
+        let flats = self.expand_fully(store, limit)?;
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        for t in flats {
+            let sets: Vec<Vec<Value>> = t
+                .cells
+                .iter()
+                .map(|c| c.value_set(store).into_iter().collect())
+                .collect();
+            if sets.iter().any(Vec::is_empty) {
+                continue;
+            }
+            let total: usize = sets.iter().map(Vec::len).product();
+            if out.len() + total > limit {
+                return None;
+            }
+            let mut idx = vec![0usize; sets.len()];
+            loop {
+                out.push(
+                    idx.iter()
+                        .zip(&sets)
+                        .map(|(&i, s)| s[i].clone())
+                        .collect(),
+                );
+                // odometer increment
+                let mut k = sets.len();
+                loop {
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                    idx[k] += 1;
+                    if idx[k] < sets[k].len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    if k == 0 {
+                        k = usize::MAX;
+                        break;
+                    }
+                }
+                if k == usize::MAX {
+                    break;
+                }
+            }
+            if sets.is_empty() {
+                // zero-arity tuple contributes a single empty tuple
+            }
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for CompactTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")?;
+        if self.maybe {
+            write!(f, "?")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use iflex_text::{DocId, Span};
+
+    fn store_with(text: &str) -> (DocumentStore, DocId) {
+        let mut st = DocumentStore::new();
+        let id = st.add_plain(text);
+        (st, id)
+    }
+
+    #[test]
+    fn expand_once_multiplies_tuples() {
+        let (st, d) = store_with("a b");
+        let t = CompactTuple::new(vec![
+            Cell::exact(Value::Num(1.0)),
+            Cell::expansion(vec![Assignment::Contain(Span::new(d, 0, 3))]),
+        ]);
+        let out = t.expand_once(&st).unwrap();
+        assert_eq!(out.len(), 3); // "a", "b", "a b"
+        assert!(out.iter().all(|u| u.first_expansion().is_none()));
+        assert!(out.iter().all(|u| !u.maybe));
+    }
+
+    #[test]
+    fn expand_preserves_maybe() {
+        let (st, d) = store_with("a");
+        let t = CompactTuple::maybe(vec![Cell::expansion(vec![Assignment::Contain(
+            Span::new(d, 0, 1),
+        )])]);
+        let out = t.expand_once(&st).unwrap();
+        assert!(out.iter().all(|u| u.maybe));
+    }
+
+    #[test]
+    fn expand_fully_respects_limit() {
+        let (st, d) = store_with("a b c d e f g h");
+        let t = CompactTuple::new(vec![Cell::expansion(vec![Assignment::Contain(
+            Span::new(d, 0, 15),
+        )])]);
+        assert!(t.expand_fully(&st, 5).is_none());
+        assert!(t.expand_fully(&st, 100).is_some());
+    }
+
+    #[test]
+    fn possible_tuples_cartesian() {
+        let (st, d) = store_with("x y");
+        let t = CompactTuple::new(vec![
+            Cell::of(vec![
+                Assignment::exact_span(Span::new(d, 0, 1)),
+                Assignment::exact_span(Span::new(d, 2, 3)),
+            ]),
+            Cell::exact(Value::Num(7.0)),
+        ]);
+        let tuples = t.possible_tuples(&st, 100).unwrap();
+        assert_eq!(tuples.len(), 2);
+        assert!(tuples.iter().all(|tp| tp[1] == Value::Num(7.0)));
+    }
+
+    #[test]
+    fn tuple_with_empty_cell_has_no_possible_tuples() {
+        let (st, _) = store_with("x");
+        let t = CompactTuple::new(vec![Cell::of(vec![]), Cell::exact(Value::Num(1.0))]);
+        assert!(t.has_empty_cell());
+        assert_eq!(t.possible_tuples(&st, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn possible_count_is_product() {
+        let (st, d) = store_with("a b c");
+        let t = CompactTuple::new(vec![
+            Cell::contain(Span::new(d, 0, 5)), // 6 values
+            Cell::exact(Value::Num(1.0)),      // 1 value
+        ]);
+        assert_eq!(t.possible_tuple_count(&st), 6);
+    }
+}

@@ -1,0 +1,223 @@
+//! Scalar values appearing in (approximate) extracted relations.
+
+use iflex_text::{parse_number, DocumentStore, Span};
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A concrete relational value.
+///
+/// Extraction produces [`Value::Span`]s; programs introduce string and
+/// numeric constants; p-functions may produce booleans. `Num` wraps an
+/// `f64` with a *total* order (IEEE total ordering via bit patterns with
+/// -0/+0 and NaN normalized) so values can live in `BTreeSet`s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// A document fragment.
+    Span(Span),
+    /// A string constant.
+    Str(String),
+    /// A numeric constant.
+    Num(f64),
+    /// A boolean constant.
+    Bool(bool),
+    /// SQL-ish NULL (used e.g. by `journalYear != NULL` in task T4).
+    Null,
+}
+
+impl Value {
+    /// Numeric interpretation: `Num` directly; `Span`/`Str` parsed as a
+    /// number ("modulo an optional cast from string to numeric", §3).
+    pub fn as_num(&self, store: &DocumentStore) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Span(s) => parse_number(store.span_text(s)),
+            Value::Str(s) => parse_number(s),
+            Value::Bool(_) | Value::Null => None,
+        }
+    }
+
+    /// Text interpretation.
+    pub fn as_text<'a>(&'a self, store: &'a DocumentStore) -> Cow<'a, str> {
+        match self {
+            Value::Span(s) => Cow::Borrowed(store.span_text(s)),
+            Value::Str(s) => Cow::Borrowed(s.as_str()),
+            Value::Num(n) => Cow::Owned(format_num(*n)),
+            Value::Bool(b) => Cow::Owned(b.to_string()),
+            Value::Null => Cow::Borrowed("NULL"),
+        }
+    }
+
+    /// The underlying span, when the value is one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Value::Span(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Num(_) => 2,
+            Value::Str(_) => 3,
+            Value::Span(_) => 4,
+        }
+    }
+}
+
+fn normalize_bits(n: f64) -> u64 {
+    let n = if n == 0.0 { 0.0 } else { n }; // collapse -0.0
+    let bits = n.to_bits();
+    // Map to a lexicographically ordered space (IEEE total order trick).
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Span(a), Value::Span(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Num(a), Value::Num(b)) => normalize_bits(*a).cmp(&normalize_bits(*b)),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Null, Value::Null) => Ordering::Equal,
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Span(s) => s.hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Num(n) => normalize_bits(*n).hash(state),
+            Value::Bool(b) => b.hash(state),
+            Value::Null => {}
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Span(s) => write!(f, "{s}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Num(n) => write!(f, "{}", format_num(*n)),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<Span> for Value {
+    fn from(s: Span) -> Self {
+        Value::Span(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_text::DocId;
+
+    #[test]
+    fn numeric_interpretation_of_spans() {
+        let mut store = DocumentStore::new();
+        let d = store.add_plain("price 500,000 dollars");
+        let span = Span::new(d, 6, 13);
+        assert_eq!(store.span_text(&span), "500,000");
+        assert_eq!(Value::Span(span).as_num(&store), Some(500000.0));
+        assert_eq!(Value::Num(3.5).as_num(&store), Some(3.5));
+        assert_eq!(Value::Str("92".into()).as_num(&store), Some(92.0));
+        assert_eq!(Value::Null.as_num(&store), None);
+    }
+
+    #[test]
+    fn total_order_on_numbers() {
+        let mut v = [
+            Value::Num(2.0),
+            Value::Num(-1.0),
+            Value::Num(0.0),
+            Value::Num(f64::NAN),
+        ];
+        v.sort();
+        assert_eq!(v[0], Value::Num(-1.0));
+        assert_eq!(v[1], Value::Num(0.0));
+        assert_eq!(v[2], Value::Num(2.0));
+        // NaN sorts last and equals itself.
+        assert_eq!(v[3], Value::Num(f64::NAN));
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        assert_eq!(Value::Num(0.0), Value::Num(-0.0));
+    }
+
+    #[test]
+    fn cross_type_ordering_is_stable() {
+        let mut v = [
+            Value::Span(Span::new(DocId(0), 0, 1)),
+            Value::Null,
+            Value::Str("a".into()),
+            Value::Num(1.0),
+            Value::Bool(true),
+        ];
+        v.sort();
+        assert!(v[0].is_null());
+        assert!(matches!(v[4], Value::Span(_)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Num(500000.0).to_string(), "500000");
+        assert_eq!(Value::Num(35.99).to_string(), "35.99");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

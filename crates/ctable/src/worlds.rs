@@ -1,0 +1,245 @@
+//! Possible-worlds enumeration and superset checking.
+//!
+//! These are the *reference semantics* against which the approximate query
+//! processor's superset guarantee (§4) is property-tested. Enumeration is
+//! exponential by nature and bounded by explicit budgets; production code
+//! never calls it — tests and small examples do.
+
+use crate::atable::{ATable, TooLarge};
+use crate::table::CompactTable;
+use crate::value::Value;
+use iflex_text::DocumentStore;
+use std::collections::BTreeSet;
+
+/// A concrete relation: a *set* of concrete tuples. The paper's possible
+/// relations are compared set-wise.
+pub type Relation = BTreeSet<Vec<Value>>;
+
+/// The set of possible relations represented by an a-table.
+pub fn worlds_of_atable(at: &ATable, budget: usize) -> Result<BTreeSet<Relation>, TooLarge> {
+    // Split tuples into certain / maybe.
+    let mut worlds: BTreeSet<Relation> = BTreeSet::new();
+    worlds.insert(Relation::new());
+    for t in &at.tuples {
+        // All value choices for this tuple.
+        let mut choices: Vec<Vec<Value>> = vec![Vec::new()];
+        for cell in &t.cells {
+            let mut next = Vec::with_capacity(choices.len() * cell.len());
+            for prefix in &choices {
+                for v in cell {
+                    let mut row = prefix.clone();
+                    row.push(v.clone());
+                    next.push(row);
+                }
+            }
+            choices = next;
+            if choices.len() > budget {
+                return Err(TooLarge {
+                    budget,
+                    needed: choices.len() as u64,
+                });
+            }
+        }
+        if choices.is_empty() || t.cells.iter().any(BTreeSet::is_empty) {
+            // A tuple with an empty cell contributes nothing; it simply
+            // cannot exist, so the worlds are unchanged... unless it is a
+            // *certain* tuple, which is contradictory; we treat it as absent.
+            continue;
+        }
+        let mut next_worlds: BTreeSet<Relation> = BTreeSet::new();
+        for w in &worlds {
+            for row in &choices {
+                let mut w2 = w.clone();
+                w2.insert(row.clone());
+                next_worlds.insert(w2);
+            }
+            if t.maybe {
+                next_worlds.insert(w.clone());
+            }
+            if next_worlds.len() > budget {
+                return Err(TooLarge {
+                    budget,
+                    needed: next_worlds.len() as u64,
+                });
+            }
+        }
+        worlds = next_worlds;
+    }
+    Ok(worlds)
+}
+
+/// The set of possible relations represented by a compact table.
+pub fn worlds_of_compact(
+    table: &CompactTable,
+    store: &DocumentStore,
+    budget: usize,
+) -> Result<BTreeSet<Relation>, TooLarge> {
+    let at = ATable::from_compact(table, store, budget)?;
+    worlds_of_atable(&at, budget)
+}
+
+/// The union of all possible tuples across all worlds ("superset result"):
+/// what a user sifting through the approximate answer actually sees.
+pub fn tuple_universe(
+    table: &CompactTable,
+    store: &DocumentStore,
+    budget: usize,
+) -> Result<Relation, TooLarge> {
+    let at = ATable::from_compact(table, store, budget)?;
+    let mut out = Relation::new();
+    for t in &at.tuples {
+        let mut choices: Vec<Vec<Value>> = vec![Vec::new()];
+        for cell in &t.cells {
+            let mut next = Vec::with_capacity(choices.len() * cell.len().max(1));
+            for prefix in &choices {
+                for v in cell {
+                    let mut row = Vec::with_capacity(prefix.len() + 1);
+                    row.extend_from_slice(prefix);
+                    row.push(v.clone());
+                    next.push(row);
+                }
+            }
+            choices = next;
+            if choices.len() > budget {
+                return Err(TooLarge {
+                    budget,
+                    needed: choices.len() as u64,
+                });
+            }
+        }
+        out.extend(choices);
+        if out.len() > budget {
+            return Err(TooLarge {
+                budget,
+                needed: out.len() as u64,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// True when every world of `sub` is also a world of `sup` — the paper's
+/// superset-semantics guarantee, checked exactly.
+pub fn worlds_superset(
+    sup: &CompactTable,
+    sub: &CompactTable,
+    store: &DocumentStore,
+    budget: usize,
+) -> Result<bool, TooLarge> {
+    let ws_sup = worlds_of_compact(sup, store, budget)?;
+    let ws_sub = worlds_of_compact(sub, store, budget)?;
+    Ok(ws_sub.is_subset(&ws_sup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use crate::cell::Cell;
+    use crate::tuple::CompactTuple;
+    use iflex_text::{DocId, Span};
+
+    fn store_with(text: &str) -> (DocumentStore, DocId) {
+        let mut st = DocumentStore::new();
+        let id = st.add_plain(text);
+        (st, id)
+    }
+
+    #[test]
+    fn certain_exact_tuple_has_one_world() {
+        let (st, _) = store_with("x");
+        let mut ct = CompactTable::new(vec!["a".into()]);
+        ct.push(CompactTuple::new(vec![Cell::exact(Value::Num(1.0))]));
+        let ws = worlds_of_compact(&ct, &st, 1000).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.iter().next().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn maybe_tuple_doubles_worlds() {
+        let (st, _) = store_with("x");
+        let mut ct = CompactTable::new(vec!["a".into()]);
+        ct.push(CompactTuple::maybe(vec![Cell::exact(Value::Num(1.0))]));
+        let ws = worlds_of_compact(&ct, &st, 1000).unwrap();
+        assert_eq!(ws.len(), 2); // {} and {(1)}
+    }
+
+    #[test]
+    fn value_choice_produces_one_world_per_value() {
+        let (st, d) = store_with("a b");
+        let mut ct = CompactTable::new(vec!["s".into()]);
+        ct.push(CompactTuple::new(vec![Cell::of(vec![
+            Assignment::exact_span(Span::new(d, 0, 1)),
+            Assignment::exact_span(Span::new(d, 2, 3)),
+        ])]));
+        let ws = worlds_of_compact(&ct, &st, 1000).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert!(ws.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn expansion_cell_multiplies_tuples_not_choices() {
+        let (st, d) = store_with("a b");
+        let mut ct = CompactTable::new(vec!["s".into()]);
+        ct.push(CompactTuple::new(vec![Cell::expansion(vec![
+            Assignment::Contain(Span::new(d, 0, 3)),
+        ])]));
+        // expand → 3 certain tuples ("a", "b", "a b"); single world of size 3
+        let ws = worlds_of_compact(&ct, &st, 1000).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.iter().next().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn example_2_3_key_annotation_shape() {
+        // Mirrors Figure 2.e: each possible houses relation has exactly one
+        // tuple per document when p,a,h are annotated. Modeled here with a
+        // choice cell: worlds = one per (p) choice.
+        let (st, d) = store_with("351000 5146 2750");
+        let toks: Vec<Span> = st
+            .doc(d)
+            .tokens()
+            .tokens()
+            .iter()
+            .map(|t| Span::new(d, t.start, t.end))
+            .collect();
+        let mut ct = CompactTable::new(vec!["x".into(), "p".into()]);
+        ct.push(CompactTuple::new(vec![
+            Cell::exact(Value::Num(1.0)),
+            Cell::of(toks.iter().map(|s| Assignment::exact_span(*s)).collect()),
+        ]));
+        let ws = worlds_of_compact(&ct, &st, 1000).unwrap();
+        assert_eq!(ws.len(), 3);
+        assert!(ws.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn superset_check() {
+        let (st, _) = store_with("x");
+        let mut small = CompactTable::new(vec!["a".into()]);
+        small.push(CompactTuple::new(vec![Cell::exact(Value::Num(1.0))]));
+        let mut big = CompactTable::new(vec!["a".into()]);
+        big.push(CompactTuple::maybe(vec![Cell::exact(Value::Num(1.0))]));
+        // big's worlds {∅, {(1)}} ⊇ small's worlds {{(1)}}
+        assert!(worlds_superset(&big, &small, &st, 1000).unwrap());
+        assert!(!worlds_superset(&small, &big, &st, 1000).unwrap());
+    }
+
+    #[test]
+    fn tuple_universe_unions_choices() {
+        let (st, d) = store_with("a b");
+        let mut ct = CompactTable::new(vec!["s".into()]);
+        ct.push(CompactTuple::new(vec![Cell::contain(Span::new(d, 0, 3))]));
+        let u = tuple_universe(&ct, &st, 1000).unwrap();
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn budget_error_propagates() {
+        let (st, d) = store_with("a b c d e f g h i j k l m n o p");
+        let mut ct = CompactTable::new(vec!["s".into()]);
+        ct.push(CompactTuple::maybe(vec![Cell::contain(Span::new(d, 0, 31))]));
+        ct.push(CompactTuple::maybe(vec![Cell::contain(Span::new(d, 0, 31))]));
+        assert!(worlds_of_compact(&ct, &st, 50).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: compact-table invariants — condensation preserves the
+//! encoded value set, conversions preserve possible worlds, expansion
+//! counts agree with enumeration.
+
+use iflex_ctable::{worlds, ATable, Assignment, Cell, CompactTable, CompactTuple, Value};
+use iflex_text::{DocId, DocumentStore, Span};
+use proptest::prelude::*;
+
+fn store_with(words: usize) -> (DocumentStore, DocId) {
+    let text: Vec<String> = (0..words.max(1)).map(|i| format!("w{i}")).collect();
+    let mut st = DocumentStore::new();
+    let id = st.add_plain(text.join(" "));
+    (st, id)
+}
+
+/// Strategy: a random token-aligned span inside a `words`-token doc.
+fn arb_span(words: usize) -> impl Strategy<Value = (usize, usize)> {
+    (0..words, 0..words).prop_map(move |(a, b)| (a.min(b), a.max(b) + 1))
+}
+
+fn token_span(store: &DocumentStore, id: DocId, lo: usize, hi: usize) -> Span {
+    let toks = store.doc(id).tokens().tokens();
+    Span::new(id, toks[lo].start, toks[hi - 1].end)
+}
+
+proptest! {
+    #[test]
+    fn condense_preserves_value_set(
+        spans in proptest::collection::vec(arb_span(8), 1..6)
+    ) {
+        let (st, id) = store_with(8);
+        let assigns: Vec<Assignment> = spans
+            .iter()
+            .map(|&(lo, hi)| {
+                let s = token_span(&st, id, lo, hi);
+                if hi - lo == 1 {
+                    Assignment::exact_span(s)
+                } else {
+                    Assignment::Contain(s)
+                }
+            })
+            .collect();
+        let cell = Cell::of(assigns);
+        let before = cell.value_set(&st);
+        let mut condensed = cell.clone();
+        condensed.condense(&st);
+        prop_assert_eq!(before, condensed.value_set(&st));
+        prop_assert!(condensed.assignments().len() <= cell.assignments().len());
+    }
+
+    #[test]
+    fn atable_roundtrip_preserves_worlds(
+        spans in proptest::collection::vec(arb_span(5), 1..4),
+        maybe in proptest::bool::ANY,
+    ) {
+        let (st, id) = store_with(5);
+        let mut table = CompactTable::new(vec!["s".into()]);
+        for &(lo, hi) in &spans {
+            let mut t = CompactTuple::new(vec![Cell::contain(token_span(&st, id, lo, hi))]);
+            t.maybe = maybe;
+            table.push(t);
+        }
+        let at = ATable::from_compact(&table, &st, 100_000).unwrap();
+        let back = at.to_compact(&st);
+        let w1 = worlds::worlds_of_compact(&table, &st, 200_000).unwrap();
+        let w2 = worlds::worlds_of_compact(&back, &st, 200_000).unwrap();
+        prop_assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn expanded_len_counts_expansion_products(
+        lo_hi in arb_span(6),
+        extra in arb_span(6),
+    ) {
+        let (st, id) = store_with(6);
+        let (lo, hi) = lo_hi;
+        let (elo, ehi) = extra;
+        let mut table = CompactTable::new(vec!["a".into(), "b".into()]);
+        table.push(CompactTuple::new(vec![
+            Cell::expansion(vec![Assignment::Contain(token_span(&st, id, lo, hi))]),
+            Cell::contain(token_span(&st, id, elo, ehi)), // choice cell: ×1
+        ]));
+        let n = hi - lo;
+        let expected = (n * (n + 1) / 2) as u64;
+        prop_assert_eq!(table.expanded_len(&st), expected);
+    }
+
+    #[test]
+    fn tuple_universe_contains_every_world_tuple(
+        spans in proptest::collection::vec(arb_span(4), 1..3),
+    ) {
+        let (st, id) = store_with(4);
+        let mut table = CompactTable::new(vec!["s".into()]);
+        for &(lo, hi) in &spans {
+            table.push(CompactTuple::maybe(vec![Cell::contain(token_span(
+                &st, id, lo, hi,
+            ))]));
+        }
+        let universe = worlds::tuple_universe(&table, &st, 100_000).unwrap();
+        for world in worlds::worlds_of_compact(&table, &st, 100_000).unwrap() {
+            for row in world {
+                prop_assert!(universe.contains(&row));
+            }
+        }
+    }
+
+    #[test]
+    fn value_count_matches_enumeration(spans in proptest::collection::vec(arb_span(7), 1..5)) {
+        let (st, id) = store_with(7);
+        let assigns: Vec<Assignment> = spans
+            .iter()
+            .map(|&(lo, hi)| Assignment::Contain(token_span(&st, id, lo, hi)))
+            .collect();
+        let cell = Cell::of(assigns);
+        prop_assert_eq!(cell.value_count(&st), cell.values(&st).count() as u64);
+    }
+
+    #[test]
+    fn values_are_ordered_consistently(n in 1usize..30) {
+        // Value total order is antisymmetric and transitive on a sample
+        let vals: Vec<Value> = (0..n)
+            .map(|i| match i % 3 {
+                0 => Value::Num(i as f64 / 2.0),
+                1 => Value::Str(format!("s{i}")),
+                _ => Value::Null,
+            })
+            .collect();
+        let mut sorted = vals.clone();
+        sorted.sort();
+        for w in sorted.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,1386 @@
+//! The approximate query processor (§4): validates, unfolds, compiles, and
+//! executes Alog programs over compact tables with superset semantics,
+//! with multi-iteration **reuse** and **subset evaluation** (§5.2).
+
+use crate::annotate::{apply_annotations_with, AnnotatePolicy};
+use crate::constraint::apply_constraint;
+use crate::eval::{candidates, cells_may_equal, compare_cands, filter_cands, Cands};
+use crate::pfunc::{builtin_procs, ProcRegistry, Procedure};
+use crate::plan::{compile_rule, CompileEnv, Operand, Plan, PlanError};
+use crate::sample::Sample;
+use iflex_alog::{
+    evaluation_order, unfold, validate, Program, Rule, ValidateEnv, ValidateError,
+};
+
+use iflex_ctable::{Assignment, Cell, CompactTable, CompactTuple, Value};
+use iflex_features::{FeatureError, FeatureRegistry};
+use iflex_text::{DocId, DocumentStore};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Enumeration / conversion budgets for superset-safe evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Max values enumerated from one cell for comparisons/filters.
+    pub enum_cap: u64,
+    /// Max value combinations per tuple for p-function evaluation.
+    pub combo_cap: u64,
+    /// Budget for a-table conversion in the exact ψ path.
+    pub atable_budget: usize,
+    /// Max tuples when fully expanding expansion cells (generators).
+    pub expand_limit: usize,
+    /// Max compact tuples any single operator may materialize; exceeding
+    /// it raises [`EngineError::TooLarge`] (an unrefined join over the
+    /// full input can otherwise explode).
+    pub max_result_tuples: usize,
+    /// Worker threads for the large join operators (1 = sequential).
+    pub threads: usize,
+    /// Which ψ implementation to use (ablation knob).
+    pub annotate_policy: AnnotatePolicy,
+    /// Disable to re-execute every rule on every run (ablation knob for
+    /// the §5.2 reuse optimization).
+    pub reuse_enabled: bool,
+    /// Max values enumerated per cell for *comparison* operands. Smaller
+    /// than `enum_cap`: beyond it the numeric-token fallback kicks in,
+    /// which is exact for ordering comparisons and conservative for
+    /// equality — crucial when comparing unrefined cells across a large
+    /// join.
+    pub cmp_enum_cap: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            enum_cap: 4096,
+            combo_cap: 65_536,
+            atable_budget: 500_000,
+            expand_limit: 65_536,
+            max_result_tuples: 2_000_000,
+            cmp_enum_cap: 64,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            annotate_policy: AnnotatePolicy::default(),
+            reuse_enabled: true,
+        }
+    }
+}
+
+/// Execution statistics (reuse, work done); reset per `run`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rules actually (re)computed this run.
+    pub rules_evaluated: usize,
+    /// Rules served from the reuse cache this run.
+    pub cache_hits: usize,
+    /// Extensional tuples scanned this run.
+    pub tuples_scanned: usize,
+    /// Possible-value volume across *all* pre-projection extraction
+    /// results of the last run — the "assignments produced by the
+    /// extraction process" signal the §5.1 convergence monitor watches.
+    /// Value counts (not raw assignment counts) are used because refining
+    /// `contain(s)` to `exact(v)` keeps the assignment count at one while
+    /// strictly shrinking the encoded value set.
+    pub assignments_produced: usize,
+}
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The program failed static validation.
+    Validation(Vec<ValidateError>),
+    /// A rule could not be compiled into a plan.
+    Plan(PlanError),
+    /// A feature rejected its argument or is unknown.
+    Feature(FeatureError),
+    /// An operator exceeded a materialization/enumeration budget.
+    TooLarge(String),
+    /// An extensional or intensional relation was not found.
+    MissingTable(String),
+    /// A registered procedure was used incorrectly.
+    BadProcedure(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Validation(errs) => {
+                write!(f, "program validation failed:")?;
+                for e in errs {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+            EngineError::Plan(e) => write!(f, "plan error: {e}"),
+            EngineError::Feature(e) => write!(f, "feature error: {e}"),
+            EngineError::TooLarge(what) => write!(f, "budget exceeded: {what}"),
+            EngineError::MissingTable(name) => write!(f, "no such table: {name}"),
+            EngineError::BadProcedure(name) => write!(f, "bad procedure use: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+impl From<FeatureError> for EngineError {
+    fn from(e: FeatureError) -> Self {
+        EngineError::Feature(e)
+    }
+}
+
+/// The iFlex approximate query processor.
+pub struct Engine {
+    store: Arc<DocumentStore>,
+    features: FeatureRegistry,
+    procs: ProcRegistry,
+    ext: BTreeMap<String, CompactTable>,
+    /// Per-(rule, sample) reuse cache (§5.2): result table plus the
+    /// extraction volume its evaluation reported (re-reported on hits so
+    /// convergence monitoring sees identical signals for cached runs).
+    cache: BTreeMap<String, (CompactTable, usize)>,
+    epoch: u64,
+    /// The limits.
+    pub limits: Limits,
+    /// The stats.
+    pub stats: ExecStats,
+}
+
+impl Engine {
+    /// A new engine over `store` with the default feature set and the
+    /// built-in `similar`/`approxMatch` procedures.
+    pub fn new(store: Arc<DocumentStore>) -> Self {
+        Engine {
+            store,
+            features: FeatureRegistry::default(),
+            procs: builtin_procs(),
+            ext: BTreeMap::new(),
+            cache: BTreeMap::new(),
+            epoch: 0,
+            limits: Limits::default(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Store.
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// Features.
+    pub fn features(&self) -> &FeatureRegistry {
+        &self.features
+    }
+
+    /// Features mut.
+    pub fn features_mut(&mut self) -> &mut FeatureRegistry {
+        &mut self.features
+    }
+
+    /// Procs.
+    pub fn procs(&self) -> &ProcRegistry {
+        &self.procs
+    }
+
+    /// Procs mut.
+    pub fn procs_mut(&mut self) -> &mut ProcRegistry {
+        self.epoch += 1;
+        self.cache.clear();
+        &mut self.procs
+    }
+
+    /// Registers an extensional table (invalidates the reuse cache).
+    pub fn add_table(&mut self, name: &str, table: CompactTable) {
+        self.epoch += 1;
+        self.cache.clear();
+        self.ext.insert(name.to_string(), table);
+    }
+
+    /// Registers a one-column extensional table of whole documents —
+    /// the typical `housePages(x)` input.
+    pub fn add_doc_table(&mut self, name: &str, ids: &[DocId]) {
+        let rows: Vec<Vec<Value>> = ids
+            .iter()
+            .map(|&id| vec![Value::Span(self.store.doc(id).full_span())])
+            .collect();
+        self.add_table(
+            name,
+            CompactTable::from_exact_rows(vec!["doc".to_string()], rows),
+        );
+    }
+
+    /// The registered extensional table names and arities.
+    pub fn ext_tables(&self) -> impl Iterator<Item = (&str, &CompactTable)> {
+        self.ext.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Drops all memoized rule results.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The validation environment matching this engine's state.
+    pub fn validate_env(&self) -> ValidateEnv {
+        let mut env = ValidateEnv::new();
+        env.extensional.extend(self.ext.keys().cloned());
+        env.procedures
+            .extend(self.procs.names().into_iter().map(str::to_string));
+        env
+    }
+
+    /// Renders the compiled execution plan of `prog` (one fragment per
+    /// unfolded rule, evaluation order first) — EXPLAIN for Alog.
+    pub fn explain(&self, prog: &Program) -> Result<String, EngineError> {
+        let env = self.validate_env();
+        let errors = validate(prog, &env);
+        if !errors.is_empty() {
+            return Err(EngineError::Validation(errors));
+        }
+        let unfolded = unfold(prog);
+        let order = evaluation_order(&unfolded).map_err(|e| EngineError::Validation(vec![e]))?;
+        let ext_arity: BTreeMap<String, usize> = self
+            .ext
+            .iter()
+            .map(|(k, v)| (k.clone(), v.arity()))
+            .collect();
+        let mut int_arity: BTreeMap<String, usize> = BTreeMap::new();
+        for r in &unfolded.rules {
+            int_arity.insert(r.head.name.clone(), r.head.args.len());
+        }
+        let proc_sigs: BTreeMap<String, (bool, usize)> = self
+            .procs
+            .names()
+            .into_iter()
+            .map(|n| {
+                let sig = match self.procs.get(n).unwrap() {
+                    Procedure::Filter(_) => (true, 0),
+                    Procedure::Generator { out_arity, .. } => (false, *out_arity),
+                };
+                (n.to_string(), sig)
+            })
+            .collect();
+        let cenv = CompileEnv {
+            extensional: &ext_arity,
+            intensional: &int_arity,
+            procedures: &proc_sigs,
+        };
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        for name in &order {
+            for rule in unfolded.rules_for(name) {
+                let plan = compile_rule(rule, &cenv)?;
+                let _ = writeln!(out, "-- {rule}");
+                out.push_str(&plan.explain());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Executes `prog` over the full input, returning the query's compact
+    /// table.
+    pub fn run(&mut self, prog: &Program) -> Result<CompactTable, EngineError> {
+        self.run_inner(prog, None)
+    }
+
+    /// Executes `prog` over a sampled subset of the extensional tables
+    /// (§5.2 subset evaluation).
+    pub fn run_sampled(
+        &mut self,
+        prog: &Program,
+        sample: Sample,
+    ) -> Result<CompactTable, EngineError> {
+        self.run_inner(prog, Some(sample))
+    }
+
+    fn run_inner(
+        &mut self,
+        prog: &Program,
+        sample: Option<Sample>,
+    ) -> Result<CompactTable, EngineError> {
+        self.stats = ExecStats::default();
+        let env = self.validate_env();
+        let errors = validate(prog, &env);
+        if !errors.is_empty() {
+            return Err(EngineError::Validation(errors));
+        }
+        let unfolded = unfold(prog);
+        let order = evaluation_order(&unfolded).map_err(|e| EngineError::Validation(vec![e]))?;
+
+        // Predicate arities for the compiler.
+        let ext_arity: BTreeMap<String, usize> = self
+            .ext
+            .iter()
+            .map(|(k, v)| (k.clone(), v.arity()))
+            .collect();
+        let mut int_arity: BTreeMap<String, usize> = BTreeMap::new();
+        for r in &unfolded.rules {
+            int_arity.insert(r.head.name.clone(), r.head.args.len());
+        }
+        let proc_sigs: BTreeMap<String, (bool, usize)> = self
+            .procs
+            .names()
+            .into_iter()
+            .map(|n| {
+                let sig = match self.procs.get(n).unwrap() {
+                    Procedure::Filter(_) => (true, 0),
+                    Procedure::Generator { out_arity, .. } => (false, *out_arity),
+                };
+                (n.to_string(), sig)
+            })
+            .collect();
+
+        let sample_key = sample.map(|s| s.key()).unwrap_or_else(|| "full".into());
+        let mut computed: BTreeMap<String, CompactTable> = BTreeMap::new();
+        // Derivational versions: a relation's version hashes its rules and
+        // the versions of every intensional relation those rules read, so
+        // a refinement upstream invalidates every dependent rule's cache
+        // entry (the paper's reuse re-executes "the parts of the plan that
+        // may possibly have changed", §5.2).
+        let mut versions: BTreeMap<String, u64> = BTreeMap::new();
+
+        for name in &order {
+            let rules: Vec<&Rule> = unfolded.rules_for(name).collect();
+            let cols: Vec<String> = rules[0]
+                .head
+                .args
+                .iter()
+                .map(|a| a.var.clone())
+                .collect();
+            let mut version_hasher = std::collections::hash_map::DefaultHasher::new();
+            use std::hash::{Hash, Hasher};
+            for rule in &rules {
+                rule.to_string().hash(&mut version_hasher);
+                for atom in &rule.body {
+                    if let iflex_alog::BodyAtom::Pred { name: dep, .. } = atom {
+                        if let Some(v) = versions.get(dep.as_str()) {
+                            v.hash(&mut version_hasher);
+                        }
+                    }
+                }
+            }
+            let version = version_hasher.finish();
+            versions.insert(name.clone(), version);
+            let mut table = CompactTable::new(cols);
+            for rule in rules {
+                let key = format!("e{}|{}|v{:016x}|{}", self.epoch, sample_key, version, rule);
+                if let Some((hit, volume)) = self.cache.get(&key).filter(|_| self.limits.reuse_enabled) {
+                    self.stats.cache_hits += 1;
+                    self.stats.assignments_produced =
+                        self.stats.assignments_produced.saturating_add(*volume);
+                    for t in hit.tuples() {
+                        table.push(t.clone());
+                    }
+                    continue;
+                }
+                let cenv = CompileEnv {
+                    extensional: &ext_arity,
+                    intensional: &int_arity,
+                    procedures: &proc_sigs,
+                };
+                let plan = compile_rule(rule, &cenv)?;
+                let before = self.stats.assignments_produced;
+                let result = self.eval_plan(&plan, &computed, sample)?;
+                let volume = self.stats.assignments_produced.saturating_sub(before);
+                self.stats.rules_evaluated += 1;
+                for t in result.tuples() {
+                    table.push(t.clone());
+                }
+                self.cache.insert(key, (result, volume));
+            }
+            self.stats.assignments_produced = self
+                .stats
+                .assignments_produced
+                .saturating_add(table.stats().assignments);
+            computed.insert(name.clone(), table);
+        }
+
+        computed
+            .remove(&prog.query)
+            .ok_or_else(|| EngineError::MissingTable(prog.query.clone()))
+    }
+
+    /// Evaluates one plan fragment bottom-up.
+    fn eval_plan(
+        &mut self,
+        plan: &Plan,
+        computed: &BTreeMap<String, CompactTable>,
+        sample: Option<Sample>,
+    ) -> Result<CompactTable, EngineError> {
+        match plan {
+            Plan::ScanExt { name } => {
+                let t = self
+                    .ext
+                    .get(name)
+                    .ok_or_else(|| EngineError::MissingTable(name.clone()))?;
+                self.stats.tuples_scanned += t.len();
+                Ok(match sample {
+                    Some(s) => s.apply(t),
+                    None => t.clone(),
+                })
+            }
+            Plan::ScanRel { name } => computed
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EngineError::MissingTable(name.clone())),
+            Plan::FromExtract { input, in_col } => {
+                let t = self.eval_plan(input, computed, sample)?;
+                let mut cols = t.columns().to_vec();
+                cols.push(format!("_f{}", cols.len()));
+                let mut out = CompactTable::new(cols);
+                for tup in t.tuples() {
+                    let mut assigns = Vec::new();
+                    for a in tup.cells[*in_col].assignments() {
+                        if let Some(s) = a.span() {
+                            assigns.push(Assignment::Contain(s));
+                        }
+                    }
+                    if assigns.is_empty() {
+                        continue; // nothing to extract from
+                    }
+                    let mut cells = tup.cells.clone();
+                    cells.push(Cell::expansion(assigns));
+                    out.push(CompactTuple {
+                        cells,
+                        maybe: tup.maybe,
+                    });
+                }
+                Ok(out)
+            }
+            Plan::Constraint {
+                input,
+                col,
+                constraint,
+                priors,
+            } => {
+                let t = self.eval_plan(input, computed, sample)?;
+                let mut out = CompactTable::new(t.columns().to_vec());
+                for tup in t.tuples() {
+                    let new_cell = apply_constraint(
+                        &tup.cells[*col],
+                        constraint,
+                        priors,
+                        &self.store,
+                        &self.features,
+                    )?;
+                    if new_cell.is_empty() {
+                        continue;
+                    }
+                    let mut cells = tup.cells.clone();
+                    cells[*col] = new_cell;
+                    out.push(CompactTuple {
+                        cells,
+                        maybe: tup.maybe,
+                    });
+                }
+                Ok(out)
+            }
+            Plan::Compare {
+                input,
+                left,
+                op,
+                right,
+                offset,
+            } => {
+                // Fused path: a selection directly above a cross join is
+                // evaluated pairwise so the full product never materializes.
+                if let Plan::CrossJoin { left: jl, right: jr } = input.as_ref() {
+                    let op = *op;
+                    let offset = *offset;
+                    let left = left.clone();
+                    let right = right.clone();
+                    return self.fused_join(jl, jr, computed, sample, move |eng, cells| {
+                        let lc = eng.cell_operand_cands(&left, cells);
+                        let rc = shift_cands(
+                            eng.cell_operand_cands(&right, cells),
+                            offset,
+                            &eng.store,
+                        );
+                        compare_cands(&lc, op, &rc, &eng.store)
+                    });
+                }
+                let t = self.eval_plan(input, computed, sample)?;
+                let mut out = CompactTable::new(t.columns().to_vec());
+                for tup in t.tuples() {
+                    let lc = self.operand_cands(left, tup);
+                    let rc = shift_cands(self.operand_cands(right, tup), *offset, &self.store);
+                    let mm = compare_cands(&lc, *op, &rc, &self.store);
+                    if !mm.may {
+                        continue;
+                    }
+                    let mut new = tup.clone();
+                    new.maybe |= !mm.must;
+                    out.push(new);
+                }
+                Ok(out)
+            }
+            Plan::VarUnify { input, col_a, col_b } => {
+                if let Plan::CrossJoin { left: jl, right: jr } = input.as_ref() {
+                    let (a, b) = (*col_a, *col_b);
+                    return self.fused_join(jl, jr, computed, sample, move |eng, cells| {
+                        cells_may_equal(cells[a], cells[b], &eng.store, eng.limits.cmp_enum_cap)
+                    });
+                }
+                let t = self.eval_plan(input, computed, sample)?;
+                let mut out = CompactTable::new(t.columns().to_vec());
+                for tup in t.tuples() {
+                    let mm = cells_may_equal(
+                        &tup.cells[*col_a],
+                        &tup.cells[*col_b],
+                        &self.store,
+                        self.limits.cmp_enum_cap,
+                    );
+                    if !mm.may {
+                        continue;
+                    }
+                    let mut new = tup.clone();
+                    new.maybe |= !mm.must;
+                    out.push(new);
+                }
+                Ok(out)
+            }
+            Plan::FilterProc { input, name, cols } => {
+                let Some(Procedure::Filter(f)) = self.procs.get(name) else {
+                    return Err(EngineError::BadProcedure(name.clone()));
+                };
+                let f = f.clone();
+                // Approximate string join: similar(a, b) over a cross join
+                // with one column per side runs through a token prefilter
+                // with per-side precomputed profiles (§4.1's "significantly
+                // more involved" join; see DESIGN.md).
+                if let (Plan::CrossJoin { left: jl, right: jr }, true, [ca, cb]) = (
+                    input.as_ref(),
+                    name == "similar" || name == "approxMatch",
+                    cols.as_slice(),
+                ) {
+                    let l = self.eval_plan(jl, computed, sample)?;
+                    let r = self.eval_plan(jr, computed, sample)?;
+                    if *ca < l.arity() && *cb >= l.arity() {
+                        return self.similar_join(&l, &r, *ca, *cb - l.arity());
+                    }
+                }
+                if let Plan::CrossJoin { left: jl, right: jr } = input.as_ref() {
+                    let cols = cols.clone();
+                    let combo_cap = self.limits.combo_cap;
+                    let enum_cap = self.limits.enum_cap;
+                    let ff = f.clone();
+                    return self.fused_join(jl, jr, computed, sample, move |eng, cells| {
+                        let cands: Vec<Cands> = cols
+                            .iter()
+                            .map(|&c| candidates(cells[c], &eng.store, enum_cap))
+                            .collect();
+                        let store = &eng.store;
+                        filter_cands(&cands, &|args: &[Value]| ff(store, args), combo_cap)
+                    });
+                }
+                let t = self.eval_plan(input, computed, sample)?;
+                let store = self.store.clone();
+                let mut out = CompactTable::new(t.columns().to_vec());
+                for tup in t.tuples() {
+                    let cands: Vec<Cands> = cols
+                        .iter()
+                        .map(|&c| candidates(&tup.cells[c], &store, self.limits.enum_cap))
+                        .collect();
+                    let mm = filter_cands(
+                        &cands,
+                        &|args: &[Value]| f(&store, args),
+                        self.limits.combo_cap,
+                    );
+                    if !mm.may {
+                        continue;
+                    }
+                    let mut new = tup.clone();
+                    new.maybe |= !mm.must;
+                    out.push(new);
+                }
+                Ok(out)
+            }
+            Plan::GenerateProc {
+                input,
+                name,
+                in_cols,
+                out_arity,
+            } => {
+                let t = self.eval_plan(input, computed, sample)?;
+                let Some(Procedure::Generator { out_arity: oa, f }) = self.procs.get(name) else {
+                    return Err(EngineError::BadProcedure(name.clone()));
+                };
+                debug_assert_eq!(oa, out_arity);
+                let f = f.clone();
+                let store = self.store.clone();
+                let mut cols = t.columns().to_vec();
+                for k in 0..*out_arity {
+                    cols.push(format!("_g{}", cols.len() + k));
+                }
+                let mut out = CompactTable::new(cols);
+                for tup in t.tuples() {
+                    let flats = tup
+                        .expand_fully(&store, self.limits.expand_limit)
+                        .ok_or_else(|| {
+                            EngineError::TooLarge(format!("expansion in generator {name}"))
+                        })?;
+                    for flat in flats {
+                        // Possible input combinations over the input columns.
+                        let sets: Vec<Vec<Value>> = in_cols
+                            .iter()
+                            .map(|&c| flat.cells[c].value_set(&store).into_iter().collect())
+                            .collect();
+                        let total: u64 = sets
+                            .iter()
+                            .fold(1u64, |acc, s| acc.saturating_mul(s.len() as u64));
+                        if total > self.limits.combo_cap {
+                            return Err(EngineError::TooLarge(format!(
+                                "input enumeration in generator {name}"
+                            )));
+                        }
+                        if total == 0 {
+                            continue;
+                        }
+                        let uncertain_input = total > 1;
+                        let mut idx = vec![0usize; sets.len()];
+                        loop {
+                            let args: Vec<Value> = idx
+                                .iter()
+                                .zip(&sets)
+                                .map(|(&i, s)| s[i].clone())
+                                .collect();
+                            for row in f(&store, &args) {
+                                if row.len() != *out_arity {
+                                    return Err(EngineError::BadProcedure(format!(
+                                        "{name}: returned arity {} != {out_arity}",
+                                        row.len()
+                                    )));
+                                }
+                                let mut cells = flat.cells.clone();
+                                cells.extend(row.into_iter().map(Cell::exact));
+                                out.push(CompactTuple {
+                                    cells,
+                                    maybe: flat.maybe || uncertain_input,
+                                });
+                            }
+                            // odometer
+                            let mut k = sets.len();
+                            let mut done = sets.is_empty();
+                            while k > 0 {
+                                k -= 1;
+                                idx[k] += 1;
+                                if idx[k] < sets[k].len() {
+                                    break;
+                                }
+                                idx[k] = 0;
+                                if k == 0 {
+                                    done = true;
+                                }
+                            }
+                            if done {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Plan::CrossJoin { left, right } => {
+                let l = self.eval_plan(left, computed, sample)?;
+                let r = self.eval_plan(right, computed, sample)?;
+                let mut cols = l.columns().to_vec();
+                cols.extend(r.columns().iter().cloned());
+                let mut out = CompactTable::new(cols);
+                for lt in l.tuples() {
+                    for rt in r.tuples() {
+                        if out.len() >= self.limits.max_result_tuples {
+                            return Err(EngineError::TooLarge("cross join result".into()));
+                        }
+                        let mut cells = lt.cells.clone();
+                        cells.extend(rt.cells.iter().cloned());
+                        out.push(CompactTuple {
+                            cells,
+                            maybe: lt.maybe || rt.maybe,
+                        });
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Project { input, cols, names } => {
+                let t = self.eval_plan(input, computed, sample)?;
+                // The convergence monitor watches assignments "produced by
+                // the extraction process" (§5.1) — measure extraction
+                // volume before projection hides refined-but-unprojected
+                // attributes.
+                let volume: u64 = t
+                    .tuples()
+                    .iter()
+                    .flat_map(|tup| tup.cells.iter())
+                    .fold(0u64, |acc, c| {
+                        acc.saturating_add(c.value_count(&self.store).min(1 << 20))
+                    });
+                self.stats.assignments_produced = self
+                    .stats
+                    .assignments_produced
+                    .saturating_add(volume.min(usize::MAX as u64) as usize);
+                let mut out = CompactTable::new(names.clone());
+                for tup in t.tuples() {
+                    out.push(CompactTuple {
+                        cells: cols.iter().map(|&c| tup.cells[c].clone()).collect(),
+                        maybe: tup.maybe,
+                    });
+                }
+                Ok(out)
+            }
+            Plan::Annotate {
+                input,
+                existence,
+                annotated,
+            } => {
+                let t = self.eval_plan(input, computed, sample)?;
+                let (out, _path) = apply_annotations_with(
+                    t,
+                    *existence,
+                    annotated,
+                    &self.store,
+                    self.limits.atable_budget,
+                    self.limits.annotate_policy,
+                );
+                Ok(out)
+            }
+        }
+    }
+
+    /// Streams the cross product of two sub-plans, keeping only pairs the
+    /// predicate admits (may = true). The full product is never
+    /// materialized — essential for the large similarity joins. With
+    /// `Limits::threads > 1` the outer side is processed in parallel
+    /// (the predicate only reads the engine).
+    fn fused_join(
+        &mut self,
+        left: &Plan,
+        right: &Plan,
+        computed: &BTreeMap<String, CompactTable>,
+        sample: Option<Sample>,
+        pred: impl Fn(&Engine, &[&Cell]) -> crate::eval::MayMust + Sync,
+    ) -> Result<CompactTable, EngineError> {
+        let l = self.eval_plan(left, computed, sample)?;
+        let r = self.eval_plan(right, computed, sample)?;
+        let mut cols = l.columns().to_vec();
+        cols.extend(r.columns().iter().cloned());
+        let cap = self.limits.max_result_tuples;
+        let threads = self.limits.threads.max(1);
+
+        let run_chunk = |eng: &Engine, lts: &[CompactTuple]| -> Result<Vec<CompactTuple>, EngineError> {
+            let mut out = Vec::new();
+            let mut cells_ref: Vec<&Cell> = Vec::with_capacity(l.arity() + r.arity());
+            for lt in lts {
+                for rt in r.tuples() {
+                    cells_ref.clear();
+                    cells_ref.extend(lt.cells.iter());
+                    cells_ref.extend(rt.cells.iter());
+                    let mm = pred(eng, &cells_ref);
+                    if !mm.may {
+                        continue;
+                    }
+                    if out.len() >= cap {
+                        return Err(EngineError::TooLarge("fused join result".into()));
+                    }
+                    let mut cells = Vec::with_capacity(cells_ref.len());
+                    cells.extend(lt.cells.iter().cloned());
+                    cells.extend(rt.cells.iter().cloned());
+                    out.push(CompactTuple {
+                        cells,
+                        maybe: lt.maybe || rt.maybe || !mm.must,
+                    });
+                }
+            }
+            Ok(out)
+        };
+
+        let mut out = CompactTable::new(cols);
+        if threads <= 1 || l.len() < 2 * threads {
+            for t in run_chunk(self, l.tuples())? {
+                out.push(t);
+            }
+            return Ok(out);
+        }
+        let chunk = l.len().div_ceil(threads);
+        let eng: &Engine = self;
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = l
+                .tuples()
+                .chunks(chunk)
+                .map(|lts| scope.spawn(move |_| run_chunk(eng, lts)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("thread scope");
+        for res in results {
+            for t in res? {
+                if out.len() >= cap {
+                    return Err(EngineError::TooLarge("fused join result".into()));
+                }
+                out.push(t);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Token-prefilter similarity join: precomputes a [`SimProfile`] per
+    /// side and keeps only pairs that may match. Exact (non-maybe) when
+    /// both cells are singletons.
+    fn similar_join(
+        &mut self,
+        l: &CompactTable,
+        r: &CompactTable,
+        lcol: usize,
+        rcol: usize,
+    ) -> Result<CompactTable, EngineError> {
+        let profile = |cell: &Cell| -> crate::similarity::SimProfile {
+            let mut tokens = std::collections::BTreeSet::new();
+            for a in cell.assignments() {
+                match a {
+                    iflex_ctable::Assignment::Exact(v) => {
+                        tokens.extend(crate::similarity::norm_tokens(&v.as_text(&self.store)));
+                    }
+                    iflex_ctable::Assignment::Contain(s) => {
+                        tokens.extend(crate::similarity::norm_tokens(
+                            self.store.span_text(s),
+                        ));
+                    }
+                }
+            }
+            let singleton = cell
+                .singleton(&self.store)
+                .map(|v| v.as_text(&self.store).to_string());
+            crate::similarity::SimProfile { tokens, singleton }
+        };
+        let lprof: Vec<_> = l.tuples().iter().map(|t| profile(&t.cells[lcol])).collect();
+        let rprof: Vec<_> = r.tuples().iter().map(|t| profile(&t.cells[rcol])).collect();
+        let mut cols = l.columns().to_vec();
+        cols.extend(r.columns().iter().cloned());
+        let cap = self.limits.max_result_tuples;
+        let threads = self.limits.threads.max(1);
+
+        let run_chunk = |lts: &[CompactTuple],
+                         lps: &[crate::similarity::SimProfile]|
+         -> Result<Vec<CompactTuple>, EngineError> {
+            let mut out = Vec::new();
+            for (lt, lp) in lts.iter().zip(lps) {
+                for (rt, rp) in r.tuples().iter().zip(&rprof) {
+                    if !lp.may_match(rp) {
+                        continue;
+                    }
+                    if out.len() >= cap {
+                        return Err(EngineError::TooLarge("similarity join result".into()));
+                    }
+                    let mut cells = Vec::with_capacity(lt.cells.len() + rt.cells.len());
+                    cells.extend(lt.cells.iter().cloned());
+                    cells.extend(rt.cells.iter().cloned());
+                    let must = lp.exact_pair(rp);
+                    out.push(CompactTuple {
+                        cells,
+                        maybe: lt.maybe || rt.maybe || !must,
+                    });
+                }
+            }
+            Ok(out)
+        };
+
+        let mut out = CompactTable::new(cols);
+        if threads <= 1 || l.len() < 2 * threads {
+            for t in run_chunk(l.tuples(), &lprof)? {
+                out.push(t);
+            }
+            return Ok(out);
+        }
+        let chunk = l.len().div_ceil(threads);
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = l
+                .tuples()
+                .chunks(chunk)
+                .zip(lprof.chunks(chunk))
+                .map(|(lts, lps)| scope.spawn(move |_| run_chunk(lts, lps)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("similarity worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("thread scope");
+        for res in results {
+            for t in res? {
+                if out.len() >= cap {
+                    return Err(EngineError::TooLarge("similarity join result".into()));
+                }
+                out.push(t);
+            }
+        }
+        Ok(out)
+    }
+
+    fn cell_operand_cands(&self, op: &Operand, cells: &[&Cell]) -> Cands {
+        match op {
+            Operand::Col(c) => candidates(cells[*c], &self.store, self.limits.cmp_enum_cap),
+            Operand::Const(v) => Cands::Full(vec![v.clone()]),
+        }
+    }
+
+    fn operand_cands(&self, op: &Operand, tup: &CompactTuple) -> Cands {
+        match op {
+            Operand::Col(c) => candidates(&tup.cells[*c], &self.store, self.limits.cmp_enum_cap),
+            Operand::Const(v) => Cands::Full(vec![v.clone()]),
+        }
+    }
+}
+
+/// Adds a constant offset to the numeric values of a candidate set (the
+/// `+ n` arithmetic of comparisons). Non-numeric values pass through —
+/// they cannot satisfy an arithmetic comparison anyway.
+fn shift_cands(c: Cands, offset: f64, store: &DocumentStore) -> Cands {
+    if offset == 0.0 {
+        return c;
+    }
+    let map = |vals: Vec<Value>| -> Vec<Value> {
+        vals.into_iter()
+            .map(|v| match v.as_num(store) {
+                Some(n) => Value::Num(n + offset),
+                None => v,
+            })
+            .collect()
+    };
+    match c {
+        Cands::Full(v) => Cands::Full(map(v)),
+        Cands::NumericOnly(v) => Cands::NumericOnly(map(v)),
+        Cands::Unknown => Cands::Unknown,
+    }
+}
+
+/// Convenience: the union of all tuples across all worlds (what a user
+/// sifting through the result sees), as `(values..)` rows of rendered text.
+pub fn render_universe(
+    table: &CompactTable,
+    store: &DocumentStore,
+    budget: usize,
+) -> Result<Vec<Vec<String>>, EngineError> {
+    let rel = iflex_ctable::worlds::tuple_universe(table, store, budget)
+        .map_err(|e| EngineError::TooLarge(e.to_string()))?;
+    Ok(rel
+        .into_iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| v.as_text(store).to_string())
+                .collect()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_alog::parse_program;
+
+    /// Builds a store with the Figure 1 example pages and an engine over it.
+    fn example_engine() -> (Engine, Vec<DocId>, Vec<DocId>) {
+        let mut store = DocumentStore::new();
+        let x1 = store.add_markup(
+            "<title>$351,000</title>Cozy house on quiet street. 5146 Windsor Ave., Champaign \
+             <b>Sqft: 2750</b> High school: <i>Vanhise High</i> price 351000",
+        );
+        let x2 = store.add_markup(
+            "<title>$619,000</title>Amazing house in great location. 3112 Stonecreek Blvd., \
+             Cherry Hills <b>Sqft: 4700</b> High school: <i>Basktall HS</i> price 619000",
+        );
+        let y1 = store.add_markup(
+            "<h2>Top High Schools and Location (page 1)</h2><b>Basktall</b>, Cherry Hills \
+             <b>Franklin</b>, Robeson <b>Vanhise</b>, Champaign",
+        );
+        let y2 = store.add_markup(
+            "<h2>Top High Schools and Location (page 2)</h2><b>Hoover</b>, Akron \
+             <b>Ossage</b>, Lynneville",
+        );
+        let store = Arc::new(store);
+        let mut eng = Engine::new(store);
+        eng.add_doc_table("housePages", &[x1, x2]);
+        eng.add_doc_table("schoolPages", &[y1, y2]);
+        (eng, vec![x1, x2], vec![y1, y2])
+    }
+
+    #[test]
+    fn numeric_extraction_on_figure1() {
+        let (mut eng, _, _) = example_engine();
+        let prog = parse_program(
+            r#"
+            houses(x, p) :- housePages(x), extractPrice(#x, p).
+            extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+        "#,
+        )
+        .unwrap();
+        let out = eng.run(&prog).unwrap();
+        // one tuple per house page, p an expansion cell over its numbers
+        assert_eq!(out.len(), 2);
+        let store = eng.store();
+        for t in out.tuples() {
+            assert!(t.cells[1].is_expand());
+            assert!(t.cells[1].value_count(store) >= 3);
+        }
+    }
+
+    #[test]
+    fn comparison_prunes_pages() {
+        // Example 1.1: only pages with a number above 500000 survive.
+        let (mut eng, _, _) = example_engine();
+        let prog = parse_program(
+            r#"
+            big(x, p) :- housePages(x), extractPrice(#x, p), p > 500000.
+            extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+        "#,
+        )
+        .unwrap();
+        let out = eng.run(&prog).unwrap();
+        assert_eq!(out.len(), 1);
+        // the kept tuple is maybe (not all candidate prices exceed 500000)
+        assert!(out.tuples()[0].maybe);
+    }
+
+    #[test]
+    fn full_figure2_pipeline() {
+        let (mut eng, _, _) = example_engine();
+        let prog = parse_program(
+            r#"
+            houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(#x, p, a, h).
+            schools(s)? :- schoolPages(y), extractSchools(#y, s).
+            Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000,
+                             a > 4500, approxMatch(#h, #s).
+            extractHouses(#x, p, a, h) :- from(#x, p), from(#x, a), from(#x, h),
+                                          numeric(p) = yes, numeric(a) = yes,
+                                          italic-font(h) = yes.
+            extractSchools(#y, s) :- from(#y, s), bold-font(s) = yes.
+        "#,
+        )
+        .unwrap();
+        let out = eng.run(&prog).unwrap();
+        // Only house x2 (619000 / 4700 / "Basktall HS") can satisfy Q.
+        assert!(!out.is_empty());
+        let store = eng.store();
+        for t in out.tuples() {
+            let h_vals = t.cells[3].value_set(store);
+            assert!(h_vals
+                .iter()
+                .any(|v| v.as_text(store).contains("Basktall")));
+        }
+    }
+
+    #[test]
+    fn existence_annotation_propagates() {
+        let (mut eng, _, _) = example_engine();
+        let prog = parse_program(
+            r#"
+            schools(s)? :- schoolPages(y), extractSchools(#y, s).
+            extractSchools(#y, s) :- from(#y, s), bold-font(s) = yes.
+        "#,
+        )
+        .unwrap();
+        let out = eng.run(&prog).unwrap();
+        assert!(out.tuples().iter().all(|t| t.maybe));
+    }
+
+    #[test]
+    fn reuse_cache_hits_on_second_run() {
+        let (mut eng, _, _) = example_engine();
+        let prog = parse_program(
+            r#"
+            houses(x, p) :- housePages(x), extractPrice(#x, p).
+            extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+        "#,
+        )
+        .unwrap();
+        eng.run(&prog).unwrap();
+        assert_eq!(eng.stats.cache_hits, 0);
+        eng.run(&prog).unwrap();
+        assert!(eng.stats.cache_hits >= 1);
+        assert_eq!(eng.stats.rules_evaluated, 0);
+    }
+
+    #[test]
+    fn refined_rule_recomputes_only_changed_rule() {
+        let (mut eng, _, _) = example_engine();
+        let p1 = parse_program(
+            r#"
+            houses(x, p) :- housePages(x), extractPrice(#x, p).
+            other(y) :- schoolPages(y).
+            extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+        "#,
+        )
+        .unwrap();
+        eng.run(&p1).unwrap();
+        let p2 = parse_program(
+            r#"
+            houses(x, p) :- housePages(x), extractPrice(#x, p).
+            other(y) :- schoolPages(y).
+            extractPrice(#x, p) :- from(#x, p), numeric(p) = yes, min-value(p) = 1000.
+        "#,
+        )
+        .unwrap();
+        eng.run(&p2).unwrap();
+        // `other` is unchanged → cache hit; `houses` changed → recomputed.
+        assert_eq!(eng.stats.cache_hits, 1);
+        assert_eq!(eng.stats.rules_evaluated, 1);
+    }
+
+    #[test]
+    fn upstream_refinement_invalidates_dependent_cache() {
+        // Regression: rule Q is unchanged between runs, but its input
+        // relation `houses` gains a constraint — Q must be recomputed.
+        let (mut eng, _, _) = example_engine();
+        let p1 = parse_program(
+            r#"
+            houses(x, p) :- housePages(x), extractPrice(#x, p).
+            q(x, p) :- houses(x, p), p > 500000.
+            extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+        "#,
+        )
+        .unwrap();
+        let r1 = eng.run(&p1).unwrap();
+        let p2 = parse_program(
+            r#"
+            houses(x, p) :- housePages(x), extractPrice(#x, p).
+            q(x, p) :- houses(x, p), p > 500000.
+            extractPrice(#x, p) :- from(#x, p), numeric(p) = yes,
+                                   preceded-by(p) = "price".
+        "#,
+        )
+        .unwrap();
+        let r2 = eng.run(&p2).unwrap();
+        let store = eng.store();
+        let v1 = r1.tuples()[0].cells[1].value_set(store).len();
+        let v2 = r2.tuples()[0].cells[1].value_set(store).len();
+        assert!(v2 < v1, "refinement must narrow the cached dependent: {v1} -> {v2}");
+        assert_eq!(v2, 1);
+    }
+
+    #[test]
+    fn explain_renders_plans_in_order() {
+        let (eng, _, _) = example_engine();
+        let prog = parse_program(
+            r#"
+            houses(x, p) :- housePages(x), extractPrice(#x, p).
+            q(x) :- houses(x, p), p > 500000.
+            extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+        "#,
+        )
+        .unwrap();
+        let text = eng.explain(&prog).unwrap();
+        let houses_at = text.find("-- houses").unwrap();
+        let q_at = text.find("-- q(").unwrap();
+        assert!(houses_at < q_at, "dependencies explained first:
+{text}");
+        assert!(text.contains("FromExtract"));
+        assert!(text.contains("σ[numeric"));
+        assert!(text.contains("ScanRel(houses)"));
+    }
+
+    #[test]
+    fn sampling_reduces_input() {
+        let (mut eng, _, _) = example_engine();
+        let prog = parse_program(
+            r#"
+            houses(x, p) :- housePages(x), extractPrice(#x, p).
+            extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+        "#,
+        )
+        .unwrap();
+        let full = eng.run(&prog).unwrap();
+        let sampled = eng
+            .run_sampled(&prog, Sample::new(0.5, 123))
+            .unwrap();
+        assert!(sampled.len() <= full.len());
+        assert!(!sampled.is_empty());
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let (mut eng, _, _) = example_engine();
+        let prog = parse_program("q(x) :- nothere(x).").unwrap();
+        assert!(matches!(
+            eng.run(&prog),
+            Err(EngineError::Validation(_))
+        ));
+    }
+
+    #[test]
+    fn generator_procedure_runs() {
+        let (mut eng, _, _) = example_engine();
+        eng.procs_mut().register_generator("tag", 1, |_, args| {
+            vec![vec![Value::Str(format!("tag:{}", args[0]))]]
+        });
+        let prog = parse_program("q(x, t) :- housePages(x), tag(#x, t).").unwrap();
+        let out = eng.run(&prog).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.tuples().iter().all(|t| !t.maybe));
+    }
+
+    #[test]
+    fn generator_on_uncertain_input_marks_maybe() {
+        // §4.1: p-predicate outputs become maybe when the input tuple
+        // represents more than one possible input (|V| > 1).
+        let mut store = DocumentStore::new();
+        let d = store.add_plain("10 20");
+        let store = Arc::new(store);
+        let mut eng = Engine::new(store);
+        eng.add_doc_table("pages", &[d]);
+        eng.procs_mut().register_generator("double", 1, |st, args| {
+            args[0]
+                .as_num(st)
+                .map(|n| vec![vec![Value::Num(n * 2.0)]])
+                .unwrap_or_default()
+        });
+        let prog = parse_program(
+            r#"
+            q(v, w) :- pages(x), e(#x, v), double(#v, w).
+            e(#x, v) :- from(#x, v), numeric(v) = yes.
+        "#,
+        )
+        .unwrap();
+        let out = eng.run(&prog).unwrap();
+        // the expansion cell enumerates both numbers: each invocation has a
+        // single concrete input → tuples are certain
+        assert_eq!(out.len(), 2);
+        assert!(out.tuples().iter().all(|t| !t.maybe));
+        let store = eng.store();
+        let ws: std::collections::BTreeSet<String> = out
+            .tuples()
+            .iter()
+            .flat_map(|t| t.cells[1].values(store).map(|v| v.as_text(store).to_string()))
+            .collect();
+        assert!(ws.contains("20") && ws.contains("40"), "{ws:?}");
+    }
+
+    #[test]
+    fn comparison_against_null_constant() {
+        let store = Arc::new(DocumentStore::new());
+        let mut eng = Engine::new(store);
+        eng.add_table(
+            "vals",
+            CompactTable::from_exact_rows(
+                vec!["v".into()],
+                vec![vec![Value::Num(1.0)], vec![Value::Null]],
+            ),
+        );
+        let keep_non_null = parse_program("q(v) :- vals(v), v != NULL.").unwrap();
+        let out = eng.run(&keep_non_null).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0].cells[0].exact_singleton(), Some(&Value::Num(1.0)));
+        let keep_null = parse_program("q(v) :- vals(v), v = NULL.").unwrap();
+        let out = eng.run(&keep_null).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.tuples()[0].cells[0].exact_singleton().unwrap().is_null());
+    }
+
+    #[test]
+    fn projection_keeps_bag_semantics() {
+        let store = Arc::new(DocumentStore::new());
+        let mut eng = Engine::new(store);
+        eng.add_table(
+            "r",
+            CompactTable::from_exact_rows(
+                vec!["a".into(), "b".into()],
+                vec![
+                    vec![Value::Num(1.0), Value::Num(10.0)],
+                    vec![Value::Num(1.0), Value::Num(20.0)],
+                ],
+            ),
+        );
+        // projecting away b keeps both tuples (multiset, §3)
+        let prog = parse_program("q(a) :- r(a, b).").unwrap();
+        assert_eq!(eng.run(&prog).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn from_on_non_span_value_drops_tuple() {
+        let store = Arc::new(DocumentStore::new());
+        let mut eng = Engine::new(store);
+        eng.add_table(
+            "nums",
+            CompactTable::from_exact_rows(vec!["n".into()], vec![vec![Value::Num(5.0)]]),
+        );
+        let prog = parse_program("q(n, s) :- nums(n), from(#n, s).").unwrap();
+        // nothing to extract from a number: empty result, not an error
+        assert!(eng.run(&prog).unwrap().is_empty());
+    }
+
+    #[test]
+    fn constant_in_predicate_selects() {
+        let store = Arc::new(DocumentStore::new());
+        let mut eng = Engine::new(store);
+        eng.add_table(
+            "nums",
+            CompactTable::from_exact_rows(
+                vec!["a".into(), "b".into()],
+                vec![
+                    vec![Value::Num(1.0), Value::Num(10.0)],
+                    vec![Value::Num(2.0), Value::Num(20.0)],
+                ],
+            ),
+        );
+        let prog = parse_program("q(b) :- nums(a, b), a = 2.").unwrap();
+        let out = eng.run(&prog).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out.tuples()[0].cells[0].exact_singleton(),
+            Some(&Value::Num(20.0))
+        );
+    }
+
+    #[test]
+    fn render_universe_resolves_text() {
+        let (mut eng, _, _) = example_engine();
+        let prog = parse_program(
+            r#"
+            q(p) :- housePages(x), e(#x, p), p > 500000.
+            e(#x, p) :- from(#x, p), numeric(p) = yes.
+        "#,
+        )
+        .unwrap();
+        let table = eng.run(&prog).unwrap();
+        let rows = render_universe(&table, eng.store(), 10_000).unwrap();
+        assert!(rows.iter().any(|r| r[0] == "619000"), "{rows:?}");
+        assert!(rows.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn ext_tables_lists_registrations() {
+        let (eng, houses, schools) = example_engine();
+        let names: Vec<&str> = eng.ext_tables().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["housePages", "schoolPages"]);
+        let sizes: Vec<usize> = eng.ext_tables().map(|(_, t)| t.len()).collect();
+        assert_eq!(sizes, vec![houses.len(), schools.len()]);
+    }
+
+    #[test]
+    fn shared_var_unifies() {
+        let store = Arc::new(DocumentStore::new());
+        let mut eng = Engine::new(store);
+        eng.add_table(
+            "r1",
+            CompactTable::from_exact_rows(
+                vec!["a".into()],
+                vec![vec![Value::Num(1.0)], vec![Value::Num(2.0)]],
+            ),
+        );
+        eng.add_table(
+            "r2",
+            CompactTable::from_exact_rows(
+                vec!["a".into()],
+                vec![vec![Value::Num(2.0)], vec![Value::Num(3.0)]],
+            ),
+        );
+        let prog = parse_program("q(x) :- r1(x), r2(x).").unwrap();
+        let out = eng.run(&prog).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

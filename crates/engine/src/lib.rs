@@ -1,0 +1,32 @@
+//! # iflex-engine
+//!
+//! The approximate query processor of iFlex (§4 of *Toward Best-Effort
+//! Information Extraction*, SIGMOD 2008). It validates and unfolds Alog
+//! programs, compiles one plan fragment per rule, stitches them in
+//! dependency order, and executes relational operators, p-predicates,
+//! domain-constraint selections (`Verify`/`Refine`), and the ψ annotation
+//! operator (BAnnotate) over compact tables — all under **superset
+//! semantics**: the produced set of possible relations is guaranteed to
+//! contain every relation the program defines.
+//!
+//! Multi-iteration optimizations from §5.2 are built in: per-rule **reuse**
+//! of results across runs, and **subset evaluation** over sampled inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod constraint;
+pub mod eval;
+pub mod exec;
+pub mod pfunc;
+pub mod plan;
+pub mod sample;
+pub mod similarity;
+
+pub use annotate::{apply_annotations, apply_annotations_with, AnnotatePath, AnnotatePolicy};
+pub use eval::{Cands, MayMust};
+pub use exec::{render_universe, Engine, EngineError, ExecStats, Limits};
+pub use pfunc::{builtin_procs, ProcRegistry, Procedure};
+pub use plan::{compile_rule, CompileEnv, CompiledConstraint, Operand, Plan, PlanError};
+pub use sample::Sample;

@@ -1,0 +1,851 @@
+//! Logical plans for Alog rules (§4): one plan fragment per unfolded rule,
+//! compiled bottom-up and capped with the ψ annotation operator.
+
+use iflex_alog::{BodyAtom, CmpOp, ConstraintArg, Rule, Term};
+use iflex_ctable::Value;
+use iflex_features::{FeatureArg, FeatureValue};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A comparison operand: a column of the current intermediate table or a
+/// constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A column of the current intermediate schema.
+    Col(usize),
+    /// A constant value.
+    Const(Value),
+}
+
+/// One domain constraint as compiled: feature name plus argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledConstraint {
+    /// The feature.
+    pub feature: String,
+    /// The arg.
+    pub arg: FeatureArg,
+}
+
+/// A plan node. Column indices refer to the node's *input* schema; nodes
+/// that add columns append them on the right.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Scan an extensional compact table.
+    ScanExt {
+        /// The predicate / relation name.
+        name: String,
+    },
+    /// Scan an intensional relation computed earlier in evaluation order.
+    ScanRel {
+        /// The predicate / relation name.
+        name: String,
+    },
+    /// The built-in `from(#x, y)`: appends an expansion cell
+    /// `expand({contain(s) for s in cell})` (§4.2).
+    FromExtract {
+        /// Child plan.
+        input: Box<Plan>,
+        /// Column holding the source spans.
+        in_col: usize,
+    },
+    /// Domain-constraint selection σ_{f(a)=v} on `col`, re-checking all
+    /// `priors` on refined sub-spans (§4.2).
+    Constraint {
+        /// Child plan.
+        input: Box<Plan>,
+        /// Column the constraint applies to.
+        col: usize,
+        /// The newly applied constraint.
+        constraint: CompiledConstraint,
+        /// Constraints applied earlier to the same attribute (§4.2 re-checks).
+        priors: Vec<CompiledConstraint>,
+    },
+    /// Comparison selection with may/must (superset) semantics; `offset`
+    /// is added to the right operand (`lp < fp + 5`).
+    Compare {
+        /// Child plan.
+        input: Box<Plan>,
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Operand,
+        /// Constant added to the right operand.
+        offset: f64,
+    },
+    /// Equality of two columns bound to the same rule variable.
+    VarUnify {
+        /// Child plan.
+        input: Box<Plan>,
+        /// First unified column.
+        col_a: usize,
+        /// Second unified column.
+        col_b: usize,
+    },
+    /// Boolean p-function filter.
+    FilterProc {
+        /// Child plan.
+        input: Box<Plan>,
+        /// Procedure / relation name.
+        name: String,
+        /// Argument / projected columns.
+        cols: Vec<usize>,
+    },
+    /// Generating p-predicate: appends `out_arity` columns.
+    GenerateProc {
+        /// Child plan.
+        input: Box<Plan>,
+        /// Procedure / relation name.
+        name: String,
+        /// Input-argument columns.
+        in_cols: Vec<usize>,
+        /// Number of appended output columns.
+        out_arity: usize,
+    },
+    /// Cartesian product (θ-conditions are applied by later selects).
+    CrossJoin {
+        /// Left input plan.
+        left: Box<Plan>,
+        /// Right input plan.
+        right: Box<Plan>,
+    },
+    /// Projection onto the given columns, renaming to `names`.
+    Project {
+        /// Child plan.
+        input: Box<Plan>,
+        /// Argument / projected columns.
+        cols: Vec<usize>,
+        /// Output column names.
+        names: Vec<String>,
+    },
+    /// The ψ annotation operator (§4.3); column indices are post-project.
+    Annotate {
+        /// Child plan.
+        input: Box<Plan>,
+        /// Existence annotation flag.
+        existence: bool,
+        /// Attribute-annotated column indices.
+        annotated: Vec<usize>,
+    },
+}
+
+impl Plan {
+    /// Pretty, indented operator-tree rendering (for EXPLAIN-style output).
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::ScanExt { name } => {
+                let _ = writeln!(out, "{pad}ScanExt({name})");
+            }
+            Plan::ScanRel { name } => {
+                let _ = writeln!(out, "{pad}ScanRel({name})");
+            }
+            Plan::FromExtract { input, in_col } => {
+                let _ = writeln!(out, "{pad}FromExtract(col {in_col})");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Constraint {
+                input,
+                col,
+                constraint,
+                priors,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}σ[{}(col {col}) = {}] (+{} priors)",
+                    constraint.feature,
+                    constraint.arg,
+                    priors.len()
+                );
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Compare {
+                input,
+                left,
+                op,
+                right,
+                offset,
+            } => {
+                let _ = writeln!(out, "{pad}σ[{left:?} {op} {right:?} + {offset}]");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::VarUnify { input, col_a, col_b } => {
+                let _ = writeln!(out, "{pad}σ[col {col_a} == col {col_b}]");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::FilterProc { input, name, cols } => {
+                let _ = writeln!(out, "{pad}Filter[{name}{cols:?}]");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::GenerateProc {
+                input,
+                name,
+                in_cols,
+                out_arity,
+            } => {
+                let _ = writeln!(out, "{pad}Generate[{name}{in_cols:?} +{out_arity}]");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::CrossJoin { left, right } => {
+                let _ = writeln!(out, "{pad}CrossJoin");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, cols, names } => {
+                let _ = writeln!(out, "{pad}π[{cols:?} as {names:?}]");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Annotate {
+                input,
+                existence,
+                annotated,
+            } => {
+                let _ = writeln!(out, "{pad}ψ[existence={existence}, attrs={annotated:?}]");
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Error raised during plan compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The rule body cannot be ordered: some atom's inputs are never bound.
+    Deadlock {
+        /// The offending rule, rendered.
+        rule: String,
+        /// The atom that never became ready.
+        atom: String,
+    },
+    /// A head variable is unbound after the whole body (unsafe rule).
+    UnboundHead {
+        /// The offending rule, rendered.
+        rule: String,
+        /// The variable concerned.
+        var: String,
+    },
+    /// `from`'s first argument must be a bound input variable.
+    BadFrom {
+        /// The offending rule, rendered.
+        rule: String,
+    },
+    /// A constraint's value is malformed (unknown symbol).
+    BadConstraintValue {
+        /// The offending rule, rendered.
+        rule: String,
+        /// The malformed value, rendered.
+        value: String,
+    },
+    /// A predicate is not a relation, not `from`, and not a procedure.
+    UnknownPredicate {
+        /// The offending rule, rendered.
+        rule: String,
+        /// The predicate / relation name.
+        name: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Deadlock { rule, atom } => {
+                write!(f, "cannot order rule body (atom '{atom}' never ready): {rule}")
+            }
+            PlanError::UnboundHead { rule, var } => {
+                write!(f, "head variable {var} unbound in: {rule}")
+            }
+            PlanError::BadFrom { rule } => {
+                write!(f, "from(#x, y) needs a bound input variable in: {rule}")
+            }
+            PlanError::BadConstraintValue { rule, value } => {
+                write!(f, "bad constraint value {value} in: {rule}")
+            }
+            PlanError::UnknownPredicate { rule, name } => {
+                write!(f, "predicate {name} is not a relation or procedure in: {rule}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// What the compiler needs to know about predicate names.
+pub struct CompileEnv<'a> {
+    /// Extensional table name → column count.
+    pub extensional: &'a BTreeMap<String, usize>,
+    /// Intensional predicate name → column count (computed earlier).
+    pub intensional: &'a BTreeMap<String, usize>,
+    /// Procedure name → (is_filter, out_arity).
+    pub procedures: &'a BTreeMap<String, (bool, usize)>,
+}
+
+/// Converts a parsed constraint value into a [`FeatureArg`].
+pub fn constraint_arg(value: &ConstraintArg) -> Option<FeatureArg> {
+    Some(match value {
+        ConstraintArg::Num(n) => FeatureArg::Num(*n),
+        ConstraintArg::Str(s) => FeatureArg::Text(s.clone()),
+        ConstraintArg::Symbol(s) => {
+            FeatureArg::Tri(s.parse::<FeatureValue>().ok()?)
+        }
+    })
+}
+
+fn term_value(t: &Term) -> Option<Value> {
+    Some(match t {
+        Term::Num(n) => Value::Num(*n),
+        Term::Str(s) => Value::Str(s.clone()),
+        Term::Null => Value::Null,
+        Term::Var(_) => return None,
+    })
+}
+
+/// One independent sub-plan during compilation: a connected component of
+/// the rule body. Branches are only cross-joined when an atom genuinely
+/// spans them, so per-side extraction and selection stay on the small
+/// side of every join.
+struct Branch {
+    plan: Plan,
+    /// var name → column in this branch's schema.
+    bound: BTreeMap<String, usize>,
+    ncols: usize,
+    /// Constraints applied so far, per variable (§4.2 prior re-checks).
+    applied: BTreeMap<String, Vec<CompiledConstraint>>,
+}
+
+impl Branch {
+    fn unify_dup(&mut self, var: &str, new_col: usize) {
+        if let Some(&old) = self.bound.get(var) {
+            let input = std::mem::replace(&mut self.plan, Plan::ScanExt { name: String::new() });
+            self.plan = Plan::VarUnify {
+                input: Box::new(input),
+                col_a: old,
+                col_b: new_col,
+            };
+        } else {
+            self.bound.insert(var.to_string(), new_col);
+        }
+    }
+}
+
+/// Merges two branches with a cross join, unifying variables bound on
+/// both sides.
+fn merge(a: Branch, b: Branch) -> Branch {
+    let shift = a.ncols;
+    let mut bound = a.bound.clone();
+    let mut plan = Plan::CrossJoin {
+        left: Box::new(a.plan),
+        right: Box::new(b.plan),
+    };
+    let mut applied = a.applied;
+    for (var, chain) in b.applied {
+        applied.entry(var).or_default().extend(chain);
+    }
+    for (var, col) in b.bound {
+        let bcol = col + shift;
+        match bound.get(&var) {
+            Some(&acol) => {
+                plan = Plan::VarUnify {
+                    input: Box::new(plan),
+                    col_a: acol,
+                    col_b: bcol,
+                };
+            }
+            None => {
+                bound.insert(var, bcol);
+            }
+        }
+    }
+    Branch {
+        plan,
+        bound,
+        ncols: a.ncols + b.ncols,
+        applied,
+    }
+}
+
+/// Merges the branches at `idxs` (sorted ascending) out of `branches`,
+/// returning the merged branch's new index.
+fn merge_indices(branches: &mut Vec<Branch>, mut idxs: Vec<usize>) -> usize {
+    idxs.sort_unstable();
+    idxs.dedup();
+    let first = idxs[0];
+    // Remove from the back so earlier indices stay valid.
+    let mut acc: Option<Branch> = None;
+    for &i in idxs.iter().rev() {
+        let b = branches.remove(i);
+        acc = Some(match acc {
+            None => b,
+            Some(prev) => merge(b, prev),
+        });
+    }
+    branches.insert(first, acc.expect("at least one branch"));
+    first
+}
+
+fn branch_of(branches: &[Branch], var: &str) -> Option<usize> {
+    branches.iter().position(|b| b.bound.contains_key(var))
+}
+
+/// Compiles one unfolded, non-description rule into a plan fragment whose
+/// output columns are the head variables in order (ψ appended last).
+///
+/// Atoms are applied in a ready-first order over independent branches:
+/// relation scans open branches; `from`, constraints, and single-branch
+/// selections stay on their branch; predicates spanning branches merge
+/// them (cross join + variable unification) first.
+pub fn compile_rule(rule: &Rule, env: &CompileEnv<'_>) -> Result<Plan, PlanError> {
+    let rule_str = rule.to_string();
+    let mut branches: Vec<Branch> = Vec::new();
+
+    let mut pending: Vec<&BodyAtom> = rule.body.iter().collect();
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < pending.len() {
+            if apply_atom(pending[i], env, &mut branches, &rule_str)? {
+                pending.remove(i);
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            return Err(PlanError::Deadlock {
+                rule: rule_str,
+                atom: pending[0].to_string(),
+            });
+        }
+    }
+
+    if branches.is_empty() {
+        return Err(PlanError::Deadlock {
+            rule: rule_str,
+            atom: "<empty body>".into(),
+        });
+    }
+    // Join all remaining branches.
+    while branches.len() > 1 {
+        let b = branches.remove(1);
+        let a = branches.remove(0);
+        branches.insert(0, merge(a, b));
+    }
+    let branch = branches.pop().expect("one branch");
+
+    // Project to head variables.
+    let mut proj_cols = Vec::with_capacity(rule.head.args.len());
+    let mut names = Vec::with_capacity(rule.head.args.len());
+    for a in &rule.head.args {
+        let col = branch
+            .bound
+            .get(&a.var)
+            .copied()
+            .ok_or(PlanError::UnboundHead {
+                rule: rule.to_string(),
+                var: a.var.clone(),
+            })?;
+        proj_cols.push(col);
+        names.push(a.var.clone());
+    }
+    let projected = Plan::Project {
+        input: Box::new(branch.plan),
+        cols: proj_cols,
+        names,
+    };
+
+    // ψ for the rule's annotations.
+    let annotated: Vec<usize> = rule
+        .head
+        .args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.annotated)
+        .map(|(i, _)| i)
+        .collect();
+    if rule.head.existence || !annotated.is_empty() {
+        Ok(Plan::Annotate {
+            input: Box::new(projected),
+            existence: rule.head.existence,
+            annotated,
+        })
+    } else {
+        Ok(projected)
+    }
+}
+
+/// Attempts to apply `atom`; returns false when its inputs are not bound
+/// in any branch yet.
+fn apply_atom(
+    atom: &BodyAtom,
+    env: &CompileEnv<'_>,
+    branches: &mut Vec<Branch>,
+    rule_str: &str,
+) -> Result<bool, PlanError> {
+    match atom {
+        BodyAtom::Pred { name, args } if name == "from" => {
+            let [inp, out] = args.as_slice() else {
+                return Err(PlanError::BadFrom {
+                    rule: rule_str.to_string(),
+                });
+            };
+            let (Some(in_var), Some(out_var)) = (inp.term.var(), out.term.var()) else {
+                return Err(PlanError::BadFrom {
+                    rule: rule_str.to_string(),
+                });
+            };
+            let Some(bi) = branch_of(branches, in_var) else {
+                return Ok(false);
+            };
+            let b = &mut branches[bi];
+            let in_col = b.bound[in_var];
+            let input = std::mem::replace(&mut b.plan, Plan::ScanExt { name: String::new() });
+            b.plan = Plan::FromExtract {
+                input: Box::new(input),
+                in_col,
+            };
+            let new_col = b.ncols;
+            b.ncols += 1;
+            // Out var duplicated in the same branch → unify; in another
+            // branch → unified at merge time.
+            b.unify_dup(out_var, new_col);
+            Ok(true)
+        }
+        BodyAtom::Pred { name, args } => {
+            if env.extensional.contains_key(name) || env.intensional.contains_key(name) {
+                let scan = if env.extensional.contains_key(name) {
+                    Plan::ScanExt { name: name.clone() }
+                } else {
+                    Plan::ScanRel { name: name.clone() }
+                };
+                let mut b = Branch {
+                    plan: scan,
+                    bound: BTreeMap::new(),
+                    ncols: args.len(),
+                    applied: BTreeMap::new(),
+                };
+                for (col, a) in args.iter().enumerate() {
+                    match &a.term {
+                        Term::Var(v) => b.unify_dup(v, col),
+                        other => {
+                            let c = term_value(other).expect("non-var term");
+                            let input = std::mem::replace(
+                                &mut b.plan,
+                                Plan::ScanExt { name: String::new() },
+                            );
+                            b.plan = Plan::Compare {
+                                input: Box::new(input),
+                                left: Operand::Col(col),
+                                op: CmpOp::Eq,
+                                right: Operand::Const(c),
+                                offset: 0.0,
+                            };
+                        }
+                    }
+                }
+                branches.push(b);
+                Ok(true)
+            } else if let Some(&(is_filter, out_arity)) = env.procedures.get(name) {
+                if is_filter {
+                    let mut vars: Vec<&str> = Vec::with_capacity(args.len());
+                    for a in args {
+                        match a.term.var() {
+                            Some(v) => vars.push(v),
+                            None => {
+                                return Err(PlanError::UnknownPredicate {
+                                    rule: rule_str.to_string(),
+                                    name: format!("{name} (constant arg)"),
+                                })
+                            }
+                        }
+                    }
+                    let mut idxs = Vec::new();
+                    for v in &vars {
+                        match branch_of(branches, v) {
+                            Some(i) => idxs.push(i),
+                            None => return Ok(false),
+                        }
+                    }
+                    let bi = merge_indices(branches, idxs);
+                    let b = &mut branches[bi];
+                    let cols: Vec<usize> = vars.iter().map(|v| b.bound[*v]).collect();
+                    let input =
+                        std::mem::replace(&mut b.plan, Plan::ScanExt { name: String::new() });
+                    b.plan = Plan::FilterProc {
+                        input: Box::new(input),
+                        name: name.clone(),
+                        cols,
+                    };
+                    Ok(true)
+                } else {
+                    // generator: `#`-marked args are inputs, the rest outputs
+                    let in_vars: Vec<&str> = args
+                        .iter()
+                        .filter(|a| a.input)
+                        .filter_map(|a| a.term.var())
+                        .collect();
+                    let out_args: Vec<&iflex_alog::Arg> =
+                        args.iter().filter(|a| !a.input).collect();
+                    if out_args.len() != out_arity {
+                        return Err(PlanError::UnknownPredicate {
+                            rule: rule_str.to_string(),
+                            name: format!("{name} (arity mismatch)"),
+                        });
+                    }
+                    let mut idxs = Vec::new();
+                    for v in &in_vars {
+                        match branch_of(branches, v) {
+                            Some(i) => idxs.push(i),
+                            None => return Ok(false),
+                        }
+                    }
+                    if idxs.is_empty() {
+                        return Ok(false);
+                    }
+                    let bi = merge_indices(branches, idxs);
+                    let b = &mut branches[bi];
+                    let in_cols: Vec<usize> = in_vars.iter().map(|v| b.bound[*v]).collect();
+                    let input =
+                        std::mem::replace(&mut b.plan, Plan::ScanExt { name: String::new() });
+                    b.plan = Plan::GenerateProc {
+                        input: Box::new(input),
+                        name: name.clone(),
+                        in_cols,
+                        out_arity,
+                    };
+                    for a in &out_args {
+                        let col = b.ncols;
+                        b.ncols += 1;
+                        match &a.term {
+                            Term::Var(v) => b.unify_dup(v, col),
+                            other => {
+                                let c = term_value(other).expect("non-var");
+                                let input = std::mem::replace(
+                                    &mut b.plan,
+                                    Plan::ScanExt { name: String::new() },
+                                );
+                                b.plan = Plan::Compare {
+                                    input: Box::new(input),
+                                    left: Operand::Col(col),
+                                    op: CmpOp::Eq,
+                                    right: Operand::Const(c),
+                                    offset: 0.0,
+                                };
+                            }
+                        }
+                    }
+                    Ok(true)
+                }
+            } else {
+                Err(PlanError::UnknownPredicate {
+                    rule: rule_str.to_string(),
+                    name: name.clone(),
+                })
+            }
+        }
+        BodyAtom::Compare {
+            left,
+            op,
+            right,
+            offset,
+        } => {
+            let mut idxs = Vec::new();
+            for t in [left, right] {
+                if let Term::Var(v) = t {
+                    match branch_of(branches, v) {
+                        Some(i) => idxs.push(i),
+                        None => return Ok(false),
+                    }
+                }
+            }
+            if idxs.is_empty() {
+                // constant-only comparison: attach to the first branch
+                if branches.is_empty() {
+                    return Ok(false);
+                }
+                idxs.push(0);
+            }
+            let bi = merge_indices(branches, idxs);
+            let b = &mut branches[bi];
+            let resolve = |t: &Term, b: &Branch| -> Operand {
+                match t {
+                    Term::Var(v) => Operand::Col(b.bound[v.as_str()]),
+                    other => Operand::Const(term_value(other).expect("non-var")),
+                }
+            };
+            let l = resolve(left, b);
+            let r = resolve(right, b);
+            let input = std::mem::replace(&mut b.plan, Plan::ScanExt { name: String::new() });
+            b.plan = Plan::Compare {
+                input: Box::new(input),
+                left: l,
+                op: *op,
+                right: r,
+                offset: *offset,
+            };
+            Ok(true)
+        }
+        BodyAtom::Constraint {
+            feature,
+            var,
+            value,
+        } => {
+            let Some(bi) = branch_of(branches, var) else {
+                return Ok(false);
+            };
+            let arg = constraint_arg(value).ok_or_else(|| PlanError::BadConstraintValue {
+                rule: rule_str.to_string(),
+                value: value.to_string(),
+            })?;
+            let cc = CompiledConstraint {
+                feature: feature.clone(),
+                arg,
+            };
+            let b = &mut branches[bi];
+            let col = b.bound[var.as_str()];
+            let priors = b.applied.entry(var.clone()).or_default();
+            let prior_list = priors.clone();
+            priors.push(cc.clone());
+            let input = std::mem::replace(&mut b.plan, Plan::ScanExt { name: String::new() });
+            b.plan = Plan::Constraint {
+                input: Box::new(input),
+                col,
+                constraint: cc,
+                priors: prior_list,
+            };
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_alog::parse_rule;
+
+    #[allow(clippy::type_complexity)]
+    fn env_maps() -> (
+        BTreeMap<String, usize>,
+        BTreeMap<String, usize>,
+        BTreeMap<String, (bool, usize)>,
+    ) {
+        let mut ext = BTreeMap::new();
+        ext.insert("pagesA".to_string(), 1);
+        ext.insert("pagesB".to_string(), 1);
+        let int = BTreeMap::new();
+        let mut procs = BTreeMap::new();
+        procs.insert("similar".to_string(), (true, 0));
+        procs.insert("gen".to_string(), (false, 1));
+        (ext, int, procs)
+    }
+
+    fn compile(src: &str) -> Plan {
+        let (ext, int, procs) = env_maps();
+        let env = CompileEnv {
+            extensional: &ext,
+            intensional: &int,
+            procedures: &procs,
+        };
+        compile_rule(&parse_rule(src).unwrap(), &env).unwrap()
+    }
+
+    #[test]
+    fn per_side_work_stays_below_the_join() {
+        // Both sides extract before the cross join: the CrossJoin node must
+        // sit *above* the FromExtract/Constraint nodes of both branches.
+        let plan = compile(
+            "q(a, b) :- pagesA(x), from(#x, a), numeric(a) = yes, \
+             pagesB(y), from(#y, b), numeric(b) = yes, similar(#a, #b).",
+        );
+        let explained = plan.explain();
+        let join_pos = explained.find("CrossJoin").unwrap();
+        let from_positions: Vec<usize> = explained
+            .match_indices("FromExtract")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(from_positions.len(), 2);
+        // In the indented tree, children print after parents; both
+        // FromExtracts must be below (after) the join line, and the filter
+        // above it.
+        assert!(from_positions.iter().all(|&p| p > join_pos));
+        let filter_pos = explained.find("Filter[similar").unwrap();
+        assert!(filter_pos < join_pos);
+    }
+
+    #[test]
+    fn shared_var_across_branches_unifies_at_merge() {
+        let plan = compile("q(x) :- pagesA(x), pagesB(x).");
+        let explained = plan.explain();
+        assert!(explained.contains("col 0 == col 1"), "{explained}");
+    }
+
+    #[test]
+    fn duplicate_var_within_atom_unifies() {
+        let (ext, int, procs) = {
+            let mut ext = BTreeMap::new();
+            ext.insert("r".to_string(), 2);
+            (ext, BTreeMap::new(), procs_map())
+        };
+        fn procs_map() -> BTreeMap<String, (bool, usize)> {
+            BTreeMap::new()
+        }
+        let env = CompileEnv {
+            extensional: &ext,
+            intensional: &int,
+            procedures: &procs,
+        };
+        let plan = compile_rule(&parse_rule("q(x) :- r(x, x).").unwrap(), &env).unwrap();
+        assert!(plan.explain().contains("=="));
+    }
+
+    #[test]
+    fn constants_become_selections() {
+        let plan = compile("q(x) :- pagesA(x), x = 5.");
+        assert!(plan.explain().contains("Const(Num(5.0))"));
+    }
+
+    #[test]
+    fn generator_waits_for_inputs() {
+        let plan = compile("q(x, o) :- gen(#x, o), pagesA(x).");
+        let explained = plan.explain();
+        assert!(explained.contains("Generate[gen"));
+    }
+
+    #[test]
+    fn deadlock_reported() {
+        let (ext, int, procs) = env_maps();
+        let env = CompileEnv {
+            extensional: &ext,
+            intensional: &int,
+            procedures: &procs,
+        };
+        let err =
+            compile_rule(&parse_rule("q(a) :- from(#z, a).").unwrap(), &env).unwrap_err();
+        assert!(matches!(err, PlanError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn annotations_cap_the_plan() {
+        let plan = compile("q(x, <a>)? :- pagesA(x), from(#x, a).");
+        let explained = plan.explain();
+        assert!(explained.starts_with("ψ[existence=true, attrs=[1]]"));
+    }
+
+    #[test]
+    fn unknown_predicate_error() {
+        let (ext, int, procs) = env_maps();
+        let env = CompileEnv {
+            extensional: &ext,
+            intensional: &int,
+            procedures: &procs,
+        };
+        let err = compile_rule(&parse_rule("q(x) :- mystery(x).").unwrap(), &env).unwrap_err();
+        assert!(matches!(err, PlanError::UnknownPredicate { .. }));
+    }
+}

@@ -1,0 +1,119 @@
+//! Subset evaluation (§5.2): run plans over a random sample of the input
+//! documents to make assistant simulations cheap.
+
+use iflex_ctable::CompactTable;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic sampling policy over extensional tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Fraction of tuples kept, in `(0, 1]`.
+    pub fraction: f64,
+    /// RNG seed; the same seed selects the same subset.
+    pub seed: u64,
+}
+
+impl Sample {
+    /// Creates a new instance.
+    pub fn new(fraction: f64, seed: u64) -> Self {
+        Sample {
+            fraction: fraction.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    /// The paper's sizing rule: 5–30 % of the input, larger fractions for
+    /// smaller inputs (§5.2).
+    pub fn auto(input_tuples: usize, seed: u64) -> Self {
+        let fraction = if input_tuples <= 50 {
+            1.0
+        } else if input_tuples <= 200 {
+            0.30
+        } else if input_tuples <= 1000 {
+            0.15
+        } else {
+            0.05
+        };
+        Sample::new(fraction, seed)
+    }
+
+    /// Cache-key component distinguishing this subset.
+    pub fn key(&self) -> String {
+        format!("sample:{:.4}:{}", self.fraction, self.seed)
+    }
+
+    /// Applies the sample to a table. At least one tuple is kept from a
+    /// non-empty table so simulations never see vacuous inputs.
+    pub fn apply(&self, table: &CompactTable) -> CompactTable {
+        if self.fraction >= 1.0 || table.is_empty() {
+            return table.clone();
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut out = CompactTable::new(table.columns().to_vec());
+        for t in table.tuples() {
+            if rng.gen::<f64>() < self.fraction {
+                out.push(t.clone());
+            }
+        }
+        if out.is_empty() {
+            out.push(table.tuples()[0].clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_ctable::{Cell, CompactTuple, Value};
+
+    fn table(n: usize) -> CompactTable {
+        let mut t = CompactTable::new(vec!["a".into()]);
+        for i in 0..n {
+            t.push(CompactTuple::new(vec![Cell::exact(Value::Num(i as f64))]));
+        }
+        t
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let t = table(1000);
+        let s = Sample::new(0.2, 42);
+        let a = s.apply(&t);
+        let b = s.apply(&t);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a, b);
+        let c = Sample::new(0.2, 43).apply(&t);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fraction_roughly_respected() {
+        let t = table(2000);
+        let s = Sample::new(0.25, 7).apply(&t);
+        let frac = s.len() as f64 / 2000.0;
+        assert!((0.18..0.32).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn full_fraction_is_identity() {
+        let t = table(10);
+        assert_eq!(Sample::new(1.0, 1).apply(&t), t);
+    }
+
+    #[test]
+    fn nonempty_input_keeps_at_least_one() {
+        let t = table(3);
+        let s = Sample::new(0.0001, 9).apply(&t);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn auto_follows_paper_sizing() {
+        assert_eq!(Sample::auto(10, 0).fraction, 1.0);
+        assert_eq!(Sample::auto(100, 0).fraction, 0.30);
+        assert_eq!(Sample::auto(500, 0).fraction, 0.15);
+        assert_eq!(Sample::auto(5000, 0).fraction, 0.05);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property test of ψ/BAnnotate (§4.3) against a brute-force reference:
+//! Definition 2 applied world-by-world.
+//!
+//! For an input table T with worlds W(T), the rule's true semantics under
+//! an attribute annotation is the union over R ∈ W(T) of the Definition-2
+//! relation sets of R. BAnnotate must produce a table whose worlds contain
+//! every such relation (superset semantics); for singleton-key inputs it
+//! is exact.
+
+use iflex_ctable::{worlds, Assignment, Cell, CompactTable, CompactTuple, Value};
+use iflex_engine::annotate::bannotate_exact;
+use iflex_text::DocumentStore;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+type Relation = BTreeSet<Vec<Value>>;
+
+/// Definition 2 on one concrete relation: group by the key column (0),
+/// choose one value of the annotated column (1) per group — the set of
+/// all relations so constructible.
+fn definition2(r: &Relation) -> BTreeSet<Relation> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<Value, BTreeSet<Value>> = BTreeMap::new();
+    for row in r {
+        groups.entry(row[0].clone()).or_default().insert(row[1].clone());
+    }
+    let keys: Vec<&Value> = groups.keys().collect();
+    let mut out: BTreeSet<Relation> = BTreeSet::new();
+    out.insert(Relation::new());
+    for k in keys {
+        let vals = &groups[k];
+        let mut next = BTreeSet::new();
+        for rel in &out {
+            for v in vals {
+                let mut r2 = rel.clone();
+                r2.insert(vec![(*k).clone(), v.clone()]);
+                next.insert(r2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn num(n: u8) -> Value {
+    Value::Num(n as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Superset guarantee: every Definition-2 relation of every input
+    /// world appears among the worlds of BAnnotate's output.
+    #[test]
+    fn bannotate_worlds_cover_definition2(
+        rows in proptest::collection::vec(
+            ((0u8..3), proptest::collection::vec(0u8..4, 1..3), proptest::bool::ANY),
+            1..4,
+        ),
+    ) {
+        let store = DocumentStore::new();
+        let mut table = CompactTable::new(vec!["k".into(), "v".into()]);
+        for (k, vs, maybe) in &rows {
+            let mut t = CompactTuple::new(vec![
+                Cell::exact(num(*k)),
+                Cell::of(vs.iter().map(|v| Assignment::Exact(num(*v))).collect()),
+            ]);
+            t.maybe = *maybe;
+            table.push(t);
+        }
+        let annotated = bannotate_exact(&table, &[1], &store, 1_000_000).unwrap();
+
+        let input_worlds = worlds::worlds_of_compact(&table, &store, 1_000_000).unwrap();
+        let output_worlds = worlds::worlds_of_compact(&annotated, &store, 1_000_000).unwrap();
+
+        for w in &input_worlds {
+            for rel in definition2(w) {
+                prop_assert!(
+                    output_worlds.contains(&rel),
+                    "Definition-2 relation {rel:?} of input world {w:?} missing \
+                     from ψ output worlds"
+                );
+            }
+        }
+    }
+
+    /// Certain keys: a key contributed only by non-maybe tuples appears in
+    /// every output world (the Figure-5 "Dave" case).
+    #[test]
+    fn certain_keys_survive_every_world(
+        certain_key in 0u8..3,
+        vals in proptest::collection::vec(0u8..4, 1..3),
+    ) {
+        let store = DocumentStore::new();
+        let mut table = CompactTable::new(vec!["k".into(), "v".into()]);
+        table.push(CompactTuple::new(vec![
+            Cell::exact(num(certain_key)),
+            Cell::of(vals.iter().map(|v| Assignment::Exact(num(*v))).collect()),
+        ]));
+        // plus an unrelated maybe tuple
+        table.push(CompactTuple::maybe(vec![
+            Cell::exact(num(certain_key.wrapping_add(1) % 3)),
+            Cell::exact(num(0)),
+        ]));
+        let annotated = bannotate_exact(&table, &[1], &store, 1_000_000).unwrap();
+        for w in worlds::worlds_of_compact(&annotated, &store, 1_000_000).unwrap() {
+            prop_assert!(
+                w.iter().any(|row| row[0] == num(certain_key)),
+                "certain key missing from world {w:?}"
+            );
+        }
+    }
+}

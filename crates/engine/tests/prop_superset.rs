@@ -1,0 +1,170 @@
+//! Property tests of the processor's superset guarantee (§4): for small
+//! random inputs, the set of possible worlds of an operator's output must
+//! contain every world-consistent answer — checked against brute-force
+//! possible-worlds enumeration.
+
+use iflex_alog::parse_program;
+use iflex_ctable::worlds;
+use iflex_engine::Engine;
+use iflex_text::DocumentStore;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a random "record": a few word tokens mixed with numbers, some
+/// bolded.
+fn record(words: &[u32], bold_at: usize) -> String {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let tok = if w % 2 == 0 {
+                format!("{}", w * 7)
+            } else {
+                format!("w{w}")
+            };
+            if i == bold_at {
+                format!("<b>{tok}</b>")
+            } else {
+                tok
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every truly-satisfying concrete extraction survives the approximate
+    /// selection pipeline: if a document contains a bold numeric token
+    /// above the threshold, the result must keep that document with that
+    /// token among the possible values.
+    #[test]
+    fn selections_never_lose_true_answers(
+        docs in proptest::collection::vec(
+            (proptest::collection::vec(0u32..40, 2..6), 0usize..4),
+            1..4,
+        ),
+        threshold in 0u32..150,
+    ) {
+        let mut store = DocumentStore::new();
+        let mut ids = Vec::new();
+        let mut sources = Vec::new();
+        for (words, bold_at) in &docs {
+            let src = record(words, *bold_at % words.len());
+            ids.push(store.add_markup(&src));
+            sources.push(src);
+        }
+        let store = Arc::new(store);
+        let mut eng = Engine::new(store);
+        eng.add_doc_table("pages", &ids);
+        let prog = parse_program(&format!(
+            r#"
+            q(x, v) :- pages(x), e(#x, v), v > {threshold}.
+            e(#x, v) :- from(#x, v), numeric(v) = yes, bold-font(v) = yes.
+        "#
+        ))
+        .unwrap();
+        let result = eng.run(&prog).unwrap();
+
+        // ground truth: per doc, the bold numeric tokens above threshold
+        for (id, src) in ids.iter().zip(&sources) {
+            let doc = eng.store().doc(*id);
+            let expected: Vec<String> = src
+                .split(' ')
+                .filter(|t| t.starts_with("<b>"))
+                .map(|t| t.trim_start_matches("<b>").trim_end_matches("</b>").to_string())
+                .filter(|t| {
+                    t.parse::<f64>()
+                        .map(|v| v > threshold as f64)
+                        .unwrap_or(false)
+                })
+                .collect();
+            for val in expected {
+                // some result tuple for this doc must encode `val`
+                let found = result.tuples().iter().any(|t| {
+                    t.cells[0]
+                        .values(eng.store())
+                        .any(|v| v.span().map(|s| s.doc == *id).unwrap_or(false))
+                        && t.cells[1]
+                            .values(eng.store())
+                            .any(|v| v.as_text(eng.store()) == val.as_str())
+                });
+                prop_assert!(found, "lost true answer {val} in doc {id:?} ({})", doc.text());
+            }
+        }
+    }
+
+    /// Comparison selections keep supersets: the kept tuples' worlds
+    /// contain every world of a brute-force-filtered table.
+    #[test]
+    fn comparison_keeps_world_superset(
+        nums in proptest::collection::vec(0u32..30, 1..5),
+        threshold in 0u32..25,
+    ) {
+        let mut store = DocumentStore::new();
+        let mut ids = Vec::new();
+        for n in &nums {
+            ids.push(store.add_plain(format!("a {} b {}", n, n + 3)));
+        }
+        let store = Arc::new(store);
+        let mut eng = Engine::new(store);
+        eng.add_doc_table("pages", &ids);
+        let prog = parse_program(&format!(
+            r#"
+            q(v) :- pages(x), e(#x, v), v > {threshold}.
+            e(#x, v) :- from(#x, v), numeric(v) = yes.
+        "#
+        ))
+        .unwrap();
+        let result = eng.run(&prog).unwrap();
+        // brute force: every number token > threshold must appear in the
+        // result's tuple universe
+        let universe = worlds::tuple_universe(&result, eng.store(), 1_000_000).unwrap();
+        let universe_texts: std::collections::BTreeSet<String> = universe
+            .iter()
+            .map(|row| row[0].as_text(eng.store()).to_string())
+            .collect();
+        for n in &nums {
+            for cand in [*n, n + 3] {
+                if cand > threshold {
+                    prop_assert!(
+                        universe_texts.contains(&cand.to_string()),
+                        "{cand} missing from universe {universe_texts:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The ψ annotation operator preserves worlds superset: annotating
+    /// cannot drop any (key, value) pair that some world supports.
+    #[test]
+    fn annotation_preserves_universe(
+        nums in proptest::collection::vec(0u32..20, 1..4),
+    ) {
+        let mut store = DocumentStore::new();
+        let mut ids = Vec::new();
+        for n in &nums {
+            ids.push(store.add_plain(format!("{} x {}", n, n + 1)));
+        }
+        let store = Arc::new(store);
+        let mut eng = Engine::new(store);
+        eng.add_doc_table("pages", &ids);
+        let plain = parse_program(
+            "q(x, v) :- pages(x), e(#x, v).\ne(#x, v) :- from(#x, v), numeric(v) = yes.",
+        )
+        .unwrap();
+        let annotated = parse_program(
+            "q(x, <v>) :- pages(x), e(#x, v).\ne(#x, v) :- from(#x, v), numeric(v) = yes.",
+        )
+        .unwrap();
+        let u_plain = worlds::tuple_universe(
+            &eng.run(&plain).unwrap(), eng.store(), 1_000_000).unwrap();
+        let u_ann = worlds::tuple_universe(
+            &eng.run(&annotated).unwrap(), eng.store(), 1_000_000).unwrap();
+        // annotation regroups but must not lose any possible pair
+        prop_assert!(u_plain.is_subset(&u_ann) || u_ann.is_superset(&u_plain));
+        prop_assert_eq!(&u_ann, &u_plain);
+    }
+}

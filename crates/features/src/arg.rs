@@ -1,0 +1,190 @@
+//! Feature values and constraint arguments.
+//!
+//! A domain constraint has the form `f(a) = v` (§2.2.2). For appearance
+//! features `v` is a tri-state-ish token (`yes`, `distinct-yes`, `no`);
+//! for semantic/location features it is a number (`max-value(p) = 1000000`)
+//! or a string (`preceded-by(p) = "Price:"`).
+
+use std::fmt;
+
+/// The paper's feature value tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureValue {
+    /// The span has the feature (its surroundings may too).
+    Yes,
+    /// The span has the feature and its immediate surroundings do not.
+    DistinctYes,
+    /// The span does not have the feature.
+    No,
+    /// The span does not have the feature but its surroundings do.
+    DistinctNo,
+    /// Not known / not answered.
+    Unknown,
+}
+
+impl fmt::Display for FeatureValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FeatureValue::Yes => "yes",
+            FeatureValue::DistinctYes => "distinct-yes",
+            FeatureValue::No => "no",
+            FeatureValue::DistinctNo => "distinct-no",
+            FeatureValue::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for FeatureValue {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        Ok(match s {
+            "yes" => FeatureValue::Yes,
+            "distinct-yes" => FeatureValue::DistinctYes,
+            "no" => FeatureValue::No,
+            "distinct-no" => FeatureValue::DistinctNo,
+            "unknown" => FeatureValue::Unknown,
+            _ => return Err(()),
+        })
+    }
+}
+
+/// The right-hand side of a domain constraint `f(a) = v`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureArg {
+    /// `yes` / `distinct-yes` / `no` / ...
+    Tri(FeatureValue),
+    /// Numeric parameter (`max-value`, `max-length`, `prec-label-max-dist`).
+    Num(f64),
+    /// String parameter (`preceded-by`, `starts-with` pattern, ...).
+    Text(String),
+}
+
+impl FeatureArg {
+    /// Yes.
+    pub fn yes() -> Self {
+        FeatureArg::Tri(FeatureValue::Yes)
+    }
+
+    /// Distinct yes.
+    pub fn distinct_yes() -> Self {
+        FeatureArg::Tri(FeatureValue::DistinctYes)
+    }
+
+    /// No.
+    pub fn no() -> Self {
+        FeatureArg::Tri(FeatureValue::No)
+    }
+
+    /// The tri-state value, if this arg is one.
+    pub fn as_tri(&self) -> Option<FeatureValue> {
+        match self {
+            FeatureArg::Tri(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric parameter, if this arg is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            FeatureArg::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string parameter, if this arg is one.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            FeatureArg::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FeatureArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureArg::Tri(v) => write!(f, "{v}"),
+            FeatureArg::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            FeatureArg::Text(t) => write!(f, "{t:?}"),
+        }
+    }
+}
+
+/// Errors raised by feature evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureError {
+    /// The argument type does not fit the feature (e.g. `bold-font(s) = 7`).
+    BadArg {
+        /// The feature name.
+        feature: String,
+        /// The expected argument kind.
+        expected: &'static str,
+    },
+    /// A pattern argument failed to compile.
+    BadPattern {
+        /// The feature name.
+        feature: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The feature name is not registered.
+    Unknown(String),
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::BadArg { feature, expected } => {
+                write!(f, "feature {feature}: expected {expected} argument")
+            }
+            FeatureError::BadPattern { feature, message } => {
+                write!(f, "feature {feature}: bad pattern: {message}")
+            }
+            FeatureError::Unknown(name) => write!(f, "unknown feature: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for FeatureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for v in [
+            FeatureValue::Yes,
+            FeatureValue::DistinctYes,
+            FeatureValue::No,
+            FeatureValue::DistinctNo,
+            FeatureValue::Unknown,
+        ] {
+            let s = v.to_string();
+            assert_eq!(s.parse::<FeatureValue>().unwrap(), v);
+        }
+        assert!("maybe".parse::<FeatureValue>().is_err());
+    }
+
+    #[test]
+    fn arg_accessors() {
+        assert_eq!(FeatureArg::yes().as_tri(), Some(FeatureValue::Yes));
+        assert_eq!(FeatureArg::Num(3.0).as_num(), Some(3.0));
+        assert_eq!(FeatureArg::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(FeatureArg::yes().as_num(), None);
+    }
+
+    #[test]
+    fn display_num_integral() {
+        assert_eq!(FeatureArg::Num(700.0).to_string(), "700");
+        assert_eq!(FeatureArg::Num(0.5).to_string(), "0.5");
+    }
+}

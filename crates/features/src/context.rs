@@ -1,0 +1,367 @@
+//! Contextual features: `preceded-by`, `followed-by`,
+//! `prec-label-contains`, `prec-label-max-dist`.
+//!
+//! `Refine` for these features over-approximates on purpose: it returns
+//! `contain` regions anchored at the context occurrence and bounded by the
+//! enclosing line (or the next label), which is superset-safe (§4's
+//! execution semantics) and matches how a developer thinks about
+//! "the value right after the 'Price:' label".
+
+use crate::arg::{FeatureArg, FeatureError};
+use crate::feature::{expect_num, expect_text, Feature};
+use iflex_ctable::Assignment;
+use iflex_text::{DocumentStore, Span};
+
+fn line_bounds(text: &str, pos: usize) -> (usize, usize) {
+    let start = text[..pos].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let end = text[pos..].find('\n').map(|i| pos + i).unwrap_or(text.len());
+    (start, end)
+}
+
+/// Case-insensitive occurrences of `needle` inside `hay`.
+fn find_all_ci(hay: &str, needle: &str) -> Vec<usize> {
+    if needle.is_empty() {
+        return Vec::new();
+    }
+    let h = hay.to_ascii_lowercase();
+    let n = needle.to_ascii_lowercase();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(i) = h[from..].find(&n) {
+        out.push(from + i);
+        from += i + 1;
+    }
+    out
+}
+
+/// `preceded-by(a) = "lbl"`: the text immediately before the value is `lbl`.
+pub struct PrecededBy;
+
+impl Feature for PrecededBy {
+    fn name(&self) -> &'static str {
+        "preceded-by"
+    }
+
+    fn verify(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let lbl = expect_text(self.name(), arg)?;
+        let doc = store.doc(span.doc);
+        let before = &doc.text()[..span.start as usize];
+        Ok(before.trim_end().to_ascii_lowercase().ends_with(&lbl.to_ascii_lowercase()))
+    }
+
+    fn refine(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<Vec<Assignment>, FeatureError> {
+        let lbl = expect_text(self.name(), arg)?;
+        let doc = store.doc(span.doc);
+        let text = doc.text();
+        let hay = &text[span.range()];
+        let mut out = Vec::new();
+        let push_region = |occ_end: usize, out: &mut Vec<Assignment>| {
+            let (_, line_end) = line_bounds(text, occ_end);
+            let region_end = (line_end as u32).min(span.end);
+            if (occ_end as u32) < region_end {
+                let toks = doc.tokens();
+                if let Some((s, e)) = toks.cover(toks.tokens_within(occ_end as u32, region_end)) {
+                    out.push(Assignment::Contain(Span::new(span.doc, s, e)));
+                }
+            }
+        };
+        for occ in find_all_ci(hay, lbl) {
+            push_region(span.start as usize + occ + lbl.len(), &mut out);
+        }
+        // The label may also end just *before* the refined region: then
+        // sub-spans anchored at the region start qualify.
+        if text[..span.start as usize]
+            .trim_end()
+            .to_ascii_lowercase()
+            .ends_with(&lbl.to_ascii_lowercase())
+        {
+            push_region(span.start as usize, &mut out);
+        }
+        Ok(out)
+    }
+
+    fn question(&self, attr: &str) -> String {
+        format!("what text immediately precedes {attr}?")
+    }
+}
+
+/// `followed-by(a) = "lbl"`: the text immediately after the value is `lbl`.
+pub struct FollowedBy;
+
+impl Feature for FollowedBy {
+    fn name(&self) -> &'static str {
+        "followed-by"
+    }
+
+    fn verify(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let lbl = expect_text(self.name(), arg)?;
+        let doc = store.doc(span.doc);
+        let after = &doc.text()[span.end as usize..];
+        Ok(after.trim_start().to_ascii_lowercase().starts_with(&lbl.to_ascii_lowercase()))
+    }
+
+    fn refine(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<Vec<Assignment>, FeatureError> {
+        let lbl = expect_text(self.name(), arg)?;
+        let doc = store.doc(span.doc);
+        let text = doc.text();
+        let hay = &text[span.range()];
+        let mut out = Vec::new();
+        let push_region = |occ_start: usize, out: &mut Vec<Assignment>| {
+            let (line_start, _) = line_bounds(text, occ_start);
+            let region_start = (line_start as u32).max(span.start);
+            if region_start < occ_start as u32 {
+                let toks = doc.tokens();
+                if let Some((s, e)) =
+                    toks.cover(toks.tokens_within(region_start, occ_start as u32))
+                {
+                    out.push(Assignment::Contain(Span::new(span.doc, s, e)));
+                }
+            }
+        };
+        for occ in find_all_ci(hay, lbl) {
+            push_region(span.start as usize + occ, &mut out);
+        }
+        // The label may begin just *after* the refined region: sub-spans
+        // ending at the region end then qualify.
+        if text[span.end as usize..]
+            .trim_start()
+            .to_ascii_lowercase()
+            .starts_with(&lbl.to_ascii_lowercase())
+        {
+            push_region(span.end as usize, &mut out);
+        }
+        Ok(out)
+    }
+
+    fn question(&self, attr: &str) -> String {
+        format!("what text immediately follows {attr}?")
+    }
+}
+
+/// `prec-label-contains(a) = "panel"`: the section label preceding the
+/// value contains the given string (§6.3).
+pub struct PrecLabelContains;
+
+impl Feature for PrecLabelContains {
+    fn name(&self) -> &'static str {
+        "prec-label-contains"
+    }
+
+    fn verify(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let needle = expect_text(self.name(), arg)?;
+        let doc = store.doc(span.doc);
+        Ok(doc.preceding_label(span.start).is_some_and(|(l, _)| {
+            doc.text()[l.start as usize..l.end as usize]
+                .to_ascii_lowercase()
+                .contains(&needle.to_ascii_lowercase())
+        }))
+    }
+
+    fn refine(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<Vec<Assignment>, FeatureError> {
+        let needle = expect_text(self.name(), arg)?.to_ascii_lowercase();
+        let doc = store.doc(span.doc);
+        let text = doc.text();
+        let mut out = Vec::new();
+        let labels = doc.labels();
+        for (i, l) in labels.iter().enumerate() {
+            if !text[l.start as usize..l.end as usize]
+                .to_ascii_lowercase()
+                .contains(&needle)
+            {
+                continue;
+            }
+            // region: end of this label to start of the next label (or EOD)
+            let next_start = labels
+                .iter()
+                .map(|m| m.start)
+                .filter(|&s| s > l.end)
+                .min()
+                .unwrap_or(doc.len());
+            let _ = i;
+            let region = Span::new(span.doc, l.end, next_start);
+            if let Some(r) = span.intersect(&region) {
+                let toks = doc.tokens();
+                if let Some((s, e)) = toks.cover(toks.tokens_within(r.start, r.end)) {
+                    out.push(Assignment::Contain(Span::new(span.doc, s, e)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn question(&self, attr: &str) -> String {
+        format!("what does the section label preceding {attr} contain?")
+    }
+}
+
+/// `prec-label-max-dist(a) = n`: the value starts within `n` bytes of the
+/// end of its preceding section label (§6.3 uses 700).
+pub struct PrecLabelMaxDist;
+
+impl Feature for PrecLabelMaxDist {
+    fn name(&self) -> &'static str {
+        "prec-label-max-dist"
+    }
+
+    fn verify(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let n = expect_num(self.name(), arg)?;
+        let doc = store.doc(span.doc);
+        Ok(doc
+            .preceding_label(span.start)
+            .is_some_and(|(_, dist)| (dist as f64) <= n))
+    }
+
+    fn refine(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<Vec<Assignment>, FeatureError> {
+        let n = expect_num(self.name(), arg)? as u32;
+        let doc = store.doc(span.doc);
+        let mut out = Vec::new();
+        let labels = doc.labels();
+        for l in labels {
+            let next_start = labels
+                .iter()
+                .map(|m| m.start)
+                .filter(|&s| s > l.end)
+                .min()
+                .unwrap_or(doc.len());
+            let region_end = (l.end.saturating_add(n)).min(next_start).min(doc.len());
+            let region = Span::new(span.doc, l.end, region_end);
+            if let Some(r) = span.intersect(&region) {
+                let toks = doc.tokens();
+                if let Some((s, e)) = toks.cover(toks.tokens_within(r.start, r.end)) {
+                    out.push(Assignment::Contain(Span::new(span.doc, s, e)));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn question(&self, attr: &str) -> String {
+        format!("how far (bytes) can {attr} be from its preceding section label?")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str) -> (DocumentStore, Span) {
+        let mut st = DocumentStore::new();
+        let id = st.add_markup(src);
+        let full = st.doc(id).full_span();
+        (st, full)
+    }
+
+    #[test]
+    fn preceded_by_verify_and_refine() {
+        let (st, full) = setup("Price: 35.99\nOnly two left");
+        let f = PrecededBy;
+        let doc = st.doc(full.doc);
+        let num = doc.text().find("35.99").unwrap() as u32;
+        let num_span = Span::new(full.doc, num, num + 5);
+        assert!(f
+            .verify(&st, num_span, &FeatureArg::Text("Price:".into()))
+            .unwrap());
+        let out = f
+            .refine(&st, full, &FeatureArg::Text("Price:".into()))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(st.span_text(&out[0].span().unwrap()), "35.99");
+    }
+
+    #[test]
+    fn followed_by_refine_takes_line_prefix() {
+        let (st, full) = setup("Vanhise High school rocks\nnext line");
+        let f = FollowedBy;
+        let out = f
+            .refine(&st, full, &FeatureArg::Text("school".into()))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(st.span_text(&out[0].span().unwrap()), "Vanhise High");
+    }
+
+    #[test]
+    fn prec_label_contains() {
+        let (st, full) = setup("<h2>Panel Members</h2>Alice Smith Bob Jones<h2>Other</h2>Carol");
+        let f = PrecLabelContains;
+        let doc = st.doc(full.doc);
+        let alice = doc.text().find("Alice").unwrap() as u32;
+        let alice_span = Span::new(full.doc, alice, alice + 11);
+        assert!(f
+            .verify(&st, alice_span, &FeatureArg::Text("panel".into()))
+            .unwrap());
+        let carol = doc.text().find("Carol").unwrap() as u32;
+        let carol_span = Span::new(full.doc, carol, carol + 5);
+        assert!(!f
+            .verify(&st, carol_span, &FeatureArg::Text("panel".into()))
+            .unwrap());
+        let out = f
+            .refine(&st, full, &FeatureArg::Text("panel".into()))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let text = st.span_text(&out[0].span().unwrap());
+        assert!(text.contains("Alice"));
+        assert!(!text.contains("Carol"));
+    }
+
+    #[test]
+    fn prec_label_max_dist() {
+        let (st, full) = setup("<h2>Panel</h2>near text then a much longer tail of words");
+        let f = PrecLabelMaxDist;
+        let out = f.refine(&st, full, &FeatureArg::Num(10.0)).unwrap();
+        assert_eq!(out.len(), 1);
+        let text = st.span_text(&out[0].span().unwrap());
+        assert!(text.starts_with("near"));
+        assert!(text.len() <= 12); // clipped near the 10-byte bound
+    }
+
+    #[test]
+    fn missing_label_fails_verify() {
+        let (st, full) = setup("no labels at all");
+        assert!(!PrecLabelContains
+            .verify(&st, full, &FeatureArg::Text("x".into()))
+            .unwrap());
+        assert!(!PrecLabelMaxDist
+            .verify(&st, full, &FeatureArg::Num(100.0))
+            .unwrap());
+    }
+}

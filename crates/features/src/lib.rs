@@ -1,0 +1,28 @@
+//! # iflex-features
+//!
+//! The built-in text-feature library of iFlex (§2.2.2, §4.2, §6.3). Each
+//! feature implements exactly two procedures:
+//!
+//! * `Verify(s, f, v)` — does `f(s) = v` hold?
+//! * `Refine(s, f, v)` — all maximal sub-spans `t` of `s` with `f(t) = v`,
+//!   returned as `contain`/`exact` assignments ready to be placed in
+//!   compact-table cells.
+//!
+//! Implementing these once per feature is all that is needed to make the
+//! feature usable in any Alog program and by the next-effort assistant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arg;
+pub mod context;
+pub mod feature;
+pub mod numeric;
+pub mod registry;
+pub mod shape;
+pub mod structure;
+pub mod style;
+
+pub use arg::{FeatureArg, FeatureError, FeatureValue};
+pub use feature::Feature;
+pub use registry::FeatureRegistry;

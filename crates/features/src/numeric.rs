@@ -1,0 +1,292 @@
+//! The numeric feature family: `numeric`, `min-value`, `max-value`.
+
+use crate::arg::{FeatureArg, FeatureError, FeatureValue};
+use crate::feature::{expect_num, expect_tri, Feature};
+use iflex_ctable::{Assignment, Value};
+use iflex_text::{parse_number, DocumentStore, Span, TokenKind};
+
+/// `numeric(a) = yes`: the value is a single number.
+pub struct Numeric;
+
+fn number_tokens(store: &DocumentStore, span: Span) -> Vec<Span> {
+    let doc = store.doc(span.doc);
+    doc.token_slice(&span)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Number)
+        .map(|t| Span::new(span.doc, t.start, t.end))
+        .collect()
+}
+
+impl Feature for Numeric {
+    fn name(&self) -> &'static str {
+        "numeric"
+    }
+
+    fn verify(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let is_num = parse_number(store.span_text(&span)).is_some();
+        Ok(match expect_tri(self.name(), arg)? {
+            FeatureValue::Yes | FeatureValue::DistinctYes => is_num,
+            FeatureValue::No | FeatureValue::DistinctNo => !is_num,
+            FeatureValue::Unknown => true,
+        })
+    }
+
+    fn verify_value(
+        &self,
+        store: &DocumentStore,
+        value: &Value,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let is_num = value.as_num(store).is_some();
+        Ok(match expect_tri(self.name(), arg)? {
+            FeatureValue::Yes | FeatureValue::DistinctYes => is_num,
+            FeatureValue::No | FeatureValue::DistinctNo => !is_num,
+            FeatureValue::Unknown => true,
+        })
+    }
+
+    fn refine(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<Vec<Assignment>, FeatureError> {
+        Ok(match expect_tri(self.name(), arg)? {
+            FeatureValue::Yes | FeatureValue::DistinctYes => number_tokens(store, span)
+                .into_iter()
+                .map(Assignment::exact_span)
+                .collect(),
+            // "not numeric": maximal runs of non-number tokens.
+            FeatureValue::No | FeatureValue::DistinctNo => {
+                let doc = store.doc(span.doc);
+                let mut out: Vec<Assignment> = Vec::new();
+                let mut run: Option<(u32, u32)> = None;
+                for t in doc.token_slice(&span) {
+                    if t.kind == TokenKind::Number {
+                        if let Some((s, e)) = run.take() {
+                            out.push(Assignment::Contain(Span::new(span.doc, s, e)));
+                        }
+                    } else {
+                        run = Some(match run {
+                            Some((s, _)) => (s, t.end),
+                            None => (t.start, t.end),
+                        });
+                    }
+                }
+                if let Some((s, e)) = run {
+                    out.push(Assignment::Contain(Span::new(span.doc, s, e)));
+                }
+                out
+            }
+            FeatureValue::Unknown => vec![Assignment::Contain(span)],
+        })
+    }
+
+    fn question(&self, attr: &str) -> String {
+        format!("is {attr} a numeric value?")
+    }
+}
+
+/// `min-value(a) = n` (the value is at least `n`) and
+/// `max-value(a) = n` (the value is at most `n`).
+pub struct ValueBound {
+    name: &'static str,
+    is_min: bool,
+}
+
+impl ValueBound {
+    /// The `min-value` feature.
+    pub const fn min() -> Self {
+        ValueBound {
+            name: "min-value",
+            is_min: true,
+        }
+    }
+
+    /// The `max-value` feature.
+    pub const fn max() -> Self {
+        ValueBound {
+            name: "max-value",
+            is_min: false,
+        }
+    }
+
+    fn holds(&self, v: f64, bound: f64) -> bool {
+        if self.is_min {
+            v >= bound
+        } else {
+            v <= bound
+        }
+    }
+}
+
+impl Feature for ValueBound {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn verify(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let bound = expect_num(self.name, arg)?;
+        Ok(parse_number(store.span_text(&span))
+            .map(|v| self.holds(v, bound))
+            .unwrap_or(false))
+    }
+
+    fn verify_value(
+        &self,
+        store: &DocumentStore,
+        value: &Value,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let bound = expect_num(self.name, arg)?;
+        Ok(value
+            .as_num(store)
+            .map(|v| self.holds(v, bound))
+            .unwrap_or(false))
+    }
+
+    fn refine(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<Vec<Assignment>, FeatureError> {
+        let bound = expect_num(self.name, arg)?;
+        Ok(number_tokens(store, span)
+            .into_iter()
+            .filter(|s| {
+                parse_number(store.span_text(s))
+                    .map(|v| self.holds(v, bound))
+                    .unwrap_or(false)
+            })
+            .map(Assignment::exact_span)
+            .collect())
+    }
+
+    fn question(&self, attr: &str) -> String {
+        if self.is_min {
+            format!("what is a minimal value for {attr}?")
+        } else {
+            format!("what is a maximal value for {attr}?")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_text::DocId;
+
+    fn setup(text: &str) -> (DocumentStore, Span) {
+        let mut st = DocumentStore::new();
+        let id = st.add_plain(text);
+        let full = st.doc(id).full_span();
+        (st, full)
+    }
+
+    #[test]
+    fn numeric_verify() {
+        let (st, full) = setup("price 351000 ok");
+        let f = Numeric;
+        let num = Span::new(full.doc, 6, 12);
+        assert!(f.verify(&st, num, &FeatureArg::yes()).unwrap());
+        assert!(!f.verify(&st, full, &FeatureArg::yes()).unwrap());
+        assert!(f.verify(&st, full, &FeatureArg::no()).unwrap());
+    }
+
+    #[test]
+    fn numeric_refine_extracts_number_tokens() {
+        let (st, full) = setup("Sqft: 2750 price 351,000 end");
+        let f = Numeric;
+        let out = f.refine(&st, full, &FeatureArg::yes()).unwrap();
+        let texts: Vec<&str> = out
+            .iter()
+            .map(|a| st.span_text(&a.span().unwrap()))
+            .collect();
+        assert_eq!(texts, vec!["2750", "351,000"]);
+        assert!(out.iter().all(|a| matches!(a, Assignment::Exact(_))));
+    }
+
+    #[test]
+    fn numeric_refine_no_gives_word_runs() {
+        let (st, full) = setup("alpha beta 42 gamma");
+        let f = Numeric;
+        let out = f.refine(&st, full, &FeatureArg::no()).unwrap();
+        let texts: Vec<&str> = out
+            .iter()
+            .map(|a| st.span_text(&a.span().unwrap()))
+            .collect();
+        assert_eq!(texts, vec!["alpha beta", "gamma"]);
+    }
+
+    #[test]
+    fn bounds_verify_and_refine() {
+        let (st, full) = setup("4 500000 619000 12");
+        let minf = ValueBound::min();
+        let maxf = ValueBound::max();
+        let out = minf.refine(&st, full, &FeatureArg::Num(500000.0)).unwrap();
+        let texts: Vec<&str> = out
+            .iter()
+            .map(|a| st.span_text(&a.span().unwrap()))
+            .collect();
+        assert_eq!(texts, vec!["500000", "619000"]);
+        let out = maxf.refine(&st, full, &FeatureArg::Num(12.0)).unwrap();
+        let texts: Vec<&str> = out
+            .iter()
+            .map(|a| st.span_text(&a.span().unwrap()))
+            .collect();
+        assert_eq!(texts, vec!["4", "12"]);
+    }
+
+    #[test]
+    fn verify_value_on_constants() {
+        let (st, _) = setup("x");
+        let minf = ValueBound::min();
+        assert!(minf
+            .verify_value(&st, &Value::Num(10.0), &FeatureArg::Num(5.0))
+            .unwrap());
+        assert!(!minf
+            .verify_value(&st, &Value::Num(1.0), &FeatureArg::Num(5.0))
+            .unwrap());
+        assert!(!minf
+            .verify_value(&st, &Value::Null, &FeatureArg::Num(5.0))
+            .unwrap());
+        let n = Numeric;
+        assert!(n
+            .verify_value(&st, &Value::Num(1.0), &FeatureArg::yes())
+            .unwrap());
+    }
+
+    #[test]
+    fn dollar_prices_parse_in_bounds() {
+        let (st, full) = setup("List $104.99 new $89.00");
+        // "$" is its own token; numbers are clean
+        let minf = ValueBound::min();
+        let out = minf.refine(&st, full, &FeatureArg::Num(100.0)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(st.span_text(&out[0].span().unwrap()), "104.99");
+    }
+
+    #[test]
+    fn bad_args() {
+        let (st, full) = setup("1");
+        assert!(Numeric.verify(&st, full, &FeatureArg::Num(1.0)).is_err());
+        assert!(ValueBound::min()
+            .verify(&st, full, &FeatureArg::yes())
+            .is_err());
+    }
+
+    // silence unused import warning in some cfgs
+    #[allow(dead_code)]
+    fn _t(_: DocId) {}
+}

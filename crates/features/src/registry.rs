@@ -1,0 +1,154 @@
+//! The feature registry: name → [`Feature`] lookup for the query processor
+//! and the next-effort assistant.
+
+use crate::arg::FeatureError;
+use crate::context::{FollowedBy, PrecLabelContains, PrecLabelMaxDist, PrecededBy};
+use crate::feature::Feature;
+use crate::numeric::{Numeric, ValueBound};
+use crate::shape::{Capitalized, LengthBound, MatchesPattern, PatternEdge, PersonName};
+use crate::structure::{FirstHalf, InList, InTitle};
+use crate::style::StyleFeature;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A shared, immutable registry of features.
+#[derive(Clone)]
+pub struct FeatureRegistry {
+    features: BTreeMap<&'static str, Arc<dyn Feature>>,
+}
+
+impl FeatureRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        FeatureRegistry {
+            features: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a feature (replacing any feature of the same name).
+    pub fn register(&mut self, f: Arc<dyn Feature>) {
+        self.features.insert(f.name(), f);
+    }
+
+    /// Looks up a feature by name.
+    pub fn get(&self, name: &str) -> Result<&Arc<dyn Feature>, FeatureError> {
+        self.features
+            .get(name)
+            .ok_or_else(|| FeatureError::Unknown(name.to_string()))
+    }
+
+    /// True when a feature with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.features.contains_key(name)
+    }
+
+    /// Names of all registered features, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.features.keys().copied()
+    }
+
+    /// The number of registered features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when no features are registered.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+impl Default for FeatureRegistry {
+    /// The full built-in feature set of iFlex (§2.2.2: "iFlex currently
+    /// uses a rich set of built-in features").
+    fn default() -> Self {
+        let mut r = FeatureRegistry::empty();
+        r.register(Arc::new(Numeric));
+        r.register(Arc::new(ValueBound::min()));
+        r.register(Arc::new(ValueBound::max()));
+        r.register(Arc::new(StyleFeature::bold()));
+        r.register(Arc::new(StyleFeature::italic()));
+        r.register(Arc::new(StyleFeature::underlined()));
+        r.register(Arc::new(StyleFeature::hyperlinked()));
+        r.register(Arc::new(InTitle));
+        r.register(Arc::new(InList));
+        r.register(Arc::new(FirstHalf));
+        r.register(Arc::new(PrecededBy));
+        r.register(Arc::new(FollowedBy));
+        r.register(Arc::new(PrecLabelContains));
+        r.register(Arc::new(PrecLabelMaxDist));
+        r.register(Arc::new(Capitalized));
+        r.register(Arc::new(PersonName));
+        r.register(Arc::new(LengthBound::max()));
+        r.register(Arc::new(LengthBound::min()));
+        r.register(Arc::new(MatchesPattern));
+        r.register(Arc::new(PatternEdge::starts_with()));
+        r.register(Arc::new(PatternEdge::ends_with()));
+        r
+    }
+}
+
+impl std::fmt::Debug for FeatureRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeatureRegistry")
+            .field("features", &self.features.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arg::FeatureArg;
+    use iflex_text::DocumentStore;
+
+    #[test]
+    fn default_registry_has_paper_features() {
+        let r = FeatureRegistry::default();
+        for name in [
+            "numeric",
+            "bold-font",
+            "italic-font",
+            "underlined",
+            "hyperlinked",
+            "preceded-by",
+            "followed-by",
+            "min-value",
+            "max-value",
+            "in-title",
+            "in-list",
+            "prec-label-contains",
+            "prec-label-max-dist",
+            "starts-with",
+            "ends-with",
+            "max-length",
+        ] {
+            assert!(r.contains(name), "missing {name}");
+        }
+        assert!(r.len() >= 16);
+    }
+
+    #[test]
+    fn unknown_feature_errors() {
+        let r = FeatureRegistry::default();
+        assert!(matches!(r.get("no-such"), Err(FeatureError::Unknown(_))));
+    }
+
+    #[test]
+    fn lookup_and_verify_through_registry() {
+        let r = FeatureRegistry::default();
+        let mut st = DocumentStore::new();
+        let id = st.add_plain("42");
+        let span = st.doc(id).full_span();
+        let f = r.get("numeric").unwrap();
+        assert!(f.verify(&st, span, &FeatureArg::yes()).unwrap());
+    }
+
+    #[test]
+    fn registration_replaces() {
+        let mut r = FeatureRegistry::default();
+        let before = r.len();
+        r.register(Arc::new(crate::numeric::Numeric));
+        assert_eq!(r.len(), before);
+    }
+}

@@ -1,0 +1,247 @@
+//! Location/structure features: `in-title`, `in-list`, `first-half`.
+
+use crate::arg::{FeatureArg, FeatureError, FeatureValue};
+use crate::feature::{expect_tri, Feature};
+use iflex_ctable::Assignment;
+use iflex_text::{Coverage, DocumentStore, Span};
+
+/// `in-title(a) = yes`: the value lies inside the page `<title>`.
+pub struct InTitle;
+
+impl Feature for InTitle {
+    fn name(&self) -> &'static str {
+        "in-title"
+    }
+
+    fn verify(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let cov = store.doc(span.doc).in_title(span.start, span.end);
+        Ok(match expect_tri(self.name(), arg)? {
+            FeatureValue::Yes | FeatureValue::DistinctYes => cov == Coverage::Full,
+            FeatureValue::No | FeatureValue::DistinctNo => cov == Coverage::None,
+            FeatureValue::Unknown => true,
+        })
+    }
+
+    fn refine(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<Vec<Assignment>, FeatureError> {
+        let doc = store.doc(span.doc);
+        Ok(match expect_tri(self.name(), arg)? {
+            FeatureValue::Yes | FeatureValue::DistinctYes => doc
+                .title_range()
+                .and_then(|(ts, te)| span.intersect(&Span::new(span.doc, ts, te)))
+                .map(Assignment::Contain)
+                .into_iter()
+                .collect(),
+            FeatureValue::No | FeatureValue::DistinctNo => match doc.title_range() {
+                None => vec![Assignment::Contain(span)],
+                Some((ts, te)) => {
+                    let mut out = Vec::new();
+                    if span.start < ts {
+                        out.push(Assignment::Contain(Span::new(
+                            span.doc,
+                            span.start,
+                            ts.min(span.end),
+                        )));
+                    }
+                    if span.end > te {
+                        out.push(Assignment::Contain(Span::new(
+                            span.doc,
+                            te.max(span.start),
+                            span.end,
+                        )));
+                    }
+                    out
+                }
+            },
+            FeatureValue::Unknown => vec![Assignment::Contain(span)],
+        })
+    }
+
+    fn question(&self, attr: &str) -> String {
+        format!("does {attr} appear in the page title?")
+    }
+}
+
+/// `in-list(a) = yes`: the value lies inside a `<li>` item.
+pub struct InList;
+
+impl Feature for InList {
+    fn name(&self) -> &'static str {
+        "in-list"
+    }
+
+    fn verify(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let cov = store.doc(span.doc).in_list(span.start, span.end);
+        Ok(match expect_tri(self.name(), arg)? {
+            FeatureValue::Yes | FeatureValue::DistinctYes => cov == Coverage::Full,
+            FeatureValue::No | FeatureValue::DistinctNo => cov == Coverage::None,
+            FeatureValue::Unknown => true,
+        })
+    }
+
+    fn refine(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<Vec<Assignment>, FeatureError> {
+        let doc = store.doc(span.doc);
+        Ok(match expect_tri(self.name(), arg)? {
+            FeatureValue::Yes | FeatureValue::DistinctYes => doc
+                .list_items()
+                .iter()
+                .filter_map(|&(ls, le)| span.intersect(&Span::new(span.doc, ls, le)))
+                .map(Assignment::Contain)
+                .collect(),
+            FeatureValue::No | FeatureValue::DistinctNo => {
+                // complement of list items within span
+                let mut cursor = span.start;
+                let mut out = Vec::new();
+                let mut items: Vec<(u32, u32)> = doc
+                    .list_items()
+                    .iter()
+                    .copied()
+                    .filter(|&(ls, le)| ls < span.end && le > span.start)
+                    .collect();
+                items.sort_unstable();
+                for (ls, le) in items {
+                    if ls > cursor {
+                        out.push(Assignment::Contain(Span::new(span.doc, cursor, ls)));
+                    }
+                    cursor = cursor.max(le);
+                }
+                if cursor < span.end {
+                    out.push(Assignment::Contain(Span::new(span.doc, cursor, span.end)));
+                }
+                out
+            }
+            FeatureValue::Unknown => vec![Assignment::Contain(span)],
+        })
+    }
+
+    fn question(&self, attr: &str) -> String {
+        format!("is {attr} part of a list?")
+    }
+}
+
+/// `first-half(a) = yes`: the value lies entirely in the first half of the
+/// page (the paper's example of a "location" question, §5.1.1).
+pub struct FirstHalf;
+
+impl Feature for FirstHalf {
+    fn name(&self) -> &'static str {
+        "first-half"
+    }
+
+    fn verify(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let half = store.doc(span.doc).len() / 2;
+        Ok(match expect_tri(self.name(), arg)? {
+            FeatureValue::Yes | FeatureValue::DistinctYes => span.end <= half,
+            FeatureValue::No | FeatureValue::DistinctNo => span.start >= half,
+            FeatureValue::Unknown => true,
+        })
+    }
+
+    fn refine(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<Vec<Assignment>, FeatureError> {
+        let half = store.doc(span.doc).len() / 2;
+        Ok(match expect_tri(self.name(), arg)? {
+            FeatureValue::Yes | FeatureValue::DistinctYes => span
+                .intersect(&Span::new(span.doc, 0, half))
+                .map(Assignment::Contain)
+                .into_iter()
+                .collect(),
+            FeatureValue::No | FeatureValue::DistinctNo => span
+                .intersect(&Span::new(span.doc, half, store.doc(span.doc).len()))
+                .map(Assignment::Contain)
+                .into_iter()
+                .collect(),
+            FeatureValue::Unknown => vec![Assignment::Contain(span)],
+        })
+    }
+
+    fn question(&self, attr: &str) -> String {
+        format!("does {attr} lie entirely in the first half of the page?")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str) -> (DocumentStore, Span) {
+        let mut st = DocumentStore::new();
+        let id = st.add_markup(src);
+        let full = st.doc(id).full_span();
+        (st, full)
+    }
+
+    #[test]
+    fn in_title_refine() {
+        let (st, full) = setup("<title>Top Movies</title>body text here");
+        let f = InTitle;
+        let out = f.refine(&st, full, &FeatureArg::yes()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(st.span_text(&out[0].span().unwrap()), "Top Movies");
+        let out_no = f.refine(&st, full, &FeatureArg::no()).unwrap();
+        assert_eq!(out_no.len(), 1);
+        assert!(st.span_text(&out_no[0].span().unwrap()).contains("body"));
+    }
+
+    #[test]
+    fn in_title_no_title_doc() {
+        let (st, full) = setup("no markup");
+        let f = InTitle;
+        assert!(f.refine(&st, full, &FeatureArg::yes()).unwrap().is_empty());
+        assert_eq!(f.refine(&st, full, &FeatureArg::no()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn in_list_refine_and_complement() {
+        let (st, full) = setup("head<ul><li>one</li><li>two</li></ul>tail");
+        let f = InList;
+        let yes = f.refine(&st, full, &FeatureArg::yes()).unwrap();
+        assert_eq!(yes.len(), 2);
+        let no = f.refine(&st, full, &FeatureArg::no()).unwrap();
+        let texts: Vec<String> = no
+            .iter()
+            .map(|a| st.span_text(&a.span().unwrap()).trim().to_string())
+            .collect();
+        assert!(texts.iter().any(|t| t.contains("head")));
+        assert!(texts.iter().any(|t| t.contains("tail")));
+    }
+
+    #[test]
+    fn first_half_verify() {
+        let (st, full) = setup("aaaa bbbb cccc dddd");
+        let f = FirstHalf;
+        let early = Span::new(full.doc, 0, 4);
+        let late = Span::new(full.doc, 15, 19);
+        assert!(f.verify(&st, early, &FeatureArg::yes()).unwrap());
+        assert!(!f.verify(&st, late, &FeatureArg::yes()).unwrap());
+        assert!(f.verify(&st, late, &FeatureArg::no()).unwrap());
+    }
+}

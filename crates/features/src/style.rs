@@ -1,0 +1,243 @@
+//! Appearance features: `bold-font`, `italic-font`, `underlined`,
+//! `hyperlinked`.
+
+use crate::arg::{FeatureArg, FeatureError, FeatureValue};
+use crate::feature::{expect_tri, Feature};
+use iflex_ctable::Assignment;
+use iflex_text::{markup::style, Coverage, DocumentStore, Span};
+
+/// One appearance feature, parameterized by its style flag.
+pub struct StyleFeature {
+    name: &'static str,
+    flag: u8,
+    question_noun: &'static str,
+}
+
+impl StyleFeature {
+    /// The `bold-font` feature.
+    pub const fn bold() -> Self {
+        StyleFeature {
+            name: "bold-font",
+            flag: style::BOLD,
+            question_noun: "bold font",
+        }
+    }
+
+    /// The `italic-font` feature.
+    pub const fn italic() -> Self {
+        StyleFeature {
+            name: "italic-font",
+            flag: style::ITALIC,
+            question_noun: "italic font",
+        }
+    }
+
+    /// The `underlined` feature.
+    pub const fn underlined() -> Self {
+        StyleFeature {
+            name: "underlined",
+            flag: style::UNDERLINE,
+            question_noun: "underlined text",
+        }
+    }
+
+    /// The `hyperlinked` feature.
+    pub const fn hyperlinked() -> Self {
+        StyleFeature {
+            name: "hyperlinked",
+            flag: style::LINK,
+            question_noun: "a hyperlink",
+        }
+    }
+
+    /// Maximal unstyled token runs within `span`.
+    fn unstyled_regions(&self, store: &DocumentStore, span: Span) -> Vec<(u32, u32)> {
+        let doc = store.doc(span.doc);
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for t in doc.token_slice(&span) {
+            let styled = doc.style_coverage(t.start, t.end, self.flag) != Coverage::None;
+            if styled {
+                continue;
+            }
+            match out.last_mut() {
+                Some((_, e))
+                    if doc.text()[*e as usize..t.start as usize]
+                        .bytes()
+                        .all(|b| b.is_ascii_whitespace()) =>
+                {
+                    *e = t.end;
+                }
+                _ => out.push((t.start, t.end)),
+            }
+        }
+        out
+    }
+}
+
+impl Feature for StyleFeature {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn verify(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<bool, FeatureError> {
+        let doc = store.doc(span.doc);
+        let cov = doc.style_coverage(span.start, span.end, self.flag);
+        Ok(match expect_tri(self.name, arg)? {
+            FeatureValue::Yes => cov == Coverage::Full,
+            FeatureValue::DistinctYes => doc.style_distinct(span.start, span.end, self.flag),
+            FeatureValue::No => cov == Coverage::None,
+            FeatureValue::DistinctNo => {
+                cov == Coverage::None && {
+                    // some adjacent token styled
+                    let toks = doc.tokens().tokens();
+                    let before = toks.partition_point(|t| t.start < span.start);
+                    let prev_styled = before > 0 && {
+                        let p = &toks[before - 1];
+                        doc.style_coverage(p.start, p.end, self.flag) != Coverage::None
+                    };
+                    let after = toks.partition_point(|t| t.end <= span.end);
+                    let next_styled = toks.get(after).is_some_and(|n| {
+                        doc.style_coverage(n.start, n.end, self.flag) != Coverage::None
+                    });
+                    prev_styled || next_styled
+                }
+            }
+            FeatureValue::Unknown => true,
+        })
+    }
+
+    fn refine(
+        &self,
+        store: &DocumentStore,
+        span: Span,
+        arg: &FeatureArg,
+    ) -> Result<Vec<Assignment>, FeatureError> {
+        let doc = store.doc(span.doc);
+        Ok(match expect_tri(self.name, arg)? {
+            FeatureValue::Yes => doc
+                .styled_regions(span.start, span.end, self.flag)
+                .into_iter()
+                .map(|(s, e)| Assignment::Contain(Span::new(span.doc, s, e)))
+                .collect(),
+            FeatureValue::DistinctYes => doc
+                .styled_regions(span.start, span.end, self.flag)
+                .into_iter()
+                .filter(|&(s, e)| doc.style_distinct(s, e, self.flag))
+                .map(|(s, e)| Assignment::exact_span(Span::new(span.doc, s, e)))
+                .collect(),
+            FeatureValue::No | FeatureValue::DistinctNo => self
+                .unstyled_regions(store, span)
+                .into_iter()
+                .map(|(s, e)| Assignment::Contain(Span::new(span.doc, s, e)))
+                .collect(),
+            FeatureValue::Unknown => vec![Assignment::Contain(span)],
+        })
+    }
+
+    fn question(&self, attr: &str) -> String {
+        format!("is {attr} set in {}?", self.question_noun)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn setup(src: &str) -> (DocumentStore, Span) {
+        let mut st = DocumentStore::new();
+        let id = st.add_markup(src);
+        let full = st.doc(id).full_span();
+        (st, full)
+    }
+
+    #[test]
+    fn verify_bold_levels() {
+        let (st, full) = setup("plain <b>bold part</b> tail");
+        let f = StyleFeature::bold();
+        let doc = st.doc(full.doc);
+        let bold_start = doc.text().find("bold").unwrap() as u32;
+        let bold_span = Span::new(full.doc, bold_start, bold_start + 9);
+        assert!(f.verify(&st, bold_span, &FeatureArg::yes()).unwrap());
+        assert!(f
+            .verify(&st, bold_span, &FeatureArg::distinct_yes())
+            .unwrap());
+        assert!(!f.verify(&st, full, &FeatureArg::yes()).unwrap());
+        let plain = Span::new(full.doc, 0, 5);
+        assert!(f.verify(&st, plain, &FeatureArg::no()).unwrap());
+    }
+
+    #[test]
+    fn refine_yes_yields_contain_regions() {
+        let (st, full) = setup("x <b>alpha beta</b> y <b>gamma</b> z");
+        let f = StyleFeature::bold();
+        let out = f.refine(&st, full, &FeatureArg::yes()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], Assignment::Contain(_)));
+        let texts: Vec<&str> = out
+            .iter()
+            .map(|a| st.span_text(&a.span().unwrap()))
+            .collect();
+        assert_eq!(texts, vec!["alpha beta", "gamma"]);
+    }
+
+    #[test]
+    fn refine_distinct_yes_yields_exact() {
+        let (st, full) = setup("Price: <i>35.99</i>. Only two left.");
+        let f = StyleFeature::italic();
+        let out = f.refine(&st, full, &FeatureArg::distinct_yes()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Assignment::Exact(_)));
+        assert_eq!(st.span_text(&out[0].span().unwrap()), "35.99");
+    }
+
+    #[test]
+    fn refine_no_yields_unstyled_regions() {
+        let (st, full) = setup("aa <b>bb</b> cc dd");
+        let f = StyleFeature::bold();
+        let out = f.refine(&st, full, &FeatureArg::no()).unwrap();
+        let texts: Vec<&str> = out
+            .iter()
+            .map(|a| st.span_text(&a.span().unwrap()))
+            .collect();
+        assert_eq!(texts, vec!["aa", "cc dd"]);
+    }
+
+    #[test]
+    fn distinct_no_requires_styled_neighbor() {
+        let (st, full) = setup("aa <b>bb</b> cc");
+        let doc = st.doc(full.doc);
+        let f = StyleFeature::bold();
+        let cc = doc.text().find("cc").unwrap() as u32;
+        let cc_span = Span::new(full.doc, cc, cc + 2);
+        assert!(f
+            .verify(&st, cc_span, &FeatureArg::Tri(FeatureValue::DistinctNo))
+            .unwrap());
+        let aa_span = Span::new(full.doc, 0, 2);
+        // "aa"'s next token "bb" is bold → distinct-no also holds for it
+        assert!(f
+            .verify(&st, aa_span, &FeatureArg::Tri(FeatureValue::DistinctNo))
+            .unwrap());
+    }
+
+    #[test]
+    fn hyperlink_feature() {
+        let (st, full) = setup(r#"go <a href="http://e.org">click me</a> now"#);
+        let f = StyleFeature::hyperlinked();
+        let out = f.refine(&st, full, &FeatureArg::yes()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(st.span_text(&out[0].span().unwrap()), "click me");
+    }
+
+    #[test]
+    fn bad_arg_rejected() {
+        let (st, full) = setup("x");
+        let f = StyleFeature::bold();
+        assert!(f.verify(&st, full, &FeatureArg::Num(3.0)).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests of the Verify/Refine contract (§4.2): every sub-span a
+//! `Refine` produces must `Verify`, refinement never invents values from
+//! outside the refined region, and Verify is total (never panics) on
+//! arbitrary spans.
+
+use iflex_ctable::Assignment;
+use iflex_features::{FeatureArg, FeatureRegistry};
+use iflex_text::{DocumentStore, Span};
+use proptest::prelude::*;
+
+fn arb_markup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            "[a-z]{1,6}".prop_map(|w| w),
+            (0u32..100_000).prop_map(|n| n.to_string()),
+            "[a-z]{1,5}".prop_map(|w| format!("<b>{w}</b>")),
+            (0u32..9_999).prop_map(|n| format!("<u>{n}</u>")),
+            "[A-Z][a-z]{1,5}".prop_map(|w| w),
+        ],
+        1..12,
+    )
+    .prop_map(|toks| toks.join(" "))
+}
+
+proptest! {
+    /// For the "yes"-style features: Refine's output regions verify, and
+    /// every exact assignment it produces satisfies Verify.
+    #[test]
+    fn refine_output_verifies(src in arb_markup()) {
+        let mut store = DocumentStore::new();
+        let id = store.add_markup(&src);
+        let full = store.doc(id).full_span();
+        let reg = FeatureRegistry::default();
+        for (fname, arg) in [
+            ("numeric", FeatureArg::yes()),
+            ("bold-font", FeatureArg::distinct_yes()),
+            ("underlined", FeatureArg::distinct_yes()),
+            ("capitalized", FeatureArg::yes()),
+            ("min-value", FeatureArg::Num(100.0)),
+            ("max-value", FeatureArg::Num(5_000.0)),
+        ] {
+            let f = reg.get(fname).unwrap();
+            let out = f.refine(&store, full, &arg).unwrap();
+            for a in out {
+                if let Assignment::Exact(v) = &a {
+                    prop_assert!(
+                        f.verify_value(&store, v, &arg).unwrap(),
+                        "{fname}: refined exact {v} does not verify in {src:?}"
+                    );
+                }
+                // all produced spans stay inside the refined region
+                if let Some(s) = a.span() {
+                    prop_assert!(full.contains(&s), "{fname}: {s} outside region");
+                }
+            }
+        }
+    }
+
+    /// Verify never panics for any feature on any token-aligned sub-span.
+    #[test]
+    fn verify_is_total(src in arb_markup(), seed in 0usize..64) {
+        let mut store = DocumentStore::new();
+        let id = store.add_markup(&src);
+        let doc = store.doc(id);
+        let toks = doc.tokens().tokens();
+        prop_assume!(!toks.is_empty());
+        let a = seed % toks.len();
+        let b = (seed * 7) % toks.len();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let span = Span::new(id, toks[lo].start, toks[hi].end);
+        let reg = FeatureRegistry::default();
+        for fname in reg.names() {
+            let f = reg.get(fname).unwrap();
+            for arg in [
+                FeatureArg::yes(),
+                FeatureArg::no(),
+                FeatureArg::Num(10.0),
+                FeatureArg::Text("price".into()),
+            ] {
+                // wrong-typed args error cleanly; right-typed succeed
+                let _ = f.verify(&store, span, &arg);
+                let _ = f.refine(&store, span, &arg);
+            }
+        }
+    }
+
+    /// Numeric refinement is exactly the number tokens of the region.
+    #[test]
+    fn numeric_refine_is_number_tokens(src in arb_markup()) {
+        let mut store = DocumentStore::new();
+        let id = store.add_markup(&src);
+        let full = store.doc(id).full_span();
+        let reg = FeatureRegistry::default();
+        let f = reg.get("numeric").unwrap();
+        let out = f.refine(&store, full, &FeatureArg::yes()).unwrap();
+        let expected = store
+            .doc(id)
+            .token_slice(&full)
+            .iter()
+            .filter(|t| t.kind == iflex_text::TokenKind::Number)
+            .count();
+        prop_assert_eq!(out.len(), expected);
+    }
+}

@@ -1,0 +1,183 @@
+//! Syntax tree for regex-lite patterns.
+
+use std::fmt;
+
+/// A character class: set of ranges, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    /// The negated.
+    pub negated: bool,
+    /// Inclusive char ranges, kept sorted and non-overlapping after `normalize`.
+    pub ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    /// Single.
+    pub fn single(c: char) -> Self {
+        CharClass {
+            negated: false,
+            ranges: vec![(c, c)],
+        }
+    }
+
+    /// `\d`
+    pub fn digit() -> Self {
+        CharClass {
+            negated: false,
+            ranges: vec![('0', '9')],
+        }
+    }
+
+    /// `\w`
+    pub fn word() -> Self {
+        CharClass {
+            negated: false,
+            ranges: vec![('0', '9'), ('A', 'Z'), ('_', '_'), ('a', 'z')],
+        }
+    }
+
+    /// `\s`
+    pub fn space() -> Self {
+        CharClass {
+            negated: false,
+            ranges: vec![('\t', '\r'), (' ', ' ')],
+        }
+    }
+
+    /// `.` — any char except newline.
+    pub fn dot() -> Self {
+        CharClass {
+            negated: true,
+            ranges: vec![('\n', '\n')],
+        }
+    }
+
+    /// Negate.
+    pub fn negate(mut self) -> Self {
+        self.negated = !self.negated;
+        self
+    }
+
+    /// Sorts and merges overlapping ranges.
+    pub fn normalize(&mut self) {
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(char, char)> = Vec::with_capacity(self.ranges.len());
+        for &(lo, hi) in &self.ranges {
+            match merged.last_mut() {
+                Some((_, mhi)) if (lo as u32) <= (*mhi as u32).saturating_add(1) => {
+                    if hi > *mhi {
+                        *mhi = hi;
+                    }
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    /// Membership test honoring negation.
+    #[inline]
+    pub fn matches(&self, c: char) -> bool {
+        let inside = self
+            .ranges
+            .binary_search_by(|&(lo, hi)| {
+                if c < lo {
+                    std::cmp::Ordering::Greater
+                } else if c > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok();
+        inside != self.negated
+    }
+}
+
+/// Regex-lite AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// One character from a class.
+    Class(CharClass),
+    /// Sequence.
+    Concat(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// `node{min, max}`; `max == None` means unbounded.
+    Repeat {
+        /// The repeated node.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions (`None` = unbounded).
+        max: Option<u32>,
+    },
+    /// `(...)` — grouping only (no captures needed by iFlex features).
+    Group(Box<Ast>),
+    /// `^`
+    AnchorStart,
+    /// `$`
+    AnchorEnd,
+}
+
+/// Error produced when parsing a pattern fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    /// The pos.
+    pub pos: usize,
+    /// The message.
+    pub message: String,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_membership() {
+        let d = CharClass::digit();
+        assert!(d.matches('5'));
+        assert!(!d.matches('a'));
+        let nd = CharClass::digit().negate();
+        assert!(!nd.matches('5'));
+        assert!(nd.matches('a'));
+    }
+
+    #[test]
+    fn normalize_merges_adjacent() {
+        let mut c = CharClass {
+            negated: false,
+            ranges: vec![('a', 'c'), ('b', 'f'), ('h', 'h'), ('g', 'g')],
+        };
+        c.normalize();
+        assert_eq!(c.ranges, vec![('a', 'h')]);
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let dot = CharClass::dot();
+        assert!(dot.matches('x'));
+        assert!(!dot.matches('\n'));
+    }
+
+    #[test]
+    fn word_class_contents() {
+        let w = CharClass::word();
+        for c in ['a', 'Z', '0', '_'] {
+            assert!(w.matches(c), "{c}");
+        }
+        for c in [' ', '-', '.'] {
+            assert!(!w.matches(c), "{c}");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Compilation of the regex-lite AST into a Thompson NFA program executed
+//! by the Pike VM in [`crate::vm`].
+
+use crate::ast::{Ast, CharClass};
+
+/// One NFA instruction. `Split` branches prefer `a` (greedy order).
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// Consume one char matching the class.
+    Class(CharClass),
+    /// Fork execution: try `a` first, then `b`.
+    Split {
+        /// Preferred (greedy) branch target.
+        a: usize,
+        /// Fallback branch target.
+        b: usize,
+    },
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Assert beginning of input.
+    AssertStart,
+    /// Assert end of input.
+    AssertEnd,
+    /// Accept.
+    Match,
+}
+
+/// A compiled program: instruction list with entry point 0.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The insts.
+    pub insts: Vec<Inst>,
+    /// True when the pattern starts with `^`.
+    pub anchored_start: bool,
+}
+
+/// Compile.
+pub fn compile(ast: &Ast) -> Program {
+    let mut c = Compiler { insts: Vec::new() };
+    c.emit_ast(ast);
+    c.insts.push(Inst::Match);
+    let anchored_start = leading_anchor(ast);
+    Program {
+        insts: c.insts,
+        anchored_start,
+    }
+}
+
+fn leading_anchor(ast: &Ast) -> bool {
+    match ast {
+        Ast::AnchorStart => true,
+        Ast::Group(inner) => leading_anchor(inner),
+        Ast::Concat(parts) => parts.first().map(leading_anchor).unwrap_or(false),
+        Ast::Alt(branches) => branches.iter().all(leading_anchor),
+        _ => false,
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+}
+
+impl Compiler {
+    fn emit_ast(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Class(c) => self.insts.push(Inst::Class(c.clone())),
+            Ast::Group(inner) => self.emit_ast(inner),
+            Ast::AnchorStart => self.insts.push(Inst::AssertStart),
+            Ast::AnchorEnd => self.insts.push(Inst::AssertEnd),
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.emit_ast(p);
+                }
+            }
+            Ast::Alt(branches) => self.emit_alt(branches),
+            Ast::Repeat { node, min, max } => self.emit_repeat(node, *min, *max),
+        }
+    }
+
+    fn emit_alt(&mut self, branches: &[Ast]) {
+        // Chain of splits; each branch jumps to the common end.
+        let mut jmp_slots = Vec::new();
+        let n = branches.len();
+        for (i, b) in branches.iter().enumerate() {
+            if i + 1 < n {
+                let split_at = self.insts.len();
+                self.insts.push(Inst::Split { a: 0, b: 0 }); // patched
+                let a = self.insts.len();
+                self.emit_ast(b);
+                let jmp_at = self.insts.len();
+                self.insts.push(Inst::Jmp(0)); // patched
+                jmp_slots.push(jmp_at);
+                let bpos = self.insts.len();
+                if let Inst::Split {
+                    a: ref mut sa,
+                    b: ref mut sb,
+                } = self.insts[split_at]
+                {
+                    *sa = a;
+                    *sb = bpos;
+                }
+            } else {
+                self.emit_ast(b);
+            }
+        }
+        let end = self.insts.len();
+        for slot in jmp_slots {
+            if let Inst::Jmp(ref mut t) = self.insts[slot] {
+                *t = end;
+            }
+        }
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) {
+        // Mandatory prefix.
+        for _ in 0..min {
+            self.emit_ast(node);
+        }
+        match max {
+            None => {
+                // node* : L: split(body, end); body; jmp L
+                let l = self.insts.len();
+                self.insts.push(Inst::Split { a: 0, b: 0 });
+                let body = self.insts.len();
+                self.emit_ast(node);
+                self.insts.push(Inst::Jmp(l));
+                let end = self.insts.len();
+                if let Inst::Split {
+                    a: ref mut sa,
+                    b: ref mut sb,
+                } = self.insts[l]
+                {
+                    *sa = body;
+                    *sb = end;
+                }
+            }
+            Some(m) => {
+                // (m - min) optional copies: split(body, end) each.
+                let mut splits = Vec::new();
+                for _ in 0..(m - min) {
+                    let s = self.insts.len();
+                    self.insts.push(Inst::Split { a: 0, b: 0 });
+                    let body = self.insts.len();
+                    if let Inst::Split { a: ref mut sa, .. } = self.insts[s] {
+                        *sa = body;
+                    }
+                    splits.push(s);
+                    self.emit_ast(node);
+                }
+                let end = self.insts.len();
+                for s in splits {
+                    if let Inst::Split { b: ref mut sb, .. } = self.insts[s] {
+                        *sb = end;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn prog(p: &str) -> Program {
+        compile(&parse(p).unwrap())
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        assert_eq!(p.insts.len(), 3); // Class, Class, Match
+        assert!(matches!(p.insts[2], Inst::Match));
+    }
+
+    #[test]
+    fn star_has_loop() {
+        let p = prog("a*");
+        // Split, Class, Jmp, Match
+        assert_eq!(p.insts.len(), 4);
+        assert!(matches!(p.insts[0], Inst::Split { .. }));
+        assert!(matches!(p.insts[2], Inst::Jmp(0)));
+    }
+
+    #[test]
+    fn anchored_detection() {
+        assert!(prog("^abc").anchored_start);
+        assert!(prog("^a|^b").anchored_start);
+        assert!(!prog("a|^b").anchored_start);
+        assert!(!prog("abc").anchored_start);
+    }
+
+    #[test]
+    fn bounded_repeat_expands() {
+        let p = prog("a{2,4}");
+        // 2 mandatory Class + 2 (Split+Class) + Match = 2 + 4 + 1
+        assert_eq!(p.insts.len(), 7);
+    }
+}

@@ -1,0 +1,355 @@
+//! Recursive-descent parser for regex-lite patterns.
+//!
+//! Grammar (in precedence order):
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := repeat*
+//! repeat := atom ('*' | '+' | '?' | '{' m (',' n?)? '}')?
+//! atom   := '(' alt ')' | '[' class ']' | '.' | '^' | '$' | escape | literal
+//! ```
+
+use crate::ast::{Ast, CharClass, PatternError};
+
+/// Parse.
+pub fn parse(pattern: &str) -> Result<Ast, PatternError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let ast = p.alt()?;
+    if p.pos < p.chars.len() {
+        return Err(p.err("unexpected character (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> PatternError {
+        PatternError {
+            pos: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alt(&mut self) -> Result<Ast, PatternError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, PatternError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, PatternError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.number()?;
+                let max = if self.eat(',') {
+                    if self.peek() == Some('}') {
+                        None
+                    } else {
+                        Some(self.number()?)
+                    }
+                } else {
+                    Some(min)
+                };
+                if !self.eat('}') {
+                    return Err(self.err("expected '}'"));
+                }
+                if let Some(m) = max {
+                    if m < min {
+                        return Err(self.err("repeat max < min"));
+                    }
+                }
+                (min, max)
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::AnchorStart | Ast::AnchorEnd) {
+            return Err(self.err("cannot repeat an anchor"));
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    fn number(&mut self) -> Result<u32, PatternError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse()
+            .map_err(|_| self.err("repeat count out of range"))
+    }
+
+    fn atom(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.alt()?;
+                if !self.eat(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(Ast::Group(Box::new(inner)))
+            }
+            Some('[') => self.class(),
+            Some('.') => Ok(Ast::Class(CharClass::dot())),
+            Some('^') => Ok(Ast::AnchorStart),
+            Some('$') => Ok(Ast::AnchorEnd),
+            Some('\\') => self.escape(),
+            Some(c) if c == '*' || c == '+' || c == '?' => {
+                Err(self.err("dangling repetition operator"))
+            }
+            Some(c) => Ok(Ast::Class(CharClass::single(c))),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            Some('d') => Ok(Ast::Class(CharClass::digit())),
+            Some('D') => Ok(Ast::Class(CharClass::digit().negate())),
+            Some('w') => Ok(Ast::Class(CharClass::word())),
+            Some('W') => Ok(Ast::Class(CharClass::word().negate())),
+            Some('s') => Ok(Ast::Class(CharClass::space())),
+            Some('S') => Ok(Ast::Class(CharClass::space().negate())),
+            Some('n') => Ok(Ast::Class(CharClass::single('\n'))),
+            Some('t') => Ok(Ast::Class(CharClass::single('\t'))),
+            Some('r') => Ok(Ast::Class(CharClass::single('\r'))),
+            Some(c) if !c.is_ascii_alphanumeric() => Ok(Ast::Class(CharClass::single(c))),
+            Some(_) => Err(self.err("unknown escape")),
+            None => Err(self.err("dangling backslash")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Ast, PatternError> {
+        let negated = self.eat('^');
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        // ']' as first char is a literal.
+        if self.peek() == Some(']') {
+            self.bump();
+            ranges.push((']', ']'));
+        }
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated character class")),
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                Some('\\') => {
+                    self.bump();
+                    match self.bump() {
+                        Some('d') => ranges.extend(CharClass::digit().ranges),
+                        Some('w') => ranges.extend(CharClass::word().ranges),
+                        Some('s') => ranges.extend(CharClass::space().ranges),
+                        Some('n') => ranges.push(('\n', '\n')),
+                        Some('t') => ranges.push(('\t', '\t')),
+                        Some(c) if !c.is_ascii_alphanumeric() => ranges.push((c, c)),
+                        _ => return Err(self.err("unknown escape in class")),
+                    }
+                }
+                Some(lo) => {
+                    self.bump();
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied() != Some(']')
+                        && self.chars.get(self.pos + 1).is_some()
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().unwrap();
+                        if hi < lo {
+                            return Err(self.err("invalid range in class"));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+        if ranges.is_empty() {
+            return Err(self.err("empty character class"));
+        }
+        let mut class = CharClass { negated, ranges };
+        class.normalize();
+        Ok(Ast::Class(class))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_concat() {
+        let ast = parse("ab").unwrap();
+        assert!(matches!(ast, Ast::Concat(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn alternation() {
+        let ast = parse("a|b|c").unwrap();
+        assert!(matches!(ast, Ast::Alt(ref v) if v.len() == 3));
+    }
+
+    #[test]
+    fn repeats() {
+        assert!(matches!(
+            parse("a*").unwrap(),
+            Ast::Repeat { min: 0, max: None, .. }
+        ));
+        assert!(matches!(
+            parse("a+").unwrap(),
+            Ast::Repeat { min: 1, max: None, .. }
+        ));
+        assert!(matches!(
+            parse("a?").unwrap(),
+            Ast::Repeat {
+                min: 0,
+                max: Some(1),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{3,}").unwrap(),
+            Ast::Repeat { min: 3, max: None, .. }
+        ));
+        assert!(matches!(
+            parse("a{4}").unwrap(),
+            Ast::Repeat {
+                min: 4,
+                max: Some(4),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn classes() {
+        let ast = parse("[a-z0-9_]").unwrap();
+        match ast {
+            Ast::Class(c) => {
+                assert!(c.matches('m'));
+                assert!(c.matches('5'));
+                assert!(c.matches('_'));
+                assert!(!c.matches('-'));
+            }
+            _ => panic!("expected class"),
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        match parse("[^0-9]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.matches('a'));
+                assert!(!c.matches('3'));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn groups_and_anchors() {
+        assert!(parse("^(ab|cd)+$").is_ok());
+        assert!(parse("(ab").is_err());
+        assert!(parse("ab)").is_err());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("*a").is_err());
+        assert!(parse("a{5,2}").is_err());
+        assert!(parse("[").is_err());
+        assert!(parse("\\q").is_err());
+        assert!(parse("a\\").is_err());
+        assert!(parse("^*").is_err());
+    }
+
+    #[test]
+    fn paper_patterns_parse() {
+        // The two patterns from the DBLife experiments (§6.3).
+        assert!(parse("[A-Z][A-Z]+").is_ok());
+        assert!(parse("0\\d|19\\d\\d|20\\d\\d").is_ok());
+    }
+
+    #[test]
+    fn class_leading_bracket_literal() {
+        match parse("[]a]").unwrap() {
+            Ast::Class(c) => {
+                assert!(c.matches(']'));
+                assert!(c.matches('a'));
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the regex-lite engine: agreement with a naive
+//! reference matcher on a restricted pattern family, and structural
+//! invariants of reported matches.
+
+use iflex_pattern::Pattern;
+use proptest::prelude::*;
+
+/// Naive reference: does `pat` (a literal) occur in `text`?
+fn naive_contains(text: &str, pat: &str) -> bool {
+    text.contains(pat)
+}
+
+proptest! {
+    #[test]
+    fn literal_patterns_agree_with_contains(
+        text in "[abc]{0,30}",
+        pat in "[abc]{1,4}",
+    ) {
+        let p = Pattern::new(&pat).unwrap();
+        prop_assert_eq!(p.is_match(&text), naive_contains(&text, &pat));
+    }
+
+    #[test]
+    fn matches_are_in_bounds_and_ordered(text in "[a-c0-3 ]{0,60}") {
+        let p = Pattern::new("[a-c]+|\\d+").unwrap();
+        let mut last_end = 0usize;
+        for m in p.find_iter(&text) {
+            prop_assert!(m.start >= last_end || m.start == m.end);
+            prop_assert!(m.start <= m.end);
+            prop_assert!(m.end <= text.len());
+            prop_assert!(text.is_char_boundary(m.start));
+            prop_assert!(text.is_char_boundary(m.end));
+            last_end = m.end.max(last_end);
+        }
+    }
+
+    #[test]
+    fn full_match_implies_prefix_and_contains(text in "[ab]{1,12}") {
+        let p = Pattern::new("[ab]+").unwrap();
+        prop_assert!(p.matches_full(&text));
+        prop_assert!(p.matches_prefix(&text));
+        prop_assert!(p.is_match(&text));
+        prop_assert!(p.matches_suffix(&text));
+    }
+
+    #[test]
+    fn star_is_plus_or_empty(text in "[ab]{0,16}") {
+        let plus = Pattern::new("a+").unwrap();
+        let star = Pattern::new("a*").unwrap();
+        // a* always matches (possibly empty); a+ iff an 'a' exists
+        prop_assert!(star.is_match(&text));
+        prop_assert_eq!(plus.is_match(&text), text.contains('a'));
+    }
+
+    #[test]
+    fn anchored_match_agrees_with_starts_with(
+        text in "[xy]{0,20}",
+        pat in "[xy]{1,3}",
+    ) {
+        let p = Pattern::new(&format!("^{pat}")).unwrap();
+        prop_assert_eq!(p.is_match(&text), text.starts_with(&pat));
+    }
+
+    #[test]
+    fn alternation_is_union(text in "[pq]{0,20}") {
+        let alt = Pattern::new("pp|qq").unwrap();
+        let a = Pattern::new("pp").unwrap();
+        let b = Pattern::new("qq").unwrap();
+        prop_assert_eq!(alt.is_match(&text), a.is_match(&text) || b.is_match(&text));
+    }
+
+    #[test]
+    fn bounded_repeat_counts(reps in 0usize..8) {
+        let text = "z".repeat(reps);
+        let p = Pattern::new("^z{2,4}$").unwrap();
+        prop_assert_eq!(p.is_match(&text), (2..=4).contains(&reps));
+    }
+
+    #[test]
+    fn never_panics_on_arbitrary_text(text in ".{0,120}") {
+        let p = Pattern::new("\\w+|\\d+|\\s+").unwrap();
+        let _ = p.find_iter(&text).count();
+    }
+}

@@ -1,0 +1,377 @@
+//! The [`Document`] type: parsed page text plus the queries features need.
+
+use crate::markup::{self, FormatRun, ParsedMarkup};
+use crate::span::{DocId, Span};
+use crate::token::{Token, TokenIndex};
+use serde::{Deserialize, Serialize};
+
+/// How much of a byte range carries a given style flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverage {
+    /// No byte of the range carries the flag.
+    None,
+    /// Some but not all bytes carry the flag.
+    Partial,
+    /// Every byte carries the flag.
+    Full,
+}
+
+/// A parsed document: identity, plain text, formatting runs, structure,
+/// and a token index. Immutable once built.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Document {
+    id: DocId,
+    text: String,
+    runs: Vec<FormatRun>,
+    title: Option<(u32, u32)>,
+    labels: Vec<markup::Label>,
+    list_items: Vec<(u32, u32)>,
+    links: Vec<((u32, u32), String)>,
+    tokens: TokenIndex,
+}
+
+impl Document {
+    /// Parses `source` markup into a document with identity `id`.
+    pub fn parse(id: DocId, source: &str) -> Self {
+        let ParsedMarkup {
+            text,
+            mut runs,
+            title,
+            labels,
+            list_items,
+            links,
+        } = markup::parse(source);
+        runs.sort_by_key(|r| (r.start, r.end));
+        let tokens = TokenIndex::new(&text);
+        Document {
+            id,
+            text,
+            runs,
+            title,
+            labels,
+            list_items,
+            links,
+            tokens,
+        }
+    }
+
+    /// Builds a plain-text document without any markup.
+    pub fn plain(id: DocId, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let tokens = TokenIndex::new(&text);
+        Document {
+            id,
+            text,
+            runs: Vec::new(),
+            title: None,
+            labels: Vec::new(),
+            list_items: Vec::new(),
+            links: Vec::new(),
+            tokens,
+        }
+    }
+
+    #[inline]
+    /// Id.
+    pub fn id(&self) -> DocId {
+        self.id
+    }
+
+    #[inline]
+    /// Text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    #[inline]
+    /// Number of elements.
+    pub fn len(&self) -> u32 {
+        self.text.len() as u32
+    }
+
+    #[inline]
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// The span covering the whole document.
+    #[inline]
+    pub fn full_span(&self) -> Span {
+        Span::new(self.id, 0, self.text.len() as u32)
+    }
+
+    /// Text of a span (must belong to this document).
+    pub fn span_text(&self, span: &Span) -> &str {
+        debug_assert_eq!(span.doc, self.id);
+        &self.text[span.range()]
+    }
+
+    #[inline]
+    /// The token list.
+    pub fn tokens(&self) -> &TokenIndex {
+        &self.tokens
+    }
+
+    #[inline]
+    /// Token slice.
+    pub fn token_slice(&self, span: &Span) -> &[Token] {
+        let r = self.tokens.tokens_within(span.start, span.end);
+        &self.tokens.tokens()[r]
+    }
+
+    #[inline]
+    /// Title range.
+    pub fn title_range(&self) -> Option<(u32, u32)> {
+        self.title
+    }
+
+    #[inline]
+    /// Labels.
+    pub fn labels(&self) -> &[markup::Label] {
+        &self.labels
+    }
+
+    #[inline]
+    /// List items.
+    pub fn list_items(&self) -> &[(u32, u32)] {
+        &self.list_items
+    }
+
+    #[inline]
+    /// Links.
+    pub fn links(&self) -> &[((u32, u32), String)] {
+        &self.links
+    }
+
+    #[inline]
+    /// Runs.
+    pub fn runs(&self) -> &[FormatRun] {
+        &self.runs
+    }
+
+    /// How much of `[start, end)` carries style `flag`.
+    pub fn style_coverage(&self, start: u32, end: u32, flag: u8) -> Coverage {
+        if start >= end {
+            return Coverage::None;
+        }
+        // Whitespace between styled runs should not break "fully styled":
+        // count only non-whitespace bytes as needing coverage.
+        let needed = self.text[start as usize..end as usize]
+            .bytes()
+            .filter(|b| !b.is_ascii_whitespace())
+            .count() as u32;
+        let covered_nonws = self.covered_nonws(start, end, flag);
+        if covered_nonws == 0 {
+            Coverage::None
+        } else if covered_nonws >= needed {
+            Coverage::Full
+        } else {
+            Coverage::Partial
+        }
+    }
+
+    fn covered_nonws(&self, start: u32, end: u32, flag: u8) -> u32 {
+        let mut covered = 0u32;
+        for r in &self.runs {
+            if r.flags & flag == 0 {
+                continue;
+            }
+            let s = r.start.max(start);
+            let e = r.end.min(end);
+            if s < e {
+                covered += self.text[s as usize..e as usize]
+                    .bytes()
+                    .filter(|b| !b.is_ascii_whitespace())
+                    .count() as u32;
+            }
+        }
+        covered
+    }
+
+    /// True when `[start, end)` is fully styled with `flag` *and* the
+    /// adjacent tokens (if any) are not: the paper's `distinct-yes`.
+    pub fn style_distinct(&self, start: u32, end: u32, flag: u8) -> bool {
+        if self.style_coverage(start, end, flag) != Coverage::Full {
+            return false;
+        }
+        // Previous token must not be styled.
+        let toks = self.tokens.tokens();
+        let first_inside = toks.partition_point(|t| t.start < start);
+        if first_inside > 0 {
+            let prev = &toks[first_inside - 1];
+            if prev.end <= start
+                && self.style_coverage(prev.start, prev.end, flag) != Coverage::None
+            {
+                return false;
+            }
+        }
+        let first_after = toks.partition_point(|t| t.end <= end);
+        if let Some(next) = toks.get(first_after) {
+            if next.start >= end
+                && self.style_coverage(next.start, next.end, flag) != Coverage::None
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Maximal ranges within `[start, end)` whose non-whitespace content is
+    /// fully styled with `flag`, clipped to token boundaries.
+    pub fn styled_regions(&self, start: u32, end: u32, flag: u8) -> Vec<(u32, u32)> {
+        let mut regions: Vec<(u32, u32)> = Vec::new();
+        for r in &self.runs {
+            if r.flags & flag == 0 {
+                continue;
+            }
+            let s = r.start.max(start);
+            let e = r.end.min(end);
+            if s >= e {
+                continue;
+            }
+            match regions.last_mut() {
+                // Merge adjacent/overlapping styled runs separated only by whitespace.
+                Some((_, le))
+                    if *le >= s
+                        || self.text[*le as usize..s as usize]
+                            .bytes()
+                            .all(|b| b.is_ascii_whitespace()) =>
+                {
+                    *le = (*le).max(e);
+                }
+                _ => regions.push((s, e)),
+            }
+        }
+        // Clip each region to the tokens it fully contains.
+        regions
+            .into_iter()
+            .filter_map(|(s, e)| self.tokens.cover(self.tokens.tokens_within(s, e)))
+            .collect()
+    }
+
+    /// The closest label whose end precedes `pos`, with the byte distance
+    /// from the label's end to `pos`.
+    pub fn preceding_label(&self, pos: u32) -> Option<(&markup::Label, u32)> {
+        self.labels
+            .iter()
+            .filter(|l| l.end <= pos)
+            .max_by_key(|l| l.end)
+            .map(|l| (l, pos - l.end))
+    }
+
+    /// True when `[start, end)` lies inside the page title.
+    pub fn in_title(&self, start: u32, end: u32) -> Coverage {
+        match self.title {
+            Some((ts, te)) if ts <= start && end <= te => Coverage::Full,
+            Some((ts, te)) if start < te && ts < end => Coverage::Partial,
+            _ => Coverage::None,
+        }
+    }
+
+    /// True when `[start, end)` lies inside some list item.
+    pub fn in_list(&self, start: u32, end: u32) -> Coverage {
+        let mut best = Coverage::None;
+        for &(ls, le) in &self.list_items {
+            if ls <= start && end <= le {
+                return Coverage::Full;
+            }
+            if start < le && ls < end {
+                best = Coverage::Partial;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(src: &str) -> Document {
+        Document::parse(DocId(0), src)
+    }
+
+    #[test]
+    fn span_text_and_full_span() {
+        let d = doc("hello <b>world</b>");
+        assert_eq!(d.text(), "hello world");
+        assert_eq!(d.span_text(&d.full_span()), "hello world");
+    }
+
+    #[test]
+    fn style_coverage_levels() {
+        let d = doc("aa <b>bb</b> cc");
+        // "bb" is bytes 3..5
+        assert_eq!(d.style_coverage(3, 5, markup::style::BOLD), Coverage::Full);
+        assert_eq!(d.style_coverage(0, 2, markup::style::BOLD), Coverage::None);
+        assert_eq!(
+            d.style_coverage(0, 5, markup::style::BOLD),
+            Coverage::Partial
+        );
+    }
+
+    #[test]
+    fn whitespace_between_bold_runs_counts_as_full() {
+        let d = doc("<b>one</b> <b>two</b>");
+        assert_eq!(
+            d.style_coverage(0, d.len(), markup::style::BOLD),
+            Coverage::Full
+        );
+    }
+
+    #[test]
+    fn distinct_requires_unstyled_neighbors() {
+        let d = doc("aa <b>bb</b> cc");
+        assert!(d.style_distinct(3, 5, markup::style::BOLD));
+        let d2 = doc("<b>aa bb</b> cc");
+        // "bb" styled but previous token "aa" also styled → not distinct
+        assert!(!d2.style_distinct(3, 5, markup::style::BOLD));
+    }
+
+    #[test]
+    fn styled_regions_merge_and_clip() {
+        let d = doc("x <b>alpha beta</b> y <b>gamma</b>");
+        let regions = d.styled_regions(0, d.len(), markup::style::BOLD);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(&d.text()[regions[0].0 as usize..regions[0].1 as usize], "alpha beta");
+        assert_eq!(&d.text()[regions[1].0 as usize..regions[1].1 as usize], "gamma");
+    }
+
+    #[test]
+    fn adjacent_bold_runs_merge_across_whitespace() {
+        let d = doc("<b>one</b> <b>two</b>");
+        let regions = d.styled_regions(0, d.len(), markup::style::BOLD);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(&d.text()[regions[0].0 as usize..regions[0].1 as usize], "one two");
+    }
+
+    #[test]
+    fn preceding_label_finds_closest() {
+        let d = doc("<h2>Alpha</h2>aaa<h2>Beta</h2>bbb");
+        let pos = d.text().find("bbb").unwrap() as u32;
+        let (l, dist) = d.preceding_label(pos).unwrap();
+        assert_eq!(&d.text()[l.start as usize..l.end as usize], "Beta");
+        assert!(dist <= 2);
+    }
+
+    #[test]
+    fn title_and_list_coverage() {
+        let d = doc("<title>The Title</title><ul><li>item one</li></ul>rest");
+        let (ts, te) = d.title_range().unwrap();
+        assert_eq!(d.in_title(ts, te), Coverage::Full);
+        assert_eq!(d.in_title(te + 1, te + 2), Coverage::None);
+        let (ls, le) = d.list_items()[0];
+        assert_eq!(d.in_list(ls, le), Coverage::Full);
+        assert_eq!(d.in_list(le + 1, le + 2), Coverage::None);
+    }
+
+    #[test]
+    fn plain_document_has_no_structure() {
+        let d = Document::plain(DocId(7), "just words 42");
+        assert_eq!(d.id(), DocId(7));
+        assert!(d.labels().is_empty());
+        assert!(d.title_range().is_none());
+        assert_eq!(d.tokens().len(), 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! # iflex-text
+//!
+//! Document substrate for the iFlex best-effort information-extraction
+//! system (SIGMOD 2008): byte-offset [`Span`]s, a deterministic tokenizer,
+//! a mini-HTML [`markup`] parser producing plain text plus formatting runs
+//! and structure, and the [`DocumentStore`] that owns a corpus.
+//!
+//! Everything higher in the stack — compact tables, text features, the
+//! approximate query processor — resolves spans against this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod markup;
+pub mod span;
+pub mod store;
+pub mod token;
+
+pub use document::{Coverage, Document};
+pub use span::{DocId, Span};
+pub use store::DocumentStore;
+pub use token::{parse_number, tokenize, Token, TokenIndex, TokenKind};

@@ -1,0 +1,482 @@
+//! Mini-HTML markup parser.
+//!
+//! The corpora iFlex extracts from are Web pages. This module parses a small,
+//! well-defined HTML subset into plain text plus *formatting runs* and
+//! *structure* (title, section labels, list items, hyperlink targets). The
+//! text features in `iflex-features` (bold-font, in-title, prec-label-contains,
+//! ...) are all evaluated against this representation.
+//!
+//! Supported tags (case-insensitive):
+//! `<b>`, `<strong>` → bold; `<i>`, `<em>` → italic; `<u>` → underline;
+//! `<a href="...">` → hyperlink; `<title>`/`<h1>`..`<h6>`/`<h>` → title or
+//! section label; `<li>` → list item; `<br>`, `<p>`, `<div>`, `<tr>`, `<td>`
+//! → block separators. Unknown tags are ignored (their content is kept).
+//! Entities `&amp; &lt; &gt; &quot; &#NN;` are decoded.
+
+use serde::{Deserialize, Serialize};
+
+/// Style bit flags attached to a formatting run.
+pub mod style {
+    /// Bold text.
+    pub const BOLD: u8 = 1 << 0;
+    /// Italic text.
+    pub const ITALIC: u8 = 1 << 1;
+    /// Underlined text.
+    pub const UNDERLINE: u8 = 1 << 2;
+    /// Hyperlinked text.
+    pub const LINK: u8 = 1 << 3;
+}
+
+/// A maximal run of text carrying a fixed set of style flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FormatRun {
+    /// The start.
+    pub start: u32,
+    /// The end.
+    pub end: u32,
+    /// The flags.
+    pub flags: u8,
+}
+
+/// A section label (`<h1>`..`<h6>` or `<h>` content that is not the page
+/// title): its own byte range, used by the `prec-label-*` features.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Label {
+    /// The start.
+    pub start: u32,
+    /// The end.
+    pub end: u32,
+}
+
+/// Result of parsing markup: plain text plus layered structure.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParsedMarkup {
+    /// The text.
+    pub text: String,
+    /// The runs.
+    pub runs: Vec<FormatRun>,
+    /// Byte range of the `<title>` content (first one wins).
+    pub title: Option<(u32, u32)>,
+    /// The labels.
+    pub labels: Vec<Label>,
+    /// Byte ranges of `<li>` contents.
+    pub list_items: Vec<(u32, u32)>,
+    /// `(range, href)` for each `<a href>` region.
+    pub links: Vec<((u32, u32), String)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagKind {
+    Bold,
+    Italic,
+    Underline,
+    Anchor,
+    Title,
+    Heading,
+    ListItem,
+    Block,
+    Unknown,
+}
+
+fn classify(name: &str) -> TagKind {
+    match name {
+        "b" | "strong" => TagKind::Bold,
+        "i" | "em" => TagKind::Italic,
+        "u" => TagKind::Underline,
+        "a" => TagKind::Anchor,
+        "title" => TagKind::Title,
+        "h" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => TagKind::Heading,
+        "li" => TagKind::ListItem,
+        "br" | "p" | "div" | "tr" | "td" | "ul" | "ol" | "table" | "hr" | "span" => TagKind::Block,
+        _ => TagKind::Unknown,
+    }
+}
+
+struct OpenTag {
+    kind: TagKind,
+    text_start: u32,
+    href: Option<String>,
+}
+
+/// Parses `source` markup. Never fails: malformed markup degrades to text.
+pub fn parse(source: &str) -> ParsedMarkup {
+    let mut out = ParsedMarkup::default();
+    let bytes = source.as_bytes();
+    let mut stack: Vec<OpenTag> = Vec::new();
+    let mut flags: u8 = 0;
+    let mut run_start: u32 = 0;
+    let mut i = 0usize;
+
+    // Pending flag state flushes the current run when flags change.
+    macro_rules! flush_run {
+        ($new_flags:expr) => {{
+            let pos = out.text.len() as u32;
+            if flags != 0 && pos > run_start {
+                out.runs.push(FormatRun {
+                    start: run_start,
+                    end: pos,
+                    flags,
+                });
+            }
+            flags = $new_flags;
+            run_start = pos;
+        }};
+    }
+
+    // Ensure whitespace separation at block boundaries.
+    macro_rules! block_break {
+        () => {
+            if !out.text.is_empty() && !out.text.ends_with('\n') {
+                out.text.push('\n');
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            // find '>'
+            if let Some(close) = source[i + 1..].find('>') {
+                let inner = &source[i + 1..i + 1 + close];
+                i += close + 2;
+                let inner = inner.trim();
+                if inner.starts_with("!--") {
+                    continue; // comment-ish; contents already consumed to '>'
+                }
+                let (closing, body) = if let Some(rest) = inner.strip_prefix('/') {
+                    (true, rest.trim())
+                } else {
+                    (false, inner)
+                };
+                let body = body.strip_suffix('/').unwrap_or(body).trim();
+                let name_end = body
+                    .find(|c: char| c.is_whitespace())
+                    .unwrap_or(body.len());
+                let name = body[..name_end].to_ascii_lowercase();
+                let kind = classify(&name);
+                if closing {
+                    if kind == TagKind::Block {
+                        // Block tags never push onto the stack.
+                        block_break!();
+                        continue;
+                    }
+                    // Find matching open tag (innermost of this kind).
+                    if let Some(pos) = stack.iter().rposition(|t| t.kind == kind) {
+                        let tag = stack.remove(pos);
+                        let end = out.text.len() as u32;
+                        match tag.kind {
+                            TagKind::Title => {
+                                if out.title.is_none() {
+                                    out.title = Some((tag.text_start, end));
+                                } else {
+                                    out.labels.push(Label {
+                                        start: tag.text_start,
+                                        end,
+                                    });
+                                }
+                                block_break!();
+                            }
+                            TagKind::Heading => {
+                                out.labels.push(Label {
+                                    start: tag.text_start,
+                                    end,
+                                });
+                                block_break!();
+                            }
+                            TagKind::ListItem => {
+                                out.list_items.push((tag.text_start, end));
+                                block_break!();
+                            }
+                            TagKind::Anchor => {
+                                out.links
+                                    .push(((tag.text_start, end), tag.href.unwrap_or_default()));
+                                flush_run!(recompute_flags(&stack));
+                            }
+                            TagKind::Bold | TagKind::Italic | TagKind::Underline => {
+                                flush_run!(recompute_flags(&stack));
+                            }
+                            TagKind::Block => block_break!(),
+                            TagKind::Unknown => {}
+                        }
+                    }
+                } else {
+                    match kind {
+                        TagKind::Bold | TagKind::Italic | TagKind::Underline => {
+                            stack.push(OpenTag {
+                                kind,
+                                text_start: out.text.len() as u32,
+                                href: None,
+                            });
+                            flush_run!(recompute_flags(&stack));
+                        }
+                        TagKind::Anchor => {
+                            let href = extract_attr(body, "href");
+                            stack.push(OpenTag {
+                                kind,
+                                text_start: out.text.len() as u32,
+                                href,
+                            });
+                            flush_run!(recompute_flags(&stack));
+                        }
+                        TagKind::Title | TagKind::Heading | TagKind::ListItem => {
+                            block_break!();
+                            stack.push(OpenTag {
+                                kind,
+                                text_start: out.text.len() as u32,
+                                href: None,
+                            });
+                        }
+                        TagKind::Block => block_break!(),
+                        TagKind::Unknown => {}
+                    }
+                }
+            } else {
+                // lone '<' at EOF: treat as text
+                out.text.push('<');
+                i += 1;
+            }
+        } else if bytes[i] == b'&' {
+            let (decoded, consumed) = decode_entity(&source[i..]);
+            out.text.push_str(&decoded);
+            i += consumed;
+        } else {
+            // copy one UTF-8 character
+            let ch_len = utf8_len(bytes[i]);
+            out.text.push_str(&source[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    // Final run flush.
+    let pos = out.text.len() as u32;
+    if flags != 0 && pos > run_start {
+        out.runs.push(FormatRun {
+            start: run_start,
+            end: pos,
+            flags,
+        });
+    }
+    out
+}
+
+fn recompute_flags(stack: &[OpenTag]) -> u8 {
+    let mut f = 0;
+    for t in stack {
+        f |= match t.kind {
+            TagKind::Bold => style::BOLD,
+            TagKind::Italic => style::ITALIC,
+            TagKind::Underline => style::UNDERLINE,
+            TagKind::Anchor => style::LINK,
+            _ => 0,
+        };
+    }
+    f
+}
+
+fn extract_attr(tag_body: &str, attr: &str) -> Option<String> {
+    let lower = tag_body.to_ascii_lowercase();
+    let pos = lower.find(attr)?;
+    let rest = &tag_body[pos + attr.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(stripped[..end].to_string())
+    } else if let Some(stripped) = rest.strip_prefix('\'') {
+        let end = stripped.find('\'')?;
+        Some(stripped[..end].to_string())
+    } else {
+        let end = rest
+            .find(|c: char| c.is_whitespace())
+            .unwrap_or(rest.len());
+        Some(rest[..end].to_string())
+    }
+}
+
+fn decode_entity(s: &str) -> (String, usize) {
+    debug_assert!(s.starts_with('&'));
+    if let Some(semi) = s.find(';').filter(|&i| i <= 9) {
+        let name = &s[1..semi];
+        let decoded = match name {
+            "amp" => Some("&".to_string()),
+            "lt" => Some("<".to_string()),
+            "gt" => Some(">".to_string()),
+            "quot" => Some("\"".to_string()),
+            "apos" => Some("'".to_string()),
+            "nbsp" => Some(" ".to_string()),
+            _ => {
+                if let Some(num) = name.strip_prefix('#') {
+                    num.parse::<u32>()
+                        .ok()
+                        .and_then(char::from_u32)
+                        .map(|c| c.to_string())
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(d) = decoded {
+            return (d, semi + 1);
+        }
+    }
+    ("&".to_string(), 1)
+}
+
+#[inline]
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_passthrough() {
+        let p = parse("hello world");
+        assert_eq!(p.text, "hello world");
+        assert!(p.runs.is_empty());
+    }
+
+    #[test]
+    fn bold_run_recorded() {
+        let p = parse("price is <b>35</b> dollars");
+        assert_eq!(p.text, "price is 35 dollars");
+        assert_eq!(p.runs.len(), 1);
+        let r = p.runs[0];
+        assert_eq!(&p.text[r.start as usize..r.end as usize], "35");
+        assert_eq!(r.flags, style::BOLD);
+    }
+
+    #[test]
+    fn nested_styles_union_flags() {
+        let p = parse("<b>a<i>b</i>c</b>");
+        assert_eq!(p.text, "abc");
+        let flags_at = |pos: u32| {
+            p.runs
+                .iter()
+                .filter(|r| r.start <= pos && pos < r.end)
+                .fold(0u8, |acc, r| acc | r.flags)
+        };
+        assert_eq!(flags_at(0), style::BOLD);
+        assert_eq!(flags_at(1), style::BOLD | style::ITALIC);
+        assert_eq!(flags_at(2), style::BOLD);
+    }
+
+    #[test]
+    fn title_and_labels() {
+        let p = parse("<title>My Page</title><h2>Section A</h2>body<h2>Section B</h2>tail");
+        let (ts, te) = p.title.unwrap();
+        assert_eq!(&p.text[ts as usize..te as usize], "My Page");
+        assert_eq!(p.labels.len(), 2);
+        let l = &p.labels[0];
+        assert_eq!(&p.text[l.start as usize..l.end as usize], "Section A");
+    }
+
+    #[test]
+    fn list_items_recorded() {
+        let p = parse("<ul><li>one</li><li>two</li></ul>");
+        assert_eq!(p.list_items.len(), 2);
+        let (s, e) = p.list_items[1];
+        assert_eq!(&p.text[s as usize..e as usize], "two");
+    }
+
+    #[test]
+    fn links_with_href() {
+        let p = parse(r#"see <a href="http://x.org">here</a>."#);
+        assert_eq!(p.links.len(), 1);
+        let ((s, e), href) = &p.links[0];
+        assert_eq!(&p.text[*s as usize..*e as usize], "here");
+        assert_eq!(href, "http://x.org");
+        assert_eq!(p.runs.len(), 1);
+        assert_eq!(p.runs[0].flags, style::LINK);
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let p = parse("AT&amp;T &lt;3 &#65;");
+        assert_eq!(p.text, "AT&T <3 A");
+    }
+
+    #[test]
+    fn block_tags_insert_newlines() {
+        let p = parse("a<br>b<p>c</p>d");
+        assert_eq!(p.text, "a\nb\nc\nd");
+    }
+
+    #[test]
+    fn malformed_markup_degrades_gracefully() {
+        let p = parse("<b>unclosed and < lone");
+        assert_eq!(p.text, "unclosed and < lone");
+        // unclosed <b>: the run is flushed at EOF
+        assert_eq!(p.runs.len(), 1);
+    }
+
+    #[test]
+    fn unknown_tags_keep_content() {
+        let p = parse("<foo>kept</foo>");
+        assert_eq!(p.text, "kept");
+    }
+
+    #[test]
+    fn second_title_becomes_label() {
+        let p = parse("<title>T1</title><title>T2</title>");
+        assert!(p.title.is_some());
+        assert_eq!(p.labels.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse("before<!-- hidden -->after");
+        assert_eq!(p.text, "beforeafter");
+    }
+
+    #[test]
+    fn self_closing_tags() {
+        let p = parse("a<br/>b");
+        assert_eq!(p.text, "a\nb");
+    }
+
+    #[test]
+    fn case_insensitive_tags() {
+        let p = parse("<B>x</B> <I>y</I>");
+        assert_eq!(p.runs.len(), 2);
+        assert_eq!(p.runs[0].flags, style::BOLD);
+        assert_eq!(p.runs[1].flags, style::ITALIC);
+    }
+
+    #[test]
+    fn numeric_entities() {
+        let p = parse("&#8212; dash &#65;&#66;");
+        assert!(p.text.contains('—'));
+        assert!(p.text.ends_with("AB"));
+    }
+
+    #[test]
+    fn mismatched_close_ignored() {
+        let p = parse("</b>text</i>");
+        assert_eq!(p.text, "text");
+        assert!(p.runs.is_empty());
+    }
+
+    #[test]
+    fn attr_variants() {
+        for src in [
+            r#"<a href="u1">x</a>"#,
+            r#"<a href='u1'>x</a>"#,
+            r#"<a href=u1>x</a>"#,
+            r#"<a HREF="u1">x</a>"#,
+        ] {
+            let p = parse(src);
+            assert_eq!(p.links[0].1, "u1", "{src}");
+        }
+    }
+}

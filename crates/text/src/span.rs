@@ -1,0 +1,168 @@
+//! Byte-offset spans into documents.
+//!
+//! A [`Span`] identifies a contiguous region of the text of one document.
+//! Spans are the currency of the whole system: extracted attribute values,
+//! `exact` / `contain` assignments in compact tables, and the arguments of
+//! `Verify` / `Refine` feature procedures are all spans.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a document within a [`crate::DocumentStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// Index usable for direct vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A contiguous byte range `[start, end)` within document `doc`.
+///
+/// Invariant: `start <= end`. Offsets are byte offsets into the document's
+/// plain text (after markup stripping) and always lie on UTF-8 boundaries
+/// when produced by this crate's tokenizer or markup parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// The doc.
+    pub doc: DocId,
+    /// The start.
+    pub start: u32,
+    /// The end.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a new span. Panics (debug only) if `start > end`.
+    #[inline]
+    pub fn new(doc: DocId, start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start {start} > end {end}");
+        Span { doc, start, end }
+    }
+
+    /// Length of the span in bytes.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True when the span covers zero bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The byte range as `usize` bounds, for slicing document text.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+
+    /// True when `self` fully contains `other` (same document required).
+    #[inline]
+    pub fn contains(&self, other: &Span) -> bool {
+        self.doc == other.doc && self.start <= other.start && other.end <= self.end
+    }
+
+    /// True when `self` contains the byte position `pos`.
+    #[inline]
+    pub fn contains_pos(&self, pos: u32) -> bool {
+        self.start <= pos && pos < self.end
+    }
+
+    /// True when the two spans share at least one byte.
+    #[inline]
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.doc == other.doc && self.start < other.end && other.start < self.end
+    }
+
+    /// Intersection of two spans, if non-empty and in the same document.
+    pub fn intersect(&self, other: &Span) -> Option<Span> {
+        if self.doc != other.doc {
+            return None;
+        }
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(Span::new(self.doc, start, end))
+        } else {
+            None
+        }
+    }
+
+    /// Smallest span covering both (same document required).
+    pub fn cover(&self, other: &Span) -> Option<Span> {
+        if self.doc != other.doc {
+            return None;
+        }
+        Some(Span::new(
+            self.doc,
+            self.start.min(other.start),
+            self.end.max(other.end),
+        ))
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}..{}]", self.doc, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(start: u32, end: u32) -> Span {
+        Span::new(DocId(0), start, end)
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(s(2, 5).len(), 3);
+        assert!(!s(2, 5).is_empty());
+        assert!(s(4, 4).is_empty());
+    }
+
+    #[test]
+    fn containment() {
+        assert!(s(0, 10).contains(&s(2, 5)));
+        assert!(s(0, 10).contains(&s(0, 10)));
+        assert!(!s(2, 5).contains(&s(0, 10)));
+        assert!(!s(0, 10).contains(&Span::new(DocId(1), 2, 5)));
+        assert!(s(0, 10).contains_pos(0));
+        assert!(!s(0, 10).contains_pos(10));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        assert!(s(0, 5).overlaps(&s(4, 9)));
+        assert!(!s(0, 5).overlaps(&s(5, 9)));
+        assert_eq!(s(0, 5).intersect(&s(4, 9)), Some(s(4, 5)));
+        assert_eq!(s(0, 5).intersect(&s(5, 9)), None);
+        assert_eq!(s(0, 5).intersect(&Span::new(DocId(1), 0, 5)), None);
+    }
+
+    #[test]
+    fn cover_unions() {
+        assert_eq!(s(0, 3).cover(&s(7, 9)), Some(s(0, 9)));
+        assert_eq!(s(7, 9).cover(&s(0, 3)), Some(s(0, 9)));
+        assert_eq!(s(0, 3).cover(&Span::new(DocId(1), 7, 9)), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(s(0, 3) < s(0, 4));
+        assert!(s(0, 9) < s(1, 2));
+        assert!(Span::new(DocId(0), 9, 9) < Span::new(DocId(1), 0, 0));
+    }
+}

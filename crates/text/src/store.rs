@@ -1,0 +1,93 @@
+//! A store of parsed documents, addressed by [`DocId`].
+
+use crate::document::Document;
+use crate::span::{DocId, Span};
+use serde::{Deserialize, Serialize};
+
+/// Owns the documents of a corpus; the single source of truth that spans
+/// are resolved against.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DocumentStore {
+    docs: Vec<Document>,
+}
+
+impl DocumentStore {
+    /// Creates a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses markup and registers the document, returning its id.
+    pub fn add_markup(&mut self, source: &str) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        self.docs.push(Document::parse(id, source));
+        id
+    }
+
+    /// Registers a plain-text document, returning its id.
+    pub fn add_plain(&mut self, text: impl Into<String>) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        self.docs.push(Document::plain(id, text));
+        id
+    }
+
+    #[inline]
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    #[inline]
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The document with id `id`. Panics when out of range (ids are only
+    /// minted by this store, so a miss is a logic error).
+    #[inline]
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+
+    /// Fallible lookup.
+    #[inline]
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(id.index())
+    }
+
+    /// Resolves the text of a span.
+    #[inline]
+    pub fn span_text(&self, span: &Span) -> &str {
+        self.doc(span.doc).span_text(span)
+    }
+
+    /// Iterates over all documents.
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.docs.iter()
+    }
+
+    /// Ids of all documents.
+    pub fn ids(&self) -> impl Iterator<Item = DocId> + '_ {
+        (0..self.docs.len() as u32).map(DocId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_resolve() {
+        let mut store = DocumentStore::new();
+        let a = store.add_plain("first doc");
+        let b = store.add_markup("<b>second</b> doc");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.doc(a).text(), "first doc");
+        assert_eq!(store.doc(b).text(), "second doc");
+        let span = Span::new(b, 0, 6);
+        assert_eq!(store.span_text(&span), "second");
+        assert!(store.get(DocId(5)).is_none());
+        assert_eq!(store.ids().count(), 2);
+    }
+}

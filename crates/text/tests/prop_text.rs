@@ -1,0 +1,83 @@
+//! Property tests: tokenizer and markup parser never panic, produce
+//! in-bounds aligned offsets, and respect structural invariants.
+
+use iflex_text::{markup, tokenize, DocumentStore, TokenIndex};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tokenizer_offsets_in_bounds_and_ordered(text in ".{0,200}") {
+        let toks = tokenize(&text);
+        let mut last_end = 0u32;
+        for t in &toks {
+            prop_assert!(t.start >= last_end);
+            prop_assert!(t.start < t.end);
+            prop_assert!((t.end as usize) <= text.len());
+            prop_assert!(text.is_char_boundary(t.start as usize));
+            prop_assert!(text.is_char_boundary(t.end as usize));
+            last_end = t.end;
+        }
+    }
+
+    #[test]
+    fn subspan_count_matches_enumeration(text in "[a-z0-9 .,]{0,80}") {
+        let idx = TokenIndex::new(&text);
+        let n = text.len() as u32;
+        prop_assert_eq!(
+            idx.subspan_count(0, n),
+            idx.subspans(0, n).count() as u64
+        );
+    }
+
+    #[test]
+    fn subspans_are_token_aligned(text in "[a-z 0-9]{0,60}") {
+        let idx = TokenIndex::new(&text);
+        for (s, e) in idx.subspans(0, text.len() as u32) {
+            prop_assert!(s < e);
+            // the cover of the contained tokens is exactly the sub-span
+            let r = idx.tokens_within(s, e);
+            prop_assert_eq!(idx.cover(r), Some((s, e)));
+        }
+    }
+
+    #[test]
+    fn markup_parse_never_panics(src in ".{0,300}") {
+        let parsed = markup::parse(&src);
+        // runs are in-bounds and ordered
+        for r in &parsed.runs {
+            prop_assert!(r.start <= r.end);
+            prop_assert!((r.end as usize) <= parsed.text.len());
+        }
+        if let Some((s, e)) = parsed.title {
+            prop_assert!(s <= e && (e as usize) <= parsed.text.len());
+        }
+    }
+
+    #[test]
+    fn markup_plain_text_is_subsequence_of_source(src in "[a-zA-Z0-9 <>/buih]{0,120}") {
+        // parsing cannot invent characters that aren't in the source
+        // (entities aside, which this alphabet excludes)
+        let parsed = markup::parse(&src);
+        let mut source_chars = src.chars().filter(|c| *c != '<' && *c != '>' && *c != '/');
+        for c in parsed
+            .text
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '<' && *c != '>' && *c != '/')
+        {
+            prop_assert!(
+                source_chars.any(|s| s == c),
+                "char {c:?} not found in order in source {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_roundtrip(texts in proptest::collection::vec("[a-z ]{0,40}", 0..8)) {
+        let mut store = DocumentStore::new();
+        let ids: Vec<_> = texts.iter().map(|t| store.add_plain(t.clone())).collect();
+        prop_assert_eq!(store.len(), texts.len());
+        for (id, t) in ids.iter().zip(&texts) {
+            prop_assert_eq!(store.doc(*id).text(), t.as_str());
+        }
+    }
+}

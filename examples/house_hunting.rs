@@ -1,0 +1,79 @@
+//! The paper's full running example (Figures 1–3): houses above $500k with
+//! more than 4500 sqft whose high school appears on a top-schools list —
+//! including the cross-document `approxMatch` join and both annotation
+//! kinds (`<p>` attribute annotations and the `?` existence annotation).
+//!
+//! Run with: `cargo run --release -p iflex-examples --bin house_hunting`
+
+use iflex::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let mut store = DocumentStore::new();
+    let house_pages = vec![
+        store.add_markup(
+            "$351,000 Cozy house on quiet street. 5146 Windsor Ave., Champaign \
+             Sqft: 2750 price 351000 High school: <i>Vanhise High</i>",
+        ),
+        store.add_markup(
+            "$619,000 Amazing house in great location. 3112 Stonecreek Blvd., Cherry Hills \
+             Sqft: 4700 price 619000 High school: <i>Basktall HS</i>",
+        ),
+    ];
+    let school_pages = vec![
+        store.add_markup(
+            "<h2>Top High Schools and Location (page 1)</h2> \
+             <b>Basktall</b>, Cherry Hills <b>Franklin</b>, Robeson <b>Vanhise</b>, Champaign",
+        ),
+        store.add_markup(
+            "<h2>Top High Schools and Location (page 2)</h2> \
+             <b>Hoover</b>, Akron <b>Ossage</b>, Lynneville",
+        ),
+    ];
+    let mut engine = Engine::new(Arc::new(store));
+    engine.add_doc_table("housePages", &house_pages);
+    engine.add_doc_table("schoolPages", &school_pages);
+
+    // Figure 2.c: the annotated Alog program. Each house page lists one
+    // house (so p, a, h carry attribute annotations); not every bold span
+    // in a school page is a school (existence annotation on schools).
+    let program = parse_program(
+        r#"
+        houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(#x, p, a, h).
+        schools(s)? :- schoolPages(y), extractSchools(#y, s).
+        Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000,
+                         a > 4500, approxMatch(#h, #s).
+        extractHouses(#x, p, a, h) :- from(#x, p), from(#x, a), from(#x, h),
+                                      numeric(p) = yes, numeric(a) = yes,
+                                      italic-font(h) = yes.
+        extractSchools(#y, s) :- from(#y, s), bold-font(s) = yes.
+    "#,
+    )
+    .expect("the Figure 2 program parses");
+
+    let result = engine.run(&program).expect("executes");
+    println!("Q(x, p, a, h) — houses over $500k / 4500 sqft with a top school:");
+    println!("{}", result.render(engine.store(), 10));
+
+    // Refine the price and area with what the developer knows next
+    // (Example 1.1: "price is preceded by 'price'", area by "Sqft:").
+    let refined = parse_program(
+        r#"
+        houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(#x, p, a, h).
+        schools(s)? :- schoolPages(y), extractSchools(#y, s).
+        Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000,
+                         a > 4500, approxMatch(#h, #s).
+        extractHouses(#x, p, a, h) :- from(#x, p), from(#x, a), from(#x, h),
+                                      numeric(p) = yes, preceded-by(p) = "price",
+                                      numeric(a) = yes, preceded-by(a) = "Sqft:",
+                                      italic-font(h) = distinct-yes.
+        extractSchools(#y, s) :- from(#y, s), bold-font(s) = distinct-yes.
+    "#,
+    )
+    .expect("refined program parses");
+    let result = engine.run(&refined).expect("executes");
+    println!("after refinement (exact prices, areas, schools):");
+    println!("{}", result.render(engine.store(), 10));
+    assert_eq!(result.len(), 1, "only the Cherry Hills house qualifies");
+    println!("✓ exactly the Basktall-HS house qualifies, as in Example 2.2");
+}

@@ -1,0 +1,123 @@
+//! An interactive iFlex shell: load a built-in corpus table, type Alog
+//! programs, run them best-effort, and see the approximate results and
+//! the assistant's suggested next question.
+//!
+//! Run with: `cargo run --release -p iflex-examples --bin interactive_repl`
+//!
+//! Commands:
+//!   .help                 show help
+//!   .tables               list loaded tables
+//!   .program              show the current program
+//!   .load `<alog text>`     replace the program (one line; `\n` for breaks)
+//!   .run                  execute the current program
+//!   .explain              show the compiled execution plan
+//!   .suggest              ask the next-effort assistant for a question
+//!   .quit                 exit
+//! Any other line ending in `.` is appended to the program as a rule.
+
+use iflex::assistant::{ordered_questions, AssistContext};
+use iflex::prelude::*;
+use iflex_corpus::{Corpus, CorpusConfig};
+use std::collections::BTreeSet;
+use std::io::{BufRead, Write};
+
+fn main() {
+    println!("iFlex interactive shell — best-effort IE over the Movies corpus");
+    println!("type .help for commands\n");
+    let corpus = Corpus::build(CorpusConfig::tiny());
+    let mut engine = Engine::new(corpus.store.clone());
+    let imdb: Vec<_> = corpus.movies.imdb.iter().map(|(d, _)| *d).collect();
+    let ebert: Vec<_> = corpus.movies.ebert.iter().map(|(d, _)| *d).collect();
+    engine.add_doc_table("imdb", &imdb);
+    engine.add_doc_table("ebert", &ebert);
+
+    let mut source = String::from(
+        "q(x, title) :- imdb(x), extractTitle(#x, title).\n\
+         extractTitle(#x, t) :- from(#x, t), bold-font(t) = yes.\n",
+    );
+    let asked: BTreeSet<(String, String)> = BTreeSet::new();
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("iflex> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ".quit" | ".exit" => break,
+            ".help" => {
+                println!(
+                    ".tables | .program | .load <alog> | .run | .explain | .suggest | .quit\n\
+                     or type a rule ending in '.' to append it"
+                );
+            }
+            ".tables" => {
+                for (name, table) in engine.ext_tables() {
+                    println!("  {name}: {} records", table.len());
+                }
+            }
+            ".program" => println!("{source}"),
+            ".explain" => match parse_program(&source) {
+                Err(e) => println!("parse error: {e}"),
+                Ok(prog) => match engine.explain(&prog) {
+                    Ok(text) => println!("{text}"),
+                    Err(e) => println!("error: {e}"),
+                },
+            },
+            ".run" => match parse_program(&source) {
+                Err(e) => println!("parse error: {e}"),
+                Ok(prog) => match engine.run(&prog) {
+                    Err(e) => println!("error: {e}"),
+                    Ok(table) => {
+                        println!("{}", table.render(engine.store(), 8));
+                        println!(
+                            "{} compact tuples / {} expanded",
+                            table.len(),
+                            table.expanded_len(engine.store())
+                        );
+                    }
+                },
+            },
+            ".suggest" => match parse_program(&source) {
+                Err(e) => println!("parse error: {e}"),
+                Ok(prog) => {
+                    let current = engine
+                        .run(&prog)
+                        .map(|t| t.expanded_len(engine.store()) as usize)
+                        .unwrap_or(0);
+                    let ctx = AssistContext {
+                        program: &prog,
+                        engine: &mut engine,
+                        asked: &asked,
+                        sample: Sample::new(1.0, 7),
+                        alpha: 0.1,
+                        current_size: current,
+                        examples: Default::default(),
+                    };
+                    match ordered_questions(&ctx).into_iter().next() {
+                        Some(q) => println!("next question: {}", q.text),
+                        None => println!("the question space is exhausted"),
+                    }
+                }
+            },
+            l if l.starts_with(".load ") => {
+                source = l[6..].replace("\\n", "\n");
+                println!("program replaced ({} chars)", source.len());
+            }
+            l if l.ends_with('.') => match parse_rule(l) {
+                Ok(_) => {
+                    source.push_str(l);
+                    source.push('\n');
+                    println!("rule added");
+                }
+                Err(e) => println!("parse error: {e}"),
+            },
+            other => println!("unrecognized input: {other:?} (try .help)"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: write an approximate Alog program, execute it immediately,
+//! refine it with one answer, and watch the result tighten.
+//!
+//! Run with: `cargo run --release -p iflex-examples --bin quickstart`
+
+use iflex::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A tiny corpus: three house-listing records (the paper's running
+    //    example, Figure 1).
+    let mut store = DocumentStore::new();
+    let pages = vec![
+        store.add_markup(
+            "Cozy house on quiet street. 5146 Windsor Ave., Champaign \
+             <b>Sqft: 2750</b> price 351000 High school: <i>Vanhise High</i>",
+        ),
+        store.add_markup(
+            "Amazing house in great location. 3112 Stonecreek Blvd., Cherry Hills \
+             <b>Sqft: 4700</b> price 619000 High school: <i>Basktall HS</i>",
+        ),
+        store.add_markup(
+            "Fixer-upper with potential. 77 Oak Ln., Robeson \
+             <b>Sqft: 1200</b> price 99000 High school: <i>Franklin High</i>",
+        ),
+    ];
+    let mut engine = Engine::new(Arc::new(store));
+    engine.add_doc_table("housePages", &pages);
+
+    // 2. An initial approximate program: "price is numeric" is all we
+    //    assert so far (Example 1.1 of the paper).
+    let program = parse_program(
+        r#"
+        expensive(x, <p>) :- housePages(x), extractPrice(#x, p), p > 500000.
+        extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+    "#,
+    )
+    .expect("program parses");
+
+    let result = engine.run(&program).expect("program runs");
+    println!("--- initial approximate result ---");
+    println!("{}", result.render(engine.store(), 10));
+
+    // 3. Refine: we looked at the pages and noticed the price is the
+    //    number right after the word "price".
+    let refined = parse_program(
+        r#"
+        expensive(x, <p>) :- housePages(x), extractPrice(#x, p), p > 500000.
+        extractPrice(#x, p) :- from(#x, p), numeric(p) = yes,
+                               preceded-by(p) = "price".
+    "#,
+    )
+    .expect("refined program parses");
+
+    let result = engine.run(&refined).expect("refined program runs");
+    println!("--- after one refinement ---");
+    println!("{}", result.render(engine.store(), 10));
+    println!(
+        "{} expensive house(s); every tuple now has an exact price.",
+        result.len()
+    );
+}

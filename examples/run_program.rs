@@ -1,0 +1,118 @@
+//! Run an Alog program from a file over your own page directories — the
+//! non-interactive front door to iFlex.
+//!
+//! ```sh
+//! cargo run --release -p iflex-examples --bin run_program -- \
+//!     program.alog housePages=crawl/houses schoolPages=crawl/schools \
+//!     [--explain] [--sample 0.2] [--rows 20]
+//! ```
+//!
+//! Each `name=dir` pair loads every file in `dir` as one document of the
+//! extensional table `name` (`.html`/`.htm`/`.xml` parsed as markup).
+
+use iflex::prelude::*;
+use std::process::exit;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut program_path: Option<String> = None;
+    let mut tables: Vec<(String, String)> = Vec::new();
+    let mut explain = false;
+    let mut sample: Option<f64> = None;
+    let mut rows = 20usize;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--explain" => explain = true,
+            "--sample" => {
+                i += 1;
+                sample = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--rows" => {
+                i += 1;
+                rows = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(20);
+            }
+            a if a.contains('=') => {
+                let (name, dir) = a.split_once('=').unwrap();
+                tables.push((name.to_string(), dir.to_string()));
+            }
+            a if program_path.is_none() => program_path = Some(a.to_string()),
+            a => {
+                eprintln!("unrecognized argument: {a}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(program_path) = program_path else {
+        eprintln!("usage: run_program <program.alog> <table>=<dir>... [--explain] [--sample f] [--rows n]");
+        exit(2);
+    };
+
+    let source = match std::fs::read_to_string(&program_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {program_path}: {e}");
+            exit(1);
+        }
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error in {program_path}: {e}");
+            exit(1);
+        }
+    };
+
+    let mut store = DocumentStore::new();
+    let mut loaded: Vec<(String, Vec<DocId>)> = Vec::new();
+    for (name, dir) in &tables {
+        match iflex::io::load_dir(&mut store, dir) {
+            Ok(ids) => {
+                eprintln!("loaded {} documents into table {name}", ids.len());
+                loaded.push((name.clone(), ids));
+            }
+            Err(e) => {
+                eprintln!("cannot load {dir}: {e}");
+                exit(1);
+            }
+        }
+    }
+    let mut engine = Engine::new(Arc::new(store));
+    for (name, ids) in &loaded {
+        engine.add_doc_table(name, ids);
+    }
+
+    if explain {
+        match engine.explain(&program) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    let result = match sample {
+        Some(f) => engine.run_sampled(&program, Sample::new(f, 7)),
+        None => engine.run(&program),
+    };
+    match result {
+        Ok(table) => {
+            println!("{}", table.render(engine.store(), rows));
+            println!(
+                "{} compact tuples / {} expanded ({} certain)",
+                table.len(),
+                table.expanded_len(engine.store()),
+                table.certain_tuples(engine.store(), 10_000).len(),
+            );
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Integration tests of the engine's two usage modes (§2): classic
+//! *precise Xlog* with procedural IE predicates plugged in as registered
+//! generators, and *best-effort Alog* with description rules — plus the
+//! failure paths (budgets, validation, bad procedures).
+
+use iflex::prelude::*;
+use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+use iflex_text::markup::style;
+
+/// The paper's original workflow: IE predicates implemented procedurally
+/// (the "Perl modules"), executed by the same engine. The results must be
+/// exact (no maybe tuples) and equal to ground truth.
+#[test]
+fn precise_xlog_mode_through_the_engine() {
+    let c = Corpus::build(CorpusConfig::tiny());
+    let imdb_docs: Vec<_> = c.movies.imdb.iter().map(|(d, _)| *d).collect();
+    let mut engine = iflex::engine::Engine::new(c.store.clone());
+    engine.add_doc_table("imdb", &imdb_docs);
+    // the procedural extractor: exactly what §2.1 calls a p-predicate
+    engine
+        .procs_mut()
+        .register_generator("extractIMDB", 2, |store, args| {
+            let Some(Value::Span(x)) = args.first() else {
+                return vec![];
+            };
+            let doc = store.doc(x.doc);
+            let Some((ts, te)) = doc
+                .styled_regions(x.start, x.end, style::BOLD)
+                .into_iter()
+                .next()
+            else {
+                return vec![];
+            };
+            let text = doc.text();
+            let Some(vpos) = text.find("votes") else {
+                return vec![];
+            };
+            let tail = text[vpos + 5..].trim_start();
+            let vend = tail
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(tail.len());
+            let Some(votes) = iflex::text::parse_number(&tail[..vend]) else {
+                return vec![];
+            };
+            vec![vec![
+                Value::Span(iflex::text::Span::new(x.doc, ts, te)),
+                Value::Num(votes),
+            ]]
+        });
+    // Table 2's T1 program, verbatim shape, no description rules at all
+    let prog = parse_program(
+        "t1(title) :- imdb(x), extractIMDB(#x, title, votes), votes < 25000.",
+    )
+    .unwrap();
+    let result = engine.run(&prog).unwrap();
+    assert!(result.tuples().iter().all(|t| !t.maybe), "precise mode");
+    let task = c.task(TaskId::T1, None);
+    let q = iflex::score(&result, &task.truth_cols, &task.truth, engine.store());
+    assert_eq!(q.result_tuples, q.correct_tuples);
+    assert!((q.recall - 1.0).abs() < 1e-9);
+    assert!((q.certain_precision - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn best_effort_and_precise_modes_agree() {
+    // The refined best-effort program and the procedural program compute
+    // the same relation.
+    let c = Corpus::build(CorpusConfig::tiny());
+    let task = c.task(TaskId::T7, Some(30));
+    // best-effort, fully refined
+    let mut engine = task.engine(&c);
+    let refined = parse_program(
+        r#"
+        t7(title) :- barnes(x), extractBarnes(#x, title, price), price > 100.
+        extractBarnes(#x, title, price) :- from(#x, title), from(#x, price),
+            bold-font(title) = distinct-yes, numeric(price) = yes,
+            underlined(price) = distinct-yes.
+    "#,
+    )
+    .unwrap();
+    let best_effort = engine.run(&refined).unwrap();
+    let precise = iflex_baseline::run_precise(&c, TaskId::T7, Some(30));
+    assert_eq!(best_effort.expanded_len(engine.store()) as usize, precise.len());
+}
+
+#[test]
+fn too_large_budget_is_reported_not_fatal() {
+    let c = Corpus::build(CorpusConfig::tiny());
+    let task = c.task(TaskId::T9, Some(40));
+    let mut engine = task.engine(&c);
+    engine.limits.max_result_tuples = 10; // absurdly small
+    match engine.run(&task.program) {
+        Err(iflex::engine::EngineError::TooLarge(_)) => {}
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn session_survives_budget_overflow_via_subset_fallback() {
+    let c = Corpus::build(CorpusConfig::tiny());
+    let task = c.task(TaskId::T9, Some(40));
+    let mut engine = task.engine(&c);
+    engine.limits.max_result_tuples = 2_000; // full joins blow this
+    let mut session = iflex::Session::new(
+        engine,
+        task.program.clone(),
+        Box::new(Sequential),
+        Box::new(SimulatedDeveloper::new(iflex::OracleSpec::new())), // knows nothing
+    );
+    session.config.max_iterations = 4;
+    let out = session.run().expect("falls back to the subset result");
+    assert!(!out.full_run_within_budget);
+    assert!(!out.table.is_empty());
+}
+
+#[test]
+fn generator_arity_mismatch_is_an_error() {
+    let c = Corpus::build(CorpusConfig::tiny());
+    let docs: Vec<_> = c.movies.imdb.iter().take(3).map(|(d, _)| *d).collect();
+    let mut engine = iflex::engine::Engine::new(c.store.clone());
+    engine.add_doc_table("pages", &docs);
+    engine
+        .procs_mut()
+        .register_generator("bad", 1, |_, _| vec![vec![Value::Num(1.0), Value::Num(2.0)]]);
+    let prog = parse_program("q(x, v) :- pages(x), bad(#x, v).").unwrap();
+    match engine.run(&prog) {
+        Err(iflex::engine::EngineError::BadProcedure(msg)) => {
+            assert!(msg.contains("arity"), "{msg}")
+        }
+        other => panic!("expected BadProcedure, got {other:?}"),
+    }
+}
+
+#[test]
+fn validation_errors_are_collected_not_panicked() {
+    let c = Corpus::build(CorpusConfig::tiny());
+    let mut engine = iflex::engine::Engine::new(c.store.clone());
+    let prog = parse_program(
+        r#"
+        a(x) :- ghost(x).
+        b(y) :- a(y), numeric(z) = yes.
+    "#,
+    )
+    .unwrap();
+    match engine.run(&prog) {
+        Err(iflex::engine::EngineError::Validation(errs)) => {
+            assert!(errs.len() >= 2, "{errs:?}");
+        }
+        other => panic!("expected Validation, got {other:?}"),
+    }
+}
+
+#[test]
+fn explain_matches_runtime_behaviour() {
+    let c = Corpus::build(CorpusConfig::tiny());
+    let task = c.task(TaskId::T6, Some(20));
+    let engine = task.engine(&c);
+    let text = engine.explain(&task.program).unwrap();
+    // the similarity join is compiled above a cross join with per-side
+    // extraction below it
+    assert!(text.contains("Filter[similar"));
+    assert!(text.contains("CrossJoin"));
+    let filter_at = text.find("Filter[similar").unwrap();
+    let join_at = text.find("CrossJoin").unwrap();
+    assert!(filter_at < join_at);
+}
+
+#[test]
+fn multiple_rules_same_head_union() {
+    // a predicate defined by two rules is the union of both results
+    let c = Corpus::build(CorpusConfig::tiny());
+    let imdb: Vec<_> = c.movies.imdb.iter().take(5).map(|(d, _)| *d).collect();
+    let ebert: Vec<_> = c.movies.ebert.iter().take(5).map(|(d, _)| *d).collect();
+    let mut engine = iflex::engine::Engine::new(c.store.clone());
+    engine.add_doc_table("imdb", &imdb);
+    engine.add_doc_table("ebert", &ebert);
+    let prog = parse_program(
+        r#"
+        titles(t) :- imdb(x), eb(#x, t).
+        titles(t) :- ebert(y), ei(#y, t).
+        eb(#x, t) :- from(#x, t), bold-font(t) = distinct-yes.
+        ei(#y, t) :- from(#y, t), italic-font(t) = distinct-yes.
+    "#,
+    )
+    .unwrap();
+    let result = engine.run(&prog).unwrap();
+    assert_eq!(result.len(), 10, "5 bold + 5 italic titles");
+}
+
+#[test]
+fn annotate_paths_agree_on_singleton_keys() {
+    // the exact BAnnotate and the compact-direct ψ produce the same value
+    // sets when grouping keys are exact (the common case)
+    use iflex::engine::AnnotatePolicy;
+    let c = Corpus::build(CorpusConfig::tiny());
+    let imdb: Vec<_> = c.movies.imdb.iter().take(8).map(|(d, _)| *d).collect();
+    let prog = parse_program(
+        r#"
+        q(x, <v>) :- imdb(x), e(#x, v).
+        e(#x, v) :- from(#x, v), numeric(v) = yes.
+    "#,
+    )
+    .unwrap();
+    let run_with = |policy: AnnotatePolicy| {
+        let mut engine = iflex::engine::Engine::new(c.store.clone());
+        engine.add_doc_table("imdb", &imdb);
+        engine.limits.annotate_policy = policy;
+        engine.run(&prog).unwrap()
+    };
+    let exact = run_with(AnnotatePolicy::ForceExact);
+    let compact = run_with(AnnotatePolicy::ForceCompact);
+    assert_eq!(exact.len(), compact.len());
+    let store = &c.store;
+    let canon = |t: &iflex::ctable::CompactTable| -> Vec<(String, std::collections::BTreeSet<String>)> {
+        let mut rows: Vec<_> = t
+            .tuples()
+            .iter()
+            .map(|tup| {
+                (
+                    tup.cells[0]
+                        .singleton(store)
+                        .unwrap()
+                        .as_text(store)
+                        .to_string(),
+                    tup.cells[1]
+                        .values(store)
+                        .map(|v| v.as_text(store).to_string())
+                        .collect(),
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(canon(&exact), canon(&compact));
+}
+
+#[test]
+fn reuse_off_gives_identical_results() {
+    let c = Corpus::build(CorpusConfig::tiny());
+    let task = c.task(TaskId::T1, Some(20));
+    let run_with = |reuse: bool| {
+        let mut engine = task.engine(&c);
+        engine.limits.reuse_enabled = reuse;
+        engine.run(&task.program).unwrap();
+        engine.run(&task.program).unwrap()
+    };
+    assert_eq!(run_with(true), run_with(false));
+}
+
+#[test]
+fn parallel_and_sequential_joins_agree() {
+    // Limits::threads only changes wall clock, never results.
+    let c = Corpus::build(CorpusConfig::tiny());
+    for id in [TaskId::T6, TaskId::T9] {
+        let task = c.task(id, Some(30));
+        let run_with = |threads: usize| {
+            let mut engine = task.engine(&c);
+            engine.limits.threads = threads;
+            let t = engine.run(&task.program).unwrap();
+            let store = engine.store();
+            let mut rows: Vec<String> = t
+                .tuples()
+                .iter()
+                .map(|tup| {
+                    tup.cells
+                        .iter()
+                        .map(|c| {
+                            let mut vs: Vec<String> =
+                                c.values(store).map(|v| v.as_text(store).to_string()).collect();
+                            vs.sort();
+                            vs.join("|")
+                        })
+                        .collect::<Vec<_>>()
+                        .join(";")
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(run_with(1), run_with(4), "{id:?}");
+    }
+}

@@ -1,0 +1,269 @@
+//! Integration tests that encode the paper's own worked examples: the
+//! Figure 1/2 house-hunting pipeline, Example 1.1's iterative narrowing,
+//! Example 2.3's annotations, and the §4.2 multi-constraint semantics.
+
+use iflex::prelude::*;
+use std::sync::Arc;
+
+fn example_store() -> (Arc<DocumentStore>, Vec<DocId>, Vec<DocId>) {
+    let mut store = DocumentStore::new();
+    let houses = vec![
+        store.add_markup(
+            "$351,000 Cozy house on quiet street. 5146 Windsor Ave., Champaign \
+             Sqft: 2750 price 351000 High school: <i>Vanhise High</i>",
+        ),
+        store.add_markup(
+            "$619,000 Amazing house in great location. 3112 Stonecreek Blvd., Cherry Hills \
+             Sqft: 4700 price 619000 High school: <i>Basktall HS</i>",
+        ),
+    ];
+    let schools = vec![
+        store.add_markup(
+            "<h2>Top High Schools (page 1)</h2> <b>Basktall</b>, Cherry Hills \
+             <b>Franklin</b>, Robeson <b>Vanhise</b>, Champaign",
+        ),
+        store.add_markup(
+            "<h2>Top High Schools (page 2)</h2> <b>Hoover</b>, Akron <b>Ossage</b>, Lynneville",
+        ),
+    ];
+    (Arc::new(store), houses, schools)
+}
+
+fn engine() -> (Engine, Vec<DocId>, Vec<DocId>) {
+    let (store, houses, schools) = example_store();
+    let mut e = Engine::new(store);
+    e.add_doc_table("housePages", &houses);
+    e.add_doc_table("schoolPages", &schools);
+    (e, houses, schools)
+}
+
+/// Example 1.1: an underspecified program returns an approximate superset
+/// immediately; adding one constraint narrows it.
+#[test]
+fn example_1_1_iterative_narrowing() {
+    let (mut eng, _, _) = engine();
+    let initial = parse_program(
+        r#"
+        q(x) :- housePages(x), extractPrice(#x, p), p > 500000.
+        extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+    "#,
+    )
+    .unwrap();
+    let r1 = eng.run(&initial).unwrap();
+    // Both pages contain *some* number above 500000? Only x2 does.
+    assert_eq!(r1.len(), 1);
+    assert!(r1.tuples()[0].maybe, "kept page is uncertain");
+
+    let refined = parse_program(
+        r#"
+        q(x) :- housePages(x), extractPrice(#x, p), p > 500000.
+        extractPrice(#x, p) :- from(#x, p), numeric(p) = yes,
+                               preceded-by(p) = "price".
+    "#,
+    )
+    .unwrap();
+    let r2 = eng.run(&refined).unwrap();
+    assert_eq!(r2.len(), 1);
+    // now the price is exact and the comparison certain
+    assert!(!r2.tuples()[0].maybe, "refined tuple is certain");
+}
+
+/// Figure 2 / Example 2.2: the full pipeline keeps exactly the
+/// (x2, 619000, 4700, "Basktall HS") answer.
+#[test]
+fn figure_2_full_pipeline() {
+    let (mut eng, _, schools) = engine();
+    let program = parse_program(
+        r#"
+        houses(x, <p>, <a>, <h>) :- housePages(x), extractHouses(#x, p, a, h).
+        schools(s)? :- schoolPages(y), extractSchools(#y, s).
+        Q(x, p, a, h) :- houses(x, p, a, h), schools(s), p > 500000,
+                         a > 4500, approxMatch(#h, #s).
+        extractHouses(#x, p, a, h) :- from(#x, p), from(#x, a), from(#x, h),
+                                      numeric(p) = yes, preceded-by(p) = "price",
+                                      numeric(a) = yes, preceded-by(a) = "Sqft:",
+                                      italic-font(h) = distinct-yes.
+        extractSchools(#y, s) :- from(#y, s), bold-font(s) = distinct-yes.
+    "#,
+    )
+    .unwrap();
+    let result = eng.run(&program).unwrap();
+    assert_eq!(result.len(), 1);
+    let store = eng.store();
+    let t = &result.tuples()[0];
+    assert_eq!(
+        t.cells[1].singleton(store).and_then(|v| v.as_num(store)),
+        Some(619000.0)
+    );
+    assert_eq!(
+        t.cells[2].singleton(store).and_then(|v| v.as_num(store)),
+        Some(4700.0)
+    );
+    let h = t.cells[3].singleton(store).unwrap();
+    assert_eq!(h.as_text(store), "Basktall HS");
+    // the school came from the school pages (existence-annotated → maybe)
+    assert!(t.maybe);
+    let _ = schools;
+}
+
+/// Example 2.3's shape: with attribute annotations, each house page yields
+/// exactly one tuple whose annotated cells carry the value choices.
+#[test]
+fn example_2_3_attribute_annotation_one_tuple_per_page() {
+    let (mut eng, houses, _) = engine();
+    let program = parse_program(
+        r#"
+        houses(x, <p>) :- housePages(x), extractPrice(#x, p).
+        extractPrice(#x, p) :- from(#x, p), numeric(p) = yes.
+    "#,
+    )
+    .unwrap();
+    let result = eng.run(&program).unwrap();
+    assert_eq!(result.len(), houses.len(), "one tuple per page");
+    let store = eng.store();
+    for t in result.tuples() {
+        assert!(!t.maybe, "keys are certain: every page has one house");
+        assert!(t.cells[1].value_set(store).len() >= 3, "price choices kept");
+    }
+}
+
+/// §4.2: applying constraints in either order yields the same result.
+#[test]
+fn constraint_order_independence_end_to_end() {
+    let (mut eng, _, _) = engine();
+    let a = parse_program(
+        r#"
+        q(x, p) :- housePages(x), e(#x, p).
+        e(#x, p) :- from(#x, p), numeric(p) = yes, preceded-by(p) = "price".
+    "#,
+    )
+    .unwrap();
+    let b = parse_program(
+        r#"
+        q(x, p) :- housePages(x), e(#x, p).
+        e(#x, p) :- from(#x, p), preceded-by(p) = "price", numeric(p) = yes.
+    "#,
+    )
+    .unwrap();
+    let ra = eng.run(&a).unwrap();
+    let rb = eng.run(&b).unwrap();
+    let store = eng.store();
+    assert_eq!(ra.len(), rb.len());
+    for (ta, tb) in ra.tuples().iter().zip(rb.tuples()) {
+        assert_eq!(ta.cells[1].value_set(store), tb.cells[1].value_set(store));
+    }
+}
+
+/// The superset guarantee (§4): the true answer is always present in the
+/// tuple universe of every intermediate program, however weak.
+#[test]
+fn superset_semantics_hold_through_refinement() {
+    let (mut eng, _, _) = engine();
+    let stages = [
+        r#"
+        q(p) :- housePages(x), e(#x, p).
+        e(#x, p) :- from(#x, p).
+        "#,
+        r#"
+        q(p) :- housePages(x), e(#x, p).
+        e(#x, p) :- from(#x, p), numeric(p) = yes.
+        "#,
+        r#"
+        q(p) :- housePages(x), e(#x, p).
+        e(#x, p) :- from(#x, p), numeric(p) = yes, preceded-by(p) = "price".
+        "#,
+    ];
+    let store = eng.store().clone();
+    let _ = store;
+    for src in stages {
+        let prog = parse_program(src).unwrap();
+        let result = eng.run(&prog).unwrap();
+        let store = eng.store();
+        for truth in ["351000", "619000"] {
+            let covered = result.tuples().iter().any(|t| {
+                t.cells[0]
+                    .values(store)
+                    .any(|v| v.as_text(store) == truth)
+            });
+            assert!(covered, "true price {truth} lost in stage:\n{src}");
+        }
+    }
+}
+
+#[test]
+fn figure_3_compact_condensation() {
+    // Figure 3: the houses table condenses the h attribute to a single
+    // contain("Cozy … High") assignment, and the schools table condenses
+    // all bold sub-spans into contain assignments under one expansion cell.
+    let (store, houses, schools) = {
+        let mut store = DocumentStore::new();
+        let houses = vec![store.add_markup(
+            "Cozy house on quiet street. 5146 Windsor Ave., Champaign \
+             Sqft: 2750 High school: Vanhise High",
+        )];
+        let schools = vec![store.add_markup(
+            "<b>Basktall</b>, Cherry Hills <b>Franklin</b>, Robeson",
+        )];
+        (Arc::new(store), houses, schools)
+    };
+    let mut engine = Engine::new(store);
+    engine.add_doc_table("housePages", &houses);
+    engine.add_doc_table("schoolPages", &schools);
+
+    // h unconstrained: one contain assignment spanning the whole record
+    let houses_prog = parse_program(
+        "q(x, h) :- housePages(x), e(#x, h).\ne(#x, h) :- from(#x, h).",
+    )
+    .unwrap();
+    let t = engine.run(&houses_prog).unwrap();
+    assert_eq!(t.len(), 1);
+    let h_cell = &t.tuples()[0].cells[1];
+    assert!(h_cell.is_expand());
+    assert_eq!(h_cell.assignments().len(), 1, "one contain, not an enumeration");
+    assert!(matches!(
+        h_cell.assignments()[0],
+        iflex::ctable::Assignment::Contain(_)
+    ));
+
+    // schools: bold-font(s) = yes condenses to one contain per bold region
+    let schools_prog = parse_program(
+        "q(s) :- schoolPages(y), e(#y, s).\ne(#y, s) :- from(#y, s), bold-font(s) = yes.",
+    )
+    .unwrap();
+    let t = engine.run(&schools_prog).unwrap();
+    let s_cell = &t.tuples()[0].cells[0];
+    assert!(s_cell.is_expand());
+    assert_eq!(s_cell.assignments().len(), 2, "two bold regions → two contains");
+    let store = engine.store();
+    let texts: Vec<&str> = s_cell
+        .assignments()
+        .iter()
+        .map(|a| store.span_text(&a.span().unwrap()))
+        .collect();
+    assert_eq!(texts, vec!["Basktall", "Franklin"]);
+}
+
+#[test]
+fn sampled_runs_are_deterministic() {
+    let (mut eng, _, _) = {
+        let mut store = DocumentStore::new();
+        let mut ids = Vec::new();
+        for i in 0..40 {
+            ids.push(store.add_plain(format!("rec {} val {}", i, i * 7)));
+        }
+        let mut e = Engine::new(Arc::new(store));
+        e.add_doc_table("pages", &ids);
+        (e, ids, ())
+    };
+    let prog = parse_program(
+        "q(x, v) :- pages(x), e(#x, v).\ne(#x, v) :- from(#x, v), numeric(v) = yes.",
+    )
+    .unwrap();
+    let s = Sample::new(0.3, 99);
+    let a = eng.run_sampled(&prog, s).unwrap();
+    eng.clear_cache();
+    let b = eng.run_sampled(&prog, s).unwrap();
+    assert_eq!(a, b);
+    let c = eng.run_sampled(&prog, Sample::new(0.3, 100)).unwrap();
+    assert!(a != c || a.len() == 40, "different seeds select different subsets");
+}
