@@ -49,6 +49,7 @@ fn main() {
             .map(|r| match r.mode {
                 iflex::ExecMode::Subset => format!("{}", r.result_tuples),
                 iflex::ExecMode::Reuse => format!("*{}", r.result_tuples),
+                iflex::ExecMode::Fallback => format!("~{}", r.result_tuples),
             })
             .collect();
         println!(

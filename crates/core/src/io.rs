@@ -1,27 +1,61 @@
 //! Filesystem loading: turn a directory of page files into an extensional
 //! document table — the on-ramp for using iFlex on your own data.
 //!
+//! Loading is **best-effort** to match the engine's degradation semantics:
+//! a crawl directory in the wild contains unreadable files, binary blobs,
+//! and near-UTF-8 text, and one bad page must not sink the corpus.
+//! [`load_dir_report`] skips what it cannot read and says so in a
+//! [`LoadReport`]; [`load_dir`] keeps the historical fail-fast contract.
+//!
 //! ```no_run
 //! use iflex::prelude::*;
 //! use std::sync::Arc;
 //!
 //! let mut store = DocumentStore::new();
-//! let pages = iflex::io::load_dir(&mut store, "crawl/houses").unwrap();
+//! let report = iflex::io::load_dir_report(&mut store, "crawl/houses").unwrap();
+//! for (path, why) in &report.skipped {
+//!     eprintln!("skipped {}: {}", path.display(), why);
+//! }
 //! let mut engine = Engine::new(Arc::new(store));
-//! engine.add_doc_table("housePages", &pages);
+//! engine.add_doc_table("housePages", &report.loaded);
 //! ```
 
+use iflex_engine::{fault, Fault, FaultPlan};
 use iflex_text::{DocId, DocumentStore};
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// File extensions treated as markup (parsed for formatting/structure);
 /// everything else is loaded as plain text.
 const MARKUP_EXTS: &[&str] = &["html", "htm", "xml"];
 
+/// What a best-effort directory load actually did: the documents that made
+/// it into the store, and the files that were skipped with the reason.
+#[derive(Debug, Default, Clone)]
+pub struct LoadReport {
+    /// Ids of the documents loaded, in file-name order.
+    pub loaded: Vec<DocId>,
+    /// Files skipped (unreadable, vanished mid-scan, injected fault), with
+    /// a human-readable reason each.
+    pub skipped: Vec<(PathBuf, String)>,
+    /// Files whose bytes were not valid UTF-8 and were loaded lossily
+    /// (invalid sequences replaced with U+FFFD).
+    pub lossy: Vec<PathBuf>,
+}
+
+impl LoadReport {
+    /// True when every file loaded cleanly.
+    pub fn clean(&self) -> bool {
+        self.skipped.is_empty() && self.lossy.is_empty()
+    }
+}
+
 /// Loads every regular file in `dir` (non-recursively, in name order) as
 /// one document each. `.html`/`.htm`/`.xml` files go through the markup
 /// parser; other files are plain text. Returns the new documents' ids.
+///
+/// Fail-fast: the first unreadable file aborts the load. Prefer
+/// [`load_dir_report`] for crawl data of uneven quality.
 pub fn load_dir(store: &mut DocumentStore, dir: impl AsRef<Path>) -> io::Result<Vec<DocId>> {
     let mut paths: Vec<_> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok())
@@ -36,20 +70,75 @@ pub fn load_dir(store: &mut DocumentStore, dir: impl AsRef<Path>) -> io::Result<
     Ok(ids)
 }
 
+/// Best-effort [`load_dir`]: unreadable files are skipped and reported
+/// instead of aborting the load, and near-UTF-8 files are read lossily.
+/// Only the `read_dir` on `dir` itself can fail.
+pub fn load_dir_report(
+    store: &mut DocumentStore,
+    dir: impl AsRef<Path>,
+) -> io::Result<LoadReport> {
+    load_dir_report_with(store, dir, &FaultPlan::disarmed())
+}
+
+/// [`load_dir_report`] with fault injection at the per-file read
+/// (site [`fault::site::IO_READ`]) for testing skip handling.
+pub fn load_dir_report_with(
+    store: &mut DocumentStore,
+    dir: impl AsRef<Path>,
+    faults: &FaultPlan,
+) -> io::Result<LoadReport> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    let mut report = LoadReport::default();
+    for p in paths {
+        if let Some(f) = faults.hit(fault::site::IO_READ) {
+            let why = match f {
+                Fault::Io(msg) => format!("injected i/o fault: {msg}"),
+                other => format!("injected fault: {other:?}"),
+            };
+            report.skipped.push((p, why));
+            continue;
+        }
+        match std::fs::read(&p) {
+            Ok(bytes) => {
+                let (text, was_lossy) = match String::from_utf8(bytes) {
+                    Ok(s) => (s, false),
+                    Err(e) => (String::from_utf8_lossy(e.as_bytes()).into_owned(), true),
+                };
+                if was_lossy {
+                    report.lossy.push(p.clone());
+                }
+                report.loaded.push(add_text(store, &p, text));
+            }
+            Err(e) => report.skipped.push((p, e.to_string())),
+        }
+    }
+    Ok(report)
+}
+
 /// Loads one file as a document.
 pub fn load_file(store: &mut DocumentStore, path: impl AsRef<Path>) -> io::Result<DocId> {
     let path = path.as_ref();
     let text = std::fs::read_to_string(path)?;
+    Ok(add_text(store, path, text))
+}
+
+/// Adds already-read text to the store, markup-parsing by extension.
+fn add_text(store: &mut DocumentStore, path: &Path, text: String) -> DocId {
     let is_markup = path
         .extension()
         .and_then(|e| e.to_str())
         .map(|e| MARKUP_EXTS.contains(&e.to_ascii_lowercase().as_str()))
         .unwrap_or(false);
-    Ok(if is_markup {
+    if is_markup {
         store.add_markup(&text)
     } else {
         store.add_plain(text)
-    })
+    }
 }
 
 /// Splits one big file into one document per record, on a separator line
@@ -80,6 +169,7 @@ pub fn load_records(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iflex_engine::Trigger;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("iflex-io-test-{name}-{}", std::process::id()));
@@ -120,5 +210,45 @@ mod tests {
     fn missing_dir_errors() {
         let mut store = DocumentStore::new();
         assert!(load_dir(&mut store, "/no/such/dir/iflex").is_err());
+    }
+
+    #[test]
+    fn report_load_survives_invalid_utf8() {
+        let d = tmpdir("lossy");
+        std::fs::write(d.join("good.txt"), "fine text").unwrap();
+        std::fs::write(d.join("near.txt"), [b'p', b'r', 0xFF, b'c', b'e']).unwrap();
+        let mut store = DocumentStore::new();
+        let report = load_dir_report(&mut store, &d).unwrap();
+        assert_eq!(report.loaded.len(), 2);
+        assert_eq!(report.lossy.len(), 1);
+        assert!(report.skipped.is_empty());
+        assert!(!report.clean());
+        // the replacement character stands in for the bad byte
+        assert!(store.doc(report.loaded[1]).text().contains('\u{FFFD}'));
+        // strict loader refuses the same directory
+        let mut strict = DocumentStore::new();
+        assert!(load_dir(&mut strict, &d).is_err());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn injected_read_fault_skips_file_not_load() {
+        let d = tmpdir("fault");
+        std::fs::write(d.join("a.txt"), "first").unwrap();
+        std::fs::write(d.join("b.txt"), "second").unwrap();
+        let faults = FaultPlan::disarmed();
+        faults.arm(
+            fault::site::IO_READ,
+            Trigger::Nth(0),
+            Fault::Io("disk on fire".into()),
+            42,
+        );
+        let mut store = DocumentStore::new();
+        let report = load_dir_report_with(&mut store, &d, &faults).unwrap();
+        assert_eq!(report.loaded.len(), 1);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].1.contains("disk on fire"));
+        assert_eq!(store.doc(report.loaded[0]).text(), "second");
+        let _ = std::fs::remove_dir_all(&d);
     }
 }

@@ -58,6 +58,7 @@ pub mod session;
 
 pub use cost::{CostModel, SimClock};
 pub use developer::{Developer, OracleSpec, SimulatedDeveloper};
+pub use io::{load_dir, load_dir_report, load_dir_report_with, LoadReport};
 pub use metrics::{norm_text, score, truth_rows, Quality, Truth};
 pub use session::{ExecMode, IterationRecord, Session, SessionConfig, SessionOutcome, StopReason};
 
@@ -79,7 +80,10 @@ pub mod prelude {
     pub use iflex_alog::{parse_program, parse_rule, Program};
     pub use iflex_assistant::{Answer, Question, Sequential, Simulation, Strategy};
     pub use iflex_ctable::{Assignment, Cell, CompactTable, CompactTuple, Value};
-    pub use iflex_engine::{Engine, EngineError, Sample};
+    pub use iflex_engine::{
+        CancelToken, DegradeCause, Engine, EngineError, Fault, FaultPlan, RunBudget, Sample,
+        Trigger,
+    };
     pub use iflex_features::{FeatureArg, FeatureRegistry, FeatureValue};
     pub use iflex_text::{DocId, DocumentStore, Span};
 }

@@ -22,6 +22,9 @@ pub enum ExecMode {
     Subset,
     /// Full input with the reuse cache warm.
     Reuse,
+    /// A retry of the final run over a shrunken sample after the full run
+    /// degraded (best-effort backoff).
+    Fallback,
 }
 
 /// One row of the session log.
@@ -37,6 +40,8 @@ pub struct IterationRecord {
     pub assignments: usize,
     /// The questions this iter.
     pub questions_this_iter: usize,
+    /// Rules the engine degraded this iteration (0 for an exact run).
+    pub degradations: usize,
 }
 
 /// Why the session stopped.
@@ -48,6 +53,10 @@ pub enum StopReason {
     QuestionsExhausted,
     /// The iteration cap was hit.
     MaxIterations,
+    /// Consecutive subset iterations degraded — refining further on a
+    /// result dominated by widened stand-ins would chase noise, so the
+    /// loop stops early and reports what it has.
+    Degraded,
 }
 
 /// Session tuning knobs.
@@ -64,6 +73,15 @@ pub struct SessionConfig {
     pub sample_seed: u64,
     /// Disable to always execute on the full input.
     pub use_sampling: bool,
+    /// Final-run retries on shrinking samples after a degraded full run.
+    pub max_retries: usize,
+    /// Factor the sample fraction shrinks by between retries.
+    pub retry_shrink: f64,
+    /// Wall-clock deadline applied to every engine run in this session.
+    pub run_deadline: Option<std::time::Duration>,
+    /// Consecutive degraded subset iterations tolerated before the loop
+    /// stops with [`StopReason::Degraded`].
+    pub max_degraded_iterations: usize,
 }
 
 impl Default for SessionConfig {
@@ -74,6 +92,10 @@ impl Default for SessionConfig {
             max_iterations: 30,
             sample_seed: 7,
             use_sampling: true,
+            max_retries: 3,
+            retry_shrink: 0.5,
+            run_deadline: None,
+            max_degraded_iterations: 2,
         }
     }
 }
@@ -105,6 +127,10 @@ pub struct SessionOutcome {
     pub final_run_secs: f64,
     /// Total machine seconds across the whole session.
     pub machine_secs: f64,
+    /// Iterations (subset, fallback, or final) whose result was degraded.
+    pub degraded_iterations: usize,
+    /// Fallback retries spent on the final run.
+    pub retries: usize,
 }
 
 /// An interactive best-effort IE session.
@@ -247,12 +273,35 @@ impl Session {
         out
     }
 
+    /// One attempt of the final phase. `Ok(Some((table, degradations,
+    /// assignments)))` on a result (possibly degraded); `Ok(None)` when a
+    /// strict-mode engine surfaced a recoverable condition (budget,
+    /// deadline, cancellation) as a hard error, so a shrunken retry still
+    /// makes sense.
+    fn final_attempt(
+        &mut self,
+        sample: Option<Sample>,
+    ) -> Result<Option<(CompactTable, usize, usize)>, EngineError> {
+        match self.timed_run(sample) {
+            Ok(t) => {
+                let degraded = self.engine.stats.degradations.len();
+                Ok(Some((t, degraded, self.engine.stats.assignments_produced)))
+            }
+            Err(e) if iflex_engine::degrade_cause(&e).is_some() => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Runs the full loop: subset iterations with questions until the
     /// monitor converges (or the space/iteration budget is exhausted),
     /// then one full reuse-mode execution.
     pub fn run(&mut self) -> Result<SessionOutcome, EngineError> {
+        if let Some(d) = self.config.run_deadline {
+            self.engine.budget.deadline = Some(d);
+        }
         let sample = self.sample();
         let mut stop = StopReason::MaxIterations;
+        let mut degraded_streak = 0usize;
         for iter in 1..=self.config.max_iterations {
             let table = self.timed_run(Some(sample))?;
             let mut stats = table.stats();
@@ -268,11 +317,24 @@ impl Session {
                 result_tuples: stats.tuples,
                 assignments: stats.assignments,
                 questions_this_iter: 0,
+                degradations: self.engine.stats.degradations.len(),
             };
             if self.monitor.converged() {
                 self.records.push(rec);
                 stop = StopReason::Converged;
                 break;
+            }
+            if rec.degradations > 0 {
+                degraded_streak += 1;
+                if degraded_streak >= self.config.max_degraded_iterations {
+                    // Refining against a result dominated by widened
+                    // stand-ins chases noise; stop and report.
+                    self.records.push(rec);
+                    stop = StopReason::Degraded;
+                    break;
+                }
+            } else {
+                degraded_streak = 0;
             }
             // Ask questions and fold answers in.
             let mut asked_now = 0usize;
@@ -308,27 +370,60 @@ impl Session {
 
         // Final full execution; reuse makes this cheap for the rules the
         // last refinements did not touch. If the (possibly unconverged)
-        // program explodes over the full input, keep the subset result.
-        let mut full_run_within_budget = true;
+        // program degrades over the full input — budget, deadline, or a
+        // contained rule panic — retry over shrinking samples and keep the
+        // least-degraded result seen (best-effort backoff).
         let machine_before_final = self.clock.machine_secs;
-        let table = match self.timed_run(None) {
-            Ok(t) => t,
-            Err(EngineError::TooLarge(_)) => {
-                full_run_within_budget = false;
-                self.timed_run(Some(sample))?
+        let mut retries = 0usize;
+        let mut chosen = self.final_attempt(None)?;
+        let full_run_within_budget = matches!(chosen, Some((_, 0, _)));
+        if !full_run_within_budget {
+            let mut fraction = sample.fraction;
+            for retry in 1..=self.config.max_retries {
+                fraction *= self.config.retry_shrink;
+                let s = Sample::new(fraction, self.config.sample_seed.wrapping_add(retry as u64));
+                retries += 1;
+                let Some((t, d, a)) = self.final_attempt(Some(s))? else {
+                    continue;
+                };
+                let tuples =
+                    t.expanded_len(self.engine.store()).min(usize::MAX as u64) as usize;
+                self.records.push(IterationRecord {
+                    iteration: self.records.len() + 1,
+                    mode: ExecMode::Fallback,
+                    result_tuples: tuples,
+                    assignments: a,
+                    questions_this_iter: 0,
+                    degradations: d,
+                });
+                let better = match &chosen {
+                    Some((_, best, _)) => d < *best,
+                    None => true,
+                };
+                if better {
+                    chosen = Some((t, d, a));
+                }
+                if matches!(chosen, Some((_, 0, _))) {
+                    break;
+                }
             }
-            Err(e) => return Err(e),
+        }
+        let Some((table, final_degradations, final_assignments)) = chosen else {
+            return Err(EngineError::TooLarge(
+                "final run exceeded the budget after fallback retries".into(),
+            ));
         };
         let final_run_secs = self.clock.machine_secs - machine_before_final;
         let mut stats = table.stats();
         stats.tuples = table.expanded_len(self.engine.store()).min(usize::MAX as u64) as usize;
-        stats.assignments = self.engine.stats.assignments_produced;
+        stats.assignments = final_assignments;
         self.records.push(IterationRecord {
             iteration: self.records.len() + 1,
             mode: ExecMode::Reuse,
             result_tuples: stats.tuples,
             assignments: stats.assignments,
             questions_this_iter: 0,
+            degradations: final_degradations,
         });
         Ok(SessionOutcome {
             table,
@@ -341,6 +436,8 @@ impl Session {
             minutes: self.clock.total_minutes(),
             cleanup_minutes: self.clock.cleanup_minutes(),
             records: self.records.clone(),
+            degraded_iterations: self.records.iter().filter(|r| r.degradations > 0).count(),
+            retries,
         })
     }
 }
@@ -466,6 +563,102 @@ mod tests {
         assert_eq!(out.records.last().unwrap().result_tuples, 6);
         assert!(out.machine_secs >= 0.0);
         assert!(out.final_run_secs >= 0.0);
+    }
+
+    #[test]
+    fn injected_rule_panic_degrades_session_not_abort() {
+        use iflex_engine::{fault, Fault, Trigger};
+        let eng = engine();
+        eng.fault.arm(
+            fault::site::EVAL_RULE,
+            Trigger::Always,
+            Fault::Panic("session boom".into()),
+            9,
+        );
+        let mut session = Session::new(
+            eng,
+            program(),
+            Box::new(Sequential),
+            Box::new(SimulatedDeveloper::new(OracleSpec::new())),
+        );
+        session.config.use_sampling = false;
+        let out = session.run().unwrap();
+        // every run degrades, so the session completes with the
+        // degradation visible rather than aborting
+        assert!(out.degraded_iterations > 0);
+        assert!(out.records.iter().any(|r| r.degradations > 0));
+        assert!(!out.table.is_empty(), "widened fallback keeps a result");
+    }
+
+    #[test]
+    fn tight_budget_triggers_fallback_retries() {
+        use iflex_engine::{fault, Fault, Trigger};
+        let eng = engine();
+        // every run overflows the budget, so the final phase must walk
+        // the whole retry ladder and keep the least-degraded result
+        eng.fault
+            .arm(fault::site::EVAL_RULE, Trigger::Always, Fault::TooLarge, 5);
+        let mut session = Session::new(
+            eng,
+            program(),
+            Box::new(Sequential),
+            Box::new(SimulatedDeveloper::new(OracleSpec::new())),
+        );
+        session.config.use_sampling = false;
+        session.config.max_retries = 2;
+        let out = session.run().unwrap();
+        assert!(!out.full_run_within_budget);
+        assert!(out.retries >= 1 && out.retries <= 2);
+        assert!(out
+            .records
+            .iter()
+            .any(|r| r.mode == ExecMode::Fallback));
+        assert!(!out.table.is_empty(), "degraded final result is kept");
+        assert!(out.records.last().unwrap().mode == ExecMode::Reuse);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_but_completes() {
+        let mut session = Session::new(
+            engine(),
+            program(),
+            Box::new(Sequential),
+            Box::new(SimulatedDeveloper::new(OracleSpec::new())),
+        );
+        session.config.use_sampling = false;
+        session.config.run_deadline = Some(std::time::Duration::ZERO);
+        session.config.max_retries = 1;
+        let out = session.run().unwrap();
+        assert_eq!(
+            session.engine.budget.deadline,
+            Some(std::time::Duration::ZERO)
+        );
+        assert!(out.degraded_iterations > 0);
+        assert!(!out.table.is_empty());
+    }
+
+    #[test]
+    fn consecutive_degraded_iterations_stop_the_loop() {
+        use iflex_engine::{fault, Fault, Trigger};
+        let eng = engine();
+        eng.fault.arm(
+            fault::site::EVAL_RULE,
+            Trigger::Always,
+            Fault::TooLarge,
+            3,
+        );
+        let mut session = Session::new(
+            eng,
+            program(),
+            Box::new(Sequential),
+            Box::new(SimulatedDeveloper::new(OracleSpec::new())),
+        );
+        session.config.use_sampling = false;
+        session.config.max_degraded_iterations = 1;
+        let out = session.run().unwrap();
+        assert_eq!(out.stop, StopReason::Degraded);
+        // one subset iteration, then the final phase
+        assert!(out.records.iter().filter(|r| r.mode == ExecMode::Subset).count() == 1);
     }
 
     #[test]

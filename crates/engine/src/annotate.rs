@@ -48,6 +48,19 @@ pub fn apply_annotations(
     apply_annotations_with(table, existence, annotated, store, budget, AnnotatePolicy::Auto)
 }
 
+/// The ψ policy to use given the run clock's state: once the deadline has
+/// expired the operator is forced onto the compact-direct path, which
+/// needs no a-table conversion and stays superset-preserving — the exact
+/// path could burn the remaining wall clock on a conversion that will be
+/// discarded anyway.
+pub fn degraded_policy(policy: AnnotatePolicy, expired: bool) -> AnnotatePolicy {
+    if expired {
+        AnnotatePolicy::ForceCompact
+    } else {
+        policy
+    }
+}
+
 /// [`apply_annotations`] with an explicit path policy (ablations).
 pub fn apply_annotations_with(
     table: CompactTable,

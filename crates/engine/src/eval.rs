@@ -46,6 +46,24 @@ pub fn candidates(cell: &Cell, store: &DocumentStore, cap: u64) -> Cands {
     Cands::NumericOnly(vals)
 }
 
+/// [`candidates`] under a run clock: once the deadline has expired
+/// (`expired == true`), enumeration is skipped entirely and the answer is
+/// [`Cands::Unknown`] — the conservative, superset-safe "keep as maybe"
+/// signal that downstream may/must evaluation passes tuples through on.
+/// This is how selections stay O(1) per tuple after expiry instead of
+/// still paying full enumeration on the way out.
+pub fn candidates_budgeted(
+    cell: &Cell,
+    store: &DocumentStore,
+    cap: u64,
+    expired: bool,
+) -> Cands {
+    if expired {
+        return Cands::Unknown;
+    }
+    candidates(cell, store, cap)
+}
+
 /// Three-valued result of evaluating a predicate over a compact tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MayMust {

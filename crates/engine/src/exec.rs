@@ -1,10 +1,19 @@
 //! The approximate query processor (§4): validates, unfolds, compiles, and
 //! executes Alog programs over compact tables with superset semantics,
 //! with multi-iteration **reuse** and **subset evaluation** (§5.2).
+//!
+//! Execution is **fault tolerant**: rule evaluation runs inside a panic
+//! boundary and under a [`RunClock`], and any budget overflow, deadline
+//! expiry, cancellation, or contained panic degrades just that rule — the
+//! run still returns `Ok` with a superset-safe widened result and a
+//! [`Degradation`] record in [`ExecStats`] (disable with
+//! [`Limits::degrade`] ` = false` to get the old hard errors back).
 
-use crate::annotate::{apply_annotations_with, AnnotatePolicy};
+use crate::annotate::{apply_annotations_with, degraded_policy, AnnotatePolicy};
+use crate::budget::{DegradeCause, RunBudget, RunClock};
 use crate::constraint::apply_constraint;
-use crate::eval::{candidates, cells_may_equal, compare_cands, filter_cands, Cands};
+use crate::eval::{candidates_budgeted, cells_may_equal, compare_cands, filter_cands, Cands};
+use crate::fault::{self, Fault, FaultPlan};
 use crate::pfunc::{builtin_procs, ProcRegistry, Procedure};
 use crate::plan::{compile_rule, CompileEnv, Operand, Plan, PlanError};
 use crate::sample::Sample;
@@ -47,6 +56,12 @@ pub struct Limits {
     /// equality — crucial when comparing unrefined cells across a large
     /// join.
     pub cmp_enum_cap: u64,
+    /// Degrade gracefully (the default): a rule that overruns a budget,
+    /// hits the deadline, is cancelled, or panics is replaced by a
+    /// superset-safe widened result and recorded in
+    /// [`ExecStats::degradations`]. With `false` (strict mode) those
+    /// conditions surface as hard [`EngineError`]s as in earlier versions.
+    pub degrade: bool,
 }
 
 impl Default for Limits {
@@ -63,12 +78,31 @@ impl Default for Limits {
                 .unwrap_or(1),
             annotate_policy: AnnotatePolicy::default(),
             reuse_enabled: true,
+            degrade: true,
         }
     }
 }
 
+/// One graceful-degradation event: a rule whose evaluation could not be
+/// completed exactly and was replaced by a superset-safe widened result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The rule (rendered) whose evaluation degraded.
+    pub rule: String,
+    /// Why it degraded.
+    pub cause: DegradeCause,
+    /// What was truncated (the original error rendered).
+    pub truncated: String,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.cause, self.rule, self.truncated)
+    }
+}
+
 /// Execution statistics (reuse, work done); reset per `run`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Rules actually (re)computed this run.
     pub rules_evaluated: usize,
@@ -83,6 +117,20 @@ pub struct ExecStats {
     /// `contain(s)` to `exact(v)` keeps the assignment count at one while
     /// strictly shrinking the encoded value set.
     pub assignments_produced: usize,
+    /// Rules degraded this run (empty for an exact run).
+    pub degradations: Vec<Degradation>,
+}
+
+impl ExecStats {
+    /// True when at least one rule degraded this run.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
+    /// True when some degradation this run had the given cause.
+    pub fn degraded_by(&self, cause: DegradeCause) -> bool {
+        self.degradations.iter().any(|d| d.cause == cause)
+    }
 }
 
 /// Engine errors.
@@ -100,6 +148,18 @@ pub enum EngineError {
     MissingTable(String),
     /// A registered procedure was used incorrectly.
     BadProcedure(String),
+    /// The run's wall-clock deadline expired (strict mode only; with
+    /// [`Limits::degrade`] the engine degrades instead).
+    Deadline,
+    /// The run was cancelled through its [`crate::CancelToken`] (strict
+    /// mode only).
+    Cancelled,
+    /// A rule's evaluation panicked; the panic was contained at the rule
+    /// boundary (strict mode only).
+    RulePanic(String),
+    /// An internal invariant failed (a bug surfaced as an error rather
+    /// than a panic).
+    Internal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -117,11 +177,70 @@ impl fmt::Display for EngineError {
             EngineError::TooLarge(what) => write!(f, "budget exceeded: {what}"),
             EngineError::MissingTable(name) => write!(f, "no such table: {name}"),
             EngineError::BadProcedure(name) => write!(f, "bad procedure use: {name}"),
+            EngineError::Deadline => write!(f, "run deadline expired"),
+            EngineError::Cancelled => write!(f, "run cancelled"),
+            EngineError::RulePanic(msg) => write!(f, "rule evaluation panicked: {msg}"),
+            EngineError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Plan(e) => Some(e),
+            EngineError::Feature(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DegradeCause> for EngineError {
+    fn from(c: DegradeCause) -> Self {
+        match c {
+            DegradeCause::Budget => EngineError::TooLarge("run budget".into()),
+            DegradeCause::Deadline => EngineError::Deadline,
+            DegradeCause::Cancelled => EngineError::Cancelled,
+            DegradeCause::RulePanic => EngineError::RulePanic("(injected)".into()),
+        }
+    }
+}
+
+/// The degradation cause a recoverable error maps to; `None` for semantic
+/// errors (validation, planning, unknown tables) that degrade mode must
+/// still surface as hard errors.
+pub fn degrade_cause(e: &EngineError) -> Option<DegradeCause> {
+    match e {
+        EngineError::TooLarge(_) => Some(DegradeCause::Budget),
+        EngineError::Deadline => Some(DegradeCause::Deadline),
+        EngineError::Cancelled => Some(DegradeCause::Cancelled),
+        EngineError::RulePanic(_) => Some(DegradeCause::RulePanic),
+        _ => None,
+    }
+}
+
+/// Renders a contained panic payload (`&str` / `String` payloads; anything
+/// else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Converts an injected engine-site fault into its error (panics for
+/// [`Fault::Panic`] — deliberately, so the real containment path runs).
+fn injected(f: Fault) -> EngineError {
+    match f {
+        Fault::TooLarge => EngineError::TooLarge("injected fault".into()),
+        Fault::DeadlineExpired => EngineError::Deadline,
+        Fault::Panic(msg) => panic!("injected fault: {msg}"),
+        Fault::Io(msg) => EngineError::Internal(format!("injected i/o fault: {msg}")),
+    }
+}
 
 impl From<PlanError> for EngineError {
     fn from(e: PlanError) -> Self {
@@ -150,6 +269,12 @@ pub struct Engine {
     pub limits: Limits,
     /// The stats.
     pub stats: ExecStats,
+    /// Wall-clock/cancellation budget applied to every run.
+    pub budget: RunBudget,
+    /// Fault-injection plan (disarmed by default; tests arm it).
+    pub fault: FaultPlan,
+    /// The clock of the current (or last) run.
+    clock: RunClock,
 }
 
 impl Engine {
@@ -165,6 +290,9 @@ impl Engine {
             epoch: 0,
             limits: Limits::default(),
             stats: ExecStats::default(),
+            budget: RunBudget::unlimited(),
+            fault: FaultPlan::disarmed(),
+            clock: RunClock::unlimited(),
         }
     }
 
@@ -225,6 +353,21 @@ impl Engine {
         self.cache.clear();
     }
 
+    /// Signatures of the registered procedures for the rule compiler.
+    fn proc_sigs(&self) -> BTreeMap<String, (bool, usize)> {
+        self.procs
+            .names()
+            .into_iter()
+            .filter_map(|n| {
+                let sig = match self.procs.get(n)? {
+                    Procedure::Filter(_) => (true, 0),
+                    Procedure::Generator { out_arity, .. } => (false, *out_arity),
+                };
+                Some((n.to_string(), sig))
+            })
+            .collect()
+    }
+
     /// The validation environment matching this engine's state.
     pub fn validate_env(&self) -> ValidateEnv {
         let mut env = ValidateEnv::new();
@@ -253,18 +396,7 @@ impl Engine {
         for r in &unfolded.rules {
             int_arity.insert(r.head.name.clone(), r.head.args.len());
         }
-        let proc_sigs: BTreeMap<String, (bool, usize)> = self
-            .procs
-            .names()
-            .into_iter()
-            .map(|n| {
-                let sig = match self.procs.get(n).unwrap() {
-                    Procedure::Filter(_) => (true, 0),
-                    Procedure::Generator { out_arity, .. } => (false, *out_arity),
-                };
-                (n.to_string(), sig)
-            })
-            .collect();
+        let proc_sigs = self.proc_sigs();
         let cenv = CompileEnv {
             extensional: &ext_arity,
             intensional: &int_arity,
@@ -304,6 +436,7 @@ impl Engine {
         sample: Option<Sample>,
     ) -> Result<CompactTable, EngineError> {
         self.stats = ExecStats::default();
+        self.clock = self.budget.start();
         let env = self.validate_env();
         let errors = validate(prog, &env);
         if !errors.is_empty() {
@@ -322,18 +455,7 @@ impl Engine {
         for r in &unfolded.rules {
             int_arity.insert(r.head.name.clone(), r.head.args.len());
         }
-        let proc_sigs: BTreeMap<String, (bool, usize)> = self
-            .procs
-            .names()
-            .into_iter()
-            .map(|n| {
-                let sig = match self.procs.get(n).unwrap() {
-                    Procedure::Filter(_) => (true, 0),
-                    Procedure::Generator { out_arity, .. } => (false, *out_arity),
-                };
-                (n.to_string(), sig)
-            })
-            .collect();
+        let proc_sigs = self.proc_sigs();
 
         let sample_key = sample.map(|s| s.key()).unwrap_or_else(|| "full".into());
         let mut computed: BTreeMap<String, CompactTable> = BTreeMap::new();
@@ -346,7 +468,12 @@ impl Engine {
 
         for name in &order {
             let rules: Vec<&Rule> = unfolded.rules_for(name).collect();
-            let cols: Vec<String> = rules[0]
+            let Some(first_rule) = rules.first() else {
+                // evaluation_order only yields defined relations; guard
+                // anyway rather than index.
+                continue;
+            };
+            let cols: Vec<String> = first_rule
                 .head
                 .args
                 .iter()
@@ -385,13 +512,33 @@ impl Engine {
                 };
                 let plan = compile_rule(rule, &cenv)?;
                 let before = self.stats.assignments_produced;
-                let result = self.eval_plan(&plan, &computed, sample)?;
-                let volume = self.stats.assignments_produced.saturating_sub(before);
-                self.stats.rules_evaluated += 1;
-                for t in result.tuples() {
-                    table.push(t.clone());
+                match self.eval_rule_guarded(&plan, &computed, sample) {
+                    Ok(result) => {
+                        let volume = self.stats.assignments_produced.saturating_sub(before);
+                        self.stats.rules_evaluated += 1;
+                        for t in result.tuples() {
+                            table.push(t.clone());
+                        }
+                        self.cache.insert(key, (result, volume));
+                    }
+                    Err(e) => {
+                        let cause = match degrade_cause(&e) {
+                            Some(c) if self.limits.degrade => c,
+                            _ => return Err(e),
+                        };
+                        // Graceful degradation: substitute a widened,
+                        // superset-safe stand-in for this rule's result and
+                        // record what happened. Degraded results are never
+                        // cached — the next run retries the rule exactly.
+                        self.stats.rules_evaluated += 1;
+                        self.stats.degradations.push(Degradation {
+                            rule: rule.to_string(),
+                            cause,
+                            truncated: e.to_string(),
+                        });
+                        table.push(self.widened_tuple(table.arity()));
+                    }
                 }
-                self.cache.insert(key, (result, volume));
             }
             self.stats.assignments_produced = self
                 .stats
@@ -405,6 +552,47 @@ impl Engine {
             .ok_or_else(|| EngineError::MissingTable(prog.query.clone()))
     }
 
+    /// Evaluates one rule's plan behind the fault-containment boundary:
+    /// injected faults fire first, the run clock is consulted, and any
+    /// panic raised during evaluation is caught and converted into
+    /// [`EngineError::RulePanic`] — the process never aborts on a bad rule.
+    fn eval_rule_guarded(
+        &mut self,
+        plan: &Plan,
+        computed: &BTreeMap<String, CompactTable>,
+        sample: Option<Sample>,
+    ) -> Result<CompactTable, EngineError> {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(f) = self.fault.hit(fault::site::EVAL_RULE) {
+                return Err(injected(f));
+            }
+            self.clock.check().map_err(EngineError::from)?;
+            self.eval_plan(plan, computed, sample)
+        }));
+        match caught {
+            Ok(res) => res,
+            Err(payload) => Err(EngineError::RulePanic(panic_message(payload.as_ref()))),
+        }
+    }
+
+    /// The superset-safe stand-in for a degraded rule: one `maybe` tuple
+    /// whose every cell covers any token-aligned sub-span of any input
+    /// document. Every extraction-derived value the exact evaluation could
+    /// have produced is therefore still encoded (widening is lossy only
+    /// for values never drawn from the corpus, e.g. pure numeric
+    /// constants).
+    fn widened_tuple(&self, arity: usize) -> CompactTuple {
+        let assigns: Vec<Assignment> = self
+            .store
+            .iter()
+            .map(|doc| Assignment::Contain(doc.full_span()))
+            .collect();
+        CompactTuple {
+            cells: vec![Cell::of(assigns); arity],
+            maybe: true,
+        }
+    }
+
     /// Evaluates one plan fragment bottom-up.
     fn eval_plan(
         &mut self,
@@ -412,6 +600,7 @@ impl Engine {
         computed: &BTreeMap<String, CompactTable>,
         sample: Option<Sample>,
     ) -> Result<CompactTable, EngineError> {
+        self.clock.tick().map_err(EngineError::from)?;
         match plan {
             Plan::ScanExt { name } => {
                 let t = self
@@ -572,7 +761,14 @@ impl Engine {
                     return self.fused_join(jl, jr, computed, sample, move |eng, cells| {
                         let cands: Vec<Cands> = cols
                             .iter()
-                            .map(|&c| candidates(cells[c], &eng.store, enum_cap))
+                            .map(|&c| {
+                                candidates_budgeted(
+                                    cells[c],
+                                    &eng.store,
+                                    enum_cap,
+                                    eng.clock.tripped(),
+                                )
+                            })
                             .collect();
                         let store = &eng.store;
                         filter_cands(&cands, &|args: &[Value]| ff(store, args), combo_cap)
@@ -582,9 +778,17 @@ impl Engine {
                 let store = self.store.clone();
                 let mut out = CompactTable::new(t.columns().to_vec());
                 for tup in t.tuples() {
+                    self.clock.tick().map_err(EngineError::from)?;
                     let cands: Vec<Cands> = cols
                         .iter()
-                        .map(|&c| candidates(&tup.cells[c], &store, self.limits.enum_cap))
+                        .map(|&c| {
+                            candidates_budgeted(
+                                &tup.cells[c],
+                                &store,
+                                self.limits.enum_cap,
+                                self.clock.tripped(),
+                            )
+                        })
                         .collect();
                     let mm = filter_cands(
                         &cands,
@@ -619,6 +823,9 @@ impl Engine {
                 }
                 let mut out = CompactTable::new(cols);
                 for tup in t.tuples() {
+                    if let Some(f) = self.fault.hit(fault::site::GENERATOR) {
+                        return Err(injected(f));
+                    }
                     let flats = tup
                         .expand_fully(&store, self.limits.expand_limit)
                         .ok_or_else(|| {
@@ -644,6 +851,7 @@ impl Engine {
                         let uncertain_input = total > 1;
                         let mut idx = vec![0usize; sets.len()];
                         loop {
+                            self.clock.tick().map_err(EngineError::from)?;
                             let args: Vec<Value> = idx
                                 .iter()
                                 .zip(&sets)
@@ -693,6 +901,10 @@ impl Engine {
                 let mut out = CompactTable::new(cols);
                 for lt in l.tuples() {
                     for rt in r.tuples() {
+                        self.clock.tick().map_err(EngineError::from)?;
+                        if let Some(f) = self.fault.hit(fault::site::JOIN_TUPLE) {
+                            return Err(injected(f));
+                        }
                         if out.len() >= self.limits.max_result_tuples {
                             return Err(EngineError::TooLarge("cross join result".into()));
                         }
@@ -738,13 +950,20 @@ impl Engine {
                 annotated,
             } => {
                 let t = self.eval_plan(input, computed, sample)?;
+                if let Some(f) = self.fault.hit(fault::site::ANNOTATE) {
+                    return Err(injected(f));
+                }
+                // Past the deadline the ψ operator is forced onto the cheap
+                // compact-direct path (still superset-preserving).
+                let policy =
+                    degraded_policy(self.limits.annotate_policy, self.clock.tripped());
                 let (out, _path) = apply_annotations_with(
                     t,
                     *existence,
                     annotated,
                     &self.store,
                     self.limits.atable_budget,
-                    self.limits.annotate_policy,
+                    policy,
                 );
                 Ok(out)
             }
@@ -776,6 +995,10 @@ impl Engine {
             let mut cells_ref: Vec<&Cell> = Vec::with_capacity(l.arity() + r.arity());
             for lt in lts {
                 for rt in r.tuples() {
+                    eng.clock.tick().map_err(EngineError::from)?;
+                    if let Some(f) = eng.fault.hit(fault::site::JOIN_TUPLE) {
+                        return Err(injected(f));
+                    }
                     cells_ref.clear();
                     cells_ref.extend(lt.cells.iter());
                     cells_ref.extend(rt.cells.iter());
@@ -815,10 +1038,15 @@ impl Engine {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("join worker panicked"))
+                .map(|h| {
+                    // A worker panic becomes a structured error: the rule
+                    // boundary turns it into a degradation, never an abort.
+                    h.join()
+                        .unwrap_or_else(|p| Err(EngineError::RulePanic(panic_message(p.as_ref()))))
+                })
                 .collect::<Vec<_>>()
         })
-        .expect("thread scope");
+        .map_err(|_| EngineError::Internal("fused join thread scope".into()))?;
         for res in results {
             for t in res? {
                 if out.len() >= cap {
@@ -865,6 +1093,8 @@ impl Engine {
         cols.extend(r.columns().iter().cloned());
         let cap = self.limits.max_result_tuples;
         let threads = self.limits.threads.max(1);
+        let clock = &self.clock;
+        let fplan = &self.fault;
 
         let run_chunk = |lts: &[CompactTuple],
                          lps: &[crate::similarity::SimProfile]|
@@ -872,6 +1102,10 @@ impl Engine {
             let mut out = Vec::new();
             for (lt, lp) in lts.iter().zip(lps) {
                 for (rt, rp) in r.tuples().iter().zip(&rprof) {
+                    clock.tick().map_err(EngineError::from)?;
+                    if let Some(f) = fplan.hit(fault::site::JOIN_TUPLE) {
+                        return Err(injected(f));
+                    }
                     if !lp.may_match(rp) {
                         continue;
                     }
@@ -908,10 +1142,13 @@ impl Engine {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("similarity worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|p| Err(EngineError::RulePanic(panic_message(p.as_ref()))))
+                })
                 .collect::<Vec<_>>()
         })
-        .expect("thread scope");
+        .map_err(|_| EngineError::Internal("similarity join thread scope".into()))?;
         for res in results {
             for t in res? {
                 if out.len() >= cap {
@@ -925,14 +1162,24 @@ impl Engine {
 
     fn cell_operand_cands(&self, op: &Operand, cells: &[&Cell]) -> Cands {
         match op {
-            Operand::Col(c) => candidates(cells[*c], &self.store, self.limits.cmp_enum_cap),
+            Operand::Col(c) => candidates_budgeted(
+                cells[*c],
+                &self.store,
+                self.limits.cmp_enum_cap,
+                self.clock.tripped(),
+            ),
             Operand::Const(v) => Cands::Full(vec![v.clone()]),
         }
     }
 
     fn operand_cands(&self, op: &Operand, tup: &CompactTuple) -> Cands {
         match op {
-            Operand::Col(c) => candidates(&tup.cells[*c], &self.store, self.limits.cmp_enum_cap),
+            Operand::Col(c) => candidates_budgeted(
+                &tup.cells[*c],
+                &self.store,
+                self.limits.cmp_enum_cap,
+                self.clock.tripped(),
+            ),
             Operand::Const(v) => Cands::Full(vec![v.clone()]),
         }
     }

@@ -16,17 +16,21 @@
 #![warn(missing_docs)]
 
 pub mod annotate;
+pub mod budget;
 pub mod constraint;
 pub mod eval;
 pub mod exec;
+pub mod fault;
 pub mod pfunc;
 pub mod plan;
 pub mod sample;
 pub mod similarity;
 
 pub use annotate::{apply_annotations, apply_annotations_with, AnnotatePath, AnnotatePolicy};
+pub use budget::{CancelToken, DegradeCause, RunBudget, RunClock};
 pub use eval::{Cands, MayMust};
-pub use exec::{render_universe, Engine, EngineError, ExecStats, Limits};
+pub use exec::{degrade_cause, render_universe, Degradation, Engine, EngineError, ExecStats, Limits};
+pub use fault::{Fault, FaultPlan, Trigger};
 pub use pfunc::{builtin_procs, ProcRegistry, Procedure};
 pub use plan::{compile_rule, CompileEnv, CompiledConstraint, Operand, Plan, PlanError};
 pub use sample::Sample;

@@ -251,6 +251,14 @@ pub enum PlanError {
         /// The predicate / relation name.
         name: String,
     },
+    /// A compiler invariant failed — reported as an error instead of a
+    /// panic so one bad rule cannot take the engine down.
+    Internal {
+        /// The offending rule, rendered.
+        rule: String,
+        /// Which invariant failed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -270,6 +278,9 @@ impl fmt::Display for PlanError {
             }
             PlanError::UnknownPredicate { rule, name } => {
                 write!(f, "predicate {name} is not a relation or procedure in: {rule}")
+            }
+            PlanError::Internal { rule, detail } => {
+                write!(f, "compiler invariant failed ({detail}) in: {rule}")
             }
         }
     }
@@ -371,12 +382,12 @@ fn merge(a: Branch, b: Branch) -> Branch {
     }
 }
 
-/// Merges the branches at `idxs` (sorted ascending) out of `branches`,
-/// returning the merged branch's new index.
-fn merge_indices(branches: &mut Vec<Branch>, mut idxs: Vec<usize>) -> usize {
+/// Merges the branches at `idxs` out of `branches`, returning the merged
+/// branch's new index; `None` when `idxs` is empty (nothing to merge).
+fn merge_indices(branches: &mut Vec<Branch>, mut idxs: Vec<usize>) -> Option<usize> {
     idxs.sort_unstable();
     idxs.dedup();
-    let first = idxs[0];
+    let first = *idxs.first()?;
     // Remove from the back so earlier indices stay valid.
     let mut acc: Option<Branch> = None;
     for &i in idxs.iter().rev() {
@@ -386,8 +397,8 @@ fn merge_indices(branches: &mut Vec<Branch>, mut idxs: Vec<usize>) -> usize {
             Some(prev) => merge(b, prev),
         });
     }
-    branches.insert(first, acc.expect("at least one branch"));
-    first
+    branches.insert(first, acc?);
+    Some(first)
 }
 
 fn branch_of(branches: &[Branch], var: &str) -> Option<usize> {
@@ -437,7 +448,10 @@ pub fn compile_rule(rule: &Rule, env: &CompileEnv<'_>) -> Result<Plan, PlanError
         let a = branches.remove(0);
         branches.insert(0, merge(a, b));
     }
-    let branch = branches.pop().expect("one branch");
+    let branch = branches.pop().ok_or_else(|| PlanError::Internal {
+        rule: rule.to_string(),
+        detail: "branch join left no branch".into(),
+    })?;
 
     // Project to head variables.
     let mut proj_cols = Vec::with_capacity(rule.head.args.len());
@@ -534,7 +548,10 @@ fn apply_atom(
                     match &a.term {
                         Term::Var(v) => b.unify_dup(v, col),
                         other => {
-                            let c = term_value(other).expect("non-var term");
+                            let c = term_value(other).ok_or_else(|| PlanError::Internal {
+                                rule: rule_str.to_string(),
+                                detail: "variable term in constant position".into(),
+                            })?;
                             let input = std::mem::replace(
                                 &mut b.plan,
                                 Plan::ScanExt { name: String::new() },
@@ -572,7 +589,19 @@ fn apply_atom(
                             None => return Ok(false),
                         }
                     }
-                    let bi = merge_indices(branches, idxs);
+                    if idxs.is_empty() {
+                        // zero-variable filter: attach to the first branch
+                        // (evaluated once per tuple, like a constant-only
+                        // comparison)
+                        if branches.is_empty() {
+                            return Ok(false);
+                        }
+                        idxs.push(0);
+                    }
+                    let bi = merge_indices(branches, idxs).ok_or_else(|| PlanError::Internal {
+                        rule: rule_str.to_string(),
+                        detail: "filter branch merge produced no branch".into(),
+                    })?;
                     let b = &mut branches[bi];
                     let cols: Vec<usize> = vars.iter().map(|v| b.bound[*v]).collect();
                     let input =
@@ -608,7 +637,10 @@ fn apply_atom(
                     if idxs.is_empty() {
                         return Ok(false);
                     }
-                    let bi = merge_indices(branches, idxs);
+                    let bi = merge_indices(branches, idxs).ok_or_else(|| PlanError::Internal {
+                        rule: rule_str.to_string(),
+                        detail: "generator branch merge produced no branch".into(),
+                    })?;
                     let b = &mut branches[bi];
                     let in_cols: Vec<usize> = in_vars.iter().map(|v| b.bound[*v]).collect();
                     let input =
@@ -625,7 +657,10 @@ fn apply_atom(
                         match &a.term {
                             Term::Var(v) => b.unify_dup(v, col),
                             other => {
-                                let c = term_value(other).expect("non-var");
+                                let c = term_value(other).ok_or_else(|| PlanError::Internal {
+                                    rule: rule_str.to_string(),
+                                    detail: "variable term in constant position".into(),
+                                })?;
                                 let input = std::mem::replace(
                                     &mut b.plan,
                                     Plan::ScanExt { name: String::new() },
@@ -671,16 +706,24 @@ fn apply_atom(
                 }
                 idxs.push(0);
             }
-            let bi = merge_indices(branches, idxs);
+            let bi = merge_indices(branches, idxs).ok_or_else(|| PlanError::Internal {
+                rule: rule_str.to_string(),
+                detail: "comparison branch merge produced no branch".into(),
+            })?;
             let b = &mut branches[bi];
-            let resolve = |t: &Term, b: &Branch| -> Operand {
+            let resolve = |t: &Term, b: &Branch| -> Result<Operand, PlanError> {
                 match t {
-                    Term::Var(v) => Operand::Col(b.bound[v.as_str()]),
-                    other => Operand::Const(term_value(other).expect("non-var")),
+                    Term::Var(v) => Ok(Operand::Col(b.bound[v.as_str()])),
+                    other => term_value(other).map(Operand::Const).ok_or_else(|| {
+                        PlanError::Internal {
+                            rule: rule_str.to_string(),
+                            detail: "unbound variable resolved as constant".into(),
+                        }
+                    }),
                 }
             };
-            let l = resolve(left, b);
-            let r = resolve(right, b);
+            let l = resolve(left, b)?;
+            let r = resolve(right, b)?;
             let input = std::mem::replace(&mut b.plan, Plan::ScanExt { name: String::new() });
             b.plan = Plan::Compare {
                 input: Box::new(input),

@@ -1,0 +1,142 @@
+//! Property tests of graceful degradation: whatever the engine degrades —
+//! injected faults, panics, a zero deadline — the degraded result's set of
+//! possible tuples must stay a **superset** of the exact run's. Best-effort
+//! execution may widen, never lose.
+
+use iflex_alog::parse_program;
+use iflex_ctable::worlds;
+use iflex_engine::{fault, Engine, Fault, FaultPlan, RunBudget, Trigger};
+use iflex_text::DocumentStore;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const UNIVERSE_BUDGET: usize = 4_000_000;
+
+/// Tiny single-digit documents keep the widened tuples' universes
+/// enumerable (a widened cell covers every subspan of every doc).
+fn build_engine(nums: &[(u32, u32)]) -> Engine {
+    let mut store = DocumentStore::new();
+    let mut ids = Vec::new();
+    for (a, b) in nums {
+        ids.push(store.add_plain(format!("{} {}", a % 10, b % 10)));
+    }
+    let mut eng = Engine::new(Arc::new(store));
+    eng.add_doc_table("pages", &ids);
+    eng
+}
+
+fn program(threshold: u32) -> iflex_alog::Program {
+    parse_program(&format!(
+        "q(x, v) :- pages(x), e(#x, v), v > {}.\n\
+         e(#x, v) :- from(#x, v), numeric(v) = yes.",
+        threshold % 10
+    ))
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// An injected fault at the rule boundary (budget overflow or a
+    /// contained panic, at a random rule index) degrades the run but the
+    /// degraded universe still contains every exact tuple.
+    #[test]
+    fn degraded_universe_contains_exact(
+        nums in proptest::collection::vec((0u32..10, 0u32..10), 1..3),
+        threshold in 0u32..10,
+        nth in 0u64..3,
+        panic_not_budget in any::<bool>(),
+    ) {
+        let prog = program(threshold);
+        let mut exact_eng = build_engine(&nums);
+        let exact = exact_eng.run(&prog).unwrap();
+        let u_exact = worlds::tuple_universe(
+            &exact, exact_eng.store(), UNIVERSE_BUDGET).unwrap();
+
+        let mut deg_eng = build_engine(&nums);
+        let f = if panic_not_budget {
+            Fault::Panic("prop".into())
+        } else {
+            Fault::TooLarge
+        };
+        deg_eng.fault.arm(fault::site::EVAL_RULE, Trigger::Nth(nth), f, 1);
+        let degraded = deg_eng.run(&prog).unwrap();
+        if nth == 0 {
+            // the first rule evaluation always probes the site
+            prop_assert!(deg_eng.stats.degraded());
+        }
+        let u_deg = worlds::tuple_universe(
+            &degraded, deg_eng.store(), UNIVERSE_BUDGET).unwrap();
+        prop_assert!(
+            u_deg.is_superset(&u_exact),
+            "degraded run lost tuples: exact {} vs degraded {}",
+            u_exact.len(),
+            u_deg.len()
+        );
+    }
+
+    /// A run whose deadline has already expired degrades everything, yet
+    /// still returns a universe covering the exact result.
+    #[test]
+    fn expired_deadline_still_covers_exact(
+        nums in proptest::collection::vec((0u32..10, 0u32..10), 1..3),
+        threshold in 0u32..10,
+    ) {
+        let prog = program(threshold);
+        let mut exact_eng = build_engine(&nums);
+        let exact = exact_eng.run(&prog).unwrap();
+        let u_exact = worlds::tuple_universe(
+            &exact, exact_eng.store(), UNIVERSE_BUDGET).unwrap();
+
+        let mut deg_eng = build_engine(&nums);
+        deg_eng.budget = RunBudget::with_deadline(Duration::ZERO);
+        let degraded = deg_eng.run(&prog).unwrap();
+        prop_assert!(deg_eng.stats.degraded());
+        let u_deg = worlds::tuple_universe(
+            &degraded, deg_eng.store(), UNIVERSE_BUDGET).unwrap();
+        prop_assert!(u_deg.is_superset(&u_exact));
+    }
+
+    /// The fault plan itself is deterministic: two runs with the same seed
+    /// and plan degrade identically.
+    #[test]
+    fn seeded_faults_replay_identically(
+        nums in proptest::collection::vec((0u32..10, 0u32..10), 1..3),
+        per_mille in 0u32..1000,
+        seed in any::<u64>(),
+    ) {
+        let prog = program(0);
+        let run = |seed: u64| {
+            let mut eng = build_engine(&nums);
+            eng.fault.arm(
+                fault::site::EVAL_RULE,
+                Trigger::PerMille(per_mille),
+                Fault::TooLarge,
+                seed,
+            );
+            let _ = eng.run(&prog).unwrap();
+            eng.stats
+                .degradations
+                .iter()
+                .map(|d| d.rule.clone())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// A disarmed plan is inert: arming then disarming leaves the engine
+    /// exact.
+    #[test]
+    fn disarmed_plan_is_exact(
+        nums in proptest::collection::vec((0u32..10, 0u32..10), 1..3),
+    ) {
+        let prog = program(0);
+        let mut eng = build_engine(&nums);
+        eng.fault.arm(fault::site::EVAL_RULE, Trigger::Always, Fault::TooLarge, 0);
+        eng.fault.disarm_all();
+        let _ = eng.run(&prog).unwrap();
+        prop_assert!(!eng.stats.degraded());
+        let _ = FaultPlan::disarmed(); // the default everywhere
+    }
+}

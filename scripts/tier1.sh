@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, and lint the workspace's core crates.
+# Run from the repository root: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (engine, core) =="
+cargo clippy -p iflex-engine -p iflex -- -D warnings
+
+echo "tier-1 OK"

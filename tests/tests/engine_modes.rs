@@ -84,11 +84,32 @@ fn best_effort_and_precise_modes_agree() {
 }
 
 #[test]
-fn too_large_budget_is_reported_not_fatal() {
+fn too_large_budget_degrades_instead_of_failing() {
     let c = Corpus::build(CorpusConfig::tiny());
     let task = c.task(TaskId::T9, Some(40));
     let mut engine = task.engine(&c);
     engine.limits.max_result_tuples = 10; // absurdly small
+    let result = engine.run(&task.program).expect("degrades, not fails");
+    assert!(engine.stats.degraded(), "budget overflow must be recorded");
+    assert!(engine
+        .stats
+        .degradations
+        .iter()
+        .any(|d| d.cause == iflex::engine::DegradeCause::Budget));
+    assert!(!result.is_empty(), "widened stand-ins keep the superset");
+    assert!(
+        result.tuples().iter().any(|t| t.maybe),
+        "degraded tuples are marked maybe"
+    );
+}
+
+#[test]
+fn strict_mode_still_fails_hard_on_budget() {
+    let c = Corpus::build(CorpusConfig::tiny());
+    let task = c.task(TaskId::T9, Some(40));
+    let mut engine = task.engine(&c);
+    engine.limits.max_result_tuples = 10;
+    engine.limits.degrade = false; // opt out of graceful degradation
     match engine.run(&task.program) {
         Err(iflex::engine::EngineError::TooLarge(_)) => {}
         other => panic!("expected TooLarge, got {other:?}"),
