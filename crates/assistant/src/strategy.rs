@@ -169,41 +169,12 @@ impl Strategy for Simulation {
         if by_attr.is_empty() {
             return None;
         }
-        // Interleave candidates round-robin across attributes so every
-        // attribute gets simulated within the budget (the sequential
-        // attribute-exhaustion order would starve late attributes).
-        let mut buckets: Vec<(String, std::collections::VecDeque<Question>)> = Vec::new();
-        for q in by_attr {
-            let key = q.attr.display();
-            match buckets.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, b)) => b.push_back(q),
-                None => {
-                    let mut d = std::collections::VecDeque::new();
-                    d.push_back(q);
-                    buckets.push((key, d));
-                }
-            }
-        }
-        let mut ordered: Vec<Question> = Vec::new();
-        loop {
-            let mut any = false;
-            for (_, b) in buckets.iter_mut() {
-                if let Some(q) = b.pop_front() {
-                    ordered.push(q);
-                    any = true;
-                }
-            }
-            if !any {
-                break;
-            }
-        }
-        // (expected size, expected assignments, index): primary criterion
-        // is the paper's expected result size; expected assignments break
-        // ties so that refinements invisible to the projected size (e.g.
-        // exactifying one side of a conjunctive condition) still register
-        // as progress.
-        let mut best: Option<(f64, f64, usize)> = None;
-        let mut considered = 0usize;
+        let ordered = interleave_by_attr(by_attr);
+
+        // Phase A (serial): derive and prune answer spaces, honoring the
+        // candidate cap in interleaved order. Dynamic spaces probe the
+        // live engine, so this phase stays on the session thread.
+        let mut cands: Vec<(usize, Vec<iflex_features::FeatureArg>)> = Vec::new();
         for (i, q) in ordered.iter().enumerate() {
             let mut space = answer_space(&q.feature);
             if space.is_empty() {
@@ -225,30 +196,49 @@ impl Strategy for Simulation {
             if space.is_empty() {
                 continue;
             }
-            considered += 1;
-            if considered > self.max_candidates {
+            if cands.len() == self.max_candidates {
                 break;
             }
+            cands.push((i, space));
+        }
+
+        // Phase B: flatten every (candidate, answer) refinement into one
+        // job list and execute it — on snapshot engines across worker
+        // threads when the engine's thread budget allows, serially on the
+        // live engine otherwise. Results come back in job order either
+        // way, so the fold below is oblivious to how the jobs ran.
+        let mut jobs: Vec<Program> = Vec::new();
+        let mut ranges: Vec<(usize, usize, usize)> = Vec::new(); // (ordered idx, start, len)
+        for (i, space) in &cands {
+            let q = &ordered[*i];
+            let start = jobs.len();
+            for v in space {
+                jobs.push(add_constraint(ctx.program, &q.attr, &q.feature, v));
+            }
+            ranges.push((*i, start, space.len()));
+        }
+        let results = simulate_jobs(ctx.engine, &jobs, ctx.sample, ctx.current_size);
+
+        // Phase C (serial): fold expected sizes in candidate order — the
+        // same arithmetic, in the same order, as the serial walk.
+        //
+        // (expected size, expected assignments, index): primary criterion
+        // is the paper's expected result size; expected assignments break
+        // ties so that refinements invisible to the projected size (e.g.
+        // exactifying one side of a conjunctive condition) still register
+        // as progress.
+        let mut best: Option<(f64, f64, usize)> = None;
+        for (i, start, len) in ranges {
             // expected = α·|current| + Σ_v (1-α)/|V| · |exec(g(P,(a,f,v)))|
             // Answers whose simulated result is empty are contradicted by
             // the data (superset semantics: the true result is contained
             // in every approximate result) — a truthful developer cannot
             // give them, so they are excluded and V renormalized.
-            let mut sizes: Vec<(usize, usize)> = Vec::with_capacity(space.len());
-            for v in &space {
-                let refined = add_constraint(ctx.program, &q.attr, &q.feature, v);
-                let size = match ctx.engine.run_sampled(&refined, ctx.sample) {
-                    Ok(t) => {
-                        let sz =
-                            t.expanded_len(ctx.engine.store()).min(usize::MAX as u64) as usize;
-                        (sz, ctx.engine.stats.assignments_produced)
-                    }
-                    Err(_) => (ctx.current_size, usize::MAX), // failure → no info
-                };
-                sizes.push(size);
-            }
-            let feasible: Vec<(usize, usize)> =
-                sizes.iter().copied().filter(|&(s, _)| s > 0).collect();
+            let feasible: Vec<(usize, usize)> = results[start..start + len]
+                .iter()
+                .copied()
+                .filter(|&(s, _)| s > 0)
+                .collect();
             if feasible.is_empty() {
                 continue; // every answer contradicted: nothing to learn
             }
@@ -276,6 +266,124 @@ impl Strategy for Simulation {
             None => ordered.into_iter().next(),
         }
     }
+}
+
+/// Interleaves questions round-robin across attributes so every attribute
+/// gets simulated within the budget (the sequential attribute-exhaustion
+/// order would starve late attributes).
+fn interleave_by_attr(by_attr: Vec<Question>) -> Vec<Question> {
+    let mut buckets: Vec<(String, std::collections::VecDeque<Question>)> = Vec::new();
+    for q in by_attr {
+        let key = q.attr.display();
+        match buckets.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, b)) => b.push_back(q),
+            None => {
+                let mut d = std::collections::VecDeque::new();
+                d.push_back(q);
+                buckets.push((key, d));
+            }
+        }
+    }
+    let mut ordered: Vec<Question> = Vec::new();
+    loop {
+        let mut any = false;
+        for (_, b) in buckets.iter_mut() {
+            if let Some(q) = b.pop_front() {
+                ordered.push(q);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    ordered
+}
+
+/// Executes one simulated refinement, reporting the projected result size
+/// and assignment count. A failed probe run carries no information, so it
+/// reports the current size (and saturated assignments, so it never wins
+/// a tie-break).
+fn simulate_probe(
+    engine: &mut Engine,
+    refined: &Program,
+    sample: Sample,
+    current_size: usize,
+) -> (usize, usize) {
+    match engine.run_sampled(refined, sample) {
+        Ok(t) => {
+            let sz = t.expanded_len(engine.store()).min(usize::MAX as u64) as usize;
+            (sz, engine.stats.assignments_produced)
+        }
+        Err(_) => (current_size, usize::MAX), // failure → no info
+    }
+}
+
+/// Runs every simulation job, returning results in job order.
+///
+/// With a thread budget above one, jobs are split into contiguous chunks
+/// and each chunk runs on its own [`Engine::snapshot`] — sharing the
+/// document store, fault plan, and feature memo with the live engine,
+/// but owning a private rule cache and stats. Snapshot engines run their
+/// probes serially (`threads = 1`) so simulation-level fan-out does not
+/// multiply with operator-level fan-out. Warm cache entries flow back via
+/// [`Engine::absorb_cache`] in chunk order. Because each job is an
+/// independent, deterministic engine run and results are folded in job
+/// order, the parallel path returns exactly what the serial path would.
+fn simulate_jobs(
+    engine: &mut Engine,
+    jobs: &[Program],
+    sample: Sample,
+    current_size: usize,
+) -> Vec<(usize, usize)> {
+    let threads = engine.limits.threads.max(1);
+    if threads <= 1 || jobs.len() < 2 {
+        return jobs
+            .iter()
+            .map(|p| simulate_probe(engine, p, sample, current_size))
+            .collect();
+    }
+    let chunk = jobs.len().div_ceil(threads);
+    let snapshots: Vec<Engine> = jobs
+        .chunks(chunk)
+        .map(|_| {
+            let mut e = engine.snapshot();
+            e.limits.threads = 1;
+            e
+        })
+        .collect();
+    let joined = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk)
+            .zip(snapshots)
+            .map(|(cjobs, mut eng)| {
+                scope.spawn(move || {
+                    let out: Vec<(usize, usize)> = cjobs
+                        .iter()
+                        .map(|p| simulate_probe(&mut eng, p, sample, current_size))
+                        .collect();
+                    (out, eng)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join())
+            .collect::<Vec<_>>()
+    });
+    let mut results = Vec::with_capacity(jobs.len());
+    for (cjobs, outcome) in jobs.chunks(chunk).zip(joined) {
+        match outcome {
+            Ok((out, eng)) => {
+                results.extend(out);
+                engine.absorb_cache(eng);
+            }
+            // A panicking probe worker yields no information for its
+            // chunk — the same treatment as a failed probe run.
+            Err(_) => results.extend(vec![(current_size, usize::MAX); cjobs.len()]),
+        }
+    }
+    results
 }
 
 #[cfg(test)]
@@ -392,6 +500,32 @@ mod tests {
                 || q.feature == "min-value",
             "{q:?}"
         );
+    }
+
+    #[test]
+    fn simulation_choice_is_thread_count_invariant() {
+        let p = prog();
+        let pick = |threads: usize| {
+            let mut eng = engine_with_pages();
+            eng.limits.threads = threads;
+            let asked = BTreeSet::new();
+            let current = eng.run(&p).unwrap().len();
+            let mut ctx = AssistContext {
+                program: &p,
+                engine: &mut eng,
+                asked: &asked,
+                sample: Sample::new(1.0, 0),
+                alpha: 0.1,
+                current_size: current,
+                examples: Default::default(),
+            };
+            let q = Simulation::default().next_question(&mut ctx).unwrap();
+            (q.attr.display(), q.feature)
+        };
+        let serial = pick(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(pick(threads), serial, "threads={threads}");
+        }
     }
 
     #[test]

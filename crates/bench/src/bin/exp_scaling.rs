@@ -2,12 +2,21 @@
 //! scale, one representative task per domain. §6.3's anecdotal claim —
 //! "the approximate query processor proves quite efficient even on large
 //! data sets" — corresponds to near-linear growth here.
+//!
+//! Modes:
+//! * no arguments — the original scaling table;
+//! * `--parallel-report [path]` — sweeps the parallel-execution knobs
+//!   (serial baseline without the feature memo, serial with it, threaded
+//!   with it) and writes a `BENCH_parallel.json` report;
+//! * `--smoke [path]` — the same sweep on one tiny workload, for the
+//!   tier-1 gate.
 
-use iflex_bench::{run_session, Strat};
+use iflex_bench::{run_session, run_session_configured, ExecConfig, RunResult, Strat};
 use iflex_corpus::{Corpus, CorpusConfig, TaskId};
+use iflex_engine::default_threads;
 use std::time::Instant;
 
-fn main() {
+fn scaling_table() {
     println!("Scaling: session wall clock (seconds) vs corpus scale");
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>10}",
@@ -24,5 +33,164 @@ fn main() {
             row += &format!(" {:>9.2}s", t0.elapsed().as_secs_f64());
         }
         println!("{row}");
+    }
+}
+
+struct Workload {
+    id: TaskId,
+    scale: f64,
+}
+
+struct Row {
+    task: String,
+    scale: f64,
+    baseline_secs: f64,
+    serial_secs: f64,
+    threaded_secs: f64,
+    memo_hits: usize,
+    memo_misses: usize,
+}
+
+fn timed(corpus: &Corpus, id: TaskId, exec: ExecConfig) -> (f64, RunResult) {
+    let task = corpus.task(id, None);
+    let t0 = Instant::now();
+    let run = run_session_configured(corpus, &task, Strat::Sim, exec);
+    (t0.elapsed().as_secs_f64(), run)
+}
+
+/// Sweeps one workload across the three configurations, checking that
+/// every configuration converges to the same result quality (parallel
+/// execution and memoization are performance levers, not semantics).
+fn sweep(workload: &Workload, threads: usize) -> Row {
+    let corpus = Corpus::build(CorpusConfig::scaled(workload.scale));
+    let baseline = ExecConfig {
+        threads: Some(1),
+        use_feature_memo: false,
+    };
+    let serial = ExecConfig {
+        threads: Some(1),
+        use_feature_memo: true,
+    };
+    let threaded = ExecConfig {
+        threads: Some(threads),
+        use_feature_memo: true,
+    };
+    let (baseline_secs, b) = timed(&corpus, workload.id, baseline);
+    let (serial_secs, s) = timed(&corpus, workload.id, serial);
+    let (threaded_secs, t) = timed(&corpus, workload.id, threaded);
+    for run in [&s, &t] {
+        assert_eq!(
+            run.quality.result_tuples, b.quality.result_tuples,
+            "{:?} scale {}: config changed the result",
+            workload.id, workload.scale
+        );
+        assert!((run.quality.recall - b.quality.recall).abs() < 1e-12);
+    }
+    Row {
+        task: format!("{:?}", workload.id),
+        scale: workload.scale,
+        baseline_secs,
+        serial_secs,
+        threaded_secs,
+        memo_hits: t.memo_hits,
+        memo_misses: t.memo_misses,
+    }
+}
+
+/// Hand-rendered JSON (the workspace deliberately carries no JSON
+/// dependency).
+fn render_json(rows: &[Row], threads: usize) -> String {
+    let mut out = String::from("{\n");
+    out += &format!("  \"threads\": {threads},\n");
+    out += &format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    out += "  \"workloads\": [\n";
+    for (i, r) in rows.iter().enumerate() {
+        let hit_rate = if r.memo_hits + r.memo_misses > 0 {
+            r.memo_hits as f64 / (r.memo_hits + r.memo_misses) as f64
+        } else {
+            0.0
+        };
+        out += "    {\n";
+        out += &format!("      \"task\": \"{}\",\n", r.task);
+        out += &format!("      \"scale\": {},\n", r.scale);
+        out += &format!("      \"serial_baseline_secs\": {:.4},\n", r.baseline_secs);
+        out += &format!("      \"serial_memo_secs\": {:.4},\n", r.serial_secs);
+        out += &format!("      \"threaded_memo_secs\": {:.4},\n", r.threaded_secs);
+        out += &format!(
+            "      \"speedup_vs_baseline\": {:.2},\n",
+            r.baseline_secs / r.threaded_secs.max(1e-9)
+        );
+        out += &format!(
+            "      \"speedup_vs_serial_memo\": {:.2},\n",
+            r.serial_secs / r.threaded_secs.max(1e-9)
+        );
+        out += &format!("      \"feature_cache_hits\": {},\n", r.memo_hits);
+        out += &format!("      \"feature_cache_misses\": {},\n", r.memo_misses);
+        out += &format!("      \"feature_cache_hit_rate\": {hit_rate:.4}\n");
+        out += if i + 1 == rows.len() { "    }\n" } else { "    },\n" };
+    }
+    out += "  ]\n}\n";
+    out
+}
+
+fn parallel_report(path: &str, smoke: bool) {
+    let threads = default_threads().max(4);
+    let workloads: Vec<Workload> = if smoke {
+        vec![Workload {
+            id: TaskId::T1,
+            scale: 0.1,
+        }]
+    } else {
+        vec![
+            Workload {
+                id: TaskId::T1,
+                scale: 1.0,
+            },
+            Workload {
+                id: TaskId::T5,
+                scale: 1.0,
+            },
+            Workload {
+                id: TaskId::T8,
+                scale: 1.0,
+            },
+            Workload {
+                id: TaskId::Panel,
+                scale: 1.0,
+            },
+        ]
+    };
+    let rows: Vec<Row> = workloads.iter().map(|w| sweep(w, threads)).collect();
+    for r in &rows {
+        println!(
+            "{:>6} @{}: baseline {:.2}s  serial+memo {:.2}s  {}-threads+memo {:.2}s  ({:.2}x vs baseline)",
+            r.task,
+            r.scale,
+            r.baseline_secs,
+            r.serial_secs,
+            threads,
+            r.threaded_secs,
+            r.baseline_secs / r.threaded_secs.max(1e-9),
+        );
+    }
+    std::fs::write(path, render_json(&rows, threads)).expect("write report");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("--parallel-report") => parallel_report(
+            args.get(1).map(|s| s.as_str()).unwrap_or("BENCH_parallel.json"),
+            false,
+        ),
+        Some("--smoke") => parallel_report(
+            args.get(1).map(|s| s.as_str()).unwrap_or("BENCH_parallel_smoke.json"),
+            true,
+        ),
+        _ => scaling_table(),
     }
 }

@@ -62,6 +62,29 @@ pub struct RunResult {
     pub outcome: SessionOutcome,
     /// The quality.
     pub quality: Quality,
+    /// Lifetime feature-memo hits across the whole session.
+    pub memo_hits: usize,
+    /// Lifetime feature-memo misses across the whole session.
+    pub memo_misses: usize,
+}
+
+/// Engine configuration for one benchmark session (the parallel-execution
+/// comparison axes).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Worker threads (`None` = the engine default).
+    pub threads: Option<usize>,
+    /// Whether feature `Verify`/`Refine` results are memoized.
+    pub use_feature_memo: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: None,
+            use_feature_memo: true,
+        }
+    }
 }
 
 /// Runs a full iFlex session (§5): subset iterations with the given
@@ -69,13 +92,26 @@ pub struct RunResult {
 /// execution. Cleanup procedures are registered (and charged) when the
 /// task needs them.
 pub fn run_session(corpus: &Corpus, task: &Task, strat: Strat) -> RunResult {
-    let engine = task.engine(corpus);
+    run_session_configured(corpus, task, strat, ExecConfig::default())
+}
+
+/// [`run_session`] with explicit thread / memo configuration — the knobs
+/// `exp_scaling --parallel-report` sweeps.
+pub fn run_session_configured(
+    corpus: &Corpus,
+    task: &Task,
+    strat: Strat,
+    exec: ExecConfig,
+) -> RunResult {
+    let mut engine = task.engine(corpus);
+    engine.limits.use_feature_memo = exec.use_feature_memo;
     let mut session = iflex::Session::new(
         engine,
         task.program.clone(),
         strat.boxed(),
         Box::new(SimulatedDeveloper::new(task.oracle.clone())),
     );
+    session.config.threads = exec.threads;
     if task.needs_type_cleanup {
         session
             .clock
@@ -88,7 +124,14 @@ pub fn run_session(corpus: &Corpus, task: &Task, strat: Strat) -> RunResult {
         &task.truth,
         session.engine.store(),
     );
-    RunResult { outcome, quality }
+    let memo_hits = session.engine.memo().hits();
+    let memo_misses = session.engine.memo().misses();
+    RunResult {
+        outcome,
+        quality,
+        memo_hits,
+        memo_misses,
+    }
 }
 
 /// Formats minutes the way Table 3 does: rounded, with the cleanup

@@ -12,6 +12,7 @@ use iflex_assistant::{
 use iflex_ctable::CompactTable;
 use iflex_engine::{Engine, EngineError, Sample};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How an iteration executed (Table 4 distinguishes subset-evaluation
@@ -82,6 +83,10 @@ pub struct SessionConfig {
     /// Consecutive degraded subset iterations tolerated before the loop
     /// stops with [`StopReason::Degraded`].
     pub max_degraded_iterations: usize,
+    /// Worker threads for the engine's sharded operators. `None` keeps
+    /// the engine's own default (`IFLEX_THREADS` or the machine's core
+    /// count, capped); `Some(1)` forces serial execution.
+    pub threads: Option<usize>,
 }
 
 impl Default for SessionConfig {
@@ -96,6 +101,7 @@ impl Default for SessionConfig {
             retry_shrink: 0.5,
             run_deadline: None,
             max_degraded_iterations: 2,
+            threads: None,
         }
     }
 }
@@ -104,8 +110,9 @@ impl Default for SessionConfig {
 #[derive(Debug)]
 pub struct SessionOutcome {
     /// The final result over the full input (or the last subset result
-    /// scaled check `full_run_within_budget`).
-    pub table: CompactTable,
+    /// scaled check `full_run_within_budget`). Shared, not cloned: the
+    /// engine's result tables travel by `Arc` through the retry ladder.
+    pub table: Arc<CompactTable>,
     /// False when the final full execution exceeded the engine budget and
     /// the subset result was returned instead (an unconverged program over
     /// the full input can be enormous — the user would refine further).
@@ -263,7 +270,7 @@ impl Session {
     fn timed_run(
         &mut self,
         sample: Option<Sample>,
-    ) -> Result<CompactTable, EngineError> {
+    ) -> Result<Arc<CompactTable>, EngineError> {
         let t0 = Instant::now();
         let out = match sample {
             Some(s) if s.fraction < 1.0 => self.engine.run_sampled(&self.program, s),
@@ -281,7 +288,7 @@ impl Session {
     fn final_attempt(
         &mut self,
         sample: Option<Sample>,
-    ) -> Result<Option<(CompactTable, usize, usize)>, EngineError> {
+    ) -> Result<Option<(Arc<CompactTable>, usize, usize)>, EngineError> {
         match self.timed_run(sample) {
             Ok(t) => {
                 let degraded = self.engine.stats.degradations.len();
@@ -298,6 +305,9 @@ impl Session {
     pub fn run(&mut self) -> Result<SessionOutcome, EngineError> {
         if let Some(d) = self.config.run_deadline {
             self.engine.budget.deadline = Some(d);
+        }
+        if let Some(n) = self.config.threads {
+            self.engine.limits.threads = n.max(1);
         }
         let sample = self.sample();
         let mut stop = StopReason::MaxIterations;

@@ -161,7 +161,7 @@ impl RunClock {
     /// (and the first) reads the wall clock.
     pub fn tick(&self) -> Result<(), DegradeCause> {
         let n = self.tick.fetch_add(1, Ordering::Relaxed);
-        if n % TICK_STRIDE != 0 {
+        if !n.is_multiple_of(TICK_STRIDE) {
             if self.tripped() {
                 return self.check();
             }

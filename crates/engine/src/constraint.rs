@@ -2,10 +2,141 @@
 //! `A(k, m(s))` per assignment via the feature's `Verify`/`Refine`, and
 //! re-checks every *prior* constraint on freshly created sub-spans.
 
+use crate::memo::{CellCtx, FeatureMemo, MemoQuery, MemoValue};
 use crate::plan::CompiledConstraint;
 use iflex_ctable::{Assignment, Cell, Value};
-use iflex_features::{FeatureError, FeatureRegistry};
+use iflex_features::{FeatureArg, FeatureError, FeatureRegistry};
 use iflex_text::DocumentStore;
+use std::sync::Arc;
+
+/// Memoizing wrapper around `Feature::verify_value`.
+fn verify_memo(
+    features: &FeatureRegistry,
+    store: &DocumentStore,
+    v: &Value,
+    k: &CompiledConstraint,
+    memo: Option<&FeatureMemo>,
+) -> Result<bool, FeatureError> {
+    let q = MemoQuery::Verify {
+        value: v,
+        feature: &k.feature,
+        arg: &k.arg,
+    };
+    let hash = match memo {
+        Some(m) => {
+            let (h, found) = m.get(&q);
+            if let Some(MemoValue::Verified(ok)) = found {
+                return Ok(ok);
+            }
+            Some(h)
+        }
+        None => None,
+    };
+    let f = features.get(&k.feature)?;
+    let ok = f.verify_value(store, v, &k.arg)?;
+    if let (Some(m), Some(h)) = (memo, hash) {
+        m.insert(h, &q, MemoValue::Verified(ok));
+    }
+    Ok(ok)
+}
+
+/// Memoizing wrapper around `Feature::refine`.
+fn refine_memo(
+    features: &FeatureRegistry,
+    store: &DocumentStore,
+    span: iflex_text::Span,
+    k: &CompiledConstraint,
+    memo: Option<&FeatureMemo>,
+) -> Result<Arc<Vec<Assignment>>, FeatureError> {
+    let q = MemoQuery::Refine {
+        span,
+        feature: &k.feature,
+        arg: &k.arg,
+    };
+    let hash = match memo {
+        Some(m) => {
+            let (h, found) = m.get(&q);
+            if let Some(MemoValue::Refined(v)) = found {
+                return Ok(v);
+            }
+            Some(h)
+        }
+        None => None,
+    };
+    let f = features.get(&k.feature)?;
+    let refined = Arc::new(f.refine(store, span, &k.arg)?);
+    if let (Some(m), Some(h)) = (memo, hash) {
+        m.insert(h, &q, MemoValue::Refined(Arc::clone(&refined)));
+    }
+    Ok(refined)
+}
+
+/// Renders a constraint chain into the injective identity string backing
+/// [`CellCtx`]: `\u{1}` separates constraints, `\u{2}` separates fields,
+/// and numeric arguments are rendered by bit pattern. Feature names and
+/// text arguments never contain control characters, so distinct chains
+/// render distinctly.
+pub fn chain_ctx(new: &CompiledConstraint, priors: &[CompiledConstraint]) -> CellCtx {
+    fn push(out: &mut String, k: &CompiledConstraint) {
+        out.push_str(&k.feature);
+        out.push('\u{2}');
+        match &k.arg {
+            FeatureArg::Tri(v) => out.push_str(&format!("t{}", *v as u8)),
+            FeatureArg::Num(n) => out.push_str(&format!("n{:016x}", n.to_bits())),
+            FeatureArg::Text(s) => {
+                out.push('x');
+                out.push_str(s);
+            }
+        }
+        out.push('\u{1}');
+    }
+    let mut text = String::new();
+    push(&mut text, new);
+    for k in priors {
+        push(&mut text, k);
+    }
+    CellCtx::new(text)
+}
+
+/// [`apply_constraint_memo`] behind the coarser *cell-level* cache: when
+/// this exact cell has already been refined under this exact constraint
+/// chain (by any rule, run, or simulation probe sharing the memo), the
+/// cached output cell is returned without touching the worklist at all.
+pub fn apply_constraint_cached(
+    cell: &Cell,
+    new: &CompiledConstraint,
+    priors: &[CompiledConstraint],
+    store: &DocumentStore,
+    features: &FeatureRegistry,
+    memo: &FeatureMemo,
+    ctx: &CellCtx,
+) -> Result<Cell, FeatureError> {
+    // Cells without a `Contain` region only take the verify fast path of
+    // the worklist — a handful of direct feature calls that are cheaper
+    // than any cache round-trip. Caching pays exactly where refinement
+    // worklists run, so exact-only cells bypass the memo entirely.
+    let refinable = cell
+        .assignments()
+        .iter()
+        .any(|a| matches!(a, Assignment::Contain(_)));
+    if !refinable {
+        return apply_constraint_memo(cell, new, priors, store, features, None);
+    }
+    let (hash, found) = memo.get_cell(ctx, cell);
+    if let Some(out) = found {
+        return Ok(out);
+    }
+    // On a cell miss the worklist recomputes from scratch *without* the
+    // finer span-level memo: with this corpus's cheap features, per-call
+    // Verify/Refine lookups cost more than the calls they save, and the
+    // cell entry inserted below already captures the reuse across rules,
+    // iterations, and simulation probes. Callers that pay more per
+    // feature call can still thread the memo through
+    // [`apply_constraint_memo`] directly.
+    let out = apply_constraint_memo(cell, new, priors, store, features, None)?;
+    memo.insert_cell(hash, ctx, cell, out.clone());
+    Ok(out)
+}
 
 /// Applies `new` (and re-checks `priors`) to one cell, returning the
 /// transformed cell. Expansion flags are preserved (§4.2: "if c is an
@@ -16,6 +147,20 @@ pub fn apply_constraint(
     priors: &[CompiledConstraint],
     store: &DocumentStore,
     features: &FeatureRegistry,
+) -> Result<Cell, FeatureError> {
+    apply_constraint_memo(cell, new, priors, store, features, None)
+}
+
+/// [`apply_constraint`] with an optional shared [`FeatureMemo`]:
+/// `Verify`/`Refine` results are served from (and recorded into) the memo,
+/// which the engine shares across rules, runs, and simulation probes.
+pub fn apply_constraint_memo(
+    cell: &Cell,
+    new: &CompiledConstraint,
+    priors: &[CompiledConstraint],
+    store: &DocumentStore,
+    features: &FeatureRegistry,
+    memo: Option<&FeatureMemo>,
 ) -> Result<Cell, FeatureError> {
     // Full constraint list; `new` is applied first, then priors re-checked
     // (order is immaterial for the final set — §4.2).
@@ -50,8 +195,7 @@ pub fn apply_constraint(
             Assignment::Exact(v) => {
                 // One shot: verify all constraints.
                 for k in &all {
-                    let f = features.get(&k.feature)?;
-                    if !f.verify_value(store, v, &k.arg)? {
+                    if !verify_memo(features, store, v, k, memo)? {
                         continue 'work; // dropped
                     }
                 }
@@ -63,13 +207,12 @@ pub fn apply_constraint(
                     continue;
                 }
                 let k = all[next];
-                let f = features.get(&k.feature)?;
-                let refined = f.refine(store, *s, &k.arg)?;
+                let refined = refine_memo(features, store, *s, k, memo)?;
                 if refined.len() == 1 && refined[0] == assign {
                     // Region stable under this constraint; move on.
                     work.push((assign, next + 1));
                 } else {
-                    for r in refined {
+                    for r in refined.iter().cloned() {
                         match r {
                             // New exact values still need all other checks.
                             Assignment::Exact(_) => work.push((r, 0)),

@@ -11,7 +11,6 @@
 
 use crate::annotate::{apply_annotations_with, degraded_policy, AnnotatePolicy};
 use crate::budget::{DegradeCause, RunBudget, RunClock};
-use crate::constraint::apply_constraint;
 use crate::eval::{candidates_budgeted, cells_may_equal, compare_cands, filter_cands, Cands};
 use crate::fault::{self, Fault, FaultPlan};
 use crate::pfunc::{builtin_procs, ProcRegistry, Procedure};
@@ -62,6 +61,10 @@ pub struct Limits {
     /// [`ExecStats::degradations`]. With `false` (strict mode) those
     /// conditions surface as hard [`EngineError`]s as in earlier versions.
     pub degrade: bool,
+    /// Serve feature `Verify`/`Refine` calls from the shared
+    /// [`FeatureMemo`](crate::FeatureMemo) (ablation knob; disabling it
+    /// restores the recompute-every-call behavior).
+    pub use_feature_memo: bool,
 }
 
 impl Default for Limits {
@@ -73,14 +76,29 @@ impl Default for Limits {
             expand_limit: 65_536,
             max_result_tuples: 2_000_000,
             cmp_enum_cap: 64,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get().min(8))
-                .unwrap_or(1),
+            threads: default_threads(),
             annotate_policy: AnnotatePolicy::default(),
             reuse_enabled: true,
             degrade: true,
+            use_feature_memo: true,
         }
     }
+}
+
+/// The default worker-thread count: the `IFLEX_THREADS` environment
+/// variable when set to a positive integer, otherwise the machine's
+/// available parallelism capped at 8. `IFLEX_THREADS=1` forces fully
+/// serial execution.
+pub fn default_threads() -> usize {
+    std::env::var("IFLEX_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1)
+        })
 }
 
 /// One graceful-degradation event: a rule whose evaluation could not be
@@ -119,12 +137,37 @@ pub struct ExecStats {
     pub assignments_produced: usize,
     /// Rules degraded this run (empty for an exact run).
     pub degradations: Vec<Degradation>,
+    /// Feature-memo (`Verify`/`Refine`) cache hits this run.
+    pub feature_cache_hits: usize,
+    /// Feature-memo cache misses this run.
+    pub feature_cache_misses: usize,
+    /// Parallel operator sections that actually fanned out to worker
+    /// threads this run (small inputs fall back to in-thread shards and
+    /// are not counted).
+    pub par_sections: usize,
+    /// Accumulated per-shard busy wall-clock (µs), indexed by shard
+    /// position. Shard `i` aggregates the `i`-th chunk of every parallel
+    /// section, so a skewed distribution shows up as a lopsided vector.
+    pub shard_busy_us: Vec<u64>,
 }
 
 impl ExecStats {
     /// True when at least one rule degraded this run.
     pub fn degraded(&self) -> bool {
         !self.degradations.is_empty()
+    }
+
+    /// Records one [`crate::par::scatter`] outcome.
+    pub(crate) fn note_shards(&mut self, shard_micros: &[u64], went_parallel: bool) {
+        if went_parallel {
+            self.par_sections += 1;
+        }
+        if self.shard_busy_us.len() < shard_micros.len() {
+            self.shard_busy_us.resize(shard_micros.len(), 0);
+        }
+        for (acc, us) in self.shard_busy_us.iter_mut().zip(shard_micros) {
+            *acc = acc.saturating_add(*us);
+        }
     }
 
     /// True when some degradation this run had the given cause.
@@ -221,7 +264,7 @@ pub fn degrade_cause(e: &EngineError) -> Option<DegradeCause> {
 
 /// Renders a contained panic payload (`&str` / `String` payloads; anything
 /// else is opaque).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -259,11 +302,11 @@ pub struct Engine {
     store: Arc<DocumentStore>,
     features: FeatureRegistry,
     procs: ProcRegistry,
-    ext: BTreeMap<String, CompactTable>,
+    ext: BTreeMap<String, Arc<CompactTable>>,
     /// Per-(rule, sample) reuse cache (§5.2): result table plus the
     /// extraction volume its evaluation reported (re-reported on hits so
     /// convergence monitoring sees identical signals for cached runs).
-    cache: BTreeMap<String, (CompactTable, usize)>,
+    cache: BTreeMap<String, (Arc<CompactTable>, usize)>,
     epoch: u64,
     /// The limits.
     pub limits: Limits,
@@ -271,10 +314,19 @@ pub struct Engine {
     pub stats: ExecStats,
     /// Wall-clock/cancellation budget applied to every run.
     pub budget: RunBudget,
-    /// Fault-injection plan (disarmed by default; tests arm it).
-    pub fault: FaultPlan,
-    /// The clock of the current (or last) run.
-    clock: RunClock,
+    /// Fault-injection plan (disarmed by default; tests arm it). Shared
+    /// with snapshots so per-site hit counts are global: a fault armed
+    /// `Nth` fires exactly once no matter which worker reaches it.
+    pub fault: Arc<FaultPlan>,
+    /// The clock of the current (or last) run; `Arc` so snapshots and
+    /// worker threads observe this engine's deadline/cancellation.
+    clock: Arc<RunClock>,
+    /// Shared `Verify`/`Refine` memo (see [`crate::memo`]); one instance
+    /// serves this engine, its snapshots, and every worker thread.
+    memo: Arc<crate::memo::FeatureMemo>,
+    /// Lazily computed procedure signatures, reset whenever the
+    /// procedure or feature registries are touched mutably.
+    proc_sigs_cache: std::sync::OnceLock<Arc<BTreeMap<String, (bool, usize)>>>,
 }
 
 impl Engine {
@@ -291,8 +343,46 @@ impl Engine {
             limits: Limits::default(),
             stats: ExecStats::default(),
             budget: RunBudget::unlimited(),
-            fault: FaultPlan::disarmed(),
-            clock: RunClock::unlimited(),
+            fault: Arc::new(FaultPlan::disarmed()),
+            clock: Arc::new(RunClock::unlimited()),
+            memo: Arc::new(crate::memo::FeatureMemo::new()),
+            proc_sigs_cache: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// A cheap concurrent-execution snapshot: shares the document store,
+    /// extensional tables, reuse-cache entries, feature memo, fault plan,
+    /// and the *current* run clock by reference count, with fresh stats.
+    /// Running a program on the snapshot never mutates this engine;
+    /// results computed by the snapshot can be folded back with
+    /// [`Engine::absorb_cache`].
+    pub fn snapshot(&self) -> Engine {
+        Engine {
+            store: Arc::clone(&self.store),
+            features: self.features.clone(),
+            procs: self.procs.clone(),
+            ext: self.ext.clone(),
+            cache: self.cache.clone(),
+            epoch: self.epoch,
+            limits: self.limits,
+            stats: ExecStats::default(),
+            budget: self.budget.clone(),
+            fault: Arc::clone(&self.fault),
+            clock: Arc::clone(&self.clock),
+            memo: Arc::clone(&self.memo),
+            proc_sigs_cache: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Folds the reuse-cache entries a snapshot computed back into this
+    /// engine (existing entries win — both engines computed the same
+    /// pure results). No-op if the snapshot diverged (different epoch).
+    pub fn absorb_cache(&mut self, snapshot: Engine) {
+        if snapshot.epoch != self.epoch {
+            return;
+        }
+        for (k, v) in snapshot.cache {
+            self.cache.entry(k).or_insert(v);
         }
     }
 
@@ -306,9 +396,20 @@ impl Engine {
         &self.features
     }
 
-    /// Features mut.
+    /// Features mut. Mutable access may change feature behavior, so it
+    /// invalidates everything derived from feature results: the rule
+    /// reuse cache (by epoch bump) and the `Verify`/`Refine` memo.
     pub fn features_mut(&mut self) -> &mut FeatureRegistry {
+        self.epoch += 1;
+        self.cache.clear();
+        self.memo.clear();
+        self.proc_sigs_cache = std::sync::OnceLock::new();
         &mut self.features
+    }
+
+    /// The shared `Verify`/`Refine` memo.
+    pub fn memo(&self) -> &Arc<crate::memo::FeatureMemo> {
+        &self.memo
     }
 
     /// Procs.
@@ -320,6 +421,7 @@ impl Engine {
     pub fn procs_mut(&mut self) -> &mut ProcRegistry {
         self.epoch += 1;
         self.cache.clear();
+        self.proc_sigs_cache = std::sync::OnceLock::new();
         &mut self.procs
     }
 
@@ -327,7 +429,7 @@ impl Engine {
     pub fn add_table(&mut self, name: &str, table: CompactTable) {
         self.epoch += 1;
         self.cache.clear();
-        self.ext.insert(name.to_string(), table);
+        self.ext.insert(name.to_string(), Arc::new(table));
     }
 
     /// Registers a one-column extensional table of whole documents —
@@ -345,7 +447,7 @@ impl Engine {
 
     /// The registered extensional table names and arities.
     pub fn ext_tables(&self) -> impl Iterator<Item = (&str, &CompactTable)> {
-        self.ext.iter().map(|(k, v)| (k.as_str(), v))
+        self.ext.iter().map(|(k, v)| (k.as_str(), v.as_ref()))
     }
 
     /// Drops all memoized rule results.
@@ -354,18 +456,26 @@ impl Engine {
     }
 
     /// Signatures of the registered procedures for the rule compiler.
-    fn proc_sigs(&self) -> BTreeMap<String, (bool, usize)> {
-        self.procs
-            .names()
-            .into_iter()
-            .filter_map(|n| {
-                let sig = match self.procs.get(n)? {
-                    Procedure::Filter(_) => (true, 0),
-                    Procedure::Generator { out_arity, .. } => (false, *out_arity),
-                };
-                Some((n.to_string(), sig))
-            })
-            .collect()
+    /// Computed once and cached until [`Engine::procs_mut`] /
+    /// [`Engine::features_mut`] invalidate it — `run` is called once per
+    /// iteration and per simulation probe, and the signatures never
+    /// change in between.
+    fn proc_sigs(&self) -> Arc<BTreeMap<String, (bool, usize)>> {
+        Arc::clone(self.proc_sigs_cache.get_or_init(|| {
+            Arc::new(
+                self.procs
+                    .names()
+                    .into_iter()
+                    .filter_map(|n| {
+                        let sig = match self.procs.get(n)? {
+                            Procedure::Filter(_) => (true, 0),
+                            Procedure::Generator { out_arity, .. } => (false, *out_arity),
+                        };
+                        Some((n.to_string(), sig))
+                    })
+                    .collect(),
+            )
+        }))
     }
 
     /// The validation environment matching this engine's state.
@@ -400,7 +510,7 @@ impl Engine {
         let cenv = CompileEnv {
             extensional: &ext_arity,
             intensional: &int_arity,
-            procedures: &proc_sigs,
+            procedures: proc_sigs.as_ref(),
         };
         let mut out = String::new();
         use std::fmt::Write as _;
@@ -415,8 +525,9 @@ impl Engine {
     }
 
     /// Executes `prog` over the full input, returning the query's compact
-    /// table.
-    pub fn run(&mut self, prog: &Program) -> Result<CompactTable, EngineError> {
+    /// table. The result is reference-counted: reuse-cache entries, the
+    /// caller, and session retries all share one allocation.
+    pub fn run(&mut self, prog: &Program) -> Result<Arc<CompactTable>, EngineError> {
         self.run_inner(prog, None)
     }
 
@@ -426,7 +537,7 @@ impl Engine {
         &mut self,
         prog: &Program,
         sample: Sample,
-    ) -> Result<CompactTable, EngineError> {
+    ) -> Result<Arc<CompactTable>, EngineError> {
         self.run_inner(prog, Some(sample))
     }
 
@@ -434,9 +545,11 @@ impl Engine {
         &mut self,
         prog: &Program,
         sample: Option<Sample>,
-    ) -> Result<CompactTable, EngineError> {
+    ) -> Result<Arc<CompactTable>, EngineError> {
         self.stats = ExecStats::default();
-        self.clock = self.budget.start();
+        let memo_hits0 = self.memo.hits();
+        let memo_misses0 = self.memo.misses();
+        self.clock = Arc::new(self.budget.start());
         let env = self.validate_env();
         let errors = validate(prog, &env);
         if !errors.is_empty() {
@@ -458,7 +571,7 @@ impl Engine {
         let proc_sigs = self.proc_sigs();
 
         let sample_key = sample.map(|s| s.key()).unwrap_or_else(|| "full".into());
-        let mut computed: BTreeMap<String, CompactTable> = BTreeMap::new();
+        let mut computed: BTreeMap<String, Arc<CompactTable>> = BTreeMap::new();
         // Derivational versions: a relation's version hashes its rules and
         // the versions of every intensional relation those rules read, so
         // a refinement upstream invalidates every dependent rule's cache
@@ -493,22 +606,27 @@ impl Engine {
             }
             let version = version_hasher.finish();
             versions.insert(name.clone(), version);
-            let mut table = CompactTable::new(cols);
+            // Per-rule result fragments in rule order; merged below. The
+            // enum keeps degraded stand-ins interleaved exactly where the
+            // rule's real result would have been.
+            enum Part {
+                Table(Arc<CompactTable>),
+                Widened(CompactTuple),
+            }
+            let mut parts: Vec<Part> = Vec::new();
             for rule in rules {
                 let key = format!("e{}|{}|v{:016x}|{}", self.epoch, sample_key, version, rule);
                 if let Some((hit, volume)) = self.cache.get(&key).filter(|_| self.limits.reuse_enabled) {
                     self.stats.cache_hits += 1;
                     self.stats.assignments_produced =
                         self.stats.assignments_produced.saturating_add(*volume);
-                    for t in hit.tuples() {
-                        table.push(t.clone());
-                    }
+                    parts.push(Part::Table(Arc::clone(hit)));
                     continue;
                 }
                 let cenv = CompileEnv {
                     extensional: &ext_arity,
                     intensional: &int_arity,
-                    procedures: &proc_sigs,
+                    procedures: proc_sigs.as_ref(),
                 };
                 let plan = compile_rule(rule, &cenv)?;
                 let before = self.stats.assignments_produced;
@@ -516,9 +634,7 @@ impl Engine {
                     Ok(result) => {
                         let volume = self.stats.assignments_produced.saturating_sub(before);
                         self.stats.rules_evaluated += 1;
-                        for t in result.tuples() {
-                            table.push(t.clone());
-                        }
+                        parts.push(Part::Table(Arc::clone(&result)));
                         self.cache.insert(key, (result, volume));
                     }
                     Err(e) => {
@@ -536,10 +652,33 @@ impl Engine {
                             cause,
                             truncated: e.to_string(),
                         });
-                        table.push(self.widened_tuple(table.arity()));
+                        parts.push(Part::Widened(self.widened_tuple(cols.len())));
                     }
                 }
             }
+            // Single exact rule whose result already has the head columns:
+            // share its allocation instead of copying tuple by tuple (the
+            // overwhelmingly common shape after unfolding).
+            let table: Arc<CompactTable> = match parts.as_slice() {
+                [Part::Table(t)] if t.columns() == cols.as_slice() => match parts.pop() {
+                    Some(Part::Table(t)) => t,
+                    _ => unreachable!("just matched a single-table part"),
+                },
+                _ => {
+                    let mut merged = CompactTable::new(cols);
+                    for part in parts {
+                        match part {
+                            Part::Table(t) => {
+                                for tup in t.tuples() {
+                                    merged.push(tup.clone());
+                                }
+                            }
+                            Part::Widened(tup) => merged.push(tup),
+                        }
+                    }
+                    Arc::new(merged)
+                }
+            };
             self.stats.assignments_produced = self
                 .stats
                 .assignments_produced
@@ -547,6 +686,8 @@ impl Engine {
             computed.insert(name.clone(), table);
         }
 
+        self.stats.feature_cache_hits = self.memo.hits().saturating_sub(memo_hits0);
+        self.stats.feature_cache_misses = self.memo.misses().saturating_sub(memo_misses0);
         computed
             .remove(&prog.query)
             .ok_or_else(|| EngineError::MissingTable(prog.query.clone()))
@@ -559,9 +700,9 @@ impl Engine {
     fn eval_rule_guarded(
         &mut self,
         plan: &Plan,
-        computed: &BTreeMap<String, CompactTable>,
+        computed: &BTreeMap<String, Arc<CompactTable>>,
         sample: Option<Sample>,
-    ) -> Result<CompactTable, EngineError> {
+    ) -> Result<Arc<CompactTable>, EngineError> {
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if let Some(f) = self.fault.hit(fault::site::EVAL_RULE) {
                 return Err(injected(f));
@@ -593,13 +734,15 @@ impl Engine {
         }
     }
 
-    /// Evaluates one plan fragment bottom-up.
+    /// Evaluates one plan fragment bottom-up. Results are
+    /// reference-counted so scans of cached/extensional tables are free
+    /// and per-tuple operators can fan out over shared inputs.
     fn eval_plan(
         &mut self,
         plan: &Plan,
-        computed: &BTreeMap<String, CompactTable>,
+        computed: &BTreeMap<String, Arc<CompactTable>>,
         sample: Option<Sample>,
-    ) -> Result<CompactTable, EngineError> {
+    ) -> Result<Arc<CompactTable>, EngineError> {
         self.clock.tick().map_err(EngineError::from)?;
         match plan {
             Plan::ScanExt { name } => {
@@ -609,8 +752,8 @@ impl Engine {
                     .ok_or_else(|| EngineError::MissingTable(name.clone()))?;
                 self.stats.tuples_scanned += t.len();
                 Ok(match sample {
-                    Some(s) => s.apply(t),
-                    None => t.clone(),
+                    Some(s) => Arc::new(s.apply(t)),
+                    None => Arc::clone(t),
                 })
             }
             Plan::ScanRel { name } => computed
@@ -639,7 +782,7 @@ impl Engine {
                         maybe: tup.maybe,
                     });
                 }
-                Ok(out)
+                Ok(Arc::new(out))
             }
             Plan::Constraint {
                 input,
@@ -647,27 +790,59 @@ impl Engine {
                 constraint,
                 priors,
             } => {
+                // Domain-constraint selection fans out across worker
+                // threads: tuples are independent, and the feature memo
+                // dedups repeated `Verify`/`Refine` calls across shards.
                 let t = self.eval_plan(input, computed, sample)?;
+                let col = *col;
+                let sr = {
+                    let store = &self.store;
+                    let features = &self.features;
+                    let memo = self.limits.use_feature_memo.then_some(self.memo.as_ref());
+                    let ctx = memo.map(|_| crate::constraint::chain_ctx(constraint, priors));
+                    let clock = &self.clock;
+                    crate::par::scatter(self.limits.threads, t.tuples(), |tups| {
+                        let mut out = Vec::new();
+                        for tup in tups {
+                            clock.tick().map_err(EngineError::from)?;
+                            let new_cell = match (memo, ctx.as_ref()) {
+                                (Some(m), Some(c)) => crate::constraint::apply_constraint_cached(
+                                    &tup.cells[col],
+                                    constraint,
+                                    priors,
+                                    store,
+                                    features,
+                                    m,
+                                    c,
+                                )?,
+                                _ => crate::constraint::apply_constraint_memo(
+                                    &tup.cells[col],
+                                    constraint,
+                                    priors,
+                                    store,
+                                    features,
+                                    None,
+                                )?,
+                            };
+                            if new_cell.is_empty() {
+                                continue;
+                            }
+                            let mut cells = tup.cells.clone();
+                            cells[col] = new_cell;
+                            out.push(CompactTuple {
+                                cells,
+                                maybe: tup.maybe,
+                            });
+                        }
+                        Ok(out)
+                    })
+                };
+                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(t.columns().to_vec());
-                for tup in t.tuples() {
-                    let new_cell = apply_constraint(
-                        &tup.cells[*col],
-                        constraint,
-                        priors,
-                        &self.store,
-                        &self.features,
-                    )?;
-                    if new_cell.is_empty() {
-                        continue;
-                    }
-                    let mut cells = tup.cells.clone();
-                    cells[*col] = new_cell;
-                    out.push(CompactTuple {
-                        cells,
-                        maybe: tup.maybe,
-                    });
+                for tup in sr.merge()? {
+                    out.push(tup);
                 }
-                Ok(out)
+                Ok(Arc::new(out))
             }
             Plan::Compare {
                 input,
@@ -694,19 +869,33 @@ impl Engine {
                     });
                 }
                 let t = self.eval_plan(input, computed, sample)?;
+                let (op, offset) = (*op, *offset);
+                let sr = {
+                    let eng: &Engine = self;
+                    crate::par::scatter(eng.limits.threads, t.tuples(), |tups| {
+                        let mut out = Vec::new();
+                        for tup in tups {
+                            eng.clock.tick().map_err(EngineError::from)?;
+                            let lc = eng.operand_cands(left, tup);
+                            let rc =
+                                shift_cands(eng.operand_cands(right, tup), offset, &eng.store);
+                            let mm = compare_cands(&lc, op, &rc, &eng.store);
+                            if !mm.may {
+                                continue;
+                            }
+                            let mut new = tup.clone();
+                            new.maybe |= !mm.must;
+                            out.push(new);
+                        }
+                        Ok(out)
+                    })
+                };
+                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(t.columns().to_vec());
-                for tup in t.tuples() {
-                    let lc = self.operand_cands(left, tup);
-                    let rc = shift_cands(self.operand_cands(right, tup), *offset, &self.store);
-                    let mm = compare_cands(&lc, *op, &rc, &self.store);
-                    if !mm.may {
-                        continue;
-                    }
-                    let mut new = tup.clone();
-                    new.maybe |= !mm.must;
-                    out.push(new);
+                for tup in sr.merge()? {
+                    out.push(tup);
                 }
-                Ok(out)
+                Ok(Arc::new(out))
             }
             Plan::VarUnify { input, col_a, col_b } => {
                 if let Plan::CrossJoin { left: jl, right: jr } = input.as_ref() {
@@ -716,22 +905,35 @@ impl Engine {
                     });
                 }
                 let t = self.eval_plan(input, computed, sample)?;
+                let (a, b) = (*col_a, *col_b);
+                let sr = {
+                    let eng: &Engine = self;
+                    crate::par::scatter(eng.limits.threads, t.tuples(), |tups| {
+                        let mut out = Vec::new();
+                        for tup in tups {
+                            eng.clock.tick().map_err(EngineError::from)?;
+                            let mm = cells_may_equal(
+                                &tup.cells[a],
+                                &tup.cells[b],
+                                &eng.store,
+                                eng.limits.cmp_enum_cap,
+                            );
+                            if !mm.may {
+                                continue;
+                            }
+                            let mut new = tup.clone();
+                            new.maybe |= !mm.must;
+                            out.push(new);
+                        }
+                        Ok(out)
+                    })
+                };
+                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(t.columns().to_vec());
-                for tup in t.tuples() {
-                    let mm = cells_may_equal(
-                        &tup.cells[*col_a],
-                        &tup.cells[*col_b],
-                        &self.store,
-                        self.limits.cmp_enum_cap,
-                    );
-                    if !mm.may {
-                        continue;
-                    }
-                    let mut new = tup.clone();
-                    new.maybe |= !mm.must;
-                    out.push(new);
+                for tup in sr.merge()? {
+                    out.push(tup);
                 }
-                Ok(out)
+                Ok(Arc::new(out))
             }
             Plan::FilterProc { input, name, cols } => {
                 let Some(Procedure::Filter(f)) = self.procs.get(name) else {
@@ -775,34 +977,45 @@ impl Engine {
                     });
                 }
                 let t = self.eval_plan(input, computed, sample)?;
-                let store = self.store.clone();
+                let sr = {
+                    let eng: &Engine = self;
+                    let f = &f;
+                    crate::par::scatter(eng.limits.threads, t.tuples(), |tups| {
+                        let mut out = Vec::new();
+                        for tup in tups {
+                            eng.clock.tick().map_err(EngineError::from)?;
+                            let cands: Vec<Cands> = cols
+                                .iter()
+                                .map(|&c| {
+                                    candidates_budgeted(
+                                        &tup.cells[c],
+                                        &eng.store,
+                                        eng.limits.enum_cap,
+                                        eng.clock.tripped(),
+                                    )
+                                })
+                                .collect();
+                            let mm = filter_cands(
+                                &cands,
+                                &|args: &[Value]| f(&eng.store, args),
+                                eng.limits.combo_cap,
+                            );
+                            if !mm.may {
+                                continue;
+                            }
+                            let mut new = tup.clone();
+                            new.maybe |= !mm.must;
+                            out.push(new);
+                        }
+                        Ok(out)
+                    })
+                };
+                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(t.columns().to_vec());
-                for tup in t.tuples() {
-                    self.clock.tick().map_err(EngineError::from)?;
-                    let cands: Vec<Cands> = cols
-                        .iter()
-                        .map(|&c| {
-                            candidates_budgeted(
-                                &tup.cells[c],
-                                &store,
-                                self.limits.enum_cap,
-                                self.clock.tripped(),
-                            )
-                        })
-                        .collect();
-                    let mm = filter_cands(
-                        &cands,
-                        &|args: &[Value]| f(&store, args),
-                        self.limits.combo_cap,
-                    );
-                    if !mm.may {
-                        continue;
-                    }
-                    let mut new = tup.clone();
-                    new.maybe |= !mm.must;
-                    out.push(new);
+                for tup in sr.merge()? {
+                    out.push(tup);
                 }
-                Ok(out)
+                Ok(Arc::new(out))
             }
             Plan::GenerateProc {
                 input,
@@ -816,107 +1029,136 @@ impl Engine {
                 };
                 debug_assert_eq!(oa, out_arity);
                 let f = f.clone();
-                let store = self.store.clone();
+                let out_arity = *out_arity;
                 let mut cols = t.columns().to_vec();
-                for k in 0..*out_arity {
+                for k in 0..out_arity {
                     cols.push(format!("_g{}", cols.len() + k));
                 }
-                let mut out = CompactTable::new(cols);
-                for tup in t.tuples() {
-                    if let Some(f) = self.fault.hit(fault::site::GENERATOR) {
-                        return Err(injected(f));
-                    }
-                    let flats = tup
-                        .expand_fully(&store, self.limits.expand_limit)
-                        .ok_or_else(|| {
-                            EngineError::TooLarge(format!("expansion in generator {name}"))
-                        })?;
-                    for flat in flats {
-                        // Possible input combinations over the input columns.
-                        let sets: Vec<Vec<Value>> = in_cols
-                            .iter()
-                            .map(|&c| flat.cells[c].value_set(&store).into_iter().collect())
-                            .collect();
-                        let total: u64 = sets
-                            .iter()
-                            .fold(1u64, |acc, s| acc.saturating_mul(s.len() as u64));
-                        if total > self.limits.combo_cap {
-                            return Err(EngineError::TooLarge(format!(
-                                "input enumeration in generator {name}"
-                            )));
-                        }
-                        if total == 0 {
-                            continue;
-                        }
-                        let uncertain_input = total > 1;
-                        let mut idx = vec![0usize; sets.len()];
-                        loop {
-                            self.clock.tick().map_err(EngineError::from)?;
-                            let args: Vec<Value> = idx
-                                .iter()
-                                .zip(&sets)
-                                .map(|(&i, s)| s[i].clone())
-                                .collect();
-                            for row in f(&store, &args) {
-                                if row.len() != *out_arity {
-                                    return Err(EngineError::BadProcedure(format!(
-                                        "{name}: returned arity {} != {out_arity}",
-                                        row.len()
+                let sr = {
+                    let eng: &Engine = self;
+                    let f = &f;
+                    crate::par::scatter(eng.limits.threads, t.tuples(), |tups| {
+                        let store = &eng.store;
+                        let mut out = Vec::new();
+                        for tup in tups {
+                            if let Some(f) = eng.fault.hit(fault::site::GENERATOR) {
+                                return Err(injected(f));
+                            }
+                            let flats = tup
+                                .expand_fully(store, eng.limits.expand_limit)
+                                .ok_or_else(|| {
+                                    EngineError::TooLarge(format!("expansion in generator {name}"))
+                                })?;
+                            for flat in flats {
+                                // Possible input combinations over the input columns.
+                                let sets: Vec<Vec<Value>> = in_cols
+                                    .iter()
+                                    .map(|&c| flat.cells[c].value_set(store).into_iter().collect())
+                                    .collect();
+                                let total: u64 = sets
+                                    .iter()
+                                    .fold(1u64, |acc, s| acc.saturating_mul(s.len() as u64));
+                                if total > eng.limits.combo_cap {
+                                    return Err(EngineError::TooLarge(format!(
+                                        "input enumeration in generator {name}"
                                     )));
                                 }
-                                let mut cells = flat.cells.clone();
-                                cells.extend(row.into_iter().map(Cell::exact));
-                                out.push(CompactTuple {
-                                    cells,
-                                    maybe: flat.maybe || uncertain_input,
-                                });
-                            }
-                            // odometer
-                            let mut k = sets.len();
-                            let mut done = sets.is_empty();
-                            while k > 0 {
-                                k -= 1;
-                                idx[k] += 1;
-                                if idx[k] < sets[k].len() {
-                                    break;
+                                if total == 0 {
+                                    continue;
                                 }
-                                idx[k] = 0;
-                                if k == 0 {
-                                    done = true;
+                                let uncertain_input = total > 1;
+                                let mut idx = vec![0usize; sets.len()];
+                                loop {
+                                    eng.clock.tick().map_err(EngineError::from)?;
+                                    let args: Vec<Value> = idx
+                                        .iter()
+                                        .zip(&sets)
+                                        .map(|(&i, s)| s[i].clone())
+                                        .collect();
+                                    for row in f(store, &args) {
+                                        if row.len() != out_arity {
+                                            return Err(EngineError::BadProcedure(format!(
+                                                "{name}: returned arity {} != {out_arity}",
+                                                row.len()
+                                            )));
+                                        }
+                                        let mut cells = flat.cells.clone();
+                                        cells.extend(row.into_iter().map(Cell::exact));
+                                        out.push(CompactTuple {
+                                            cells,
+                                            maybe: flat.maybe || uncertain_input,
+                                        });
+                                    }
+                                    // odometer
+                                    let mut k = sets.len();
+                                    let mut done = sets.is_empty();
+                                    while k > 0 {
+                                        k -= 1;
+                                        idx[k] += 1;
+                                        if idx[k] < sets[k].len() {
+                                            break;
+                                        }
+                                        idx[k] = 0;
+                                        if k == 0 {
+                                            done = true;
+                                        }
+                                    }
+                                    if done {
+                                        break;
+                                    }
                                 }
-                            }
-                            if done {
-                                break;
                             }
                         }
-                    }
+                        Ok(out)
+                    })
+                };
+                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
+                let mut out = CompactTable::new(cols);
+                for tup in sr.merge()? {
+                    out.push(tup);
                 }
-                Ok(out)
+                Ok(Arc::new(out))
             }
             Plan::CrossJoin { left, right } => {
                 let l = self.eval_plan(left, computed, sample)?;
                 let r = self.eval_plan(right, computed, sample)?;
                 let mut cols = l.columns().to_vec();
                 cols.extend(r.columns().iter().cloned());
+                let cap = self.limits.max_result_tuples;
+                let sr = {
+                    let eng: &Engine = self;
+                    let r = &r;
+                    crate::par::scatter(eng.limits.threads, l.tuples(), |lts| {
+                        let mut out = Vec::new();
+                        for lt in lts {
+                            for rt in r.tuples() {
+                                eng.clock.tick().map_err(EngineError::from)?;
+                                if let Some(f) = eng.fault.hit(fault::site::JOIN_TUPLE) {
+                                    return Err(injected(f));
+                                }
+                                if out.len() >= cap {
+                                    return Err(EngineError::TooLarge("cross join result".into()));
+                                }
+                                let mut cells = lt.cells.clone();
+                                cells.extend(rt.cells.iter().cloned());
+                                out.push(CompactTuple {
+                                    cells,
+                                    maybe: lt.maybe || rt.maybe,
+                                });
+                            }
+                        }
+                        Ok(out)
+                    })
+                };
+                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(cols);
-                for lt in l.tuples() {
-                    for rt in r.tuples() {
-                        self.clock.tick().map_err(EngineError::from)?;
-                        if let Some(f) = self.fault.hit(fault::site::JOIN_TUPLE) {
-                            return Err(injected(f));
-                        }
-                        if out.len() >= self.limits.max_result_tuples {
-                            return Err(EngineError::TooLarge("cross join result".into()));
-                        }
-                        let mut cells = lt.cells.clone();
-                        cells.extend(rt.cells.iter().cloned());
-                        out.push(CompactTuple {
-                            cells,
-                            maybe: lt.maybe || rt.maybe,
-                        });
+                for tup in sr.merge()? {
+                    if out.len() >= cap {
+                        return Err(EngineError::TooLarge("cross join result".into()));
                     }
+                    out.push(tup);
                 }
-                Ok(out)
+                Ok(Arc::new(out))
             }
             Plan::Project { input, cols, names } => {
                 let t = self.eval_plan(input, computed, sample)?;
@@ -942,7 +1184,7 @@ impl Engine {
                         maybe: tup.maybe,
                     });
                 }
-                Ok(out)
+                Ok(Arc::new(out))
             }
             Plan::Annotate {
                 input,
@@ -953,6 +1195,9 @@ impl Engine {
                 if let Some(f) = self.fault.hit(fault::site::ANNOTATE) {
                     return Err(injected(f));
                 }
+                // ψ consumes its input; unshare only when another owner
+                // (ext table / reuse cache) still references it.
+                let t = Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone());
                 // Past the deadline the ψ operator is forced onto the cheap
                 // compact-direct path (still superset-preserving).
                 let policy =
@@ -965,7 +1210,7 @@ impl Engine {
                     self.limits.atable_budget,
                     policy,
                 );
-                Ok(out)
+                Ok(Arc::new(out))
             }
         }
     }
@@ -979,83 +1224,59 @@ impl Engine {
         &mut self,
         left: &Plan,
         right: &Plan,
-        computed: &BTreeMap<String, CompactTable>,
+        computed: &BTreeMap<String, Arc<CompactTable>>,
         sample: Option<Sample>,
         pred: impl Fn(&Engine, &[&Cell]) -> crate::eval::MayMust + Sync,
-    ) -> Result<CompactTable, EngineError> {
+    ) -> Result<Arc<CompactTable>, EngineError> {
         let l = self.eval_plan(left, computed, sample)?;
         let r = self.eval_plan(right, computed, sample)?;
         let mut cols = l.columns().to_vec();
         cols.extend(r.columns().iter().cloned());
         let cap = self.limits.max_result_tuples;
-        let threads = self.limits.threads.max(1);
 
-        let run_chunk = |eng: &Engine, lts: &[CompactTuple]| -> Result<Vec<CompactTuple>, EngineError> {
-            let mut out = Vec::new();
-            let mut cells_ref: Vec<&Cell> = Vec::with_capacity(l.arity() + r.arity());
-            for lt in lts {
-                for rt in r.tuples() {
-                    eng.clock.tick().map_err(EngineError::from)?;
-                    if let Some(f) = eng.fault.hit(fault::site::JOIN_TUPLE) {
-                        return Err(injected(f));
+        let sr = {
+            let eng: &Engine = self;
+            let (r, pred) = (&r, &pred);
+            crate::par::scatter(eng.limits.threads, l.tuples(), |lts| {
+                let mut out = Vec::new();
+                let mut cells_ref: Vec<&Cell> = Vec::new();
+                for lt in lts {
+                    for rt in r.tuples() {
+                        eng.clock.tick().map_err(EngineError::from)?;
+                        if let Some(f) = eng.fault.hit(fault::site::JOIN_TUPLE) {
+                            return Err(injected(f));
+                        }
+                        cells_ref.clear();
+                        cells_ref.extend(lt.cells.iter());
+                        cells_ref.extend(rt.cells.iter());
+                        let mm = pred(eng, &cells_ref);
+                        if !mm.may {
+                            continue;
+                        }
+                        if out.len() >= cap {
+                            return Err(EngineError::TooLarge("fused join result".into()));
+                        }
+                        let mut cells = Vec::with_capacity(cells_ref.len());
+                        cells.extend(lt.cells.iter().cloned());
+                        cells.extend(rt.cells.iter().cloned());
+                        out.push(CompactTuple {
+                            cells,
+                            maybe: lt.maybe || rt.maybe || !mm.must,
+                        });
                     }
-                    cells_ref.clear();
-                    cells_ref.extend(lt.cells.iter());
-                    cells_ref.extend(rt.cells.iter());
-                    let mm = pred(eng, &cells_ref);
-                    if !mm.may {
-                        continue;
-                    }
-                    if out.len() >= cap {
-                        return Err(EngineError::TooLarge("fused join result".into()));
-                    }
-                    let mut cells = Vec::with_capacity(cells_ref.len());
-                    cells.extend(lt.cells.iter().cloned());
-                    cells.extend(rt.cells.iter().cloned());
-                    out.push(CompactTuple {
-                        cells,
-                        maybe: lt.maybe || rt.maybe || !mm.must,
-                    });
                 }
-            }
-            Ok(out)
+                Ok(out)
+            })
         };
-
+        self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
         let mut out = CompactTable::new(cols);
-        if threads <= 1 || l.len() < 2 * threads {
-            for t in run_chunk(self, l.tuples())? {
-                out.push(t);
+        for t in sr.merge()? {
+            if out.len() >= cap {
+                return Err(EngineError::TooLarge("fused join result".into()));
             }
-            return Ok(out);
+            out.push(t);
         }
-        let chunk = l.len().div_ceil(threads);
-        let eng: &Engine = self;
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = l
-                .tuples()
-                .chunks(chunk)
-                .map(|lts| scope.spawn(move |_| run_chunk(eng, lts)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    // A worker panic becomes a structured error: the rule
-                    // boundary turns it into a degradation, never an abort.
-                    h.join()
-                        .unwrap_or_else(|p| Err(EngineError::RulePanic(panic_message(p.as_ref()))))
-                })
-                .collect::<Vec<_>>()
-        })
-        .map_err(|_| EngineError::Internal("fused join thread scope".into()))?;
-        for res in results {
-            for t in res? {
-                if out.len() >= cap {
-                    return Err(EngineError::TooLarge("fused join result".into()));
-                }
-                out.push(t);
-            }
-        }
-        Ok(out)
+        Ok(Arc::new(out))
     }
 
     /// Token-prefilter similarity join: precomputes a [`SimProfile`] per
@@ -1067,7 +1288,7 @@ impl Engine {
         r: &CompactTable,
         lcol: usize,
         rcol: usize,
-    ) -> Result<CompactTable, EngineError> {
+    ) -> Result<Arc<CompactTable>, EngineError> {
         let profile = |cell: &Cell| -> crate::similarity::SimProfile {
             let mut tokens = std::collections::BTreeSet::new();
             for a in cell.assignments() {
@@ -1092,72 +1313,51 @@ impl Engine {
         let mut cols = l.columns().to_vec();
         cols.extend(r.columns().iter().cloned());
         let cap = self.limits.max_result_tuples;
-        let threads = self.limits.threads.max(1);
-        let clock = &self.clock;
-        let fplan = &self.fault;
 
-        let run_chunk = |lts: &[CompactTuple],
-                         lps: &[crate::similarity::SimProfile]|
-         -> Result<Vec<CompactTuple>, EngineError> {
-            let mut out = Vec::new();
-            for (lt, lp) in lts.iter().zip(lps) {
-                for (rt, rp) in r.tuples().iter().zip(&rprof) {
-                    clock.tick().map_err(EngineError::from)?;
-                    if let Some(f) = fplan.hit(fault::site::JOIN_TUPLE) {
-                        return Err(injected(f));
+        // Shard the outer side; profiles travel with their tuples by
+        // pairing them up front so a shard is a contiguous slice of pairs.
+        let pairs: Vec<(&CompactTuple, &crate::similarity::SimProfile)> =
+            l.tuples().iter().zip(&lprof).collect();
+        let sr = {
+            let clock = &self.clock;
+            let fplan = &self.fault;
+            let (r, rprof) = (&r, &rprof);
+            crate::par::scatter(self.limits.threads, &pairs, |chunk| {
+                let mut out = Vec::new();
+                for (lt, lp) in chunk {
+                    for (rt, rp) in r.tuples().iter().zip(rprof.iter()) {
+                        clock.tick().map_err(EngineError::from)?;
+                        if let Some(f) = fplan.hit(fault::site::JOIN_TUPLE) {
+                            return Err(injected(f));
+                        }
+                        if !lp.may_match(rp) {
+                            continue;
+                        }
+                        if out.len() >= cap {
+                            return Err(EngineError::TooLarge("similarity join result".into()));
+                        }
+                        let mut cells = Vec::with_capacity(lt.cells.len() + rt.cells.len());
+                        cells.extend(lt.cells.iter().cloned());
+                        cells.extend(rt.cells.iter().cloned());
+                        let must = lp.exact_pair(rp);
+                        out.push(CompactTuple {
+                            cells,
+                            maybe: lt.maybe || rt.maybe || !must,
+                        });
                     }
-                    if !lp.may_match(rp) {
-                        continue;
-                    }
-                    if out.len() >= cap {
-                        return Err(EngineError::TooLarge("similarity join result".into()));
-                    }
-                    let mut cells = Vec::with_capacity(lt.cells.len() + rt.cells.len());
-                    cells.extend(lt.cells.iter().cloned());
-                    cells.extend(rt.cells.iter().cloned());
-                    let must = lp.exact_pair(rp);
-                    out.push(CompactTuple {
-                        cells,
-                        maybe: lt.maybe || rt.maybe || !must,
-                    });
                 }
-            }
-            Ok(out)
+                Ok(out)
+            })
         };
-
+        self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
         let mut out = CompactTable::new(cols);
-        if threads <= 1 || l.len() < 2 * threads {
-            for t in run_chunk(l.tuples(), &lprof)? {
-                out.push(t);
+        for t in sr.merge()? {
+            if out.len() >= cap {
+                return Err(EngineError::TooLarge("similarity join result".into()));
             }
-            return Ok(out);
+            out.push(t);
         }
-        let chunk = l.len().div_ceil(threads);
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = l
-                .tuples()
-                .chunks(chunk)
-                .zip(lprof.chunks(chunk))
-                .map(|(lts, lps)| scope.spawn(move |_| run_chunk(lts, lps)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|p| Err(EngineError::RulePanic(panic_message(p.as_ref()))))
-                })
-                .collect::<Vec<_>>()
-        })
-        .map_err(|_| EngineError::Internal("similarity join thread scope".into()))?;
-        for res in results {
-            for t in res? {
-                if out.len() >= cap {
-                    return Err(EngineError::TooLarge("similarity join result".into()));
-                }
-                out.push(t);
-            }
-        }
-        Ok(out)
+        Ok(Arc::new(out))
     }
 
     fn cell_operand_cands(&self, op: &Operand, cells: &[&Cell]) -> Cands {

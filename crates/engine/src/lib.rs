@@ -21,6 +21,8 @@ pub mod constraint;
 pub mod eval;
 pub mod exec;
 pub mod fault;
+pub mod memo;
+pub mod par;
 pub mod pfunc;
 pub mod plan;
 pub mod sample;
@@ -29,8 +31,9 @@ pub mod similarity;
 pub use annotate::{apply_annotations, apply_annotations_with, AnnotatePath, AnnotatePolicy};
 pub use budget::{CancelToken, DegradeCause, RunBudget, RunClock};
 pub use eval::{Cands, MayMust};
-pub use exec::{degrade_cause, render_universe, Degradation, Engine, EngineError, ExecStats, Limits};
+pub use exec::{default_threads, degrade_cause, render_universe, Degradation, Engine, EngineError, ExecStats, Limits};
 pub use fault::{Fault, FaultPlan, Trigger};
+pub use memo::FeatureMemo;
 pub use pfunc::{builtin_procs, ProcRegistry, Procedure};
 pub use plan::{compile_rule, CompileEnv, CompiledConstraint, Operand, Plan, PlanError};
 pub use sample::Sample;

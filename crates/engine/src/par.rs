@@ -1,0 +1,151 @@
+//! Deterministic scoped-thread fan-out for per-tuple operators.
+//!
+//! [`scatter`] splits a slice of work items into at most `threads`
+//! contiguous shards, runs each shard on a scoped worker thread, and
+//! returns per-shard results *in shard order*. Because shards are
+//! contiguous and results are folded in order, a parallel run produces
+//! byte-identical output to the serial one — including which error
+//! surfaces first: the first `Err` in shard order corresponds to the
+//! earliest failing item a serial scan would have hit.
+//!
+//! A panicking worker is contained: its shard result becomes
+//! [`EngineError::RulePanic`], which the rule boundary in `exec.rs`
+//! turns into a per-rule degradation rather than an abort.
+
+use std::time::Instant;
+
+use crate::exec::{panic_message, EngineError};
+
+/// The outcome of one [`scatter`] call.
+pub struct ShardRun<R> {
+    /// Per-shard results, in shard (= input) order.
+    pub shards: Vec<Result<Vec<R>, EngineError>>,
+    /// Per-shard busy wall-clock, in microseconds (0 for a shard whose
+    /// worker panicked).
+    pub shard_micros: Vec<u64>,
+    /// Whether worker threads were actually spawned (false for the
+    /// serial fallback on small inputs or `threads <= 1`).
+    pub went_parallel: bool,
+}
+
+impl<R> ShardRun<R> {
+    /// Concatenates shard outputs in order, surfacing the first error in
+    /// shard order — the same error a serial scan would return.
+    pub fn merge(self) -> Result<Vec<R>, EngineError> {
+        let mut out = Vec::new();
+        for shard in self.shards {
+            out.extend(shard?);
+        }
+        Ok(out)
+    }
+}
+
+/// Runs `run` over contiguous shards of `items` on up to `threads`
+/// scoped worker threads. Falls back to a single in-thread shard when
+/// parallelism cannot pay for itself (`threads <= 1`, or fewer than two
+/// items per worker).
+pub fn scatter<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    run: impl Fn(&[T]) -> Result<Vec<R>, EngineError> + Sync,
+) -> ShardRun<R> {
+    let threads = threads.max(1);
+    if threads <= 1 || items.len() < 2 * threads {
+        let start = Instant::now();
+        let result = run(items);
+        return ShardRun {
+            shards: vec![result],
+            shard_micros: vec![start.elapsed().as_micros() as u64],
+            went_parallel: false,
+        };
+    }
+
+    let chunk = items.len().div_ceil(threads);
+    let (shards, shard_micros) = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(|| {
+                    let start = Instant::now();
+                    let result = run(shard);
+                    (result, start.elapsed().as_micros() as u64)
+                })
+            })
+            .collect();
+        let mut shards = Vec::with_capacity(handles.len());
+        let mut micros = Vec::with_capacity(handles.len());
+        for h in handles {
+            match h.join() {
+                Ok((result, us)) => {
+                    shards.push(result);
+                    micros.push(us);
+                }
+                Err(p) => {
+                    shards.push(Err(EngineError::RulePanic(panic_message(p.as_ref()))));
+                    micros.push(0);
+                }
+            }
+        }
+        (shards, micros)
+    });
+    ShardRun {
+        shards,
+        shard_micros,
+        went_parallel: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..1000).collect();
+        let run = |xs: &[u64]| Ok(xs.iter().map(|x| x * 3 + 1).collect());
+        let serial = scatter(1, &items, run).merge().unwrap();
+        for threads in [2, 3, 8] {
+            let par = scatter(threads, &items, run);
+            assert!(par.went_parallel);
+            assert_eq!(par.merge().unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn small_inputs_stay_serial() {
+        let items = [1u64, 2, 3];
+        let out = scatter(8, &items, |xs| Ok(xs.to_vec()));
+        assert!(!out.went_parallel);
+        assert_eq!(out.shards.len(), 1);
+    }
+
+    #[test]
+    fn first_error_in_shard_order_wins() {
+        let items: Vec<usize> = (0..64).collect();
+        let run = |xs: &[usize]| -> Result<Vec<usize>, EngineError> {
+            // Every shard errors, naming its first item; the merged error
+            // must be the one from the first shard.
+            Err(EngineError::TooLarge(format!("item {}", xs[0])))
+        };
+        match scatter(4, &items, run).merge() {
+            Err(EngineError::TooLarge(msg)) => assert_eq!(msg, "item 0"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_rule_panic() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = scatter(4, &items, |xs: &[usize]| {
+            if xs.contains(&63) {
+                panic!("worker exploded");
+            }
+            Ok(xs.to_vec())
+        });
+        assert!(out.went_parallel);
+        match out.merge() {
+            Err(EngineError::RulePanic(msg)) => assert!(msg.contains("worker exploded")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Benchmark driver: regenerates the parallel-execution report committed
+# as BENCH_parallel.json, plus the Table 1 inventory as a sanity anchor.
+# Run from the repository root: scripts/bench.sh [report-path]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPORT="${1:-BENCH_parallel.json}"
+
+echo "== build (release) =="
+cargo build --release -p iflex-bench
+
+echo "== exp_table1 (inventory sanity) =="
+./target/release/exp_table1
+
+echo "== exp_scaling --parallel-report =="
+./target/release/exp_scaling --parallel-report "$REPORT"
+
+echo "bench OK ($REPORT)"

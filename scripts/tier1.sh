@@ -13,4 +13,9 @@ cargo test -q
 echo "== clippy (engine, core) =="
 cargo clippy -p iflex-engine -p iflex -- -D warnings
 
+echo "== parallel smoke =="
+# One tiny workload through the serial / memo / threaded sweep; asserts
+# inside the binary check that every configuration yields the same table.
+./target/release/exp_scaling --smoke target/BENCH_parallel_smoke.json
+
 echo "tier-1 OK"

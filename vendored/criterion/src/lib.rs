@@ -1,0 +1,176 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface used by this workspace's `benches/`
+//! targets: [`black_box`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`,
+//! `bench_function`, `bench_with_input`, `finish`), [`BenchmarkId`],
+//! [`Bencher::iter`], and the `criterion_group!` / `criterion_main!`
+//! macros. Each benchmark body runs a handful of iterations and
+//! reports mean wall-clock per iteration — enough to smoke-test the
+//! benches and get rough numbers without the statistics machinery.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per measurement. Tiny on purpose: `harness = false`
+/// targets also run under `cargo test`, where speed matters more than
+/// statistical confidence.
+const MEASURE_ITERS: u32 = 3;
+
+/// An opaque identity function that defeats constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId { name: format!("{name}/{param}") }
+    }
+
+    /// A parameter-only id for single-function groups.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { name: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `f` a few times and records mean wall-clock.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup round.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iters = MEASURE_ITERS;
+    }
+}
+
+fn report(label: &str, b: &Bencher) {
+    let per_iter = b.elapsed_ns / b.iters.max(1) as u128;
+    println!("bench {label:<48} {:>12} ns/iter", per_iter);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores time targets.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.name), &b);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// See [`Default`].
+    pub fn default() -> Self {
+        Criterion {}
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,114 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements exactly the API surface the workspace's property tests use:
+//! the `proptest!` / `prop_assert*` / `prop_assume!` / `prop_oneof!`
+//! macros, `Strategy` with `prop_map`, range / tuple / regex-string /
+//! `Just` strategies, `proptest::collection::vec`, `proptest::bool::ANY`,
+//! `any::<T>()`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate (acceptable for property *checking*):
+//! no shrinking — a failing case panics with the generated inputs
+//! rendered by the assertion message; and value streams are seeded from
+//! the test's module path, so runs are fully deterministic.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::any;
+
+/// Everything a test file typically imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Mirrors the real macro's grammar: an optional inner
+/// `#![proptest_config(..)]` attribute followed by `#[test] fn` items
+/// whose parameters are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..cfg.cases {
+                    let __vals = $crate::strategy::Strategy::new_value(
+                        &( $($strat),+ ,),
+                        &mut rng,
+                    );
+                    // `prop_assume!` exits the closure to skip the case. The
+                    // helper pins the closure's parameter type to the strategy
+                    // output before the body is inferred.
+                    $crate::__run_case(__vals, |( $($arg),+ ,)| { $body });
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+pub fn __run_case<V, F: FnOnce(V)>(vals: V, f: F) {
+    f(vals)
+}
+
+/// Asserts a condition inside a property (no shrinking: fails the test
+/// directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// A uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}

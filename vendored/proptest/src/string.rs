@@ -1,0 +1,227 @@
+//! String generation from the regex subset used as proptest string
+//! strategies in this workspace: literal characters, `.`, character
+//! classes (`[a-z0-9 .,]`), groups, and `{n}` / `{n,m}` / `*` / `+` / `?`
+//! quantifiers.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    Dot,
+    Class(Vec<char>),
+    Group(Vec<Piece>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let pieces = parse_sequence(&chars, &mut pos, pattern);
+    assert!(pos == chars.len(), "unsupported regex strategy: {pattern:?}");
+    let mut out = String::new();
+    emit(&pieces, rng, &mut out);
+    out
+}
+
+fn emit(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for p in pieces {
+        let n = p.min + rng.below((p.max - p.min + 1) as u64) as u32;
+        for _ in 0..n {
+            match &p.atom {
+                Atom::Lit(c) => out.push(*c),
+                // Printable ASCII; a valid subset of what the real crate
+                // draws for `.`.
+                Atom::Dot => out.push((32 + rng.below(95) as u8) as char),
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                Atom::Group(inner) => emit(inner, rng, out),
+            }
+        }
+    }
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ')' {
+        let atom = match chars[*pos] {
+            '.' => {
+                *pos += 1;
+                Atom::Dot
+            }
+            '[' => {
+                *pos += 1;
+                Atom::Class(parse_class(chars, pos, pattern))
+            }
+            '(' => {
+                *pos += 1;
+                let inner = parse_sequence(chars, pos, pattern);
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unclosed group in regex strategy: {pattern:?}"
+                );
+                *pos += 1;
+                Atom::Group(inner)
+            }
+            '\\' => {
+                *pos += 1;
+                assert!(*pos < chars.len(), "dangling escape in {pattern:?}");
+                let c = chars[*pos];
+                *pos += 1;
+                match c {
+                    'd' => Atom::Class(('0'..='9').collect()),
+                    'w' => {
+                        let mut set: Vec<char> = ('a'..='z').collect();
+                        set.extend('A'..='Z');
+                        set.extend('0'..='9');
+                        set.push('_');
+                        Atom::Class(set)
+                    }
+                    's' => Atom::Class(vec![' ', '\t', '\n']),
+                    other => Atom::Lit(other),
+                }
+            }
+            c => {
+                *pos += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = parse_quantifier(chars, pos, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, pattern: &str) -> (u32, u32) {
+    if *pos >= chars.len() {
+        return (1, 1);
+    }
+    match chars[*pos] {
+        '*' => {
+            *pos += 1;
+            (0, 8)
+        }
+        '+' => {
+            *pos += 1;
+            (1, 8)
+        }
+        '?' => {
+            *pos += 1;
+            (0, 1)
+        }
+        '{' => {
+            *pos += 1;
+            let mut min = 0u32;
+            while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                min = min * 10 + chars[*pos].to_digit(10).unwrap();
+                *pos += 1;
+            }
+            let max = if *pos < chars.len() && chars[*pos] == ',' {
+                *pos += 1;
+                let mut m = 0u32;
+                let mut saw = false;
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    m = m * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                    saw = true;
+                }
+                if saw {
+                    m
+                } else {
+                    min + 8 // open-ended {n,}
+                }
+            } else {
+                min
+            };
+            assert!(
+                *pos < chars.len() && chars[*pos] == '}',
+                "unclosed quantifier in regex strategy: {pattern:?}"
+            );
+            *pos += 1;
+            (min, max.max(min))
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let c = match chars[*pos] {
+            '\\' => {
+                *pos += 1;
+                assert!(*pos < chars.len(), "dangling escape in {pattern:?}");
+                chars[*pos]
+            }
+            c => c,
+        };
+        // Range `a-z` (a '-' just before ']' is a literal).
+        if *pos + 2 < chars.len() && chars[*pos + 1] == '-' && chars[*pos + 2] != ']' {
+            let hi = chars[*pos + 2];
+            assert!(c <= hi, "bad class range in {pattern:?}");
+            set.extend(c..=hi);
+            *pos += 3;
+        } else {
+            set.push(c);
+            *pos += 1;
+        }
+    }
+    assert!(
+        *pos < chars.len() && chars[*pos] == ']',
+        "unclosed class in regex strategy: {pattern:?}"
+    );
+    *pos += 1;
+    assert!(!set.is_empty(), "empty class in regex strategy: {pattern:?}");
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    fn sample(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::from_name(pattern);
+        (0..50).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        for s in sample("[a-z]{1,6}") {
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn grouped_repetition() {
+        for s in sample("[a-z]{1,4}(-[a-z]{1,4}){0,2}") {
+            let parts: Vec<&str> = s.split('-').collect();
+            assert!((1..=3).contains(&parts.len()), "{s:?}");
+            assert!(parts.iter().all(|p| !p.is_empty()));
+        }
+    }
+
+    #[test]
+    fn dot_is_printable_ascii() {
+        for s in sample(".{0,200}") {
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_class_with_markup_chars() {
+        for s in sample("[a-zA-Z0-9 <>/buih]{0,120}") {
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " <>/".contains(c)));
+        }
+    }
+}

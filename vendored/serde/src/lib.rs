@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes anything (no format crate is wired in), so the derive
+//! only has to *exist*. This crate provides marker traits and re-exports
+//! the no-op derive macros from `serde_derive`, letting the workspace
+//! build in an offline environment. Swapping the real serde back in is a
+//! one-line change in the root `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,15 @@
+//! No-op `Serialize`/`Deserialize` derives: accept the input (including
+//! `#[serde(...)]` attributes) and emit nothing. The workspace only ever
+//! uses the derives as markers — no serialization code path exists.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
