@@ -40,6 +40,22 @@ impl ConvergenceMonitor {
         self.history.iter().map(|&(t, _)| t).collect()
     }
 
+    /// The required stable-iteration count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// How many trailing observations are identical to the latest one —
+    /// the monitor's progress toward `k` (1 after any lone observation,
+    /// 0 before the first). Surfaced per iteration by the session tracer
+    /// and the `exp_trace` timeline.
+    pub fn stability_streak(&self) -> usize {
+        let Some(last) = self.history.last() else {
+            return 0;
+        };
+        self.history.iter().rev().take_while(|o| *o == last).count()
+    }
+
     /// True when the last `k` observations are identical.
     pub fn converged(&self) -> bool {
         if self.history.len() < self.k {

@@ -87,10 +87,22 @@ fn probe_program(program: &Program, attr: &Attribute) -> Option<Program> {
 
 /// Collects candidate spans for the attribute's current extraction.
 pub fn probe_spans(engine: &mut Engine, program: &Program, attr: &Attribute, sample: Sample) -> Vec<Span> {
+    use iflex_engine::obs::{SpanId, SpanKind};
     let Some(probe) = probe_program(program, attr) else {
         return Vec::new();
     };
-    let Ok(table) = engine.run_sampled(&probe, sample) else {
+    // Answer-space probes execute a synthetic program; trace them like
+    // simulation probes so a dump attributes this engine time correctly.
+    let probe_span = match engine.tracer.ctx(engine.trace_parent) {
+        Some((t, parent)) => t.begin(parent, SpanKind::Probe, "probe:answer-space"),
+        None => SpanId::NONE,
+    };
+    let saved = engine.trace_parent;
+    engine.trace_parent = probe_span;
+    let run = engine.run_sampled(&probe, sample);
+    engine.trace_parent = saved;
+    engine.tracer.end(probe_span);
+    let Ok(table) = run else {
         return Vec::new();
     };
     let mut out = Vec::new();

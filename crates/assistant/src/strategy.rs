@@ -310,13 +310,28 @@ fn simulate_probe(
     sample: Sample,
     current_size: usize,
 ) -> (usize, usize) {
-    match engine.run_sampled(refined, sample) {
+    use iflex_engine::obs::{SpanId, SpanKind};
+    // The probe span wraps the whole simulated run; the engine's own
+    // `run → rule → operator` spans nest under it via `trace_parent`.
+    let probe_span = match engine.tracer.ctx(engine.trace_parent) {
+        Some((t, parent)) => t.begin(parent, SpanKind::Probe, "probe"),
+        None => SpanId::NONE,
+    };
+    let saved = engine.trace_parent;
+    engine.trace_parent = probe_span;
+    let out = match engine.run_sampled(refined, sample) {
         Ok(t) => {
             let sz = t.expanded_len(engine.store()).min(usize::MAX as u64) as usize;
             (sz, engine.stats.assignments_produced)
         }
         Err(_) => (current_size, usize::MAX), // failure → no info
-    }
+    };
+    engine.trace_parent = saved;
+    engine.tracer.end_with(
+        probe_span,
+        &[("size", out.0 as u64), ("assignments", out.1.min(u64::MAX as usize) as u64)],
+    );
+    out
 }
 
 /// Runs every simulation job, returning results in job order.

@@ -49,6 +49,31 @@ struct Row {
     threaded_secs: f64,
     memo_hits: usize,
     memo_misses: usize,
+    /// min/max/imbalance summary of the threaded final run's per-shard
+    /// busy time; `None` when the run had no parallel sections.
+    shard_balance: Option<ShardBalance>,
+}
+
+#[derive(Clone, Copy)]
+struct ShardBalance {
+    min_us: u64,
+    max_us: u64,
+    /// max / mean — 1.0 is perfect balance.
+    imbalance: f64,
+}
+
+fn shard_balance(busy_us: &[u64]) -> Option<ShardBalance> {
+    if busy_us.is_empty() {
+        return None;
+    }
+    let min_us = *busy_us.iter().min().unwrap();
+    let max_us = *busy_us.iter().max().unwrap();
+    let mean = busy_us.iter().sum::<u64>() as f64 / busy_us.len() as f64;
+    Some(ShardBalance {
+        min_us,
+        max_us,
+        imbalance: if mean > 0.0 { max_us as f64 / mean } else { 1.0 },
+    })
 }
 
 fn timed(corpus: &Corpus, id: TaskId, exec: ExecConfig) -> (f64, RunResult) {
@@ -86,6 +111,7 @@ fn sweep(workload: &Workload, threads: usize) -> Row {
         );
         assert!((run.quality.recall - b.quality.recall).abs() < 1e-12);
     }
+    let shard_busy = &t.outcome.final_stats.shard_busy_us;
     Row {
         task: format!("{:?}", workload.id),
         scale: workload.scale,
@@ -94,6 +120,7 @@ fn sweep(workload: &Workload, threads: usize) -> Row {
         threaded_secs,
         memo_hits: t.memo_hits,
         memo_misses: t.memo_misses,
+        shard_balance: shard_balance(shard_busy),
     }
 }
 
@@ -129,7 +156,15 @@ fn render_json(rows: &[Row], threads: usize) -> String {
         );
         out += &format!("      \"feature_cache_hits\": {},\n", r.memo_hits);
         out += &format!("      \"feature_cache_misses\": {},\n", r.memo_misses);
-        out += &format!("      \"feature_cache_hit_rate\": {hit_rate:.4}\n");
+        out += &format!("      \"feature_cache_hit_rate\": {hit_rate:.4},\n");
+        match r.shard_balance {
+            Some(b) => {
+                out += &format!("      \"shard_busy_us_min\": {},\n", b.min_us);
+                out += &format!("      \"shard_busy_us_max\": {},\n", b.max_us);
+                out += &format!("      \"shard_imbalance_ratio\": {:.3}\n", b.imbalance);
+            }
+            None => out += "      \"shard_imbalance_ratio\": null\n",
+        }
         out += if i + 1 == rows.len() { "    }\n" } else { "    },\n" };
     }
     out += "  ]\n}\n";
@@ -165,8 +200,17 @@ fn parallel_report(path: &str, smoke: bool) {
     };
     let rows: Vec<Row> = workloads.iter().map(|w| sweep(w, threads)).collect();
     for r in &rows {
+        let balance = match r.shard_balance {
+            Some(b) => format!(
+                "shards {:.1}–{:.1}ms ({:.2}x imbalance)",
+                b.min_us as f64 / 1000.0,
+                b.max_us as f64 / 1000.0,
+                b.imbalance
+            ),
+            None => "no parallel sections".to_string(),
+        };
         println!(
-            "{:>6} @{}: baseline {:.2}s  serial+memo {:.2}s  {}-threads+memo {:.2}s  ({:.2}x vs baseline)",
+            "{:>6} @{}: baseline {:.2}s  serial+memo {:.2}s  {}-threads+memo {:.2}s  ({:.2}x vs baseline)  {balance}",
             r.task,
             r.scale,
             r.baseline_secs,

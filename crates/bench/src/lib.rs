@@ -21,6 +21,8 @@ use iflex::prelude::*;
 use iflex::{score, Quality, SessionOutcome};
 use iflex_corpus::{Corpus, Task, TaskId};
 
+pub mod trace_report;
+
 /// Scenario sizes per task: Table 3's "Num Tuples per Table" column
 /// (`None` = the full table).
 pub fn table3_scenarios(id: TaskId) -> [Option<usize>; 3] {
@@ -124,6 +126,9 @@ pub fn run_session_configured(
         &task.truth,
         session.engine.store(),
     );
+    // Quality lands in the engine registry so in-process consumers (and
+    // a later snapshot render) see it next to the execution counters.
+    quality.export(&session.engine.metrics);
     let memo_hits = session.engine.memo().hits();
     let memo_misses = session.engine.memo().misses();
     RunResult {

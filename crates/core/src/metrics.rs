@@ -2,6 +2,7 @@
 //! coverage (does the approximate result still contain every true tuple?).
 
 use iflex_ctable::{CompactTable, Value};
+use iflex_engine::obs::Registry;
 use iflex_text::DocumentStore;
 
 /// Normalizes a text cell for ground-truth comparison: lowercase,
@@ -57,6 +58,34 @@ pub struct Quality {
     /// the superset guarantee holds (a certain tuple cannot be wrong
     /// unless the program itself is wrong).
     pub certain_precision: f64,
+}
+
+impl Quality {
+    /// Mirrors the quality figures into a metrics registry under
+    /// `session.quality.*` (ratios are scaled to basis points so the
+    /// integer counters can carry them). Lets a `BENCH_*`-style
+    /// snapshot of `Engine::metrics` include result quality next to the
+    /// execution counters.
+    pub fn export(&self, reg: &Registry) {
+        reg.counter("session.quality.result_tuples")
+            .set(self.result_tuples as u64);
+        reg.counter("session.quality.correct_tuples")
+            .set(self.correct_tuples as u64);
+        reg.counter("session.quality.certain_tuples")
+            .set(self.certain_tuples as u64);
+        let bp = |f: f64| {
+            if f.is_finite() {
+                (f * 10_000.0).round().max(0.0) as u64
+            } else {
+                u64::MAX
+            }
+        };
+        reg.counter("session.quality.recall_bp").set(bp(self.recall));
+        reg.counter("session.quality.superset_bp")
+            .set(bp(self.superset_pct / 100.0));
+        reg.counter("session.quality.certain_precision_bp")
+            .set(bp(self.certain_precision));
+    }
 }
 
 /// One tuple's normalized text values for the compared columns;
@@ -222,5 +251,27 @@ mod tests {
         let q = score(&t, &[0], &truth_rows(&[]), &store);
         assert_eq!(q.superset_pct, 100.0);
         assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn quality_exports_into_registry() {
+        let q = Quality {
+            result_tuples: 12,
+            correct_tuples: 9,
+            superset_pct: 150.0,
+            recall: 0.75,
+            certain_tuples: 5,
+            certain_precision: 1.0,
+        };
+        let reg = Registry::new();
+        q.export(&reg);
+        let snap = reg.snapshot();
+        let get = |name: &str| snap.counters[name];
+        assert_eq!(get("session.quality.result_tuples"), 12);
+        assert_eq!(get("session.quality.correct_tuples"), 9);
+        assert_eq!(get("session.quality.certain_tuples"), 5);
+        assert_eq!(get("session.quality.recall_bp"), 7_500);
+        assert_eq!(get("session.quality.superset_bp"), 15_000);
+        assert_eq!(get("session.quality.certain_precision_bp"), 10_000);
     }
 }

@@ -10,7 +10,8 @@ use iflex_assistant::{
     Examples, Strategy,
 };
 use iflex_ctable::CompactTable;
-use iflex_engine::{Engine, EngineError, Sample};
+use iflex_engine::obs::{trace_path_from_env, SpanId, SpanKind};
+use iflex_engine::{Engine, EngineError, ExecStats, Sample};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -138,6 +139,13 @@ pub struct SessionOutcome {
     pub degraded_iterations: usize,
     /// Fallback retries spent on the final run.
     pub retries: usize,
+    /// Engine statistics of the run that produced [`Self::table`] — the
+    /// chosen final attempt, not necessarily the last one executed. The
+    /// engine resets its metrics registry at the start of every run, so
+    /// these counters (including `feature_cache_*`, `par_sections`, and
+    /// `shard_busy_us`) describe exactly one execution; nothing leaks
+    /// across [`ExecMode::Fallback`] retries.
+    pub final_stats: ExecStats,
 }
 
 /// An interactive best-effort IE session.
@@ -280,20 +288,22 @@ impl Session {
         out
     }
 
-    /// One attempt of the final phase. `Ok(Some((table, degradations,
-    /// assignments)))` on a result (possibly degraded); `Ok(None)` when a
-    /// strict-mode engine surfaced a recoverable condition (budget,
-    /// deadline, cancellation) as a hard error, so a shrunken retry still
-    /// makes sense.
+    /// One attempt of the final phase. `Ok(Some((table, stats)))` on a
+    /// result (possibly degraded); `Ok(None)` when a strict-mode engine
+    /// surfaced a recoverable condition (budget, deadline, cancellation)
+    /// as a hard error, so a shrunken retry still makes sense.
+    ///
+    /// The stats snapshot is taken immediately after the run, while the
+    /// engine's registry still describes this attempt: the engine resets
+    /// every counter at run start, so each attempt in the retry ladder
+    /// reads a clean slate and the snapshot carried with the chosen
+    /// attempt is self-contained.
     fn final_attempt(
         &mut self,
         sample: Option<Sample>,
-    ) -> Result<Option<(Arc<CompactTable>, usize, usize)>, EngineError> {
+    ) -> Result<Option<(Arc<CompactTable>, ExecStats)>, EngineError> {
         match self.timed_run(sample) {
-            Ok(t) => {
-                let degraded = self.engine.stats.degradations.len();
-                Ok(Some((t, degraded, self.engine.stats.assignments_produced)))
-            }
+            Ok(t) => Ok(Some((t, self.engine.stats.clone()))),
             Err(e) if iflex_engine::degrade_cause(&e).is_some() => Ok(None),
             Err(e) => Err(e),
         }
@@ -302,6 +312,15 @@ impl Session {
     /// Runs the full loop: subset iterations with questions until the
     /// monitor converges (or the space/iteration budget is exhausted),
     /// then one full reuse-mode execution.
+    ///
+    /// When [`iflex_engine::Limits::trace`] is set — or the `IFLEX_TRACE`
+    /// environment variable requests a dump — the engine's tracer is
+    /// enabled and the session wraps the loop in assistant spans
+    /// (`session → iteration → question`, with the engine nesting
+    /// `run → rule → operator → shard` and the strategy nesting `probe`
+    /// underneath). With `IFLEX_TRACE` set, the journal is written as
+    /// JSONL next to a `*.metrics.json` snapshot of the final run's
+    /// metrics registry when the session completes.
     pub fn run(&mut self) -> Result<SessionOutcome, EngineError> {
         if let Some(d) = self.config.run_deadline {
             self.engine.budget.deadline = Some(d);
@@ -309,17 +328,49 @@ impl Session {
         if let Some(n) = self.config.threads {
             self.engine.limits.threads = n.max(1);
         }
+        let trace_path = trace_path_from_env();
+        if self.engine.limits.trace || trace_path.is_some() {
+            self.engine.tracer.enable();
+        }
+        let tracer = self.engine.tracer.clone();
+        let session_span = tracer.begin(SpanId::NONE, SpanKind::Session, "session");
         let sample = self.sample();
         let mut stop = StopReason::MaxIterations;
         let mut degraded_streak = 0usize;
         for iter in 1..=self.config.max_iterations {
-            let table = self.timed_run(Some(sample))?;
+            let iter_span = match tracer.ctx(session_span) {
+                Some((t, parent)) => {
+                    t.begin(parent, SpanKind::Iteration, &format!("iteration{iter}"))
+                }
+                None => SpanId::NONE,
+            };
+            self.engine.trace_parent = iter_span;
+            let table = match self.timed_run(Some(sample)) {
+                Ok(t) => t,
+                Err(e) => {
+                    tracer.end(iter_span);
+                    tracer.end(session_span);
+                    return Err(e);
+                }
+            };
             let mut stats = table.stats();
             // The paper's result size counts expanded tuples; its monitor
             // watches the assignments of the whole extraction process.
             stats.tuples = table.expanded_len(self.engine.store()).min(usize::MAX as u64) as usize;
             stats.assignments = self.engine.stats.assignments_produced;
             self.monitor.observe(&stats);
+            if let Some((t, parent)) = tracer.ctx(iter_span) {
+                t.instant(
+                    parent,
+                    SpanKind::Mark,
+                    "monitor",
+                    Some(&format!(
+                        "stable {}/{}",
+                        self.monitor.stability_streak(),
+                        self.monitor.k()
+                    )),
+                );
+            }
             self.clock.charge(self.cost.review_iteration_secs);
             let mut rec = IterationRecord {
                 iteration: iter,
@@ -332,6 +383,7 @@ impl Session {
             if self.monitor.converged() {
                 self.records.push(rec);
                 stop = StopReason::Converged;
+                tracer.end(iter_span);
                 break;
             }
             if rec.degradations > 0 {
@@ -341,6 +393,7 @@ impl Session {
                     // stand-ins chases noise; stop and report.
                     self.records.push(rec);
                     stop = StopReason::Degraded;
+                    tracer.end(iter_span);
                     break;
                 }
             } else {
@@ -348,7 +401,14 @@ impl Session {
             }
             // Ask questions and fold answers in.
             let mut asked_now = 0usize;
-            for _ in 0..self.config.questions_per_iteration {
+            for qn in 0..self.config.questions_per_iteration {
+                let q_span = match tracer.ctx(iter_span) {
+                    Some((t, parent)) => {
+                        t.begin(parent, SpanKind::Question, &format!("question{qn}"))
+                    }
+                    None => SpanId::NONE,
+                };
+                self.engine.trace_parent = q_span;
                 let question = {
                     let mut ctx = AssistContext {
                         program: &self.program,
@@ -361,7 +421,20 @@ impl Session {
                     };
                     self.strategy.next_question(&mut ctx)
                 };
-                let Some(q) = question else { break };
+                self.engine.trace_parent = iter_span;
+                let Some(q) = question else {
+                    tracer.end(q_span);
+                    break;
+                };
+                if let Some((t, parent)) = tracer.ctx(q_span) {
+                    t.instant(
+                        parent,
+                        SpanKind::Mark,
+                        "chosen",
+                        Some(&format!("{}.{}", q.attr.display(), q.feature)),
+                    );
+                }
+                tracer.end(q_span);
                 self.asked.insert((q.attr.display(), q.feature.clone()));
                 self.clock.charge(self.cost.answer_question_secs);
                 self.questions_asked += 1;
@@ -372,11 +445,20 @@ impl Session {
             }
             rec.questions_this_iter = asked_now;
             self.records.push(rec);
+            tracer.end_with(
+                iter_span,
+                &[
+                    ("iteration", iter as u64),
+                    ("questions", asked_now as u64),
+                    ("size", rec.result_tuples as u64),
+                ],
+            );
             if asked_now == 0 {
                 stop = StopReason::QuestionsExhausted;
                 break;
             }
         }
+        self.engine.trace_parent = session_span;
 
         // Final full execution; reuse makes this cheap for the rules the
         // last refinements did not touch. If the (possibly unconverged)
@@ -384,41 +466,67 @@ impl Session {
         // contained rule panic — retry over shrinking samples and keep the
         // least-degraded result seen (best-effort backoff).
         let machine_before_final = self.clock.machine_secs;
+        let final_span = match tracer.ctx(session_span) {
+            Some((t, parent)) => t.begin(parent, SpanKind::Iteration, "final"),
+            None => SpanId::NONE,
+        };
+        self.engine.trace_parent = final_span;
         let mut retries = 0usize;
-        let mut chosen = self.final_attempt(None)?;
-        let full_run_within_budget = matches!(chosen, Some((_, 0, _)));
+        let mut chosen = match self.final_attempt(None) {
+            Ok(c) => c,
+            Err(e) => {
+                tracer.end(final_span);
+                tracer.end(session_span);
+                return Err(e);
+            }
+        };
+        let clean = |c: &Option<(Arc<CompactTable>, ExecStats)>| {
+            matches!(c, Some((_, st)) if st.degradations.is_empty())
+        };
+        let full_run_within_budget = clean(&chosen);
         if !full_run_within_budget {
             let mut fraction = sample.fraction;
             for retry in 1..=self.config.max_retries {
                 fraction *= self.config.retry_shrink;
                 let s = Sample::new(fraction, self.config.sample_seed.wrapping_add(retry as u64));
                 retries += 1;
-                let Some((t, d, a)) = self.final_attempt(Some(s))? else {
+                let attempt = match self.final_attempt(Some(s)) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        tracer.end(final_span);
+                        tracer.end(session_span);
+                        return Err(e);
+                    }
+                };
+                let Some((t, st)) = attempt else {
                     continue;
                 };
+                let d = st.degradations.len();
                 let tuples =
                     t.expanded_len(self.engine.store()).min(usize::MAX as u64) as usize;
                 self.records.push(IterationRecord {
                     iteration: self.records.len() + 1,
                     mode: ExecMode::Fallback,
                     result_tuples: tuples,
-                    assignments: a,
+                    assignments: st.assignments_produced,
                     questions_this_iter: 0,
                     degradations: d,
                 });
                 let better = match &chosen {
-                    Some((_, best, _)) => d < *best,
+                    Some((_, best)) => d < best.degradations.len(),
                     None => true,
                 };
                 if better {
-                    chosen = Some((t, d, a));
+                    chosen = Some((t, st));
                 }
-                if matches!(chosen, Some((_, 0, _))) {
+                if clean(&chosen) {
                     break;
                 }
             }
         }
-        let Some((table, final_degradations, final_assignments)) = chosen else {
+        tracer.end_with(final_span, &[("items", retries as u64)]);
+        let Some((table, final_stats)) = chosen else {
+            tracer.end(session_span);
             return Err(EngineError::TooLarge(
                 "final run exceeded the budget after fallback retries".into(),
             ));
@@ -426,15 +534,37 @@ impl Session {
         let final_run_secs = self.clock.machine_secs - machine_before_final;
         let mut stats = table.stats();
         stats.tuples = table.expanded_len(self.engine.store()).min(usize::MAX as u64) as usize;
-        stats.assignments = final_assignments;
+        stats.assignments = final_stats.assignments_produced;
         self.records.push(IterationRecord {
             iteration: self.records.len() + 1,
             mode: ExecMode::Reuse,
             result_tuples: stats.tuples,
             assignments: stats.assignments,
             questions_this_iter: 0,
-            degradations: final_degradations,
+            degradations: final_stats.degradations.len(),
         });
+        tracer.end_with(
+            session_span,
+            &[
+                ("iteration", self.records.len() as u64),
+                ("questions", self.questions_asked as u64),
+                ("assignments", stats.assignments as u64),
+                ("degradations", final_stats.degradations.len() as u64),
+            ],
+        );
+        if let Some(path) = trace_path {
+            if let Err(e) = self.engine.tracer.write_jsonl(&path) {
+                eprintln!("iflex: could not write trace {}: {e}", path.display());
+            } else {
+                eprintln!("iflex: trace written to {}", path.display());
+            }
+            // The registry describes the most recent engine run (counters
+            // reset per run), i.e. the last final-phase attempt.
+            let mpath = path.with_extension("metrics.json");
+            if std::fs::write(&mpath, self.engine.metrics.render_json()).is_ok() {
+                eprintln!("iflex: metrics written to {}", mpath.display());
+            }
+        }
         Ok(SessionOutcome {
             table,
             full_run_within_budget,
@@ -448,6 +578,7 @@ impl Session {
             records: self.records.clone(),
             degraded_iterations: self.records.iter().filter(|r| r.degradations > 0).count(),
             retries,
+            final_stats,
         })
     }
 }

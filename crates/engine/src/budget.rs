@@ -26,6 +26,19 @@ pub enum DegradeCause {
     RulePanic,
 }
 
+impl DegradeCause {
+    /// Stable machine-readable identifier, usable inside metric names
+    /// (`engine.degradations.<slug>`): no spaces, lowercase.
+    pub fn slug(self) -> &'static str {
+        match self {
+            DegradeCause::Budget => "budget",
+            DegradeCause::Deadline => "deadline",
+            DegradeCause::Cancelled => "cancelled",
+            DegradeCause::RulePanic => "rule_panic",
+        }
+    }
+}
+
 impl fmt::Display for DegradeCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

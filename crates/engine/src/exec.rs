@@ -8,6 +8,13 @@
 //! run still returns `Ok` with a superset-safe widened result and a
 //! [`Degradation`] record in [`ExecStats`] (disable with
 //! [`Limits::degrade`] ` = false` to get the old hard errors back).
+//!
+//! Execution is also **observable** (DESIGN.md §8): every run drives the
+//! engine's [`iflex_obs::Registry`] — [`ExecStats`] is a per-run *view*
+//! over that registry, filled at the end of each run — and, when the
+//! engine's [`iflex_obs::Tracer`] is enabled, emits a span tree
+//! `run → rule → operator → shard` into the shared trace journal. A
+//! disabled tracer costs one relaxed atomic load per probe.
 
 use crate::annotate::{apply_annotations_with, degraded_policy, AnnotatePolicy};
 use crate::budget::{DegradeCause, RunBudget, RunClock};
@@ -22,6 +29,7 @@ use iflex_alog::{
 
 use iflex_ctable::{Assignment, Cell, CompactTable, CompactTuple, Value};
 use iflex_features::{FeatureError, FeatureRegistry};
+use iflex_obs::{metrics::names, Counter, Histogram, Registry, SpanId, SpanKind, Tracer};
 use iflex_text::{DocId, DocumentStore};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -65,6 +73,13 @@ pub struct Limits {
     /// [`FeatureMemo`](crate::FeatureMemo) (ablation knob; disabling it
     /// restores the recompute-every-call behavior).
     pub use_feature_memo: bool,
+    /// Programmatic switch for the structured trace journal: sessions
+    /// enable the engine's [`Tracer`] when this is set *or* the
+    /// `IFLEX_TRACE` environment variable requests a dump (see
+    /// `iflex::Session`). The engine itself only journals through
+    /// [`Engine::tracer`]; this flag exists so embedding code can opt in
+    /// without touching the environment.
+    pub trace: bool,
 }
 
 impl Default for Limits {
@@ -81,6 +96,7 @@ impl Default for Limits {
             reuse_enabled: true,
             degrade: true,
             use_feature_memo: true,
+            trace: false,
         }
     }
 }
@@ -109,17 +125,34 @@ pub struct Degradation {
     pub rule: String,
     /// Why it degraded.
     pub cause: DegradeCause,
+    /// The fault-injection site (see [`crate::fault::site`]) whose armed
+    /// fault produced this degradation, when one fired; `None` for organic
+    /// degradations (real budget overflows, deadlines, panics).
+    pub site: Option<String>,
     /// What was truncated (the original error rendered).
     pub truncated: String,
 }
 
 impl fmt::Display for Degradation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}: {}", self.cause, self.rule, self.truncated)
+        write!(f, "[{}] {}: {}", self.cause, self.rule, self.truncated)?;
+        if let Some(site) = &self.site {
+            write!(f, " (site: {site})")?;
+        }
+        Ok(())
     }
 }
 
 /// Execution statistics (reuse, work done); reset per `run`.
+///
+/// Since the observability refactor this is a **view** over the engine's
+/// [`Registry`]: operators increment registry counters (through handles
+/// cached in [`EngineCounters`]) while a run executes, and the numeric
+/// fields below are filled from the registry when the run finishes — on
+/// every exit path, success or error. `degradations` is the one field
+/// still carried directly (it holds structured records, not numbers);
+/// the registry mirrors its count as `engine.degradations` plus
+/// per-cause `engine.degradations.<cause>` counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Rules actually (re)computed this run.
@@ -155,19 +188,6 @@ impl ExecStats {
     /// True when at least one rule degraded this run.
     pub fn degraded(&self) -> bool {
         !self.degradations.is_empty()
-    }
-
-    /// Records one [`crate::par::scatter`] outcome.
-    pub(crate) fn note_shards(&mut self, shard_micros: &[u64], went_parallel: bool) {
-        if went_parallel {
-            self.par_sections += 1;
-        }
-        if self.shard_busy_us.len() < shard_micros.len() {
-            self.shard_busy_us.resize(shard_micros.len(), 0);
-        }
-        for (acc, us) in self.shard_busy_us.iter_mut().zip(shard_micros) {
-            *acc = acc.saturating_add(*us);
-        }
     }
 
     /// True when some degradation this run had the given cause.
@@ -297,6 +317,89 @@ impl From<FeatureError> for EngineError {
     }
 }
 
+/// Stable operator names for spans and per-operator metrics
+/// (`engine.op.<name>.us` / `engine.op.<name>.tuples_out`), indexed by
+/// [`op_idx`]. Static so the hot path never formats a name.
+const OP_NAMES: [&str; 11] = [
+    "scan_ext",
+    "scan_rel",
+    "from_extract",
+    "constraint",
+    "compare",
+    "var_unify",
+    "filter_proc",
+    "generate_proc",
+    "cross_join",
+    "project",
+    "annotate",
+];
+
+/// The [`OP_NAMES`] index of a plan node.
+fn op_idx(plan: &Plan) -> usize {
+    match plan {
+        Plan::ScanExt { .. } => 0,
+        Plan::ScanRel { .. } => 1,
+        Plan::FromExtract { .. } => 2,
+        Plan::Constraint { .. } => 3,
+        Plan::Compare { .. } => 4,
+        Plan::VarUnify { .. } => 5,
+        Plan::FilterProc { .. } => 6,
+        Plan::GenerateProc { .. } => 7,
+        Plan::CrossJoin { .. } => 8,
+        Plan::Project { .. } => 9,
+        Plan::Annotate { .. } => 10,
+    }
+}
+
+/// Metric handles the engine updates on hot paths, resolved once at
+/// construction so no per-call registry lookup (or name formatting) ever
+/// happens during a run. Handles stay valid across [`Registry::reset`].
+struct EngineCounters {
+    rules_evaluated: Counter,
+    cache_hits: Counter,
+    tuples_scanned: Counter,
+    assignments_produced: Counter,
+    degradations: Counter,
+    feature_cache_hits: Counter,
+    feature_cache_misses: Counter,
+    par_sections: Counter,
+    /// Per-operator inclusive wall-clock (µs), indexed by [`op_idx`].
+    /// Self time = inclusive − Σ direct children; `exp_trace` computes it
+    /// from the span tree.
+    op_us: Vec<Histogram>,
+    /// Per-operator output tuples, indexed by [`op_idx`].
+    op_tuples: Vec<Counter>,
+}
+
+impl EngineCounters {
+    fn new(reg: &Registry) -> Self {
+        EngineCounters {
+            rules_evaluated: reg.counter(names::RULES_EVALUATED),
+            cache_hits: reg.counter(names::CACHE_HITS),
+            tuples_scanned: reg.counter(names::TUPLES_SCANNED),
+            assignments_produced: reg.counter(names::ASSIGNMENTS_PRODUCED),
+            degradations: reg.counter(names::DEGRADATIONS),
+            feature_cache_hits: reg.counter(names::FEATURE_CACHE_HITS),
+            feature_cache_misses: reg.counter(names::FEATURE_CACHE_MISSES),
+            par_sections: reg.counter(names::PAR_SECTIONS),
+            op_us: OP_NAMES
+                .iter()
+                .map(|n| reg.histogram(&format!("{}{n}.us", names::OP_US_PREFIX)))
+                .collect(),
+            op_tuples: OP_NAMES
+                .iter()
+                .map(|n| {
+                    reg.counter(&format!(
+                        "{}{n}{}",
+                        names::OP_US_PREFIX,
+                        names::OP_TUPLES_SUFFIX
+                    ))
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The iFlex approximate query processor.
 pub struct Engine {
     store: Arc<DocumentStore>,
@@ -327,12 +430,30 @@ pub struct Engine {
     /// Lazily computed procedure signatures, reset whenever the
     /// procedure or feature registries are touched mutably.
     proc_sigs_cache: std::sync::OnceLock<Arc<BTreeMap<String, (bool, usize)>>>,
+    /// The metrics registry this engine's runs drive. Per-engine (a
+    /// snapshot gets its own), reset at the start of every run;
+    /// [`Engine::stats`] is filled from it when a run finishes.
+    pub metrics: Registry,
+    /// The structured trace journal. Disabled by default (one relaxed
+    /// atomic load per probe); sessions enable it per `IFLEX_TRACE` /
+    /// [`Limits::trace`]. Snapshots clone the handle, so every worker
+    /// appends to one shared journal.
+    pub tracer: Tracer,
+    /// Parent span for the next run's `run` span: the session sets this to
+    /// its current iteration/question/probe span so engine spans nest
+    /// under the assistant timeline. [`SpanId::NONE`] (the default) makes
+    /// runs top-level spans.
+    pub trace_parent: SpanId,
+    /// Cached metric handles (see [`EngineCounters`]).
+    counters: EngineCounters,
 }
 
 impl Engine {
     /// A new engine over `store` with the default feature set and the
     /// built-in `similar`/`approxMatch` procedures.
     pub fn new(store: Arc<DocumentStore>) -> Self {
+        let metrics = Registry::new();
+        let counters = EngineCounters::new(&metrics);
         Engine {
             store,
             features: FeatureRegistry::default(),
@@ -347,16 +468,25 @@ impl Engine {
             clock: Arc::new(RunClock::unlimited()),
             memo: Arc::new(crate::memo::FeatureMemo::new()),
             proc_sigs_cache: std::sync::OnceLock::new(),
+            metrics,
+            tracer: Tracer::disabled(),
+            trace_parent: SpanId::NONE,
+            counters,
         }
     }
 
     /// A cheap concurrent-execution snapshot: shares the document store,
     /// extensional tables, reuse-cache entries, feature memo, fault plan,
-    /// and the *current* run clock by reference count, with fresh stats.
-    /// Running a program on the snapshot never mutates this engine;
-    /// results computed by the snapshot can be folded back with
-    /// [`Engine::absorb_cache`].
+    /// and the *current* run clock by reference count, with fresh stats
+    /// and a fresh metrics registry (a snapshot's runs never perturb this
+    /// engine's metrics). The trace journal **is** shared — snapshot spans
+    /// land in the same timeline, nested under [`Engine::trace_parent`]
+    /// (which the snapshot inherits). Running a program on the snapshot
+    /// never mutates this engine; results computed by the snapshot can be
+    /// folded back with [`Engine::absorb_cache`].
     pub fn snapshot(&self) -> Engine {
+        let metrics = Registry::new();
+        let counters = EngineCounters::new(&metrics);
         Engine {
             store: Arc::clone(&self.store),
             features: self.features.clone(),
@@ -371,6 +501,10 @@ impl Engine {
             clock: Arc::clone(&self.clock),
             memo: Arc::clone(&self.memo),
             proc_sigs_cache: std::sync::OnceLock::new(),
+            metrics,
+            tracer: self.tracer.clone(),
+            trace_parent: self.trace_parent,
+            counters,
         }
     }
 
@@ -541,15 +675,66 @@ impl Engine {
         self.run_inner(prog, Some(sample))
     }
 
+    /// Per-run setup and teardown around [`Engine::run_body`]: resets the
+    /// metrics registry and stats, opens the `run` span, and — on **every**
+    /// exit path, including validation/compile errors and strict-mode
+    /// failures — fills [`Engine::stats`] from the registry and closes the
+    /// span, so observers never see one run's numbers under another run's
+    /// label.
     fn run_inner(
         &mut self,
         prog: &Program,
         sample: Option<Sample>,
     ) -> Result<Arc<CompactTable>, EngineError> {
+        self.metrics.reset();
         self.stats = ExecStats::default();
-        let memo_hits0 = self.memo.hits();
-        let memo_misses0 = self.memo.misses();
+        // Clear stale fault-site attribution from a previous run so a
+        // degradation this run is never blamed on last run's injection.
+        self.fault.take_last_fired();
+        let (memo_hits0, memo_misses0) = self.memo.counters();
         self.clock = Arc::new(self.budget.start());
+        let run_span = self.tracer.begin(
+            self.trace_parent,
+            SpanKind::Run,
+            if sample.is_some() { "run:sampled" } else { "run:full" },
+        );
+
+        let result = self.run_body(prog, sample, run_span);
+
+        let c = &self.counters;
+        self.stats.rules_evaluated = c.rules_evaluated.get() as usize;
+        self.stats.cache_hits = c.cache_hits.get() as usize;
+        self.stats.tuples_scanned = c.tuples_scanned.get() as usize;
+        self.stats.assignments_produced = c.assignments_produced.get() as usize;
+        self.stats.par_sections = c.par_sections.get() as usize;
+        self.stats.shard_busy_us = self.metrics.indexed_counters(names::SHARD_BUSY_PREFIX);
+        self.stats.feature_cache_hits = self.memo.hits().saturating_sub(memo_hits0);
+        self.stats.feature_cache_misses = self.memo.misses().saturating_sub(memo_misses0);
+        // Mirror the memo deltas into the registry so a metrics snapshot
+        // is self-contained.
+        c.feature_cache_hits.set(self.stats.feature_cache_hits as u64);
+        c.feature_cache_misses
+            .set(self.stats.feature_cache_misses as u64);
+
+        self.tracer.end_with(
+            run_span,
+            &[
+                ("tuples_out", result.as_ref().map(|t| t.len()).unwrap_or(0) as u64),
+                ("degradations", self.stats.degradations.len() as u64),
+            ],
+        );
+        result
+    }
+
+    /// The run proper: validate → unfold → order → per-rule
+    /// compile/reuse/evaluate → merge. Factored out of [`Engine::run_inner`]
+    /// so `?`-style early returns cannot skip the stats/span teardown.
+    fn run_body(
+        &mut self,
+        prog: &Program,
+        sample: Option<Sample>,
+        run_span: SpanId,
+    ) -> Result<Arc<CompactTable>, EngineError> {
         let env = self.validate_env();
         let errors = validate(prog, &env);
         if !errors.is_empty() {
@@ -617,9 +802,11 @@ impl Engine {
             for rule in rules {
                 let key = format!("e{}|{}|v{:016x}|{}", self.epoch, sample_key, version, rule);
                 if let Some((hit, volume)) = self.cache.get(&key).filter(|_| self.limits.reuse_enabled) {
-                    self.stats.cache_hits += 1;
-                    self.stats.assignments_produced =
-                        self.stats.assignments_produced.saturating_add(*volume);
+                    self.counters.cache_hits.inc();
+                    self.counters.assignments_produced.add(*volume as u64);
+                    if let Some((t, parent)) = self.tracer.ctx(run_span) {
+                        t.instant(parent, SpanKind::Rule, &rule.to_string(), Some("cache_hit"));
+                    }
                     parts.push(Part::Table(Arc::clone(hit)));
                     continue;
                 }
@@ -629,27 +816,56 @@ impl Engine {
                     procedures: proc_sigs.as_ref(),
                 };
                 let plan = compile_rule(rule, &cenv)?;
-                let before = self.stats.assignments_produced;
-                match self.eval_rule_guarded(&plan, &computed, sample) {
+                let rule_span = match self.tracer.ctx(run_span) {
+                    Some((t, parent)) => t.begin(parent, SpanKind::Rule, &rule.to_string()),
+                    None => SpanId::NONE,
+                };
+                let before = self.counters.assignments_produced.get();
+                match self.eval_rule_guarded(&plan, &computed, sample, rule_span) {
                     Ok(result) => {
-                        let volume = self.stats.assignments_produced.saturating_sub(before);
-                        self.stats.rules_evaluated += 1;
+                        let volume = self
+                            .counters
+                            .assignments_produced
+                            .get()
+                            .saturating_sub(before) as usize;
+                        self.counters.rules_evaluated.inc();
+                        self.tracer
+                            .end_with(rule_span, &[("tuples_out", result.len() as u64)]);
                         parts.push(Part::Table(Arc::clone(&result)));
                         self.cache.insert(key, (result, volume));
                     }
                     Err(e) => {
                         let cause = match degrade_cause(&e) {
                             Some(c) if self.limits.degrade => c,
-                            _ => return Err(e),
+                            _ => {
+                                self.tracer.end(rule_span);
+                                return Err(e);
+                            }
                         };
                         // Graceful degradation: substitute a widened,
                         // superset-safe stand-in for this rule's result and
                         // record what happened. Degraded results are never
                         // cached — the next run retries the rule exactly.
-                        self.stats.rules_evaluated += 1;
+                        self.counters.rules_evaluated.inc();
+                        self.counters.degradations.inc();
+                        self.metrics
+                            .counter(&format!("{}{}", names::DEGRADATIONS_PREFIX, cause.slug()))
+                            .inc();
+                        // S3: if an armed fault fired since the last
+                        // degradation, attribute this record to its site.
+                        let site = self.fault.take_last_fired();
+                        if let Some((t, parent)) = self.tracer.ctx(rule_span) {
+                            let note = match site {
+                                Some(s) => format!("{} @ {s}", cause.slug()),
+                                None => cause.slug().to_string(),
+                            };
+                            t.instant(parent, SpanKind::Mark, "degradation", Some(&note));
+                        }
+                        self.tracer.end(rule_span);
                         self.stats.degradations.push(Degradation {
                             rule: rule.to_string(),
                             cause,
+                            site: site.map(str::to_string),
                             truncated: e.to_string(),
                         });
                         parts.push(Part::Widened(self.widened_tuple(cols.len())));
@@ -679,15 +895,12 @@ impl Engine {
                     Arc::new(merged)
                 }
             };
-            self.stats.assignments_produced = self
-                .stats
+            self.counters
                 .assignments_produced
-                .saturating_add(table.stats().assignments);
+                .add(table.stats().assignments as u64);
             computed.insert(name.clone(), table);
         }
 
-        self.stats.feature_cache_hits = self.memo.hits().saturating_sub(memo_hits0);
-        self.stats.feature_cache_misses = self.memo.misses().saturating_sub(memo_misses0);
         computed
             .remove(&prog.query)
             .ok_or_else(|| EngineError::MissingTable(prog.query.clone()))
@@ -702,13 +915,14 @@ impl Engine {
         plan: &Plan,
         computed: &BTreeMap<String, Arc<CompactTable>>,
         sample: Option<Sample>,
+        rule_span: SpanId,
     ) -> Result<Arc<CompactTable>, EngineError> {
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if let Some(f) = self.fault.hit(fault::site::EVAL_RULE) {
                 return Err(injected(f));
             }
             self.clock.check().map_err(EngineError::from)?;
-            self.eval_plan(plan, computed, sample)
+            self.eval_plan(plan, computed, sample, rule_span)
         }));
         match caught {
             Ok(res) => res,
@@ -737,20 +951,52 @@ impl Engine {
     /// Evaluates one plan fragment bottom-up. Results are
     /// reference-counted so scans of cached/extensional tables are free
     /// and per-tuple operators can fan out over shared inputs.
+    ///
+    /// This wrapper owns the per-operator observability: it opens an
+    /// `operator` span under `parent` (a static name — nothing is
+    /// formatted when tracing is off), times the node inclusively into
+    /// the `engine.op.<name>.us` histogram, and counts output tuples.
+    /// Both costs are per plan *node*, not per tuple, so the disabled-
+    /// path overhead is a handful of relaxed atomics per operator.
     fn eval_plan(
         &mut self,
         plan: &Plan,
         computed: &BTreeMap<String, Arc<CompactTable>>,
         sample: Option<Sample>,
+        parent: SpanId,
     ) -> Result<Arc<CompactTable>, EngineError> {
         self.clock.tick().map_err(EngineError::from)?;
+        let op = op_idx(plan);
+        let t0 = std::time::Instant::now();
+        let span = self
+            .tracer
+            .begin(parent, SpanKind::Operator, OP_NAMES[op]);
+        let result = self.eval_plan_inner(plan, computed, sample, span);
+        self.counters.op_us[op].observe(t0.elapsed().as_micros() as u64);
+        match &result {
+            Ok(t) => {
+                self.counters.op_tuples[op].add(t.len() as u64);
+                self.tracer.end_with(span, &[("tuples_out", t.len() as u64)]);
+            }
+            Err(_) => self.tracer.end(span),
+        }
+        result
+    }
+
+    fn eval_plan_inner(
+        &mut self,
+        plan: &Plan,
+        computed: &BTreeMap<String, Arc<CompactTable>>,
+        sample: Option<Sample>,
+        span: SpanId,
+    ) -> Result<Arc<CompactTable>, EngineError> {
         match plan {
             Plan::ScanExt { name } => {
                 let t = self
                     .ext
                     .get(name)
                     .ok_or_else(|| EngineError::MissingTable(name.clone()))?;
-                self.stats.tuples_scanned += t.len();
+                self.counters.tuples_scanned.add(t.len() as u64);
                 Ok(match sample {
                     Some(s) => Arc::new(s.apply(t)),
                     None => Arc::clone(t),
@@ -761,7 +1007,7 @@ impl Engine {
                 .cloned()
                 .ok_or_else(|| EngineError::MissingTable(name.clone())),
             Plan::FromExtract { input, in_col } => {
-                let t = self.eval_plan(input, computed, sample)?;
+                let t = self.eval_plan(input, computed, sample, span)?;
                 let mut cols = t.columns().to_vec();
                 cols.push(format!("_f{}", cols.len()));
                 let mut out = CompactTable::new(cols);
@@ -793,7 +1039,7 @@ impl Engine {
                 // Domain-constraint selection fans out across worker
                 // threads: tuples are independent, and the feature memo
                 // dedups repeated `Verify`/`Refine` calls across shards.
-                let t = self.eval_plan(input, computed, sample)?;
+                let t = self.eval_plan(input, computed, sample, span)?;
                 let col = *col;
                 let sr = {
                     let store = &self.store;
@@ -801,7 +1047,7 @@ impl Engine {
                     let memo = self.limits.use_feature_memo.then_some(self.memo.as_ref());
                     let ctx = memo.map(|_| crate::constraint::chain_ctx(constraint, priors));
                     let clock = &self.clock;
-                    crate::par::scatter(self.limits.threads, t.tuples(), |tups| {
+                    crate::par::scatter(self.limits.threads, t.tuples(), self.tracer.ctx(span), |tups| {
                         let mut out = Vec::new();
                         for tup in tups {
                             clock.tick().map_err(EngineError::from)?;
@@ -837,7 +1083,7 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(t.columns().to_vec());
                 for tup in sr.merge()? {
                     out.push(tup);
@@ -858,7 +1104,7 @@ impl Engine {
                     let offset = *offset;
                     let left = left.clone();
                     let right = right.clone();
-                    return self.fused_join(jl, jr, computed, sample, move |eng, cells| {
+                    return self.fused_join(jl, jr, computed, sample, span, move |eng, cells| {
                         let lc = eng.cell_operand_cands(&left, cells);
                         let rc = shift_cands(
                             eng.cell_operand_cands(&right, cells),
@@ -868,11 +1114,11 @@ impl Engine {
                         compare_cands(&lc, op, &rc, &eng.store)
                     });
                 }
-                let t = self.eval_plan(input, computed, sample)?;
+                let t = self.eval_plan(input, computed, sample, span)?;
                 let (op, offset) = (*op, *offset);
                 let sr = {
                     let eng: &Engine = self;
-                    crate::par::scatter(eng.limits.threads, t.tuples(), |tups| {
+                    crate::par::scatter(eng.limits.threads, t.tuples(), eng.tracer.ctx(span), |tups| {
                         let mut out = Vec::new();
                         for tup in tups {
                             eng.clock.tick().map_err(EngineError::from)?;
@@ -890,7 +1136,7 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(t.columns().to_vec());
                 for tup in sr.merge()? {
                     out.push(tup);
@@ -900,15 +1146,15 @@ impl Engine {
             Plan::VarUnify { input, col_a, col_b } => {
                 if let Plan::CrossJoin { left: jl, right: jr } = input.as_ref() {
                     let (a, b) = (*col_a, *col_b);
-                    return self.fused_join(jl, jr, computed, sample, move |eng, cells| {
+                    return self.fused_join(jl, jr, computed, sample, span, move |eng, cells| {
                         cells_may_equal(cells[a], cells[b], &eng.store, eng.limits.cmp_enum_cap)
                     });
                 }
-                let t = self.eval_plan(input, computed, sample)?;
+                let t = self.eval_plan(input, computed, sample, span)?;
                 let (a, b) = (*col_a, *col_b);
                 let sr = {
                     let eng: &Engine = self;
-                    crate::par::scatter(eng.limits.threads, t.tuples(), |tups| {
+                    crate::par::scatter(eng.limits.threads, t.tuples(), eng.tracer.ctx(span), |tups| {
                         let mut out = Vec::new();
                         for tup in tups {
                             eng.clock.tick().map_err(EngineError::from)?;
@@ -928,7 +1174,7 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(t.columns().to_vec());
                 for tup in sr.merge()? {
                     out.push(tup);
@@ -949,10 +1195,10 @@ impl Engine {
                     name == "similar" || name == "approxMatch",
                     cols.as_slice(),
                 ) {
-                    let l = self.eval_plan(jl, computed, sample)?;
-                    let r = self.eval_plan(jr, computed, sample)?;
+                    let l = self.eval_plan(jl, computed, sample, span)?;
+                    let r = self.eval_plan(jr, computed, sample, span)?;
                     if *ca < l.arity() && *cb >= l.arity() {
-                        return self.similar_join(&l, &r, *ca, *cb - l.arity());
+                        return self.similar_join(&l, &r, *ca, *cb - l.arity(), span);
                     }
                 }
                 if let Plan::CrossJoin { left: jl, right: jr } = input.as_ref() {
@@ -960,7 +1206,7 @@ impl Engine {
                     let combo_cap = self.limits.combo_cap;
                     let enum_cap = self.limits.enum_cap;
                     let ff = f.clone();
-                    return self.fused_join(jl, jr, computed, sample, move |eng, cells| {
+                    return self.fused_join(jl, jr, computed, sample, span, move |eng, cells| {
                         let cands: Vec<Cands> = cols
                             .iter()
                             .map(|&c| {
@@ -976,11 +1222,11 @@ impl Engine {
                         filter_cands(&cands, &|args: &[Value]| ff(store, args), combo_cap)
                     });
                 }
-                let t = self.eval_plan(input, computed, sample)?;
+                let t = self.eval_plan(input, computed, sample, span)?;
                 let sr = {
                     let eng: &Engine = self;
                     let f = &f;
-                    crate::par::scatter(eng.limits.threads, t.tuples(), |tups| {
+                    crate::par::scatter(eng.limits.threads, t.tuples(), eng.tracer.ctx(span), |tups| {
                         let mut out = Vec::new();
                         for tup in tups {
                             eng.clock.tick().map_err(EngineError::from)?;
@@ -1010,7 +1256,7 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(t.columns().to_vec());
                 for tup in sr.merge()? {
                     out.push(tup);
@@ -1023,7 +1269,7 @@ impl Engine {
                 in_cols,
                 out_arity,
             } => {
-                let t = self.eval_plan(input, computed, sample)?;
+                let t = self.eval_plan(input, computed, sample, span)?;
                 let Some(Procedure::Generator { out_arity: oa, f }) = self.procs.get(name) else {
                     return Err(EngineError::BadProcedure(name.clone()));
                 };
@@ -1037,7 +1283,7 @@ impl Engine {
                 let sr = {
                     let eng: &Engine = self;
                     let f = &f;
-                    crate::par::scatter(eng.limits.threads, t.tuples(), |tups| {
+                    crate::par::scatter(eng.limits.threads, t.tuples(), eng.tracer.ctx(span), |tups| {
                         let store = &eng.store;
                         let mut out = Vec::new();
                         for tup in tups {
@@ -1112,7 +1358,7 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(cols);
                 for tup in sr.merge()? {
                     out.push(tup);
@@ -1120,15 +1366,15 @@ impl Engine {
                 Ok(Arc::new(out))
             }
             Plan::CrossJoin { left, right } => {
-                let l = self.eval_plan(left, computed, sample)?;
-                let r = self.eval_plan(right, computed, sample)?;
+                let l = self.eval_plan(left, computed, sample, span)?;
+                let r = self.eval_plan(right, computed, sample, span)?;
                 let mut cols = l.columns().to_vec();
                 cols.extend(r.columns().iter().cloned());
                 let cap = self.limits.max_result_tuples;
                 let sr = {
                     let eng: &Engine = self;
                     let r = &r;
-                    crate::par::scatter(eng.limits.threads, l.tuples(), |lts| {
+                    crate::par::scatter(eng.limits.threads, l.tuples(), eng.tracer.ctx(span), |lts| {
                         let mut out = Vec::new();
                         for lt in lts {
                             for rt in r.tuples() {
@@ -1150,7 +1396,7 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_shards(&sr.shard_micros, sr.went_parallel);
                 let mut out = CompactTable::new(cols);
                 for tup in sr.merge()? {
                     if out.len() >= cap {
@@ -1161,7 +1407,7 @@ impl Engine {
                 Ok(Arc::new(out))
             }
             Plan::Project { input, cols, names } => {
-                let t = self.eval_plan(input, computed, sample)?;
+                let t = self.eval_plan(input, computed, sample, span)?;
                 // The convergence monitor watches assignments "produced by
                 // the extraction process" (§5.1) — measure extraction
                 // volume before projection hides refined-but-unprojected
@@ -1173,10 +1419,7 @@ impl Engine {
                     .fold(0u64, |acc, c| {
                         acc.saturating_add(c.value_count(&self.store).min(1 << 20))
                     });
-                self.stats.assignments_produced = self
-                    .stats
-                    .assignments_produced
-                    .saturating_add(volume.min(usize::MAX as u64) as usize);
+                self.counters.assignments_produced.add(volume);
                 let mut out = CompactTable::new(names.clone());
                 for tup in t.tuples() {
                     out.push(CompactTuple {
@@ -1191,7 +1434,7 @@ impl Engine {
                 existence,
                 annotated,
             } => {
-                let t = self.eval_plan(input, computed, sample)?;
+                let t = self.eval_plan(input, computed, sample, span)?;
                 if let Some(f) = self.fault.hit(fault::site::ANNOTATE) {
                     return Err(injected(f));
                 }
@@ -1215,6 +1458,22 @@ impl Engine {
         }
     }
 
+    /// Records a scatter section in the metrics registry: bumps
+    /// `engine.par_sections` when the section actually went parallel and
+    /// accumulates per-shard busy time into the indexed
+    /// `engine.shard_busy_us.<i>` counters. `ExecStats` reads these back
+    /// at the end of the run.
+    fn note_shards(&self, shard_micros: &[u64], went_parallel: bool) {
+        if went_parallel {
+            self.counters.par_sections.inc();
+        }
+        for (i, us) in shard_micros.iter().enumerate() {
+            self.metrics
+                .counter(&format!("{}{}", names::SHARD_BUSY_PREFIX, i))
+                .add(*us);
+        }
+    }
+
     /// Streams the cross product of two sub-plans, keeping only pairs the
     /// predicate admits (may = true). The full product is never
     /// materialized — essential for the large similarity joins. With
@@ -1226,10 +1485,11 @@ impl Engine {
         right: &Plan,
         computed: &BTreeMap<String, Arc<CompactTable>>,
         sample: Option<Sample>,
+        span: SpanId,
         pred: impl Fn(&Engine, &[&Cell]) -> crate::eval::MayMust + Sync,
     ) -> Result<Arc<CompactTable>, EngineError> {
-        let l = self.eval_plan(left, computed, sample)?;
-        let r = self.eval_plan(right, computed, sample)?;
+        let l = self.eval_plan(left, computed, sample, span)?;
+        let r = self.eval_plan(right, computed, sample, span)?;
         let mut cols = l.columns().to_vec();
         cols.extend(r.columns().iter().cloned());
         let cap = self.limits.max_result_tuples;
@@ -1237,7 +1497,7 @@ impl Engine {
         let sr = {
             let eng: &Engine = self;
             let (r, pred) = (&r, &pred);
-            crate::par::scatter(eng.limits.threads, l.tuples(), |lts| {
+            crate::par::scatter(eng.limits.threads, l.tuples(), eng.tracer.ctx(span), |lts| {
                 let mut out = Vec::new();
                 let mut cells_ref: Vec<&Cell> = Vec::new();
                 for lt in lts {
@@ -1268,7 +1528,7 @@ impl Engine {
                 Ok(out)
             })
         };
-        self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
+        self.note_shards(&sr.shard_micros, sr.went_parallel);
         let mut out = CompactTable::new(cols);
         for t in sr.merge()? {
             if out.len() >= cap {
@@ -1288,6 +1548,7 @@ impl Engine {
         r: &CompactTable,
         lcol: usize,
         rcol: usize,
+        span: SpanId,
     ) -> Result<Arc<CompactTable>, EngineError> {
         let profile = |cell: &Cell| -> crate::similarity::SimProfile {
             let mut tokens = std::collections::BTreeSet::new();
@@ -1322,7 +1583,7 @@ impl Engine {
             let clock = &self.clock;
             let fplan = &self.fault;
             let (r, rprof) = (&r, &rprof);
-            crate::par::scatter(self.limits.threads, &pairs, |chunk| {
+            crate::par::scatter(self.limits.threads, &pairs, self.tracer.ctx(span), |chunk| {
                 let mut out = Vec::new();
                 for (lt, lp) in chunk {
                     for (rt, rp) in r.tuples().iter().zip(rprof.iter()) {
@@ -1349,7 +1610,7 @@ impl Engine {
                 Ok(out)
             })
         };
-        self.stats.note_shards(&sr.shard_micros, sr.went_parallel);
+        self.note_shards(&sr.shard_micros, sr.went_parallel);
         let mut out = CompactTable::new(cols);
         for t in sr.merge()? {
             if out.len() >= cap {

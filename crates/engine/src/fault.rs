@@ -93,6 +93,7 @@ impl Arm {
 pub struct FaultPlan {
     armed: Arc<AtomicBool>,
     arms: Arc<Mutex<Vec<Arm>>>,
+    last_fired: Arc<Mutex<Option<&'static str>>>,
 }
 
 impl FaultPlan {
@@ -137,13 +138,30 @@ impl FaultPlan {
         }
         let mut arms = self.arms.lock().expect("fault plan lock");
         let mut fired = None;
+        let mut fired_site = None;
         for arm in arms.iter_mut().filter(|a| a.site == site) {
             let f = arm.probe();
-            if fired.is_none() {
+            if fired.is_none() && f.is_some() {
+                fired_site = Some(arm.site);
                 fired = f;
             }
         }
+        if fired_site.is_some() {
+            *self.last_fired.lock().expect("fault plan lock") = fired_site;
+        }
         fired
+    }
+
+    /// Takes (and clears) the site of the most recently fired fault.
+    ///
+    /// The engine calls this when it records a [`crate::Degradation`] so
+    /// the record can name the injection site that caused it. Attribution
+    /// is best-effort: snapshot engines running concurrently share the
+    /// plan (clones share state), so under parallel execution the taken
+    /// site is the last one fired by *any* sharer, not necessarily the
+    /// one that degraded this rule.
+    pub fn take_last_fired(&self) -> Option<&'static str> {
+        self.last_fired.lock().expect("fault plan lock").take()
     }
 
     /// How many times `site`'s arms have fired so far.

@@ -37,3 +37,7 @@ pub use memo::FeatureMemo;
 pub use pfunc::{builtin_procs, ProcRegistry, Procedure};
 pub use plan::{compile_rule, CompileEnv, CompiledConstraint, Operand, Plan, PlanError};
 pub use sample::Sample;
+
+// The observability crate travels with the engine: downstream crates take
+// tracer handles and metric registries from `Engine` and need the types.
+pub use iflex_obs as obs;

@@ -484,6 +484,16 @@ impl FeatureMemo {
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// One consistent `(hits, misses)` reading. The memo is shared
+    /// across runs and snapshot engines, so its counters are lifetime
+    /// totals; per-run figures (what `ExecStats` reports and the engine
+    /// mirrors into its metrics registry as
+    /// `engine.feature_cache_{hits,misses}`) are deltas between two
+    /// snapshots taken at run start and end.
+    pub fn counters(&self) -> (usize, usize) {
+        (self.hits(), self.misses())
+    }
 }
 
 #[cfg(test)]

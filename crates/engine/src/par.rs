@@ -14,7 +14,41 @@
 
 use std::time::Instant;
 
+use iflex_obs::{SpanId, SpanKind, Tracer};
+
 use crate::exec::{panic_message, EngineError};
+
+/// Panic-safe shard span: begun at worker start, ended on drop so the
+/// journal stays well-nested even when a worker panics and unwinds.
+struct ShardSpan<'a> {
+    tracer: &'a Tracer,
+    id: SpanId,
+    shard: u64,
+    start: Instant,
+}
+
+impl<'a> ShardSpan<'a> {
+    fn begin(trace: Option<(&'a Tracer, SpanId)>, shard: usize) -> Option<Self> {
+        trace.map(|(tracer, parent)| ShardSpan {
+            id: tracer.begin(parent, SpanKind::Shard, &format!("shard{shard}")),
+            tracer,
+            shard: shard as u64,
+            start: Instant::now(),
+        })
+    }
+}
+
+impl Drop for ShardSpan<'_> {
+    fn drop(&mut self) {
+        self.tracer.end_with(
+            self.id,
+            &[
+                ("shard", self.shard),
+                ("busy_us", self.start.elapsed().as_micros() as u64),
+            ],
+        );
+    }
+}
 
 /// The outcome of one [`scatter`] call.
 pub struct ShardRun<R> {
@@ -44,13 +78,20 @@ impl<R> ShardRun<R> {
 /// scoped worker threads. Falls back to a single in-thread shard when
 /// parallelism cannot pay for itself (`threads <= 1`, or fewer than two
 /// items per worker).
+///
+/// `trace` is an enabled-tracer context (`Tracer::ctx(span)`), or `None`
+/// when tracing is off: each shard then records a `shard<i>` span under
+/// the given parent, closed by a drop guard so a panicking worker still
+/// leaves a well-nested journal.
 pub fn scatter<T: Sync, R: Send>(
     threads: usize,
     items: &[T],
+    trace: Option<(&Tracer, SpanId)>,
     run: impl Fn(&[T]) -> Result<Vec<R>, EngineError> + Sync,
 ) -> ShardRun<R> {
     let threads = threads.max(1);
     if threads <= 1 || items.len() < 2 * threads {
+        let _span = ShardSpan::begin(trace, 0);
         let start = Instant::now();
         let result = run(items);
         return ShardRun {
@@ -62,10 +103,13 @@ pub fn scatter<T: Sync, R: Send>(
 
     let chunk = items.len().div_ceil(threads);
     let (shards, shard_micros) = std::thread::scope(|scope| {
+        let run = &run;
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|shard| {
-                scope.spawn(|| {
+            .enumerate()
+            .map(|(i, shard)| {
+                scope.spawn(move || {
+                    let _span = ShardSpan::begin(trace, i);
                     let start = Instant::now();
                     let result = run(shard);
                     (result, start.elapsed().as_micros() as u64)
@@ -103,9 +147,9 @@ mod tests {
     fn serial_and_parallel_agree() {
         let items: Vec<u64> = (0..1000).collect();
         let run = |xs: &[u64]| Ok(xs.iter().map(|x| x * 3 + 1).collect());
-        let serial = scatter(1, &items, run).merge().unwrap();
+        let serial = scatter(1, &items, None, run).merge().unwrap();
         for threads in [2, 3, 8] {
-            let par = scatter(threads, &items, run);
+            let par = scatter(threads, &items, None, run);
             assert!(par.went_parallel);
             assert_eq!(par.merge().unwrap(), serial);
         }
@@ -114,7 +158,7 @@ mod tests {
     #[test]
     fn small_inputs_stay_serial() {
         let items = [1u64, 2, 3];
-        let out = scatter(8, &items, |xs| Ok(xs.to_vec()));
+        let out = scatter(8, &items, None, |xs| Ok(xs.to_vec()));
         assert!(!out.went_parallel);
         assert_eq!(out.shards.len(), 1);
     }
@@ -127,7 +171,7 @@ mod tests {
             // must be the one from the first shard.
             Err(EngineError::TooLarge(format!("item {}", xs[0])))
         };
-        match scatter(4, &items, run).merge() {
+        match scatter(4, &items, None, run).merge() {
             Err(EngineError::TooLarge(msg)) => assert_eq!(msg, "item 0"),
             other => panic!("unexpected: {other:?}"),
         }
@@ -136,7 +180,7 @@ mod tests {
     #[test]
     fn worker_panic_becomes_rule_panic() {
         let items: Vec<usize> = (0..64).collect();
-        let out = scatter(4, &items, |xs: &[usize]| {
+        let out = scatter(4, &items, None, |xs: &[usize]| {
             if xs.contains(&63) {
                 panic!("worker exploded");
             }

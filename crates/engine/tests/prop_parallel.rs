@@ -138,3 +138,64 @@ proptest! {
         prop_assert_eq!(&observe(n, 8, kind, None).0, &first);
     }
 }
+
+/// Acceptance gate: tracing is a pure observer. Enabling it changes no
+/// result at any thread count, and the journal — including the shard
+/// spans emitted inside scatter workers — is well-nested.
+#[test]
+fn traced_runs_match_untraced_at_every_thread_count() {
+    use iflex_engine::obs::{validate_nesting, SpanKind};
+    for kind in 0..4u8 {
+        let baseline = observe(16, 1, kind, None);
+        for threads in [1usize, 2, 4, 8] {
+            let mut eng = build_engine(16, threads);
+            eng.tracer.enable();
+            let table = eng.run(&program(kind)).unwrap();
+            assert_eq!(
+                format!("{table:?}"),
+                baseline.0,
+                "threads={threads} kind={kind}"
+            );
+            let spans = validate_nesting(&eng.tracer.events()).expect("well-formed journal");
+            assert!(spans.iter().any(|s| s.kind == SpanKind::Run));
+            assert!(spans.iter().any(|s| s.kind == SpanKind::Rule));
+            assert!(spans.iter().any(|s| s.kind == SpanKind::Operator));
+        }
+    }
+}
+
+/// A trace-disabled engine must journal nothing: the tracer's event and
+/// drop counters stay at zero across full runs (the begin/end calls are
+/// single relaxed atomic loads that allocate nothing).
+#[test]
+fn disabled_tracer_journals_nothing_across_runs() {
+    let mut eng = build_engine(16, 4);
+    for kind in 0..4u8 {
+        eng.run(&program(kind)).unwrap();
+    }
+    assert_eq!(eng.tracer.recorded(), 0, "no events journaled");
+    assert_eq!(eng.tracer.dropped(), 0, "nothing hit the journal cap");
+    assert!(eng.tracer.events().is_empty());
+}
+
+/// Faulted + traced: the degradation instant carries the cause and the
+/// record carries the injection site (satellite 3).
+#[test]
+fn traced_degradation_names_site_and_rule() {
+    let mut eng = build_engine(8, 2);
+    eng.tracer.enable();
+    eng.fault
+        .arm(fault::site::EVAL_RULE, Trigger::Nth(0), Fault::TooLarge, 3);
+    eng.run(&program(0)).unwrap();
+    let d = &eng.stats.degradations[0];
+    assert_eq!(d.site.as_deref(), Some(fault::site::EVAL_RULE));
+    assert!(d.to_string().contains("site: engine.eval_rule"), "{d}");
+    let events = eng.tracer.events();
+    let inst = events
+        .iter()
+        .find(|e| e.name == "degradation")
+        .expect("degradation instant");
+    let note = inst.note.as_deref().unwrap_or("");
+    assert!(note.contains("budget"), "{note}");
+    assert!(note.contains("engine.eval_rule"), "{note}");
+}

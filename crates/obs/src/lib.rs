@@ -1,0 +1,64 @@
+//! # iflex-obs
+//!
+//! Zero-external-dependency observability for the iFlex engine:
+//!
+//! * [`trace`] — a lock-cheap structured **trace journal**: span-scoped
+//!   begin/end/instant events (`run → rule → operator → shard`, plus the
+//!   assistant's `session → iteration → question → probe`) with monotonic
+//!   microsecond timestamps. Disabled tracers are a single relaxed atomic
+//!   load per call and allocate nothing.
+//! * [`metrics`] — a **metrics registry** of named counters and
+//!   log₂-bucketed histograms behind cheap atomic handles. The engine's
+//!   `ExecStats` is a per-run view over this registry rather than a
+//!   hand-threaded struct.
+//! * [`replay`] — a parser + validator for the JSONL trace dumps, used by
+//!   the `exp_trace` report tool and the span-nesting tests.
+//!
+//! Export formats are hand-rendered JSON (the workspace deliberately
+//! carries no JSON dependency): one JSON object per line for traces
+//! (chrome-trace-like `B`/`E`/`I` phases), and a single `BENCH_*`-style
+//! object for metrics snapshots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod replay;
+pub mod trace;
+
+pub use metrics::{Counter, Histogram, HistogramSummary, MetricsSnapshot, Registry};
+pub use replay::{build_spans, parse_jsonl, validate_nesting, Span};
+pub use trace::{trace_path_from_env, Phase, SpanId, SpanKind, TraceEvent, Tracer};
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_specials() {
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

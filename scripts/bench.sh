@@ -16,4 +16,12 @@ echo "== exp_table1 (inventory sanity) =="
 echo "== exp_scaling --parallel-report =="
 ./target/release/exp_scaling --parallel-report "$REPORT"
 
+echo "== trace overhead smoke =="
+# Observability must be free when off: the same tiny workload with the
+# tracer disabled (IFLEX_TRACE unset) is the number the <2% acceptance
+# bound is judged against; the traced exp_trace smoke exercises the
+# enabled path.
+env -u IFLEX_TRACE ./target/release/exp_scaling --smoke target/BENCH_parallel_smoke.json
+./target/release/exp_trace --smoke target/BENCH_trace_smoke.jsonl
+
 echo "bench OK ($REPORT)"

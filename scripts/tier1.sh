@@ -10,12 +10,19 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
-echo "== clippy (engine, core) =="
-cargo clippy -p iflex-engine -p iflex -- -D warnings
+echo "== clippy (workspace, vendored stand-ins excluded) =="
+cargo clippy --workspace \
+  --exclude criterion --exclude proptest --exclude rand --exclude serde \
+  -- -D warnings
 
 echo "== parallel smoke =="
 # One tiny workload through the serial / memo / threaded sweep; asserts
 # inside the binary check that every configuration yields the same table.
 ./target/release/exp_scaling --smoke target/BENCH_parallel_smoke.json
+
+echo "== trace smoke =="
+# One tiny traced session end to end: dump the journal as JSONL, replay
+# it, validate span nesting, and render the run report.
+./target/release/exp_trace --smoke target/BENCH_trace_smoke.jsonl
 
 echo "tier-1 OK"
