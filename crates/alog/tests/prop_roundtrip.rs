@@ -1,0 +1,141 @@
+//! Whole-program property tests: random valid Alog programs (description
+//! rules + a query rule over them) must round-trip through the
+//! pretty-printer — `parse ∘ display` is the identity on ASTs and
+//! `display ∘ parse` reaches a fixpoint after one render — and `unfold`
+//! must be a deterministic function whose output survives the same
+//! round-trip (fresh variables it invents are printable, re-parseable
+//! identifiers).
+
+use iflex_alog::{parse_program, unfold, Program};
+use proptest::prelude::*;
+
+const FEATURES: &[&str] = &["numeric", "bold-font", "in-title", "max-value"];
+const OPS: &[&str] = &["<", ">", "<=", ">=", "="];
+
+/// Renders one random, well-formed program from structured choices:
+/// `n_desc` IE predicates (the first with `variants` alternative
+/// description rules), each description rule optionally carrying a domain
+/// constraint and a comparison, then a query rule calling every IE
+/// predicate with `#`-input document args, optional ψ annotation,
+/// optional existence `?`, and an optional offset comparison.
+#[allow(clippy::too_many_arguments)]
+fn render_program(
+    n_desc: usize,
+    variants: usize,
+    feature: usize,
+    op: usize,
+    threshold: u32,
+    offset: u32,
+    annotate: bool,
+    existence: bool,
+    constrain_desc: bool,
+) -> String {
+    let mut src = String::new();
+    for k in 0..n_desc {
+        let n_variants = if k == 0 { variants } else { 1 };
+        for i in 0..n_variants {
+            let mut body = format!("from(#d, o{i})");
+            if constrain_desc {
+                body += &format!(
+                    ", {}(o{i}) = yes",
+                    FEATURES[(feature + i) % FEATURES.len()]
+                );
+            }
+            if i % 2 == 0 {
+                body += &format!(", o{i} {} {threshold}", OPS[op % OPS.len()]);
+            }
+            src += &format!("e{k}(#d, o{i}) :- {body}.\n");
+        }
+    }
+    let mut head_args: Vec<String> = vec!["x".into()];
+    let mut body = String::from("t(x)");
+    for k in 0..n_desc {
+        let v = format!("v{k}");
+        head_args.push(if annotate && k == 0 {
+            format!("<{v}>")
+        } else {
+            v.clone()
+        });
+        body += &format!(", e{k}(#x, {v})");
+    }
+    if n_desc >= 2 && offset > 0 {
+        body += &format!(", v0 {} v1 + {offset}", OPS[(op + 1) % OPS.len()]);
+    }
+    let q = if existence { "?" } else { "" };
+    src += &format!("q({}){q} :- {body}.\n", head_args.join(", "));
+    src
+}
+
+fn roundtrip(src: &str) -> (Program, Program) {
+    let p1 = parse_program(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let s1 = p1.to_string();
+    let p2 = parse_program(&s1).unwrap_or_else(|e| panic!("{e}\n{s1}"));
+    (p1, p2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `display ∘ parse` fixpoint: the AST survives a render unchanged,
+    /// and a second render is byte-identical to the first.
+    #[test]
+    fn program_display_parse_roundtrip(
+        n_desc in 1usize..4,
+        variants in 1usize..3,
+        feature in 0usize..4,
+        op in 0usize..5,
+        threshold in 0u32..1_000_000,
+        offset in 0u32..100,
+        flags in 0u8..8,
+    ) {
+        let (annotate, existence, constrain_desc) =
+            (flags & 1 != 0, flags & 2 != 0, flags & 4 != 0);
+        let src = render_program(
+            n_desc, variants, feature, op, threshold, offset,
+            annotate, existence, constrain_desc,
+        );
+        let (p1, p2) = roundtrip(&src);
+        prop_assert_eq!(&p1, &p2, "AST changed across a render\n{}", &src);
+        prop_assert_eq!(p1.to_string(), p2.to_string());
+        // The implicit query predicate survives the render (Display omits
+        // it; the parser re-derives it from the last non-description rule).
+        prop_assert_eq!(&p2.query, "q");
+    }
+
+    /// `unfold` is deterministic — equal inputs give structurally equal,
+    /// byte-identically rendered outputs — and commutes with the
+    /// display/parse round-trip.
+    #[test]
+    fn unfold_is_deterministic_and_roundtrips(
+        n_desc in 1usize..4,
+        variants in 1usize..3,
+        feature in 0usize..4,
+        op in 0usize..5,
+        threshold in 0u32..1_000_000,
+        offset in 0u32..100,
+        flags in 0u8..8,
+    ) {
+        let (annotate, existence, constrain_desc) =
+            (flags & 1 != 0, flags & 2 != 0, flags & 4 != 0);
+        let src = render_program(
+            n_desc, variants, feature, op, threshold, offset,
+            annotate, existence, constrain_desc,
+        );
+        let (p1, p2) = roundtrip(&src);
+        let u1 = unfold(&p1);
+        let u1_again = unfold(&p1);
+        prop_assert_eq!(&u1, &u1_again, "unfold not deterministic\n{}", &src);
+        prop_assert_eq!(&u1, &unfold(&p2), "unfold diverges after a render");
+        // The first description predicate has `variants` alternatives, so
+        // the single query rule multiplies into exactly that many unfolded
+        // variants; no description rule survives.
+        prop_assert_eq!(u1.rules.len(), variants);
+        prop_assert!(u1.rules.iter().all(|r| !r.is_description()));
+        prop_assert!(!u1.to_string().contains("e0("), "IE call left in place");
+        // Unfolded programs (with freshened local variables) round-trip
+        // through the pretty-printer just like source programs.
+        let (r1, r2) = roundtrip(&u1.to_string());
+        prop_assert_eq!(&r1, &r2);
+        prop_assert_eq!(&u1, &r1, "unfolded AST changed across a render");
+    }
+}

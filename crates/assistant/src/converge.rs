@@ -123,4 +123,66 @@ mod tests {
         m.observe(&stats(10, 40));
         assert_eq!(m.sizes(), vec![60, 10]);
     }
+
+    #[test]
+    fn k_zero_clamps_to_one() {
+        let mut m = ConvergenceMonitor::new(0);
+        assert_eq!(m.k(), 1);
+        // A k of 0 would declare convergence on an empty history (an empty
+        // tail is vacuously stable); the clamp makes one observation the
+        // minimum evidence.
+        assert!(!m.converged());
+        m.observe(&stats(4, 9));
+        assert!(m.converged());
+    }
+
+    #[test]
+    fn k_one_converges_on_any_single_observation() {
+        let mut m = ConvergenceMonitor::new(1);
+        assert!(!m.converged());
+        assert_eq!(m.stability_streak(), 0);
+        m.observe(&stats(100, 400));
+        assert!(m.converged());
+        // Still converged after a change: any lone latest observation is a
+        // stable tail of length 1.
+        m.observe(&stats(3, 7));
+        assert!(m.converged());
+        assert_eq!(m.stability_streak(), 1);
+    }
+
+    #[test]
+    fn streak_resets_on_size_regression() {
+        let mut m = ConvergenceMonitor::new(3);
+        m.observe(&stats(5, 20));
+        m.observe(&stats(5, 20));
+        assert_eq!(m.stability_streak(), 2);
+        // The result set growing back (a regression — e.g. a retracted
+        // answer widened the superset) must restart the count from 1, not
+        // credit the earlier matching pair.
+        m.observe(&stats(6, 24));
+        assert_eq!(m.stability_streak(), 1);
+        assert!(!m.converged());
+        m.observe(&stats(5, 20));
+        // Equal to the pre-regression plateau, but not to its neighbour:
+        // history is judged as a contiguous tail, so the streak is 1 again.
+        assert_eq!(m.stability_streak(), 1);
+        m.observe(&stats(5, 20));
+        assert!(!m.converged()); // 2 of 3
+        m.observe(&stats(5, 20));
+        assert!(m.converged());
+    }
+
+    #[test]
+    fn out_of_phase_oscillation_never_converges() {
+        let mut m = ConvergenceMonitor::new(3);
+        // Same tuple count every iteration, assignments flipping between
+        // two values: no window of 3 is uniform, so a monitor comparing
+        // only tuple counts would falsely converge here.
+        for (t, a) in [(5, 20), (5, 21), (5, 20), (5, 21), (5, 20), (5, 21)] {
+            m.observe(&stats(t, a));
+            assert!(!m.converged(), "converged on oscillating history");
+            assert_eq!(m.stability_streak(), 1);
+        }
+        assert_eq!(m.sizes(), vec![5; 6]);
+    }
 }

@@ -153,6 +153,166 @@ fn push_constraint(rule: &mut Rule, var: &str, feature: &str, value: &FeatureArg
     });
 }
 
+/// Builds the program a simulation probe executes for one candidate
+/// refinement (DESIGN.md §9). When the query is a single rule that calls
+/// the probed IE predicate directly, the query rule is split into a
+/// candidate-independent **base rule** that exposes every extraction
+/// attribute, plus a σ **overlay rule** carrying only the probed
+/// constraint:
+///
+/// ```text
+/// q__probe_base(title, votes) :- imdb(x), extractIMDB(#x, title, votes), votes < 25000.
+/// q__probe(title)             :- q__probe_base(title, votes), max-value(votes) = 500000.
+/// ```
+///
+/// The base rule's fingerprint is the same for every candidate answer of
+/// every question in a strategy call, so with the incremental engine it is
+/// evaluated once and served from cache thereafter — each probe evaluates
+/// only its overlay, shrinking Simulation cost from
+/// O(candidates × program) toward O(candidates × cone). The overlay
+/// constrains the base result *after* extraction rather than inside the
+/// description rule (no §4.2 prior re-checks), which under superset
+/// semantics yields an upper bound of the refined size — the quantity the
+/// simulation ranks candidates by. When the program shape does not admit
+/// the split (union query, or the IE predicate is not called from the
+/// query rule), the exact refined program from [`add_constraint`] is
+/// probed instead.
+pub fn probe_program(
+    program: &Program,
+    attr: &Attribute,
+    feature: &str,
+    value: &FeatureArg,
+) -> Program {
+    overlay_probe(program, attr, feature, value)
+        .unwrap_or_else(|| add_constraint(program, attr, feature, value))
+}
+
+fn overlay_probe(
+    program: &Program,
+    attr: &Attribute,
+    feature: &str,
+    value: &FeatureArg,
+) -> Option<Program> {
+    use iflex_alog::{Arg, Head, HeadArg, Term};
+    let mut query_rules = program
+        .rules
+        .iter()
+        .filter(|r| !r.is_description() && r.head.name == program.query);
+    let rule = query_rules.next()?;
+    if query_rules.next().is_some() {
+        return None; // union query: per-branch column mapping may differ
+    }
+    // The variable the query rule binds at the probed attribute position.
+    // A repeated call site would make the mapping ambiguous (the real
+    // refinement constrains every call site); leave those to the fallback.
+    let mut sites = rule.body.iter().filter_map(|a| match a {
+        BodyAtom::Pred { name, args } if name == &attr.pred => Some(args),
+        _ => None,
+    });
+    let args = sites.next()?;
+    if sites.next().is_some() {
+        return None;
+    }
+    let caller = match args.get(attr.pos) {
+        Some(Arg {
+            term: Term::Var(v), ..
+        }) => v.clone(),
+        _ => return None,
+    };
+    // The base head exposes the query head plus every extraction attribute
+    // bound in this rule, so one base result serves probes of any
+    // attribute.
+    let description_preds: BTreeSet<&str> = program
+        .description_rules()
+        .map(|r| r.head.name.as_str())
+        .collect();
+    // Splitting is only a faithful estimate for single-extraction queries:
+    // when the rule joins several IE predicates, a description-rule
+    // constraint prunes join partners *before* the join, which a post-join
+    // σ cannot imitate — those programs keep exact probes.
+    let ie_calls = rule
+        .body
+        .iter()
+        .filter(|a| matches!(a, BodyAtom::Pred { name, .. } if description_preds.contains(name.as_str())))
+        .count();
+    if ie_calls != 1 {
+        return None;
+    }
+    let mut base_vars: Vec<String> = rule.head.args.iter().map(|h| h.var.clone()).collect();
+    for atom in &rule.body {
+        if let BodyAtom::Pred { name, args } = atom {
+            if !description_preds.contains(name.as_str()) {
+                continue;
+            }
+            for a in args {
+                if let (false, Term::Var(v)) = (a.input, &a.term) {
+                    if !base_vars.contains(v) {
+                        base_vars.push(v.clone());
+                    }
+                }
+            }
+        }
+    }
+    if !base_vars.contains(&caller) {
+        return None;
+    }
+    let base_name = format!("{}__probe_base", program.query);
+    let probe_name = format!("{}__probe", program.query);
+    let plain = |v: &String| HeadArg {
+        var: v.clone(),
+        input: false,
+        annotated: false,
+    };
+    let base_rule = Rule {
+        head: Head {
+            name: base_name.clone(),
+            args: base_vars.iter().map(plain).collect(),
+            existence: false,
+        },
+        body: rule.body.clone(),
+    };
+    let overlay = Rule {
+        // Mirror the original head (annotations included) so the probe's
+        // size estimate tracks the real program's projected result.
+        head: Head {
+            name: probe_name.clone(),
+            args: rule.head.args.clone(),
+            existence: rule.head.existence,
+        },
+        body: vec![
+            BodyAtom::Pred {
+                name: base_name,
+                args: base_vars
+                    .iter()
+                    .map(|v| Arg {
+                        term: Term::Var(v.clone()),
+                        input: false,
+                    })
+                    .collect(),
+            },
+            BodyAtom::Constraint {
+                feature: feature.to_string(),
+                var: caller,
+                value: to_constraint_arg(value),
+            },
+        ],
+    };
+    let mut out = Program {
+        // The original query rule is replaced by the split pair: probing
+        // must not evaluate the unsplit rule a second time.
+        rules: program
+            .rules
+            .iter()
+            .filter(|r| r.is_description() || r.head.name != program.query)
+            .cloned()
+            .collect(),
+        query: probe_name,
+    };
+    out.rules.push(base_rule);
+    out.rules.push(overlay);
+    Some(out)
+}
+
 /// The answer space the simulation strategy sums over for a feature.
 /// Tri-state features have a closed space; numeric features get
 /// data-independent ladder candidates; free-text features cannot be

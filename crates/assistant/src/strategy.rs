@@ -4,7 +4,7 @@
 
 use crate::feedback::Examples;
 use crate::probe::dynamic_answer_space;
-use crate::question::{add_constraint, answer_space, attributes, question_space, Attribute, Question};
+use crate::question::{answer_space, attributes, probe_program, question_space, Attribute, Question};
 use iflex_alog::{BodyAtom, Program, Term};
 use iflex_engine::{Engine, Sample};
 use std::collections::BTreeSet;
@@ -213,7 +213,11 @@ impl Strategy for Simulation {
             let q = &ordered[*i];
             let start = jobs.len();
             for v in space {
-                jobs.push(add_constraint(ctx.program, &q.attr, &q.feature, v));
+                // Overlay probes (DESIGN.md §9): the candidate constraint
+                // is stacked over the unchanged base query relation, so
+                // the incremental cache serves the base result and each
+                // probe evaluates only its σ overlay.
+                jobs.push(probe_program(ctx.program, &q.attr, &q.feature, v));
             }
             ranges.push((*i, start, space.len()));
         }
@@ -304,6 +308,15 @@ fn interleave_by_attr(by_attr: Vec<Question>) -> Vec<Question> {
 /// and assignment count. A failed probe run carries no information, so it
 /// reports the current size (and saturated assignments, so it never wins
 /// a tie-break).
+///
+/// Probes ride the engine's incremental cache (DESIGN.md §9): the refined
+/// candidate program shares every rule fingerprint with the base program
+/// except the one refined rule and its dependency cone, so a probe
+/// re-evaluates only that **overlay** — upstream results are served from
+/// the cache the base iteration populated, shrinking Simulation-strategy
+/// cost from O(candidates × program) toward O(candidates × cone). With
+/// `Limits::use_incremental` off (ablation) every probe re-runs the whole
+/// program.
 fn simulate_probe(
     engine: &mut Engine,
     refined: &Program,
@@ -338,10 +351,12 @@ fn simulate_probe(
 ///
 /// With a thread budget above one, jobs are split into contiguous chunks
 /// and each chunk runs on its own [`Engine::snapshot`] — sharing the
-/// document store, fault plan, and feature memo with the live engine,
-/// but owning a private rule cache and stats. Snapshot engines run their
-/// probes serially (`threads = 1`) so simulation-level fan-out does not
-/// multiply with operator-level fan-out. Warm cache entries flow back via
+/// document store, fault plan, and feature memo with the live engine, and
+/// starting from a **copy of the live incremental cache** (so every probe
+/// reuses the base program's upstream rule results and overlays only its
+/// probed cone). Snapshot engines run their probes serially
+/// (`threads = 1`) so simulation-level fan-out does not multiply with
+/// operator-level fan-out. Warm cache entries flow back via
 /// [`Engine::absorb_cache`] in chunk order. Because each job is an
 /// independent, deterministic engine run and results are folded in job
 /// order, the parallel path returns exactly what the serial path would.

@@ -68,6 +68,11 @@ pub struct RunResult {
     pub memo_hits: usize,
     /// Lifetime feature-memo misses across the whole session.
     pub memo_misses: usize,
+    /// Wall-clock seconds of [`Session::run`] alone — iterations,
+    /// simulation probes, and the final full execution, excluding engine
+    /// construction and quality scoring (the quantity the incremental
+    /// report compares across configurations).
+    pub session_secs: f64,
 }
 
 /// Engine configuration for one benchmark session (the parallel-execution
@@ -78,6 +83,15 @@ pub struct ExecConfig {
     pub threads: Option<usize>,
     /// Whether feature `Verify`/`Refine` results are memoized.
     pub use_feature_memo: bool,
+    /// Whether the incremental re-execution engine (DESIGN.md §9) serves
+    /// unchanged rule results across iterations and simulation probes;
+    /// `false` re-executes the whole program on every run.
+    pub use_incremental: bool,
+    /// Whether iterations run over a sampled subset (§5.2). The
+    /// incremental report disables this so iterations and simulation
+    /// probes run at full scale — the regime where redundant
+    /// re-execution, not subset approximation, is the cost being measured.
+    pub use_sampling: bool,
 }
 
 impl Default for ExecConfig {
@@ -85,6 +99,8 @@ impl Default for ExecConfig {
         ExecConfig {
             threads: None,
             use_feature_memo: true,
+            use_incremental: true,
+            use_sampling: true,
         }
     }
 }
@@ -107,6 +123,7 @@ pub fn run_session_configured(
 ) -> RunResult {
     let mut engine = task.engine(corpus);
     engine.limits.use_feature_memo = exec.use_feature_memo;
+    engine.limits.use_incremental = exec.use_incremental;
     let mut session = iflex::Session::new(
         engine,
         task.program.clone(),
@@ -114,12 +131,15 @@ pub fn run_session_configured(
         Box::new(SimulatedDeveloper::new(task.oracle.clone())),
     );
     session.config.threads = exec.threads;
+    session.config.use_sampling = exec.use_sampling;
     if task.needs_type_cleanup {
         session
             .clock
             .charge_cleanup(session.cost.write_cleanup_secs);
     }
+    let t0 = std::time::Instant::now();
     let outcome = session.run().expect("session runs");
+    let session_secs = t0.elapsed().as_secs_f64();
     let quality = score(
         &outcome.table,
         &task.truth_cols,
@@ -136,6 +156,7 @@ pub fn run_session_configured(
         quality,
         memo_hits,
         memo_misses,
+        session_secs,
     }
 }
 

@@ -490,6 +490,13 @@ impl Session {
                 fraction *= self.config.retry_shrink;
                 let s = Sample::new(fraction, self.config.sample_seed.wrapping_add(retry as u64));
                 retries += 1;
+                // The incremental cache carries across iterations, but a
+                // Fallback retry follows a degraded full run: drop it so
+                // the shrunken attempt re-evaluates every rule from
+                // scratch instead of mixing in entries produced alongside
+                // the degradation (degraded results themselves are never
+                // cached, and each retry samples a fresh subset anyway).
+                self.engine.clear_cache();
                 let attempt = match self.final_attempt(Some(s)) {
                     Ok(a) => a,
                     Err(e) => {

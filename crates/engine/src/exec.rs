@@ -73,6 +73,12 @@ pub struct Limits {
     /// [`FeatureMemo`](crate::FeatureMemo) (ablation knob; disabling it
     /// restores the recompute-every-call behavior).
     pub use_feature_memo: bool,
+    /// Run the incremental re-execution engine (DESIGN.md §9): fingerprint
+    /// rules, version relations, and serve unchanged rule results from the
+    /// [`crate::incr::IncrCache`] across iterations and simulation probes.
+    /// Disabling it (ablation knob) re-executes every rule on every run —
+    /// no lookups, no inserts, no cone invalidation.
+    pub use_incremental: bool,
     /// Programmatic switch for the structured trace journal: sessions
     /// enable the engine's [`Tracer`] when this is set *or* the
     /// `IFLEX_TRACE` environment variable requests a dump (see
@@ -96,6 +102,7 @@ impl Default for Limits {
             reuse_enabled: true,
             degrade: true,
             use_feature_memo: true,
+            use_incremental: true,
             trace: false,
         }
     }
@@ -182,6 +189,14 @@ pub struct ExecStats {
     /// position. Shard `i` aggregates the `i`-th chunk of every parallel
     /// section, so a skewed distribution shows up as a lopsided vector.
     pub shard_busy_us: Vec<u64>,
+    /// Incremental-cache hits this run (equals `cache_hits` while the
+    /// incremental engine is on; zero when `use_incremental` is off).
+    pub incr_hits: usize,
+    /// Incremental-cache misses this run (rules that fell through to
+    /// evaluation while the incremental engine was on).
+    pub incr_misses: usize,
+    /// Entries evicted by dependency-cone invalidation at run start.
+    pub incr_invalidations: usize,
 }
 
 impl ExecStats {
@@ -363,6 +378,9 @@ struct EngineCounters {
     feature_cache_hits: Counter,
     feature_cache_misses: Counter,
     par_sections: Counter,
+    incr_hits: Counter,
+    incr_misses: Counter,
+    incr_invalidations: Counter,
     /// Per-operator inclusive wall-clock (µs), indexed by [`op_idx`].
     /// Self time = inclusive − Σ direct children; `exp_trace` computes it
     /// from the span tree.
@@ -382,6 +400,9 @@ impl EngineCounters {
             feature_cache_hits: reg.counter(names::FEATURE_CACHE_HITS),
             feature_cache_misses: reg.counter(names::FEATURE_CACHE_MISSES),
             par_sections: reg.counter(names::PAR_SECTIONS),
+            incr_hits: reg.counter(names::INCR_HITS),
+            incr_misses: reg.counter(names::INCR_MISSES),
+            incr_invalidations: reg.counter(names::INCR_INVALIDATIONS),
             op_us: OP_NAMES
                 .iter()
                 .map(|n| reg.histogram(&format!("{}{n}.us", names::OP_US_PREFIX)))
@@ -406,10 +427,11 @@ pub struct Engine {
     features: FeatureRegistry,
     procs: ProcRegistry,
     ext: BTreeMap<String, Arc<CompactTable>>,
-    /// Per-(rule, sample) reuse cache (§5.2): result table plus the
-    /// extraction volume its evaluation reported (re-reported on hits so
-    /// convergence monitoring sees identical signals for cached runs).
-    cache: BTreeMap<String, (Arc<CompactTable>, usize)>,
+    /// The incremental re-execution cache (§5.2 reuse, generalized in
+    /// DESIGN.md §9): per-rule results keyed by `(relation, sample,
+    /// fingerprint, input versions)`, with dependency-cone invalidation
+    /// at run start.
+    incr: crate::incr::IncrCache,
     epoch: u64,
     /// The limits.
     pub limits: Limits,
@@ -459,7 +481,7 @@ impl Engine {
             features: FeatureRegistry::default(),
             procs: builtin_procs(),
             ext: BTreeMap::new(),
-            cache: BTreeMap::new(),
+            incr: crate::incr::IncrCache::new(),
             epoch: 0,
             limits: Limits::default(),
             stats: ExecStats::default(),
@@ -492,7 +514,7 @@ impl Engine {
             features: self.features.clone(),
             procs: self.procs.clone(),
             ext: self.ext.clone(),
-            cache: self.cache.clone(),
+            incr: self.incr.clone(),
             epoch: self.epoch,
             limits: self.limits,
             stats: ExecStats::default(),
@@ -515,9 +537,7 @@ impl Engine {
         if snapshot.epoch != self.epoch {
             return;
         }
-        for (k, v) in snapshot.cache {
-            self.cache.entry(k).or_insert(v);
-        }
+        self.incr.absorb(snapshot.incr);
     }
 
     /// Store.
@@ -535,7 +555,7 @@ impl Engine {
     /// reuse cache (by epoch bump) and the `Verify`/`Refine` memo.
     pub fn features_mut(&mut self) -> &mut FeatureRegistry {
         self.epoch += 1;
-        self.cache.clear();
+        self.incr.clear();
         self.memo.clear();
         self.proc_sigs_cache = std::sync::OnceLock::new();
         &mut self.features
@@ -554,7 +574,7 @@ impl Engine {
     /// Procs mut.
     pub fn procs_mut(&mut self) -> &mut ProcRegistry {
         self.epoch += 1;
-        self.cache.clear();
+        self.incr.clear();
         self.proc_sigs_cache = std::sync::OnceLock::new();
         &mut self.procs
     }
@@ -562,7 +582,7 @@ impl Engine {
     /// Registers an extensional table (invalidates the reuse cache).
     pub fn add_table(&mut self, name: &str, table: CompactTable) {
         self.epoch += 1;
-        self.cache.clear();
+        self.incr.clear();
         self.ext.insert(name.to_string(), Arc::new(table));
     }
 
@@ -586,7 +606,7 @@ impl Engine {
 
     /// Drops all memoized rule results.
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.incr.clear();
     }
 
     /// Signatures of the registered procedures for the rule compiler.
@@ -707,6 +727,9 @@ impl Engine {
         self.stats.tuples_scanned = c.tuples_scanned.get() as usize;
         self.stats.assignments_produced = c.assignments_produced.get() as usize;
         self.stats.par_sections = c.par_sections.get() as usize;
+        self.stats.incr_hits = c.incr_hits.get() as usize;
+        self.stats.incr_misses = c.incr_misses.get() as usize;
+        self.stats.incr_invalidations = c.incr_invalidations.get() as usize;
         self.stats.shard_busy_us = self.metrics.indexed_counters(names::SHARD_BUSY_PREFIX);
         self.stats.feature_cache_hits = self.memo.hits().saturating_sub(memo_hits0);
         self.stats.feature_cache_misses = self.memo.misses().saturating_sub(memo_misses0);
@@ -756,12 +779,53 @@ impl Engine {
         let proc_sigs = self.proc_sigs();
 
         let sample_key = sample.map(|s| s.key()).unwrap_or_else(|| "full".into());
+        let cenv = CompileEnv {
+            extensional: &ext_arity,
+            intensional: &int_arity,
+            procedures: proc_sigs.as_ref(),
+        };
+        let use_incr = self.limits.use_incremental;
+        use std::hash::{Hash, Hasher};
+
+        // Incremental pre-pass (DESIGN.md §9): fingerprint every rule and
+        // record which intensional relations each relation reads, then let
+        // the cache diff the fingerprints against the previous run and
+        // evict entries stranded in the changed dependency cone.
+        let mut fps: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        let mut deps: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
+        for name in &order {
+            let mut rule_fps: Vec<u64> = unfolded
+                .rules_for(name)
+                .map(|r| crate::plan::rule_fingerprint(r, &cenv))
+                .collect();
+            rule_fps.sort_unstable();
+            fps.insert(name.clone(), rule_fps);
+            let reads: std::collections::BTreeSet<String> = unfolded
+                .rules_for(name)
+                .flat_map(|r| r.body.iter())
+                .filter_map(|atom| match atom {
+                    iflex_alog::BodyAtom::Pred { name: dep, .. }
+                        if int_arity.contains_key(dep) =>
+                    {
+                        Some(dep.clone())
+                    }
+                    _ => None,
+                })
+                .collect();
+            deps.insert(name.clone(), reads);
+        }
+        if use_incr {
+            let evicted = self.incr.begin_run(&fps, &deps);
+            self.counters.incr_invalidations.add(evicted as u64);
+        }
+
         let mut computed: BTreeMap<String, Arc<CompactTable>> = BTreeMap::new();
-        // Derivational versions: a relation's version hashes its rules and
-        // the versions of every intensional relation those rules read, so
-        // a refinement upstream invalidates every dependent rule's cache
-        // entry (the paper's reuse re-executes "the parts of the plan that
-        // may possibly have changed", §5.2).
+        // Derivational versions: a relation's version hashes its rules'
+        // fingerprints and the versions of every intensional relation those
+        // rules read, so a refinement upstream changes the *input version*
+        // of every dependent rule — the cache misses on exactly the
+        // dependency cone (the paper's reuse re-executes "the parts of the
+        // plan that may possibly have changed", §5.2).
         let mut versions: BTreeMap<String, u64> = BTreeMap::new();
 
         for name in &order {
@@ -778,19 +842,18 @@ impl Engine {
                 .map(|a| a.var.clone())
                 .collect();
             let mut version_hasher = std::collections::hash_map::DefaultHasher::new();
-            use std::hash::{Hash, Hasher};
-            for rule in &rules {
-                rule.to_string().hash(&mut version_hasher);
-                for atom in &rule.body {
-                    if let iflex_alog::BodyAtom::Pred { name: dep, .. } = atom {
-                        if let Some(v) = versions.get(dep.as_str()) {
-                            v.hash(&mut version_hasher);
-                        }
+            if let Some(rule_fps) = fps.get(name) {
+                rule_fps.hash(&mut version_hasher);
+            }
+            if let Some(reads) = deps.get(name) {
+                for dep in reads {
+                    if let Some(v) = versions.get(dep) {
+                        dep.hash(&mut version_hasher);
+                        v.hash(&mut version_hasher);
                     }
                 }
             }
-            let version = version_hasher.finish();
-            versions.insert(name.clone(), version);
+            versions.insert(name.clone(), version_hasher.finish());
             // Per-rule result fragments in rule order; merged below. The
             // enum keeps degraded stand-ins interleaved exactly where the
             // rule's real result would have been.
@@ -800,21 +863,33 @@ impl Engine {
             }
             let mut parts: Vec<Part> = Vec::new();
             for rule in rules {
-                let key = format!("e{}|{}|v{:016x}|{}", self.epoch, sample_key, version, rule);
-                if let Some((hit, volume)) = self.cache.get(&key).filter(|_| self.limits.reuse_enabled) {
-                    self.counters.cache_hits.inc();
-                    self.counters.assignments_produced.add(*volume as u64);
-                    if let Some((t, parent)) = self.tracer.ctx(run_span) {
-                        t.instant(parent, SpanKind::Rule, &rule.to_string(), Some("cache_hit"));
+                let fp = crate::plan::rule_fingerprint(rule, &cenv);
+                // The rule's input versions: what its intensional reads
+                // currently are. Extensional inputs are covered by the
+                // epoch (any `add_table` clears the cache outright).
+                let mut input_hasher = std::collections::hash_map::DefaultHasher::new();
+                for atom in &rule.body {
+                    if let iflex_alog::BodyAtom::Pred { name: dep, .. } = atom {
+                        if let Some(v) = versions.get(dep.as_str()) {
+                            dep.hash(&mut input_hasher);
+                            v.hash(&mut input_hasher);
+                        }
                     }
-                    parts.push(Part::Table(Arc::clone(hit)));
-                    continue;
                 }
-                let cenv = CompileEnv {
-                    extensional: &ext_arity,
-                    intensional: &int_arity,
-                    procedures: proc_sigs.as_ref(),
-                };
+                let inputs = input_hasher.finish();
+                if use_incr && self.limits.reuse_enabled {
+                    if let Some((hit, volume)) = self.incr.get(name, &sample_key, fp, inputs) {
+                        self.counters.cache_hits.inc();
+                        self.counters.incr_hits.inc();
+                        self.counters.assignments_produced.add(volume as u64);
+                        if let Some((t, parent)) = self.tracer.ctx(run_span) {
+                            t.instant(parent, SpanKind::Rule, &rule.to_string(), Some("cache_hit"));
+                        }
+                        parts.push(Part::Table(hit));
+                        continue;
+                    }
+                    self.counters.incr_misses.inc();
+                }
                 let plan = compile_rule(rule, &cenv)?;
                 let rule_span = match self.tracer.ctx(run_span) {
                     Some((t, parent)) => t.begin(parent, SpanKind::Rule, &rule.to_string()),
@@ -832,7 +907,9 @@ impl Engine {
                         self.tracer
                             .end_with(rule_span, &[("tuples_out", result.len() as u64)]);
                         parts.push(Part::Table(Arc::clone(&result)));
-                        self.cache.insert(key, (result, volume));
+                        if use_incr {
+                            self.incr.insert(name, &sample_key, fp, inputs, result, volume);
+                        }
                     }
                     Err(e) => {
                         let cause = match degrade_cause(&e) {

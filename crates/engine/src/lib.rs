@@ -21,6 +21,7 @@ pub mod constraint;
 pub mod eval;
 pub mod exec;
 pub mod fault;
+pub mod incr;
 pub mod memo;
 pub mod par;
 pub mod pfunc;
@@ -33,9 +34,12 @@ pub use budget::{CancelToken, DegradeCause, RunBudget, RunClock};
 pub use eval::{Cands, MayMust};
 pub use exec::{default_threads, degrade_cause, render_universe, Degradation, Engine, EngineError, ExecStats, Limits};
 pub use fault::{Fault, FaultPlan, Trigger};
+pub use incr::IncrCache;
 pub use memo::FeatureMemo;
 pub use pfunc::{builtin_procs, ProcRegistry, Procedure};
-pub use plan::{compile_rule, CompileEnv, CompiledConstraint, Operand, Plan, PlanError};
+pub use plan::{
+    compile_rule, rule_fingerprint, CompileEnv, CompiledConstraint, Operand, Plan, PlanError,
+};
 pub use sample::Sample;
 
 // The observability crate travels with the engine: downstream crates take

@@ -298,6 +298,29 @@ pub struct CompileEnv<'a> {
     pub procedures: &'a BTreeMap<String, (bool, usize)>,
 }
 
+/// Fingerprint of a compiled rule for the incremental re-execution cache
+/// (DESIGN.md §9): a hash of the rendered rule — which, for an unfolded
+/// program, already inlines the entire description-rule chain including
+/// every domain constraint and annotation — plus the signature of each
+/// p-predicate procedure the body calls, so re-registering a procedure
+/// with a different shape changes the fingerprint even though the rule
+/// text is identical. Two rules share a fingerprint exactly when they
+/// compile to the same plan over the same procedure registry.
+pub fn rule_fingerprint(rule: &Rule, env: &CompileEnv<'_>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    rule.to_string().hash(&mut h);
+    for atom in &rule.body {
+        if let BodyAtom::Pred { name, .. } = atom {
+            if let Some(sig) = env.procedures.get(name) {
+                name.hash(&mut h);
+                sig.hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
 /// Converts a parsed constraint value into a [`FeatureArg`].
 pub fn constraint_arg(value: &ConstraintArg) -> Option<FeatureArg> {
     Some(match value {

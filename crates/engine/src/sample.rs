@@ -38,8 +38,16 @@ impl Sample {
         Sample::new(fraction, seed)
     }
 
-    /// Cache-key component distinguishing this subset.
+    /// Cache-key component distinguishing this subset. Fraction 1.0
+    /// samples nothing ([`Sample::apply`] returns the table unchanged, and
+    /// the seed is never consulted), so full-fraction sampled runs share
+    /// the `"full"` key with [`Engine::run`](crate::Engine::run) — a
+    /// full-scale simulation probe can then reuse rule results the
+    /// iteration run already cached.
     pub fn key(&self) -> String {
+        if self.fraction >= 1.0 {
+            return "full".into();
+        }
         format!("sample:{:.4}:{}", self.fraction, self.seed)
     }
 

@@ -34,6 +34,12 @@ pub mod names {
     pub const FEATURE_CACHE_MISSES: &str = "engine.feature_cache_misses";
     /// Parallel operator sections that fanned out to worker threads.
     pub const PAR_SECTIONS: &str = "engine.par_sections";
+    /// Incremental-cache lookups served from a prior run (DESIGN.md §9).
+    pub const INCR_HITS: &str = "engine.incr.hits";
+    /// Incremental-cache lookups that fell through to evaluation.
+    pub const INCR_MISSES: &str = "engine.incr.misses";
+    /// Entries evicted by dependency-cone invalidation at run start.
+    pub const INCR_INVALIDATIONS: &str = "engine.incr.invalidations";
     /// Per-shard busy µs counters are `engine.shard_busy_us.<index>`.
     pub const SHARD_BUSY_PREFIX: &str = "engine.shard_busy_us.";
     /// Per-operator wall-clock histograms are `engine.op.<name>.us`

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Benchmark driver: regenerates the parallel-execution report committed
-# as BENCH_parallel.json, plus the Table 1 inventory as a sanity anchor.
-# Run from the repository root: scripts/bench.sh [report-path]
+# as BENCH_parallel.json and the incremental-iteration report committed
+# as BENCH_incremental.json, plus the Table 1 inventory as a sanity
+# anchor. Run from the repository root:
+#   scripts/bench.sh [parallel-report-path] [incremental-report-path]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REPORT="${1:-BENCH_parallel.json}"
+INCR_REPORT="${2:-BENCH_incremental.json}"
 
 echo "== build (release) =="
 cargo build --release -p iflex-bench
@@ -16,6 +19,11 @@ echo "== exp_table1 (inventory sanity) =="
 echo "== exp_scaling --parallel-report =="
 ./target/release/exp_scaling --parallel-report "$REPORT"
 
+echo "== exp_scaling --incremental-report =="
+# Full-scale T1/T5 sessions with the rule cache on vs off; the binary
+# asserts identical results and reports the session wall-clock speedup.
+./target/release/exp_scaling --incremental-report "$INCR_REPORT"
+
 echo "== trace overhead smoke =="
 # Observability must be free when off: the same tiny workload with the
 # tracer disabled (IFLEX_TRACE unset) is the number the <2% acceptance
@@ -24,4 +32,4 @@ echo "== trace overhead smoke =="
 env -u IFLEX_TRACE ./target/release/exp_scaling --smoke target/BENCH_parallel_smoke.json
 ./target/release/exp_trace --smoke target/BENCH_trace_smoke.jsonl
 
-echo "bench OK ($REPORT)"
+echo "bench OK ($REPORT, $INCR_REPORT)"

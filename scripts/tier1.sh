@@ -20,6 +20,12 @@ echo "== parallel smoke =="
 # inside the binary check that every configuration yields the same table.
 ./target/release/exp_scaling --smoke target/BENCH_parallel_smoke.json
 
+echo "== incremental smoke =="
+# One tiny session pair (incremental on vs off); asserts inside the
+# binary check the result tables and recall are identical, so the cache
+# is exercised as a correctness gate, not just a speed lever.
+./target/release/exp_scaling --incremental-report --smoke target/BENCH_incremental_smoke.json
+
 echo "== trace smoke =="
 # One tiny traced session end to end: dump the journal as JSONL, replay
 # it, validate span nesting, and render the run report.

@@ -1,0 +1,232 @@
+//! Differential possible-worlds oracle: for tiny compact tables (≤3
+//! tuples, ≤3 assignments per cell) the worlds of every engine result are
+//! enumerated exactly via [`iflex_ctable::worlds`] and compared against
+//! the world-by-world relational semantics — for each possible world `W`
+//! of the inputs, the true operator result over `W` must appear among the
+//! engine output's possible worlds (the §4 superset guarantee, checked
+//! without approximation).
+
+use iflex_alog::parse_program;
+use iflex_ctable::{worlds, Assignment, Cell, CompactTable, CompactTuple, Value};
+use iflex_engine::Engine;
+use iflex_features::FeatureArg;
+use iflex_text::{DocumentStore, Span};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+type Relation = BTreeSet<Vec<Value>>;
+
+const BUDGET: usize = 1_000_000;
+
+/// Numeric reading of a world-level value: exact numbers as-is, spans via
+/// the text they cover (how the engine's comparison operands read cells).
+fn num_of(store: &DocumentStore, v: &Value) -> Option<f64> {
+    match v {
+        Value::Num(n) => Some(*n),
+        Value::Span(s) => iflex_text::parse_number(store.span_text(s)),
+        _ => None,
+    }
+}
+
+fn exact_num(n: f64) -> Cell {
+    Cell::exact(Value::Num(n))
+}
+
+/// Asserts every relation of `expected` is among the worlds of `table`.
+fn assert_worlds_contain(
+    table: &CompactTable,
+    store: &DocumentStore,
+    expected: &BTreeSet<Relation>,
+    what: &str,
+) {
+    let engine_worlds = worlds::worlds_of_compact(table, store, BUDGET).unwrap();
+    for rel in expected {
+        assert!(
+            engine_worlds.contains(rel),
+            "{what}: world-level result {rel:?} missing from engine worlds \
+             (engine has {} worlds)",
+            engine_worlds.len()
+        );
+    }
+}
+
+/// σ: `q(a) :- t(a), a < 10.` over a table mixing a certain exact tuple, a
+/// choice cell (two candidate spans), and a maybe tuple. Every σ(W) must
+/// be a world of the output.
+#[test]
+fn selection_contains_every_world_result() {
+    let mut store = DocumentStore::new();
+    let d = store.add_plain("5 20");
+    let five = Span::new(d, 0, 1);
+    let twenty = Span::new(d, 2, 4);
+    let store = Arc::new(store);
+
+    let mut t = CompactTable::new(vec!["a".into()]);
+    t.push(CompactTuple::new(vec![exact_num(3.0)]));
+    t.push(CompactTuple::new(vec![Cell::of(vec![
+        Assignment::exact_span(five),
+        Assignment::exact_span(twenty),
+    ])]));
+    t.push(CompactTuple::maybe(vec![exact_num(12.0)]));
+
+    let input_worlds = worlds::worlds_of_compact(&t, &store, BUDGET).unwrap();
+    assert!(input_worlds.len() > 1, "inputs must be genuinely uncertain");
+
+    let mut eng = Engine::new(Arc::clone(&store));
+    eng.add_table("t", t);
+    let prog = parse_program("q(a) :- t(a), a < 10.").unwrap();
+    let result = eng.run(&prog).unwrap();
+
+    let expected: BTreeSet<Relation> = input_worlds
+        .iter()
+        .map(|w| {
+            w.iter()
+                .filter(|row| num_of(&store, &row[0]).is_some_and(|n| n < 10.0))
+                .cloned()
+                .collect()
+        })
+        .collect();
+    assert_worlds_contain(&result, &store, &expected, "σ(a < 10)");
+}
+
+/// π: `q(a) :- t(a, b).` — projection must contain π_a(W) for every input
+/// world, including worlds where the projected-away column was the only
+/// uncertain one.
+#[test]
+fn projection_contains_every_world_result() {
+    let mut store = DocumentStore::new();
+    let d = store.add_plain("x y");
+    let x = Span::new(d, 0, 1);
+    let y = Span::new(d, 2, 3);
+    let store = Arc::new(store);
+
+    let mut t = CompactTable::new(vec!["a".into(), "b".into()]);
+    t.push(CompactTuple::new(vec![
+        exact_num(1.0),
+        Cell::of(vec![Assignment::exact_span(x), Assignment::exact_span(y)]),
+    ]));
+    t.push(CompactTuple::maybe(vec![exact_num(2.0), exact_num(7.0)]));
+
+    let input_worlds = worlds::worlds_of_compact(&t, &store, BUDGET).unwrap();
+
+    let mut eng = Engine::new(Arc::clone(&store));
+    eng.add_table("t", t);
+    let prog = parse_program("q(a) :- t(a, b).").unwrap();
+    let result = eng.run(&prog).unwrap();
+
+    let expected: BTreeSet<Relation> = input_worlds
+        .iter()
+        .map(|w| w.iter().map(|row| vec![row[0].clone()]).collect())
+        .collect();
+    assert_worlds_contain(&result, &store, &expected, "π_a");
+}
+
+/// ⋈: `q(a, b, c) :- r(a, b), s(b2, c), b = b2.` (equality comparison is
+/// how Alog spells the join, per T8). For every pair of input worlds the
+/// joined relation must be a world of the output.
+#[test]
+fn join_contains_every_world_result() {
+    let store = Arc::new(DocumentStore::new());
+
+    let mut r = CompactTable::new(vec!["a".into(), "b".into()]);
+    r.push(CompactTuple::new(vec![exact_num(1.0), exact_num(10.0)]));
+    r.push(CompactTuple::maybe(vec![exact_num(2.0), exact_num(20.0)]));
+
+    let mut s = CompactTable::new(vec!["b2".into(), "c".into()]);
+    s.push(CompactTuple::new(vec![exact_num(10.0), exact_num(100.0)]));
+    s.push(CompactTuple::maybe(vec![exact_num(20.0), exact_num(200.0)]));
+
+    let r_worlds = worlds::worlds_of_compact(&r, &store, BUDGET).unwrap();
+    let s_worlds = worlds::worlds_of_compact(&s, &store, BUDGET).unwrap();
+
+    let mut eng = Engine::new(Arc::clone(&store));
+    eng.add_table("r", r);
+    eng.add_table("s", s);
+    let prog = parse_program("q(a, b, c) :- r(a, b), s(b2, c), b = b2.").unwrap();
+    let result = eng.run(&prog).unwrap();
+
+    let mut expected: BTreeSet<Relation> = BTreeSet::new();
+    for wr in &r_worlds {
+        for ws in &s_worlds {
+            let mut rel = Relation::new();
+            for rr in wr {
+                for sr in ws {
+                    let (b, b2) = (num_of(&store, &rr[1]), num_of(&store, &sr[0]));
+                    if b.is_some() && b == b2 {
+                        rel.insert(vec![rr[0].clone(), rr[1].clone(), sr[1].clone()]);
+                    }
+                }
+            }
+            expected.insert(rel);
+        }
+    }
+    assert_worlds_contain(&result, &store, &expected, "r ⋈ s");
+}
+
+/// Domain-constraint selection: `q(v) :- t(v), numeric(v) = yes.` Unlike
+/// σ, a constraint is developer *knowledge* (§2.2.2): it narrows each
+/// cell's candidate set, so a world where an uncertain cell chose a
+/// refuted candidate is eliminated outright — it does not map to the
+/// empty relation. The oracle therefore applies the candidate filter to
+/// the compact input directly and enumerates the refined table's worlds.
+#[test]
+fn constraint_selection_contains_every_world_result() {
+    let mut store = DocumentStore::new();
+    let d = store.add_plain("42 abc 7");
+    let n42 = Span::new(d, 0, 2);
+    let abc = Span::new(d, 3, 6);
+    let n7 = Span::new(d, 7, 8);
+    let store = Arc::new(store);
+
+    let mut t = CompactTable::new(vec!["v".into()]);
+    t.push(CompactTuple::new(vec![Cell::of(vec![
+        Assignment::exact_span(n42),
+        Assignment::exact_span(abc),
+    ])]));
+    t.push(CompactTuple::maybe(vec![Cell::of(vec![
+        Assignment::exact_span(n7),
+    ])]));
+
+    let mut eng = Engine::new(Arc::clone(&store));
+    eng.add_table("t", t.clone());
+    let numeric = eng.features().get("numeric").unwrap();
+    let holds = |s: &Span| numeric.verify(&store, *s, &FeatureArg::yes()).unwrap();
+
+    // The reference refinement: keep only candidates the feature verifies;
+    // a tuple whose cell empties out cannot exist in any world.
+    let mut refined = CompactTable::new(vec!["v".into()]);
+    for tuple in t.tuples() {
+        let kept: Vec<Assignment> = tuple.cells[0]
+            .assignments()
+            .iter()
+            .filter(|a| match a {
+                Assignment::Exact(Value::Span(s)) => holds(s),
+                _ => false,
+            })
+            .cloned()
+            .collect();
+        if kept.is_empty() {
+            continue;
+        }
+        let cells = vec![Cell::of(kept)];
+        refined.push(if tuple.maybe {
+            CompactTuple::maybe(cells)
+        } else {
+            CompactTuple::new(cells)
+        });
+    }
+    let expected = worlds::worlds_of_compact(&refined, &store, BUDGET).unwrap();
+    assert!(expected.len() > 1, "refined input must stay uncertain");
+
+    let prog = parse_program("q(v) :- t(v), numeric(v) = yes.").unwrap();
+    let result = eng.run(&prog).unwrap();
+    assert_worlds_contain(&result, &store, &expected, "σ_numeric(v)=yes");
+
+    // Differential form: the same containment stated through the library's
+    // superset check — every world of the reference refinement must be a
+    // world of the engine result.
+    assert!(
+        worlds::worlds_superset(&result, &refined, &store, BUDGET).unwrap(),
+        "engine result is not a worlds-superset of the reference refinement"
+    );
+}
