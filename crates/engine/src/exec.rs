@@ -111,17 +111,51 @@ impl Default for Limits {
 /// The default worker-thread count: the `IFLEX_THREADS` environment
 /// variable when set to a positive integer, otherwise the machine's
 /// available parallelism capped at 8. `IFLEX_THREADS=1` forces fully
-/// serial execution.
+/// serial execution. An invalid value (non-numeric, zero, or not UTF-8)
+/// falls back to the machine default — and warns once on stderr with the
+/// offending value, so a typo'd knob never degrades silently.
 pub fn default_threads() -> usize {
-    std::env::var("IFLEX_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get().min(8))
-                .unwrap_or(1)
-        })
+    let machine_default = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1)
+    };
+    match std::env::var("IFLEX_THREADS") {
+        Ok(v) => match parse_threads_value(&v) {
+            Some(n) => n,
+            None => {
+                let d = machine_default();
+                warn_knob_once(&format!(
+                    "iflex: ignoring invalid IFLEX_THREADS={v:?} \
+                     (expected a positive integer); using default {d}"
+                ));
+                d
+            }
+        },
+        Err(std::env::VarError::NotPresent) => machine_default(),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            let d = machine_default();
+            warn_knob_once(&format!(
+                "iflex: ignoring invalid IFLEX_THREADS={raw:?} \
+                 (not valid UTF-8); using default {d}"
+            ));
+            d
+        }
+    }
+}
+
+/// `IFLEX_THREADS` value parsing, factored out for tests: a positive
+/// integer (surrounding whitespace tolerated) or nothing.
+pub(crate) fn parse_threads_value(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Emits an env-knob warning exactly once per process (the knobs are read
+/// once per engine/session construction; repeating the warning per engine
+/// would drown real diagnostics).
+fn warn_knob_once(msg: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| eprintln!("{msg}"));
 }
 
 /// One graceful-degradation event: a rule whose evaluation could not be
@@ -421,6 +455,106 @@ impl EngineCounters {
     }
 }
 
+/// The shareable core of an engine: everything concurrent sessions over
+/// the same corpus can safely share, split out from the per-session parts
+/// they must **not** share.
+///
+/// Shared (by reference count): the immutable [`DocumentStore`], the
+/// extensional tables, the feature/procedure registries, the sharded
+/// `Verify`/`Refine` [`FeatureMemo`](crate::FeatureMemo), and a warm
+/// [`IncrCache`](crate::IncrCache) of rule results. Sharing the caches is
+/// observationally invisible: every entry is a pure function of its key,
+/// and degraded (widened) results are never inserted — so a session can
+/// never observe another session's faults through them.
+///
+/// Per-session (fresh on every [`EngineCore::fork`]): the fault plan, the
+/// run budget and its cancellation token, the run clock, the metrics
+/// registry, and the tracer. This is the bulkhead boundary the
+/// multi-session service builds on: a fork that panics, degrades, or
+/// exhausts its budget cannot perturb a sibling fork.
+pub struct EngineCore {
+    store: Arc<DocumentStore>,
+    features: FeatureRegistry,
+    procs: ProcRegistry,
+    ext: BTreeMap<String, Arc<CompactTable>>,
+    memo: Arc<crate::memo::FeatureMemo>,
+    /// Warm rule-result entries; forks start from a clone and may publish
+    /// clean entries back through [`EngineCore::publish`].
+    incr: std::sync::Mutex<crate::incr::IncrCache>,
+    epoch: u64,
+    limits: Limits,
+}
+
+impl EngineCore {
+    /// Forks a fresh engine off the shared core: read-only inputs and the
+    /// feature memo are shared by `Arc`, the incremental cache starts from
+    /// a clone of the core's warm entries, and every isolation-relevant
+    /// part — fault plan, budget, clock, metrics, tracer — is brand new.
+    pub fn fork(&self) -> Engine {
+        let metrics = Registry::new();
+        let counters = EngineCounters::new(&metrics);
+        let incr = self
+            .incr
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        Engine {
+            store: Arc::clone(&self.store),
+            features: self.features.clone(),
+            procs: self.procs.clone(),
+            ext: self.ext.clone(),
+            incr,
+            epoch: self.epoch,
+            limits: self.limits,
+            stats: ExecStats::default(),
+            budget: RunBudget::unlimited(),
+            fault: Arc::new(FaultPlan::disarmed()),
+            clock: Arc::new(RunClock::unlimited()),
+            memo: Arc::clone(&self.memo),
+            proc_sigs_cache: std::sync::OnceLock::new(),
+            metrics,
+            tracer: Tracer::disabled(),
+            trace_parent: SpanId::NONE,
+            counters,
+        }
+    }
+
+    /// Folds a fork's incremental-cache entries back into the shared core
+    /// so later forks start warm. Existing entries win (both engines
+    /// computed the same pure results), and the whole call is refused —
+    /// returning `false` — when the fork has diverged from the core
+    /// (registry mutations bump the epoch), so a session that redefined
+    /// procedures or features can never pollute its siblings.
+    pub fn publish(&self, engine: &Engine) -> bool {
+        if engine.epoch != self.epoch {
+            return false;
+        }
+        self.incr
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .absorb(engine.incr.clone());
+        true
+    }
+
+    /// The shared document store.
+    pub fn store(&self) -> &Arc<DocumentStore> {
+        &self.store
+    }
+
+    /// How many warm rule-result entries forks currently start from.
+    pub fn warm_entries(&self) -> usize {
+        self.incr
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+
+    /// The limits forks inherit.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+}
+
 /// The iFlex approximate query processor.
 pub struct Engine {
     store: Arc<DocumentStore>,
@@ -538,6 +672,24 @@ impl Engine {
             return;
         }
         self.incr.absorb(snapshot.incr);
+    }
+
+    /// Freezes this engine into a shareable [`EngineCore`]: the store,
+    /// tables, registries, feature memo, and any warm incremental-cache
+    /// entries it accumulated become the seed that every
+    /// [`EngineCore::fork`] starts from. The typical service pattern is
+    /// *configure → warm up → `into_core` → fork per session*.
+    pub fn into_core(self) -> EngineCore {
+        EngineCore {
+            store: self.store,
+            features: self.features,
+            procs: self.procs,
+            ext: self.ext,
+            memo: self.memo,
+            incr: std::sync::Mutex::new(self.incr),
+            epoch: self.epoch,
+            limits: self.limits,
+        }
     }
 
     /// Store.
@@ -877,18 +1029,26 @@ impl Engine {
                     }
                 }
                 let inputs = input_hasher.finish();
+                // The cache lookup runs behind the same containment
+                // boundary as evaluation: a fault at `engine.memo_lookup`
+                // (or a panic during the lookup itself) degrades just this
+                // rule rather than failing the run.
+                let mut lookup_err: Option<EngineError> = None;
                 if use_incr && self.limits.reuse_enabled {
-                    if let Some((hit, volume)) = self.incr.get(name, &sample_key, fp, inputs) {
-                        self.counters.cache_hits.inc();
-                        self.counters.incr_hits.inc();
-                        self.counters.assignments_produced.add(volume as u64);
-                        if let Some((t, parent)) = self.tracer.ctx(run_span) {
-                            t.instant(parent, SpanKind::Rule, &rule.to_string(), Some("cache_hit"));
+                    match self.memo_lookup_guarded(name, &sample_key, fp, inputs) {
+                        Ok(Some((hit, volume))) => {
+                            self.counters.cache_hits.inc();
+                            self.counters.incr_hits.inc();
+                            self.counters.assignments_produced.add(volume as u64);
+                            if let Some((t, parent)) = self.tracer.ctx(run_span) {
+                                t.instant(parent, SpanKind::Rule, &rule.to_string(), Some("cache_hit"));
+                            }
+                            parts.push(Part::Table(hit));
+                            continue;
                         }
-                        parts.push(Part::Table(hit));
-                        continue;
+                        Ok(None) => self.counters.incr_misses.inc(),
+                        Err(e) => lookup_err = Some(e),
                     }
-                    self.counters.incr_misses.inc();
                 }
                 let plan = compile_rule(rule, &cenv)?;
                 let rule_span = match self.tracer.ctx(run_span) {
@@ -896,7 +1056,11 @@ impl Engine {
                     None => SpanId::NONE,
                 };
                 let before = self.counters.assignments_produced.get();
-                match self.eval_rule_guarded(&plan, &computed, sample, rule_span) {
+                let evaled = match lookup_err {
+                    Some(e) => Err(e),
+                    None => self.eval_rule_guarded(&plan, &computed, sample, rule_span),
+                };
+                match evaled {
                     Ok(result) => {
                         let volume = self
                             .counters
@@ -981,6 +1145,30 @@ impl Engine {
         computed
             .remove(&prog.query)
             .ok_or_else(|| EngineError::MissingTable(prog.query.clone()))
+    }
+
+    /// Looks up a rule's cached result behind the fault-containment
+    /// boundary: the [`fault::site::MEMO_LOOKUP`] injection site fires
+    /// here, and a panic raised during the lookup is caught and converted
+    /// into [`EngineError::RulePanic`] — a corrupted or faulted shared
+    /// cache degrades one rule, never the run or the process.
+    fn memo_lookup_guarded(
+        &mut self,
+        rel: &str,
+        sample_key: &str,
+        fp: u64,
+        inputs: u64,
+    ) -> Result<Option<(Arc<CompactTable>, usize)>, EngineError> {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(f) = self.fault.hit(fault::site::MEMO_LOOKUP) {
+                return Err(injected(f));
+            }
+            Ok(self.incr.get(rel, sample_key, fp, inputs))
+        }));
+        match caught {
+            Ok(res) => res,
+            Err(payload) => Err(EngineError::RulePanic(panic_message(payload.as_ref()))),
+        }
     }
 
     /// Evaluates one rule's plan behind the fault-containment boundary:
@@ -1767,6 +1955,7 @@ pub fn render_universe(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::Trigger;
     use iflex_alog::parse_program;
 
     /// Builds a store with the Figure 1 example pages and an engine over it.
@@ -2144,6 +2333,86 @@ mod tests {
         assert_eq!(names, vec!["housePages", "schoolPages"]);
         let sizes: Vec<usize> = eng.ext_tables().map(|(_, t)| t.len()).collect();
         assert_eq!(sizes, vec![houses.len(), schools.len()]);
+    }
+
+    #[test]
+    fn threads_env_value_parsing() {
+        assert_eq!(parse_threads_value("4"), Some(4));
+        assert_eq!(parse_threads_value("  8 "), Some(8));
+        assert_eq!(parse_threads_value("0"), None, "zero threads is invalid");
+        assert_eq!(parse_threads_value("-2"), None);
+        assert_eq!(parse_threads_value("four"), None);
+        assert_eq!(parse_threads_value(""), None);
+    }
+
+    #[test]
+    fn core_fork_shares_caches_but_isolates_faults() {
+        let (mut eng, _, _) = example_engine();
+        let prog = parse_program("q(x) :- housePages(x).").unwrap();
+        eng.run(&prog).unwrap(); // warm the incremental cache
+        let warm = {
+            let core = eng.into_core();
+            assert!(core.warm_entries() > 0, "into_core keeps warm entries");
+            core
+        };
+        let mut a = warm.fork();
+        let mut b = warm.fork();
+        // Forks start warm: the very first run hits the shared entries.
+        a.run(&prog).unwrap();
+        assert!(a.stats.incr_hits > 0, "fork starts from the warm cache");
+        // Fault plans are per-fork: arming one never fires in the other.
+        a.fault.arm(
+            crate::fault::site::EVAL_RULE,
+            Trigger::Always,
+            Fault::Panic("fork a only".into()),
+            7,
+        );
+        a.clear_cache(); // force evaluation so the armed fault can fire
+        a.run(&prog).unwrap();
+        assert!(a.stats.degraded(), "fork a degrades");
+        b.run(&prog).unwrap();
+        assert!(!b.stats.degraded(), "fork b never sees a's fault plan");
+    }
+
+    #[test]
+    fn core_publish_rejects_diverged_forks() {
+        let (eng, _, _) = example_engine();
+        let core = eng.into_core();
+        let mut clean = core.fork();
+        let prog = parse_program("q(x) :- housePages(x).").unwrap();
+        clean.run(&prog).unwrap();
+        assert!(core.publish(&clean), "same-epoch fork publishes");
+        let entries = core.warm_entries();
+        assert!(entries > 0);
+        let mut diverged = core.fork();
+        diverged.procs_mut(); // epoch bump: the fork no longer matches
+        assert!(!core.publish(&diverged), "diverged fork is refused");
+        assert_eq!(core.warm_entries(), entries);
+    }
+
+    #[test]
+    fn memo_lookup_fault_degrades_that_rule() {
+        let (mut eng, houses, _) = example_engine();
+        let prog = parse_program("q(x) :- housePages(x).").unwrap();
+        let exact = eng.run(&prog).unwrap();
+        assert_eq!(exact.len(), houses.len());
+        eng.fault.arm(
+            crate::fault::site::MEMO_LOOKUP,
+            Trigger::Nth(0),
+            Fault::Panic("cache corrupted".into()),
+            7,
+        );
+        let degraded = eng.run(&prog).unwrap();
+        assert!(eng.stats.degraded_by(DegradeCause::RulePanic));
+        assert_eq!(
+            eng.stats.degradations[0].site.as_deref(),
+            Some(crate::fault::site::MEMO_LOOKUP)
+        );
+        assert!(!degraded.is_empty(), "widened stand-in keeps a result");
+        // The fault fired exactly once: the next run is exact again.
+        let after = eng.run(&prog).unwrap();
+        assert!(!eng.stats.degraded());
+        assert_eq!(after.tuples(), exact.tuples());
     }
 
     #[test]

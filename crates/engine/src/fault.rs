@@ -23,6 +23,22 @@ pub mod site {
     pub const ANNOTATE: &str = "engine.annotate";
     /// Per file read by the corpus loader.
     pub const IO_READ: &str = "core.io.read";
+    /// Per rule-result lookup in the shared memo/incremental-cache path
+    /// (`Engine::run` consults the [`crate::IncrCache`] before evaluating
+    /// a rule; a fault here degrades just that rule, exactly like an
+    /// evaluation failure).
+    pub const MEMO_LOOKUP: &str = "engine.memo_lookup";
+    /// Per session-spawn attempt in the multi-session service (worker
+    /// thread creation + engine fork).
+    pub const SESSION_SPAWN: &str = "service.session_spawn";
+    /// Per protocol request decoded from the wire by the service.
+    pub const REQUEST_DECODE: &str = "service.request_decode";
+    /// Per protocol response written to the wire by the service.
+    pub const RESPONSE_WRITE: &str = "service.response_write";
+    /// At the cross-session cache hand-off points of the service: forking
+    /// a warm cache into a new session and publishing a session's entries
+    /// back to the shared core.
+    pub const CACHE_SHARE: &str = "service.cache_share";
 }
 
 /// What an armed site does when it fires.

@@ -32,7 +32,10 @@ pub mod similarity;
 pub use annotate::{apply_annotations, apply_annotations_with, AnnotatePath, AnnotatePolicy};
 pub use budget::{CancelToken, DegradeCause, RunBudget, RunClock};
 pub use eval::{Cands, MayMust};
-pub use exec::{default_threads, degrade_cause, render_universe, Degradation, Engine, EngineError, ExecStats, Limits};
+pub use exec::{
+    default_threads, degrade_cause, render_universe, Degradation, Engine, EngineCore, EngineError,
+    ExecStats, Limits,
+};
 pub use fault::{Fault, FaultPlan, Trigger};
 pub use incr::IncrCache;
 pub use memo::FeatureMemo;

@@ -343,9 +343,29 @@ fn render_event(out: &mut String, ev: &TraceEvent) {
 
 /// The `IFLEX_TRACE` convention: unset, empty, or `0` → no tracing;
 /// `1` → trace to `iflex-trace.jsonl` in the working directory; any other
-/// value → trace to that path.
+/// value → trace to that path. A value that is not valid UTF-8 cannot
+/// name a trace path portably, so it is treated as "off" — with a warning
+/// (once per process) naming the offending value, rather than silently.
 pub fn trace_path_from_env() -> Option<std::path::PathBuf> {
-    let v = std::env::var("IFLEX_TRACE").ok()?;
+    let v = match std::env::var("IFLEX_TRACE") {
+        Ok(v) => v,
+        Err(std::env::VarError::NotPresent) => return None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "iflex: ignoring invalid IFLEX_TRACE={raw:?} \
+                     (not valid UTF-8); tracing stays off"
+                );
+            });
+            return None;
+        }
+    };
+    trace_path_from_value(&v)
+}
+
+/// The pure half of [`trace_path_from_env`], factored out for tests.
+pub fn trace_path_from_value(v: &str) -> Option<std::path::PathBuf> {
     let v = v.trim();
     if v.is_empty() || v == "0" {
         return None;

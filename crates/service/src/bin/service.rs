@@ -1,0 +1,126 @@
+//! The iFlex multi-session server binary.
+//!
+//! ```text
+//! service                    serve JSON lines on stdin/stdout (Movies corpus)
+//! service --tcp ADDR         serve JSON lines over TCP (e.g. 127.0.0.1:7878)
+//! service --smoke            protocol + resilience smoke gate (tier-1)
+//! service --chaos [--seed N] [--full]
+//!                            replay the seeded fault matrix; nonzero exit on
+//!                            any isolation violation
+//! ```
+
+use iflex_corpus::{Corpus, CorpusConfig};
+use iflex_engine::Engine;
+use iflex_service::{chaos, fixture, serve_lines, serve_stdio, serve_tcp, Host, Json, ServiceConfig};
+
+/// The default program served over the Movies corpus — the same starting
+/// point as the interactive example.
+const MOVIES_PROGRAM: &str = "q(x, title) :- imdb(x), extractTitle(#x, title).\n\
+                              extractTitle(#x, t) :- from(#x, t), bold-font(t) = yes.\n";
+
+fn corpus_host() -> Host {
+    let corpus = Corpus::build(CorpusConfig::tiny());
+    let mut engine = Engine::new(corpus.store.clone());
+    let imdb: Vec<_> = corpus.movies.imdb.iter().map(|(d, _)| *d).collect();
+    let ebert: Vec<_> = corpus.movies.ebert.iter().map(|(d, _)| *d).collect();
+    engine.add_doc_table("imdb", &imdb);
+    engine.add_doc_table("ebert", &ebert);
+    Host::new(engine.into_core(), MOVIES_PROGRAM, ServiceConfig::default())
+}
+
+/// Drives a scripted transcript through the line server and asserts the
+/// protocol behaves: session lifecycle works, results are exact, the
+/// admission cap holds. Returns an error string on the first violation.
+fn smoke() -> Result<(), String> {
+    let cfg = ServiceConfig { max_sessions: 2, ..ServiceConfig::default() };
+    let host = Host::new(fixture::tiny_core(), fixture::PROGRAM, cfg);
+    let script = "{\"cmd\":\"create-session\",\"id\":\"s1\"}\n\
+                  {\"cmd\":\"ask-question\",\"session\":1,\"count\":2}\n\
+                  {\"cmd\":\"answer\",\"session\":1,\"attr\":\"extractV.v\",\"feature\":\"bold-font\",\"value\":\"yes\"}\n\
+                  {\"cmd\":\"get-results\",\"session\":1,\"limit\":8}\n\
+                  {\"cmd\":\"create-session\",\"id\":\"s2\"}\n\
+                  {\"cmd\":\"create-session\",\"id\":\"s3\"}\n\
+                  {\"cmd\":\"stats\"}\n\
+                  {\"cmd\":\"close-session\",\"session\":1}\n\
+                  {\"cmd\":\"shutdown\"}\n";
+    let mut out = Vec::new();
+    serve_lines(&host, script.as_bytes(), &mut out).map_err(|e| format!("serve failed: {e}"))?;
+    let out = String::from_utf8(out).map_err(|e| format!("non-utf8 output: {e}"))?;
+    let responses: Vec<Json> = out
+        .lines()
+        .map(|l| iflex_service::json::parse(l).map_err(|e| format!("bad response {l:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let expect = |i: usize, field: &str, want: &Json| -> Result<(), String> {
+        let got = responses
+            .get(i)
+            .ok_or_else(|| format!("missing response {i}"))?
+            .get(field);
+        if got == Some(want) {
+            Ok(())
+        } else {
+            Err(format!("response {i}: {field} = {got:?}, want {want:?}"))
+        }
+    };
+    if responses.len() != 9 {
+        return Err(format!("expected 9 responses, got {}:\n{out}", responses.len()));
+    }
+    expect(0, "ok", &Json::Bool(true))?;
+    expect(1, "ok", &Json::Bool(true))?;
+    expect(2, "applied", &Json::Bool(true))?;
+    expect(3, "degraded", &Json::Bool(false))?;
+    expect(3, "tuples", &Json::num(5))?;
+    expect(4, "ok", &Json::Bool(true))?;
+    // Third create exceeds max_sessions=2: rejected with a retry hint.
+    expect(5, "ok", &Json::Bool(false))?;
+    expect(5, "retryable", &Json::Bool(true))?;
+    expect(6, "sessions", &Json::num(2))?;
+    expect(7, "published", &Json::Bool(true))?;
+    expect(8, "drained_sessions", &Json::num(1))?;
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value_of = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+
+    if has("--smoke") {
+        match smoke() {
+            Ok(()) => println!("service smoke OK"),
+            Err(e) => {
+                eprintln!("service smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if has("--chaos") {
+        let seed: u64 = value_of("--seed").and_then(|s| s.parse().ok()).unwrap_or(7);
+        let quick = !has("--full");
+        let report = chaos::run_matrix(seed, quick);
+        println!("{}", report.summary());
+        if !report.passed() {
+            for f in &report.failures {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+    let host = corpus_host();
+    if let Some(addr) = value_of("--tcp") {
+        eprintln!("iflex service: listening on {addr}");
+        if let Err(e) = serve_tcp(&host, &addr, |a| eprintln!("iflex service: bound {a}")) {
+            eprintln!("iflex service: {e}");
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!("iflex service: JSON lines on stdio; send {{\"cmd\":\"shutdown\"}} to stop");
+        if let Err(e) = serve_stdio(&host) {
+            eprintln!("iflex service: {e}");
+            std::process::exit(1);
+        }
+    }
+}

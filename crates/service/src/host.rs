@@ -1,0 +1,847 @@
+//! The multi-session host: one shared [`EngineCore`], many isolated
+//! session workers.
+//!
+//! Every session runs on its own worker thread behind a **bounded** job
+//! queue — the bulkhead. Sessions share the immutable document store,
+//! the feature memo, and the warm incremental cache through the core
+//! (all read-only or pure), while everything isolation-relevant — fault
+//! plan, budget, cancel token, clock, metrics, tracer — is per fork.
+//! A panicking, degrading, or budget-exhausted session is contained to
+//! its own worker; siblings keep producing byte-identical results.
+//!
+//! Resilience policy:
+//! - **Admission control**: at most `max_sessions` live sessions; past
+//!   the cap `create-session` is rejected with `retry_after_ms`, never
+//!   queued.
+//! - **Backpressure**: each session's queue holds `queue_depth` jobs;
+//!   a full queue rejects with `retry_after_ms` instead of buffering
+//!   without bound.
+//! - **Watchdog**: a background thread cancels (via the session's
+//!   [`CancelToken`]) any run that exceeds `stuck_limit`; the engine
+//!   degrades the rest of that run cooperatively.
+//! - **Graceful shutdown**: stop admitting, drain queued jobs, publish
+//!   each clean session's cache entries back to the core, join workers.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::protocol::{decode, err_response, ok_response, Request};
+use iflex_alog::{parse_program, Program};
+use iflex_assistant::{add_constraint, attributes, ordered_questions, AssistContext};
+use iflex_engine::obs::{Registry, SpanId, SpanKind, Tracer};
+use iflex_engine::{fault, CancelToken, Engine, EngineCore, Fault, FaultPlan, Sample, Trigger};
+use iflex_features::{FeatureArg, FeatureValue};
+
+/// Host tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admission cap: live sessions past this are rejected.
+    pub max_sessions: usize,
+    /// Bound of each session's job queue (backpressure past it).
+    pub queue_depth: usize,
+    /// Backoff hint attached to admission/backpressure rejections.
+    pub retry_after_ms: u64,
+    /// Wall-clock deadline applied to every engine run.
+    pub run_deadline: Option<Duration>,
+    /// How often the watchdog scans for stuck runs.
+    pub watchdog_interval: Duration,
+    /// A job older than this is cancelled by the watchdog.
+    pub stuck_limit: Duration,
+    /// Transient session-spawn failures tolerated before giving up.
+    pub spawn_retries: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_sessions: 8,
+            queue_depth: 4,
+            retry_after_ms: 25,
+            run_deadline: Some(Duration::from_secs(10)),
+            watchdog_interval: Duration::from_millis(20),
+            stuck_limit: Duration::from_secs(2),
+            spawn_retries: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One queued unit of session work: the request plus its reply slot.
+struct Job {
+    req: Request,
+    reply: SyncSender<Json>,
+}
+
+/// The host side of a live session.
+struct SessionHandle {
+    tx: SyncSender<Job>,
+    worker: Option<JoinHandle<()>>,
+    cancel: CancelToken,
+    engine_fault: Arc<FaultPlan>,
+    running_since: Arc<Mutex<Option<Instant>>>,
+    published: Arc<AtomicBool>,
+    span: SpanId,
+}
+
+struct Inner {
+    core: Arc<EngineCore>,
+    cfg: ServiceConfig,
+    sessions: Mutex<BTreeMap<u64, SessionHandle>>,
+    next_id: AtomicU64,
+    accepting: AtomicBool,
+    stop: AtomicBool,
+    /// Service-layer fault plan: session-spawn, request-decode,
+    /// response-write, cache-share probes.
+    fault: Arc<FaultPlan>,
+    metrics: Registry,
+    tracer: Tracer,
+    default_program: String,
+}
+
+/// The multi-session service host. Cheap to share behind `&`; all
+/// methods take `&self`.
+pub struct Host {
+    inner: Arc<Inner>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Worker-thread state for one session (never crosses the bulkhead).
+struct SessionState {
+    engine: Engine,
+    program: Program,
+    asked: BTreeSet<(String, String)>,
+    poisoned: bool,
+}
+
+impl Host {
+    /// Builds a host over a shared core with the given default program.
+    pub fn new(core: EngineCore, default_program: &str, cfg: ServiceConfig) -> Host {
+        let inner = Arc::new(Inner {
+            core: Arc::new(core),
+            cfg,
+            sessions: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            accepting: AtomicBool::new(true),
+            stop: AtomicBool::new(false),
+            fault: Arc::new(FaultPlan::disarmed()),
+            metrics: Registry::new(),
+            tracer: Tracer::disabled(),
+            default_program: default_program.to_string(),
+        });
+        let watchdog = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("iflex-watchdog".into())
+                .spawn(move || watchdog_loop(&inner))
+                .ok()
+        };
+        Host { inner, watchdog: Mutex::new(watchdog) }
+    }
+
+    /// The service-layer fault plan (spawn/decode/write/cache-share
+    /// sites). Arm it to chaos-test the host itself.
+    pub fn fault(&self) -> &Arc<FaultPlan> {
+        &self.inner.fault
+    }
+
+    /// The service metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.inner.metrics
+    }
+
+    /// Enables per-session tracing spans on the host tracer.
+    pub fn enable_tracing(&self) -> &Tracer {
+        self.inner.tracer.enable();
+        &self.inner.tracer
+    }
+
+    /// Live session count.
+    pub fn active_sessions(&self) -> usize {
+        self.inner.sessions.lock().expect("sessions lock").len()
+    }
+
+    /// True until shutdown begins.
+    pub fn is_accepting(&self) -> bool {
+        self.inner.accepting.load(Ordering::Acquire)
+    }
+
+    /// Arms a fault on one session's *engine* plan (bulkhead-internal
+    /// sites: eval-rule, join-tuple, memo-lookup, ...). Returns false
+    /// when the session does not exist.
+    pub fn arm_session(
+        &self,
+        session: u64,
+        site: &'static str,
+        trigger: Trigger,
+        fault_kind: Fault,
+        seed: u64,
+    ) -> bool {
+        let sessions = self.inner.sessions.lock().expect("sessions lock");
+        match sessions.get(&session) {
+            Some(h) => {
+                h.engine_fault.arm(site, trigger, fault_kind, seed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Decodes one request line and handles it. Decode failures become
+    /// non-retryable error responses (a malformed line will not improve
+    /// on retry).
+    pub fn handle_line(&self, line: &str) -> Json {
+        match decode(line) {
+            Ok(req) => self.handle(req),
+            Err(e) => {
+                self.inner.metrics.counter("service.decode_errors").inc();
+                err_response(e.id.as_deref(), &e.msg, None)
+            }
+        }
+    }
+
+    /// Handles one decoded request.
+    pub fn handle(&self, req: Request) -> Json {
+        self.inner.metrics.counter("service.requests").inc();
+        let id = req.id().map(str::to_string);
+        let id = id.as_deref();
+        match req {
+            Request::CreateSession { program, .. } => self.create_session(id, program.as_deref()),
+            Request::Cancel { session, .. } => {
+                let sessions = self.inner.sessions.lock().expect("sessions lock");
+                match sessions.get(&session) {
+                    Some(h) => {
+                        h.cancel.cancel();
+                        self.inner.metrics.counter("service.cancels").inc();
+                        ok_response(id, vec![("cancelled", Json::Bool(true))])
+                    }
+                    None => err_response(id, &format!("no such session {session}"), None),
+                }
+            }
+            Request::CloseSession { session, .. } => self.close_session(id, session),
+            Request::Stats { .. } => self.stats(id),
+            Request::Shutdown { .. } => {
+                let drained = self.shutdown();
+                ok_response(id, vec![("drained_sessions", Json::num(drained as u64))])
+            }
+            req @ (Request::AskQuestion { .. }
+            | Request::Answer { .. }
+            | Request::GetResults { .. }
+            | Request::Sleep { .. }) => {
+                let session = match req {
+                    Request::AskQuestion { session, .. }
+                    | Request::Answer { session, .. }
+                    | Request::GetResults { session, .. }
+                    | Request::Sleep { session, .. } => session,
+                    _ => unreachable!(),
+                };
+                match self.submit(session, req) {
+                    Ok(rx) => rx.recv().unwrap_or_else(|_| {
+                        err_response(id, "session worker died before replying", None)
+                    }),
+                    Err(resp) => resp,
+                }
+            }
+        }
+    }
+
+    /// Enqueues a session-targeted request without waiting for the
+    /// reply. `Err` carries the ready-to-send rejection (unknown
+    /// session, or queue full — the backpressure path).
+    pub fn submit(&self, session: u64, req: Request) -> Result<Receiver<Json>, Json> {
+        let id = req.id().map(str::to_string);
+        let tx = {
+            let sessions = self.inner.sessions.lock().expect("sessions lock");
+            match sessions.get(&session) {
+                Some(h) => h.tx.clone(),
+                None => {
+                    return Err(err_response(
+                        id.as_deref(),
+                        &format!("no such session {session}"),
+                        None,
+                    ))
+                }
+            }
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        match tx.try_send(Job { req, reply: reply_tx }) {
+            Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) => {
+                self.inner.metrics.counter("service.rejected_backpressure").inc();
+                Err(err_response(
+                    id.as_deref(),
+                    &format!("session {session} queue full"),
+                    Some(self.inner.cfg.retry_after_ms),
+                ))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Err(err_response(id.as_deref(), &format!("session {session} worker died"), None))
+            }
+        }
+    }
+
+    fn create_session(&self, id: Option<&str>, program: Option<&str>) -> Json {
+        let inner = &self.inner;
+        if !self.is_accepting() {
+            return err_response(id, "service is shutting down", None);
+        }
+        let source = program.unwrap_or(&inner.default_program).to_string();
+        let parsed = match parse_program(&source) {
+            Ok(p) => p,
+            Err(e) => return err_response(id, &format!("program parse error: {e}"), None),
+        };
+        // Admission control: check the cap while holding the table lock
+        // so concurrent creates cannot oversubscribe.
+        {
+            let sessions = inner.sessions.lock().expect("sessions lock");
+            if sessions.len() >= inner.cfg.max_sessions {
+                inner.metrics.counter("service.rejected_admission").inc();
+                return err_response(
+                    id,
+                    &format!("session table full ({} live)", sessions.len()),
+                    Some(inner.cfg.retry_after_ms),
+                );
+            }
+        }
+        // Session spawn, with exponential backoff across transient
+        // failures (an injected fault at the spawn site models thread
+        // or resource exhaustion; the fault is consumed, not raised).
+        let mut attempt = 0u32;
+        let spawned = loop {
+            match self.try_spawn(parsed.clone()) {
+                Ok(s) => break Some(s),
+                Err(transient) => {
+                    inner.metrics.counter("service.spawn_failures").inc();
+                    if !transient || attempt >= inner.cfg.spawn_retries {
+                        break None;
+                    }
+                    let backoff = inner
+                        .cfg
+                        .backoff_base
+                        .saturating_mul(1 << attempt.min(16))
+                        .min(inner.cfg.backoff_cap);
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+            }
+        };
+        let Some((session_id, warm)) = spawned else {
+            return err_response(
+                id,
+                "session spawn failed after retries",
+                Some(inner.cfg.retry_after_ms),
+            );
+        };
+        inner.metrics.counter("service.sessions_created").inc();
+        ok_response(
+            id,
+            vec![
+                ("session", Json::num(session_id)),
+                ("warm_entries", Json::num(warm as u64)),
+            ],
+        )
+    }
+
+    /// One spawn attempt. `Err(true)` is transient (retry makes sense);
+    /// `Err(false)` is permanent.
+    fn try_spawn(&self, program: Program) -> Result<(u64, usize), bool> {
+        let inner = &self.inner;
+        if inner.fault.hit(fault::site::SESSION_SPAWN).is_some() {
+            return Err(true);
+        }
+        let mut engine = inner.core.fork();
+        let mut warm = inner.core.warm_entries();
+        // Cache hand-off probe: a fault here degrades the new session to
+        // a cold cache instead of failing the spawn — the bulkhead keeps
+        // working, it just recomputes.
+        if inner.fault.hit(fault::site::CACHE_SHARE).is_some() {
+            inner.metrics.counter("service.cache_share_faults").inc();
+            engine.clear_cache();
+            warm = 0;
+        }
+        engine.budget.deadline = inner.cfg.run_deadline;
+        let cancel = engine.budget.cancel_token();
+        let engine_fault = Arc::clone(&engine.fault);
+        let session_id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let span = inner.tracer.begin(SpanId::NONE, SpanKind::Session, &format!("tenant{session_id}"));
+        engine.tracer = inner.tracer.clone();
+        engine.trace_parent = span;
+        let running_since = Arc::new(Mutex::new(None));
+        let published = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::sync_channel::<Job>(inner.cfg.queue_depth);
+        let state = SessionState { engine, program, asked: BTreeSet::new(), poisoned: false };
+        let worker = {
+            let inner = Arc::clone(inner);
+            let running_since = Arc::clone(&running_since);
+            let published = Arc::clone(&published);
+            let cancel = cancel.clone();
+            std::thread::Builder::new()
+                .name(format!("iflex-session-{session_id}"))
+                .spawn(move || worker_loop(&inner, state, rx, &running_since, &published, &cancel, span))
+                .map_err(|_| true)?
+        };
+        let handle = SessionHandle {
+            tx,
+            worker: Some(worker),
+            cancel,
+            engine_fault,
+            running_since,
+            published,
+            span,
+        };
+        inner.sessions.lock().expect("sessions lock").insert(session_id, handle);
+        Ok((session_id, warm))
+    }
+
+    fn close_session(&self, id: Option<&str>, session: u64) -> Json {
+        let handle = {
+            let mut sessions = self.inner.sessions.lock().expect("sessions lock");
+            sessions.remove(&session)
+        };
+        let Some(mut handle) = handle else {
+            return err_response(id, &format!("no such session {session}"), None);
+        };
+        // Dropping the sender ends the worker's receive loop once the
+        // queued jobs drain; the worker publishes on its way out.
+        drop(handle.tx);
+        if let Some(w) = handle.worker.take() {
+            let _ = w.join();
+        }
+        self.inner.tracer.end(handle.span);
+        ok_response(
+            id,
+            vec![
+                ("closed", Json::Bool(true)),
+                ("published", Json::Bool(handle.published.load(Ordering::Acquire))),
+            ],
+        )
+    }
+
+    fn stats(&self, id: Option<&str>) -> Json {
+        let inner = &self.inner;
+        let live = self.active_sessions() as u64;
+        let c = |name: &str| Json::num(inner.metrics.counter_value(name).unwrap_or(0));
+        ok_response(
+            id,
+            vec![
+                ("sessions", Json::num(live)),
+                ("max_sessions", Json::num(inner.cfg.max_sessions as u64)),
+                ("accepting", Json::Bool(self.is_accepting())),
+                ("created", c("service.sessions_created")),
+                ("rejected_admission", c("service.rejected_admission")),
+                ("rejected_backpressure", c("service.rejected_backpressure")),
+                ("spawn_failures", c("service.spawn_failures")),
+                ("decode_errors", c("service.decode_errors")),
+                ("worker_panics", c("service.worker_panics")),
+                ("watchdog_cancels", c("service.watchdog_cancels")),
+                ("publishes", c("service.publishes")),
+                ("publish_skipped", c("service.publish_skipped")),
+                ("warm_entries", Json::num(inner.core.warm_entries() as u64)),
+            ],
+        )
+    }
+
+    /// Stops admitting, drains every session (queued jobs complete, then
+    /// clean caches publish back to the core), joins all workers and the
+    /// watchdog. Idempotent. Returns how many sessions were drained.
+    pub fn shutdown(&self) -> usize {
+        let inner = &self.inner;
+        inner.accepting.store(false, Ordering::Release);
+        let handles: Vec<(u64, SessionHandle)> = {
+            let mut sessions = inner.sessions.lock().expect("sessions lock");
+            std::mem::take(&mut *sessions).into_iter().collect()
+        };
+        let drained = handles.len();
+        for (_, mut h) in handles {
+            drop(h.tx);
+            if let Some(w) = h.worker.take() {
+                let _ = w.join();
+            }
+            inner.tracer.end(h.span);
+        }
+        inner.stop.store(true, Ordering::Release);
+        if let Some(w) = self.watchdog.lock().expect("watchdog lock").take() {
+            let _ = w.join();
+        }
+        drained
+    }
+}
+
+impl Drop for Host {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn watchdog_loop(inner: &Inner) {
+    while !inner.stop.load(Ordering::Acquire) {
+        std::thread::sleep(inner.cfg.watchdog_interval);
+        let sessions = inner.sessions.lock().expect("sessions lock");
+        for h in sessions.values() {
+            let stuck = h
+                .running_since
+                .lock()
+                .expect("running_since lock")
+                .map(|t| t.elapsed() > inner.cfg.stuck_limit)
+                .unwrap_or(false);
+            if stuck && !h.cancel.is_cancelled() {
+                h.cancel.cancel();
+                inner.metrics.counter("service.watchdog_cancels").inc();
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    inner: &Inner,
+    mut state: SessionState,
+    rx: Receiver<Job>,
+    running_since: &Mutex<Option<Instant>>,
+    published: &AtomicBool,
+    cancel: &CancelToken,
+    span: SpanId,
+) {
+    while let Ok(job) = rx.recv() {
+        *running_since.lock().expect("running_since lock") = Some(Instant::now());
+        let id = job.req.id().map(str::to_string);
+        // The bulkhead wall: a panic anywhere in job handling poisons
+        // this session only. The engine already contains rule panics;
+        // this catches everything else (assistant code, render, bugs).
+        let resp = catch_unwind(AssertUnwindSafe(|| {
+            handle_job(&mut state, cancel, &job.req)
+        }))
+        .unwrap_or_else(|payload| {
+            state.poisoned = true;
+            inner.metrics.counter("service.worker_panics").inc();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            err_response(id.as_deref(), &format!("session poisoned by panic: {msg}"), None)
+        });
+        *running_since.lock().expect("running_since lock") = None;
+        let _ = job.reply.send(resp);
+    }
+    // Drain: hand clean cache entries back to the shared core so the
+    // next session starts warm. A poisoned session publishes nothing,
+    // and an injected cache-share fault skips the publish (the core
+    // stays correct either way — degraded results are never cached, and
+    // `publish` refuses diverged forks by epoch).
+    if state.poisoned || inner.fault.hit(fault::site::CACHE_SHARE).is_some() {
+        inner.metrics.counter("service.publish_skipped").inc();
+    } else if inner.core.publish(&state.engine) {
+        inner.metrics.counter("service.publishes").inc();
+        published.store(true, Ordering::Release);
+    } else {
+        inner.metrics.counter("service.publish_skipped").inc();
+    }
+    inner.tracer.end(span);
+}
+
+fn handle_job(state: &mut SessionState, cancel: &CancelToken, req: &Request) -> Json {
+    let id = req.id();
+    if state.poisoned {
+        return err_response(id, "session poisoned by earlier panic; close it", None);
+    }
+    // A fresh job gets a fresh cancel slate; `cancel` targets the run in
+    // flight, and the watchdog re-cancels if this one is stuck too.
+    cancel.reset();
+    match req {
+        Request::AskQuestion { count, .. } => {
+            let current = state
+                .engine
+                .run(&state.program)
+                .map(|t| t.expanded_len(state.engine.store()).min(usize::MAX as u64) as usize)
+                .unwrap_or(0);
+            let ctx = AssistContext {
+                program: &state.program,
+                engine: &mut state.engine,
+                asked: &state.asked,
+                sample: Sample::new(1.0, 7),
+                alpha: 0.1,
+                current_size: current,
+                examples: Default::default(),
+            };
+            let questions: Vec<Json> = ordered_questions(&ctx)
+                .into_iter()
+                .take(*count)
+                .map(|q| {
+                    Json::obj(vec![
+                        ("attr", Json::str(q.attr.display())),
+                        ("feature", Json::str(&q.feature)),
+                        ("text", Json::str(&q.text)),
+                    ])
+                })
+                .collect();
+            ok_response(id, vec![("questions", Json::Arr(questions))])
+        }
+        Request::Answer { attr, feature, value, .. } => {
+            let Some(attribute) =
+                attributes(&state.program).into_iter().find(|a| &a.display() == attr)
+            else {
+                return err_response(id, &format!("unknown attribute {attr:?}"), None);
+            };
+            let arg = parse_feature_arg(value);
+            state.program = add_constraint(&state.program, &attribute, feature, &arg);
+            state.asked.insert((attribute.display(), feature.clone()));
+            ok_response(id, vec![("applied", Json::Bool(true))])
+        }
+        Request::GetResults { limit, .. } => match state.engine.run(&state.program) {
+            Ok(table) => {
+                let store = state.engine.store();
+                let degradations = state.engine.stats.degradations.len();
+                ok_response(
+                    id,
+                    vec![
+                        ("table", Json::str(table.render(store, *limit))),
+                        ("tuples", Json::num(table.len() as u64)),
+                        ("expanded", Json::num(table.expanded_len(store))),
+                        ("degradations", Json::num(degradations as u64)),
+                        ("degraded", Json::Bool(degradations > 0)),
+                    ],
+                )
+            }
+            Err(e) => err_response(id, &format!("run failed: {e}"), None),
+        },
+        Request::Sleep { ms, .. } => {
+            let deadline = Instant::now() + Duration::from_millis(*ms);
+            let mut cancelled = false;
+            while Instant::now() < deadline {
+                if cancel.is_cancelled() {
+                    cancelled = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            ok_response(
+                id,
+                vec![
+                    ("slept_ms", Json::num(*ms)),
+                    ("cancelled", Json::Bool(cancelled)),
+                ],
+            )
+        }
+        _ => err_response(id, "request is not session work", None),
+    }
+}
+
+fn parse_feature_arg(value: &str) -> FeatureArg {
+    if let Ok(t) = value.parse::<FeatureValue>() {
+        FeatureArg::Tri(t)
+    } else if let Ok(n) = value.parse::<f64>() {
+        FeatureArg::Num(n)
+    } else {
+        FeatureArg::Text(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture::{tiny_core, PROGRAM};
+
+    fn fast_cfg() -> ServiceConfig {
+        ServiceConfig {
+            watchdog_interval: Duration::from_millis(5),
+            stuck_limit: Duration::from_millis(40),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn create(host: &Host) -> u64 {
+        let resp = host.handle(Request::CreateSession { id: None, program: None });
+        resp.get("session").and_then(Json::as_u64).expect("session id")
+    }
+
+    #[test]
+    fn full_session_lifecycle_over_the_protocol() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        let resp = host.handle_line(r#"{"cmd":"create-session","id":"c1"}"#);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let sid = resp.get("session").and_then(Json::as_u64).unwrap();
+
+        let q = host.handle_line(&format!(r#"{{"cmd":"ask-question","session":{sid}}}"#));
+        assert_eq!(q.get("ok"), Some(&Json::Bool(true)));
+        let Json::Arr(qs) = q.get("questions").unwrap() else { panic!("questions array") };
+        assert!(!qs.is_empty());
+        let attr = qs[0].get("attr").and_then(Json::as_str).unwrap().to_string();
+
+        let a = host.handle_line(&format!(
+            r#"{{"cmd":"answer","session":{sid},"attr":"{attr}","feature":"bold-font","value":"yes"}}"#
+        ));
+        assert_eq!(a.get("ok"), Some(&Json::Bool(true)));
+
+        let r = host.handle_line(&format!(r#"{{"cmd":"get-results","session":{sid},"limit":8}}"#));
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("degraded"), Some(&Json::Bool(false)));
+        assert_eq!(r.get("tuples").and_then(Json::as_u64), Some(5));
+
+        let c = host.handle_line(&format!(r#"{{"cmd":"close-session","session":{sid}}}"#));
+        assert_eq!(c.get("closed"), Some(&Json::Bool(true)));
+        assert_eq!(c.get("published"), Some(&Json::Bool(true)));
+        assert_eq!(host.active_sessions(), 0);
+        // The published cache warms the core for the next tenant.
+        assert!(host.inner.core.warm_entries() > 0);
+    }
+
+    #[test]
+    fn admission_cap_rejects_with_retry_hint() {
+        let cfg = ServiceConfig { max_sessions: 2, ..fast_cfg() };
+        let host = Host::new(tiny_core(), PROGRAM, cfg);
+        create(&host);
+        create(&host);
+        let resp = host.handle(Request::CreateSession { id: Some("late".into()), program: None });
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(resp.get("retryable"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("retry_after_ms").and_then(Json::as_u64), Some(25));
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some("late"));
+        // Closing a session frees the slot.
+        let sid = {
+            let sessions = host.inner.sessions.lock().unwrap();
+            *sessions.keys().next().unwrap()
+        };
+        host.handle(Request::CloseSession { id: None, session: sid });
+        let resp = host.handle(Request::CreateSession { id: None, program: None });
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn queue_backpressure_rejects_instead_of_buffering() {
+        let cfg = ServiceConfig { queue_depth: 2, ..fast_cfg() };
+        let host = Host::new(tiny_core(), PROGRAM, cfg);
+        let sid = create(&host);
+        // Hold the worker on a long sleep, then fill the queue.
+        let busy = host
+            .submit(sid, Request::Sleep { id: None, session: sid, ms: 400 })
+            .expect("busy job accepted");
+        let mut pending = Vec::new();
+        let mut rejected = None;
+        for _ in 0..3 {
+            match host.submit(sid, Request::Sleep { id: None, session: sid, ms: 1 }) {
+                Ok(rx) => pending.push(rx),
+                Err(resp) => {
+                    rejected = Some(resp);
+                    break;
+                }
+            }
+        }
+        let rejected = rejected.expect("third enqueue must hit the bound");
+        assert_eq!(rejected.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(rejected.get("retryable"), Some(&Json::Bool(true)));
+        assert!(rejected.get("retry_after_ms").and_then(Json::as_u64).is_some());
+        assert!(
+            host.metrics().counter_value("service.rejected_backpressure").unwrap_or(0) >= 1
+        );
+        // Cancel the long sleep so the queue drains promptly.
+        host.handle(Request::Cancel { id: None, session: sid });
+        assert_eq!(busy.recv().unwrap().get("cancelled"), Some(&Json::Bool(true)));
+        for rx in pending {
+            assert_eq!(rx.recv().unwrap().get("ok"), Some(&Json::Bool(true)));
+        }
+    }
+
+    #[test]
+    fn watchdog_cancels_stuck_runs() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        let sid = create(&host);
+        // 400ms of "work" against a 40ms stuck limit: the watchdog must
+        // cancel long before the sleep finishes on its own.
+        let t0 = Instant::now();
+        let resp = host.handle(Request::Sleep { id: None, session: sid, ms: 400 });
+        assert_eq!(resp.get("cancelled"), Some(&Json::Bool(true)));
+        assert!(t0.elapsed() < Duration::from_millis(300), "watchdog was too slow");
+        assert!(host.metrics().counter_value("service.watchdog_cancels").unwrap_or(0) >= 1);
+        // The session stays usable afterwards.
+        let r = host.handle(Request::GetResults { id: None, session: sid, limit: 4 });
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn spawn_faults_are_retried_with_backoff() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        // Two transient spawn failures, then success on the third try.
+        host.fault().arm(fault::site::SESSION_SPAWN, Trigger::Nth(0), Fault::Io("x".into()), 1);
+        host.fault().arm(fault::site::SESSION_SPAWN, Trigger::Nth(1), Fault::Io("x".into()), 1);
+        let resp = host.handle(Request::CreateSession { id: None, program: None });
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(host.metrics().counter_value("service.spawn_failures"), Some(2));
+
+        // A permanently failing site exhausts the retries and rejects
+        // with a retry hint (the client's problem now, not the host's).
+        host.fault().disarm_all();
+        host.fault().arm(fault::site::SESSION_SPAWN, Trigger::Always, Fault::Io("x".into()), 1);
+        let resp = host.handle(Request::CreateSession { id: None, program: None });
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(resp.get("retryable"), Some(&Json::Bool(true)));
+        assert_eq!(host.active_sessions(), 1);
+    }
+
+    #[test]
+    fn cache_share_fault_degrades_to_cold_fork() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        // Warm the core through a first session.
+        let sid = create(&host);
+        host.handle(Request::GetResults { id: None, session: sid, limit: 4 });
+        host.handle(Request::CloseSession { id: None, session: sid });
+        assert!(host.inner.core.warm_entries() > 0);
+        // A cache-share fault on the next create: session still works,
+        // just cold.
+        host.fault().arm(fault::site::CACHE_SHARE, Trigger::Nth(0), Fault::Io("x".into()), 1);
+        let resp = host.handle(Request::CreateSession { id: None, program: None });
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("warm_entries").and_then(Json::as_u64), Some(0));
+        let sid2 = resp.get("session").and_then(Json::as_u64).unwrap();
+        let r = host.handle(Request::GetResults { id: None, session: sid2, limit: 4 });
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("degraded"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn shutdown_drains_and_is_idempotent() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        create(&host);
+        create(&host);
+        let resp = host.handle(Request::Shutdown { id: Some("bye".into()) });
+        assert_eq!(resp.get("drained_sessions").and_then(Json::as_u64), Some(2));
+        assert!(!host.is_accepting());
+        assert_eq!(host.active_sessions(), 0);
+        let resp = host.handle(Request::CreateSession { id: None, program: None });
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(host.shutdown(), 0);
+    }
+
+    #[test]
+    fn answer_rejects_unknown_attribute() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        let sid = create(&host);
+        let resp = host.handle(Request::Answer {
+            id: None,
+            session: sid,
+            attr: "nope.v".into(),
+            feature: "bold-font".into(),
+            value: "yes".into(),
+        });
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(resp.get("retryable"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn feature_arg_parsing_covers_tri_num_text() {
+        assert_eq!(parse_feature_arg("distinct-yes"), FeatureArg::Tri(FeatureValue::DistinctYes));
+        assert_eq!(parse_feature_arg("1000000"), FeatureArg::Num(1_000_000.0));
+        assert_eq!(parse_feature_arg("Price:"), FeatureArg::Text("Price:".into()));
+    }
+}

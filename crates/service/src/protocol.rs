@@ -1,0 +1,288 @@
+//! The JSON-lines wire protocol of the service.
+//!
+//! One request per line, one response per line. Every request is an
+//! object with a `"cmd"` field; an optional client-chosen `"id"` string
+//! is echoed verbatim in the response so clients can match replies.
+//!
+//! Responses are `{"id"?, "ok":true, ...}` on success and
+//! `{"id"?, "ok":false, "error":..., "retryable":..., "retry_after_ms"?}`
+//! on failure. `retryable:true` marks transient conditions — admission
+//! or queue backpressure, injected transport faults — where the client
+//! should back off and retry; `retry_after_ms` is the server's hint.
+
+use crate::json::{self, Json};
+
+/// A decoded protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `create-session`: admit a new session, optionally with a program.
+    CreateSession {
+        /// Client correlation id.
+        id: Option<String>,
+        /// Alog program source; the host default when absent.
+        program: Option<String>,
+    },
+    /// `ask-question`: the assistant's next unanswered questions.
+    AskQuestion {
+        /// Client correlation id.
+        id: Option<String>,
+        /// Target session.
+        session: u64,
+        /// How many questions to return (default 1).
+        count: usize,
+    },
+    /// `answer`: fold a feature answer into the session's program.
+    Answer {
+        /// Client correlation id.
+        id: Option<String>,
+        /// Target session.
+        session: u64,
+        /// Attribute display name (`pred.var`), as returned by
+        /// `ask-question`.
+        attr: String,
+        /// Feature name.
+        feature: String,
+        /// Feature value token (`yes`, `no`, `distinct-yes`, ...), a
+        /// number, or free text.
+        value: String,
+    },
+    /// `get-results`: run the session's program and return the table.
+    GetResults {
+        /// Client correlation id.
+        id: Option<String>,
+        /// Target session.
+        session: u64,
+        /// Row cap for the rendered table (default 10).
+        limit: usize,
+    },
+    /// `sleep`: hold the session's worker busy for `ms` milliseconds
+    /// (cancellable). A diagnostic verb for exercising backpressure and
+    /// the watchdog deterministically.
+    Sleep {
+        /// Client correlation id.
+        id: Option<String>,
+        /// Target session.
+        session: u64,
+        /// How long to hold the worker.
+        ms: u64,
+    },
+    /// `cancel`: cancel the session's in-flight run. Bypasses the
+    /// session's job queue — that is the point.
+    Cancel {
+        /// Client correlation id.
+        id: Option<String>,
+        /// Target session.
+        session: u64,
+    },
+    /// `close-session`: drain the session and publish its clean cache
+    /// entries back to the shared core.
+    CloseSession {
+        /// Client correlation id.
+        id: Option<String>,
+        /// Target session.
+        session: u64,
+    },
+    /// `stats`: service-level counters.
+    Stats {
+        /// Client correlation id.
+        id: Option<String>,
+    },
+    /// `shutdown`: stop admitting, drain every session, stop.
+    Shutdown {
+        /// Client correlation id.
+        id: Option<String>,
+    },
+}
+
+impl Request {
+    /// The client correlation id, when present.
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Request::CreateSession { id, .. }
+            | Request::AskQuestion { id, .. }
+            | Request::Answer { id, .. }
+            | Request::GetResults { id, .. }
+            | Request::Sleep { id, .. }
+            | Request::Cancel { id, .. }
+            | Request::CloseSession { id, .. }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => id.as_deref(),
+        }
+    }
+}
+
+/// Why a request line could not become a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Human-readable description.
+    pub msg: String,
+    /// The correlation id, when the line parsed far enough to have one.
+    pub id: Option<String>,
+}
+
+/// Decodes one request line.
+pub fn decode(line: &str) -> Result<Request, DecodeError> {
+    let v = json::parse(line).map_err(|e| DecodeError {
+        msg: format!("invalid JSON: {e}"),
+        id: None,
+    })?;
+    let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+    let fail = |msg: &str| DecodeError { msg: msg.to_string(), id: id.clone() };
+    let cmd = v
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("missing \"cmd\""))?;
+    let session = || {
+        v.get("session")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| fail("missing or invalid \"session\""))
+    };
+    let str_field = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| fail(&format!("missing \"{key}\"")))
+    };
+    match cmd {
+        "create-session" => Ok(Request::CreateSession {
+            id,
+            program: v.get("program").and_then(Json::as_str).map(str::to_string),
+        }),
+        "ask-question" => Ok(Request::AskQuestion {
+            session: session()?,
+            count: v.get("count").and_then(Json::as_u64).unwrap_or(1).max(1) as usize,
+            id,
+        }),
+        "answer" => Ok(Request::Answer {
+            session: session()?,
+            attr: str_field("attr")?,
+            feature: str_field("feature")?,
+            value: str_field("value")?,
+            id,
+        }),
+        "get-results" => Ok(Request::GetResults {
+            session: session()?,
+            limit: v.get("limit").and_then(Json::as_u64).unwrap_or(10).max(1) as usize,
+            id,
+        }),
+        "sleep" => Ok(Request::Sleep {
+            session: session()?,
+            ms: v
+                .get("ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| fail("missing or invalid \"ms\""))?,
+            id,
+        }),
+        "cancel" => Ok(Request::Cancel { session: session()?, id }),
+        "close-session" => Ok(Request::CloseSession { session: session()?, id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        other => Err(fail(&format!("unknown cmd {other:?}"))),
+    }
+}
+
+/// A success response; `fields` follow the echoed id and `"ok":true`.
+pub fn ok_response(id: Option<&str>, fields: Vec<(&str, Json)>) -> Json {
+    let mut pairs: Vec<(&str, Json)> = Vec::with_capacity(fields.len() + 2);
+    if let Some(id) = id {
+        pairs.push(("id", Json::str(id)));
+    }
+    pairs.push(("ok", Json::Bool(true)));
+    pairs.extend(fields);
+    Json::obj(pairs)
+}
+
+/// A failure response. `retry_after_ms` marks the failure transient and
+/// carries the backoff hint.
+pub fn err_response(id: Option<&str>, error: &str, retry_after_ms: Option<u64>) -> Json {
+    let mut pairs: Vec<(&str, Json)> = Vec::with_capacity(5);
+    if let Some(id) = id {
+        pairs.push(("id", Json::str(id)));
+    }
+    pairs.push(("ok", Json::Bool(false)));
+    pairs.push(("error", Json::str(error)));
+    pairs.push(("retryable", Json::Bool(retry_after_ms.is_some())));
+    if let Some(ms) = retry_after_ms {
+        pairs.push(("retry_after_ms", Json::num(ms)));
+    }
+    Json::obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_every_command() {
+        let r = decode(r#"{"cmd":"create-session","id":"a","program":"q(x) :- t(x)."}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::CreateSession {
+                id: Some("a".into()),
+                program: Some("q(x) :- t(x).".into())
+            }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"ask-question","session":2}"#).unwrap(),
+            Request::AskQuestion { id: None, session: 2, count: 1 }
+        );
+        assert_eq!(
+            decode(
+                r#"{"cmd":"answer","session":2,"attr":"extractTitle.t","feature":"bold-font","value":"yes"}"#
+            )
+            .unwrap(),
+            Request::Answer {
+                id: None,
+                session: 2,
+                attr: "extractTitle.t".into(),
+                feature: "bold-font".into(),
+                value: "yes".into()
+            }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"get-results","session":2,"limit":3}"#).unwrap(),
+            Request::GetResults { id: None, session: 2, limit: 3 }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"sleep","session":2,"ms":50}"#).unwrap(),
+            Request::Sleep { id: None, session: 2, ms: 50 }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"cancel","session":2}"#).unwrap(),
+            Request::Cancel { id: None, session: 2 }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"close-session","session":2}"#).unwrap(),
+            Request::CloseSession { id: None, session: 2 }
+        );
+        assert_eq!(decode(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats { id: None });
+        assert_eq!(decode(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown { id: None });
+    }
+
+    #[test]
+    fn decode_errors_keep_the_id() {
+        let e = decode(r#"{"id":"x7","cmd":"ask-question"}"#).unwrap_err();
+        assert_eq!(e.id.as_deref(), Some("x7"));
+        assert!(e.msg.contains("session"));
+        let e = decode("not json").unwrap_err();
+        assert_eq!(e.id, None);
+        let e = decode(r#"{"id":"q","cmd":"frobnicate"}"#).unwrap_err();
+        assert!(e.msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn response_shapes() {
+        let ok = ok_response(Some("a"), vec![("session", Json::num(4))]);
+        assert_eq!(ok.render(), r#"{"id":"a","ok":true,"session":4}"#);
+        let err = err_response(None, "full", Some(25));
+        assert_eq!(
+            err.render(),
+            r#"{"ok":false,"error":"full","retryable":true,"retry_after_ms":25}"#
+        );
+        let fatal = err_response(Some("b"), "no such session", None);
+        assert_eq!(
+            fatal.render(),
+            r#"{"id":"b","ok":false,"error":"no such session","retryable":false}"#
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Transports: JSON-lines over stdio or TCP, one request per line.
+//!
+//! The transport is deliberately thin — all policy lives in the
+//! [`Host`]. What the transport does own is its two fault sites:
+//! `service.request_decode` (a fired fault poisons the incoming line,
+//! modelling a corrupted read) and `service.response_write` (a fired
+//! fault makes the write transiently fail; the server retries with
+//! exponential backoff before giving the response up as lost — the
+//! client's retry, keyed by its request `id`, recovers).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::time::Duration;
+
+use crate::host::Host;
+use crate::json::Json;
+use crate::protocol::err_response;
+use iflex_engine::fault;
+
+/// How many write attempts (first try + retries) a response gets.
+const WRITE_ATTEMPTS: u32 = 4;
+
+/// Serves one connection's request lines until EOF or `shutdown`.
+/// Returns `true` when the loop ended because of a `shutdown` request
+/// (the caller should stop accepting).
+pub fn serve_lines<R: BufRead, W: Write>(host: &Host, input: R, mut out: W) -> io::Result<bool> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = if host.fault().hit(fault::site::REQUEST_DECODE).is_some() {
+            // The read "corrupted" this request: report it as retryable
+            // so the client resends; the request itself is never
+            // executed (no partial effects to undo).
+            host.metrics().counter("service.decode_faults").inc();
+            err_response(None, "transient decode failure, resend", Some(10))
+        } else {
+            host.handle_line(&line)
+        };
+        let is_shutdown = line.contains("\"shutdown\"") && resp.get("ok") == Some(&Json::Bool(true));
+        write_response(host, &mut out, &resp)?;
+        if is_shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Writes one response line, retrying injected transient write faults
+/// with exponential backoff (1ms, 2ms, 4ms). Real `io::Error`s from the
+/// sink still propagate — a closed pipe is not transient.
+fn write_response<W: Write>(host: &Host, out: &mut W, resp: &Json) -> io::Result<()> {
+    let mut backoff = Duration::from_millis(1);
+    for attempt in 0..WRITE_ATTEMPTS {
+        if host.fault().hit(fault::site::RESPONSE_WRITE).is_some() {
+            host.metrics().counter("service.write_faults").inc();
+            if attempt + 1 == WRITE_ATTEMPTS {
+                // Response lost; the connection survives. Clients match
+                // replies by id and re-ask after a timeout.
+                host.metrics().counter("service.responses_lost").inc();
+                return Ok(());
+            }
+            std::thread::sleep(backoff);
+            backoff *= 2;
+            continue;
+        }
+        out.write_all(resp.render().as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+        return Ok(());
+    }
+    Ok(())
+}
+
+/// Serves stdin/stdout until EOF or `shutdown`.
+pub fn serve_stdio(host: &Host) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_lines(host, stdin.lock(), stdout.lock()).map(|_| ())
+}
+
+/// Serves TCP connections on `addr` (e.g. `127.0.0.1:7878`), one at a
+/// time, until a connection issues `shutdown`. Returns the bound local
+/// address via `on_bound` before accepting (tests use an OS-assigned
+/// port).
+pub fn serve_tcp(host: &Host, addr: &str, on_bound: impl FnOnce(std::net::SocketAddr)) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    on_bound(listener.local_addr()?);
+    for conn in listener.incoming() {
+        let conn = match conn {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let reader = BufReader::new(conn.try_clone()?);
+        match serve_lines(host, reader, conn) {
+            Ok(true) => break,
+            Ok(false) => {}
+            // One broken connection must not take the listener down.
+            Err(_) => continue,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::ServiceConfig;
+    use crate::json;
+    use iflex_engine::{Fault, FaultPlan, Trigger};
+
+    fn host() -> Host {
+        Host::new(
+            crate::fixture::tiny_core(),
+            crate::fixture::PROGRAM,
+            ServiceConfig::default(),
+        )
+    }
+
+    fn run_transcript(host: &Host, lines: &str) -> Vec<Json> {
+        let mut out = Vec::new();
+        serve_lines(host, lines.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| json::parse(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_transcript() {
+        let host = host();
+        let responses = run_transcript(
+            &host,
+            "{\"cmd\":\"create-session\",\"id\":\"a\"}\n\
+             \n\
+             {\"cmd\":\"get-results\",\"session\":1,\"limit\":4}\n\
+             {\"cmd\":\"stats\"}\n\
+             {\"cmd\":\"shutdown\"}\n\
+             {\"cmd\":\"stats\"}\n",
+        );
+        // The blank line is skipped; shutdown ends the loop, so the
+        // trailing stats is never answered.
+        assert_eq!(responses.len(), 4);
+        assert_eq!(responses[0].get("id").and_then(Json::as_str), Some("a"));
+        assert_eq!(responses[1].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(responses[2].get("sessions").and_then(Json::as_u64), Some(1));
+        assert_eq!(responses[3].get("drained_sessions").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_the_loop_survives() {
+        let host = host();
+        let responses = run_transcript(
+            &host,
+            "this is not json\n\
+             {\"cmd\":\"nope\",\"id\":\"z\"}\n\
+             {\"cmd\":\"stats\"}\n",
+        );
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(responses[1].get("id").and_then(Json::as_str), Some("z"));
+        assert_eq!(responses[2].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn decode_fault_rejects_without_executing() {
+        let host = host();
+        host.fault().arm(
+            iflex_engine::fault::site::REQUEST_DECODE,
+            Trigger::Nth(0),
+            Fault::Io("corrupt".into()),
+            3,
+        );
+        let responses = run_transcript(
+            &host,
+            "{\"cmd\":\"create-session\"}\n\
+             {\"cmd\":\"create-session\"}\n",
+        );
+        // First create was swallowed by the decode fault (retryable),
+        // second went through — exactly one session exists.
+        assert_eq!(responses[0].get("retryable"), Some(&Json::Bool(true)));
+        assert_eq!(responses[1].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(host.active_sessions(), 1);
+    }
+
+    #[test]
+    fn transient_write_fault_is_retried_and_response_arrives() {
+        let host = host();
+        host.fault().arm(
+            iflex_engine::fault::site::RESPONSE_WRITE,
+            Trigger::Nth(0),
+            Fault::Io("flaky".into()),
+            3,
+        );
+        let responses = run_transcript(&host, "{\"cmd\":\"stats\"}\n");
+        assert_eq!(responses.len(), 1, "retry must deliver the response");
+        assert_eq!(host.metrics().counter_value("service.write_faults"), Some(1));
+        assert_eq!(host.metrics().counter_value("service.responses_lost"), None);
+    }
+
+    #[test]
+    fn persistent_write_fault_drops_the_response_but_not_the_connection() {
+        let host = host();
+        let plan: &FaultPlan = host.fault();
+        plan.arm(
+            iflex_engine::fault::site::RESPONSE_WRITE,
+            Trigger::Always,
+            Fault::Io("dead".into()),
+            3,
+        );
+        let responses = run_transcript(&host, "{\"cmd\":\"stats\"}\n{\"cmd\":\"stats\"}\n");
+        assert!(responses.is_empty(), "all responses lost");
+        assert_eq!(host.metrics().counter_value("service.responses_lost"), Some(2));
+        // The host itself is still healthy.
+        plan.disarm_all();
+        let responses = run_transcript(&host, "{\"cmd\":\"stats\"}\n");
+        assert_eq!(responses.len(), 1);
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        use std::io::{BufRead, BufReader, Write};
+        let host = std::sync::Arc::new(host());
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        let server = {
+            let host = std::sync::Arc::clone(&host);
+            std::thread::spawn(move || {
+                serve_tcp(&host, "127.0.0.1:0", move |a| {
+                    let _ = addr_tx.send(a);
+                })
+            })
+        };
+        let addr = addr_rx.recv().unwrap();
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(b"{\"cmd\":\"create-session\",\"id\":\"t\"}\n").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = json::parse(line.trim()).unwrap();
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some("t"));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        conn.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("drained_sessions"));
+        server.join().unwrap().unwrap();
+    }
+}

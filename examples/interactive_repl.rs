@@ -1,41 +1,86 @@
-//! An interactive iFlex shell: load a built-in corpus table, type Alog
-//! programs, run them best-effort, and see the approximate results and
-//! the assistant's suggested next question.
+//! An interactive iFlex shell, now a **thin client** of the multi-session
+//! service: every command is serialized to one JSON-lines protocol
+//! request, handed to an in-process [`iflex_service::Host`], and the
+//! response is pretty-printed. The same requests work verbatim against
+//! `cargo run -p iflex-service --bin service -- --tcp 127.0.0.1:7878`.
 //!
 //! Run with: `cargo run --release -p iflex-examples --bin interactive_repl`
 //!
 //! Commands:
 //!   .help                 show help
-//!   .tables               list loaded tables
-//!   .program              show the current program
-//!   .load `<alog text>`     replace the program (one line; `\n` for breaks)
-//!   .run                  execute the current program
-//!   .explain              show the compiled execution plan
-//!   .suggest              ask the next-effort assistant for a question
-//!   .quit                 exit
-//! Any other line ending in `.` is appended to the program as a rule.
+//!   .ask [n]              ask the assistant for the next n questions
+//!   .answer <attr> <feature> <value>   fold an answer in (e.g.
+//!                         `.answer extractTitle.t bold-font yes`)
+//!   .run [limit]          execute the program, show the result table
+//!   .cancel               cancel the in-flight run
+//!   .stats                service counters
+//!   .raw <json>           send a raw protocol line
+//!   .quit                 exit (drains the session gracefully)
 
-use iflex::assistant::{ordered_questions, AssistContext};
 use iflex::prelude::*;
 use iflex_corpus::{Corpus, CorpusConfig};
-use std::collections::BTreeSet;
+use iflex_service::{Host, Json, ServiceConfig};
 use std::io::{BufRead, Write};
 
+const PROGRAM: &str = "q(x, title) :- imdb(x), extractTitle(#x, title).\n\
+                       extractTitle(#x, t) :- from(#x, t), bold-font(t) = yes.\n";
+
+/// Renders a response for humans: the result table verbatim, everything
+/// else as compact JSON.
+fn show(resp: &Json) {
+    if let Some(table) = resp.get("table").and_then(Json::as_str) {
+        print!("{table}");
+        println!(
+            "{} compact tuples / {} expanded{}",
+            resp.get("tuples").and_then(Json::as_u64).unwrap_or(0),
+            resp.get("expanded").and_then(Json::as_u64).unwrap_or(0),
+            if resp.get("degraded") == Some(&Json::Bool(true)) {
+                " (degraded: superset-safe widening applied)"
+            } else {
+                ""
+            }
+        );
+        return;
+    }
+    if let Some(Json::Arr(qs)) = resp.get("questions") {
+        if qs.is_empty() {
+            println!("the question space is exhausted");
+        }
+        for q in qs {
+            println!(
+                "  [{} {}] {}",
+                q.get("attr").and_then(Json::as_str).unwrap_or("?"),
+                q.get("feature").and_then(Json::as_str).unwrap_or("?"),
+                q.get("text").and_then(Json::as_str).unwrap_or("")
+            );
+        }
+        return;
+    }
+    println!("{}", resp.render());
+}
+
 fn main() {
-    println!("iFlex interactive shell — best-effort IE over the Movies corpus");
-    println!("type .help for commands\n");
+    println!("iFlex shell — thin client over the multi-session service\n");
     let corpus = Corpus::build(CorpusConfig::tiny());
     let mut engine = Engine::new(corpus.store.clone());
     let imdb: Vec<_> = corpus.movies.imdb.iter().map(|(d, _)| *d).collect();
     let ebert: Vec<_> = corpus.movies.ebert.iter().map(|(d, _)| *d).collect();
     engine.add_doc_table("imdb", &imdb);
     engine.add_doc_table("ebert", &ebert);
+    let host = Host::new(engine.into_core(), PROGRAM, ServiceConfig::default());
 
-    let mut source = String::from(
-        "q(x, title) :- imdb(x), extractTitle(#x, title).\n\
-         extractTitle(#x, t) :- from(#x, t), bold-font(t) = yes.\n",
-    );
-    let asked: BTreeSet<(String, String)> = BTreeSet::new();
+    // The client side: one session over the wire protocol.
+    let send = |line: &str| host.handle_line(line);
+    let created = send(r#"{"cmd":"create-session","id":"repl"}"#);
+    let Some(sid) = created.get("session").and_then(Json::as_u64) else {
+        eprintln!("could not create a session: {}", created.render());
+        return;
+    };
+    println!("session {sid} created (warm cache entries: {})", created
+        .get("warm_entries")
+        .and_then(Json::as_u64)
+        .unwrap_or(0));
+    println!("type .help for commands\n");
 
     let stdin = std::io::stdin();
     loop {
@@ -46,78 +91,49 @@ fn main() {
             break;
         }
         let line = line.trim();
-        match line {
+        let mut parts = line.split_whitespace();
+        match parts.next().unwrap_or("") {
             "" => continue,
             ".quit" | ".exit" => break,
-            ".help" => {
-                println!(
-                    ".tables | .program | .load <alog> | .run | .explain | .suggest | .quit\n\
-                     or type a rule ending in '.' to append it"
-                );
+            ".help" => println!(
+                ".ask [n] | .answer <attr> <feature> <value> | .run [limit] | \
+                 .cancel | .stats | .raw <json> | .quit"
+            ),
+            ".ask" => {
+                let n: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+                show(&send(&format!(
+                    r#"{{"cmd":"ask-question","session":{sid},"count":{n}}}"#
+                )));
             }
-            ".tables" => {
-                for (name, table) in engine.ext_tables() {
-                    println!("  {name}: {} records", table.len());
-                }
+            ".answer" => {
+                let (Some(attr), Some(feature), Some(value)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    println!("usage: .answer <attr> <feature> <value>");
+                    continue;
+                };
+                show(&send(&format!(
+                    r#"{{"cmd":"answer","session":{sid},"attr":"{attr}","feature":"{feature}","value":"{value}"}}"#
+                )));
             }
-            ".program" => println!("{source}"),
-            ".explain" => match parse_program(&source) {
-                Err(e) => println!("parse error: {e}"),
-                Ok(prog) => match engine.explain(&prog) {
-                    Ok(text) => println!("{text}"),
-                    Err(e) => println!("error: {e}"),
-                },
-            },
-            ".run" => match parse_program(&source) {
-                Err(e) => println!("parse error: {e}"),
-                Ok(prog) => match engine.run(&prog) {
-                    Err(e) => println!("error: {e}"),
-                    Ok(table) => {
-                        println!("{}", table.render(engine.store(), 8));
-                        println!(
-                            "{} compact tuples / {} expanded",
-                            table.len(),
-                            table.expanded_len(engine.store())
-                        );
-                    }
-                },
-            },
-            ".suggest" => match parse_program(&source) {
-                Err(e) => println!("parse error: {e}"),
-                Ok(prog) => {
-                    let current = engine
-                        .run(&prog)
-                        .map(|t| t.expanded_len(engine.store()) as usize)
-                        .unwrap_or(0);
-                    let ctx = AssistContext {
-                        program: &prog,
-                        engine: &mut engine,
-                        asked: &asked,
-                        sample: Sample::new(1.0, 7),
-                        alpha: 0.1,
-                        current_size: current,
-                        examples: Default::default(),
-                    };
-                    match ordered_questions(&ctx).into_iter().next() {
-                        Some(q) => println!("next question: {}", q.text),
-                        None => println!("the question space is exhausted"),
-                    }
-                }
-            },
-            l if l.starts_with(".load ") => {
-                source = l[6..].replace("\\n", "\n");
-                println!("program replaced ({} chars)", source.len());
+            ".run" => {
+                let limit: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+                show(&send(&format!(
+                    r#"{{"cmd":"get-results","session":{sid},"limit":{limit}}}"#
+                )));
             }
-            l if l.ends_with('.') => match parse_rule(l) {
-                Ok(_) => {
-                    source.push_str(l);
-                    source.push('\n');
-                    println!("rule added");
-                }
-                Err(e) => println!("parse error: {e}"),
-            },
-            other => println!("unrecognized input: {other:?} (try .help)"),
+            ".cancel" => show(&send(&format!(r#"{{"cmd":"cancel","session":{sid}}}"#))),
+            ".stats" => show(&send(r#"{"cmd":"stats"}"#)),
+            ".raw" => {
+                let raw = line.strip_prefix(".raw").unwrap_or("").trim();
+                show(&send(raw));
+            }
+            other => println!("unrecognized command {other:?} (try .help)"),
         }
     }
-    println!("bye");
+    let closed = send(&format!(r#"{{"cmd":"close-session","session":{sid}}}"#));
+    println!(
+        "session closed (cache published: {})",
+        closed.get("published") == Some(&Json::Bool(true))
+    );
 }

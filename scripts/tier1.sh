@@ -26,6 +26,12 @@ echo "== incremental smoke =="
 # is exercised as a correctness gate, not just a speed lever.
 ./target/release/exp_scaling --incremental-report --smoke target/BENCH_incremental_smoke.json
 
+echo "== service smoke =="
+# A scripted client transcript through the multi-session server:
+# create / ask / answer / get-results, an admission-cap rejection, and
+# a graceful drain; asserts inside the binary check every response.
+./target/release/service --smoke
+
 echo "== trace smoke =="
 # One tiny traced session end to end: dump the journal as JSONL, replay
 # it, validate span nesting, and render the run report.

@@ -176,3 +176,50 @@ fn engine_errors_chain_sources() {
         assert!(!e.to_string().is_empty());
     }
 }
+
+#[test]
+fn memo_lookup_site_fault_degrades_that_rule_only() {
+    let (mut eng, _) = engine_with_pages(3);
+    let prog = extraction_program();
+    // Warm the cache with an exact run, then poison the next lookup.
+    let exact = eng.run(&prog).unwrap();
+    assert!(!eng.stats.degraded());
+    eng.fault.arm(
+        fault::site::MEMO_LOOKUP,
+        Trigger::Nth(0),
+        Fault::Panic("cache lookup died".into()),
+        7,
+    );
+    let degraded = eng.run(&prog).expect("lookup fault degrades, never aborts");
+    assert!(eng.stats.degraded_by(DegradeCause::RulePanic));
+    let d = &eng.stats.degradations[0];
+    assert_eq!(
+        d.site.as_deref(),
+        Some(fault::site::MEMO_LOOKUP),
+        "degradation is attributed to the lookup site: {d}"
+    );
+    assert!(!degraded.is_empty(), "superset-safe stand-in survives");
+    // The fault fired once; the next run is exact again and equals the
+    // original (the widened result was never cached).
+    let retry = eng.run(&prog).unwrap();
+    assert!(!eng.stats.degraded());
+    assert_eq!(retry.tuples(), exact.tuples());
+}
+
+#[test]
+fn memo_lookup_io_fault_in_strict_mode_is_a_hard_error() {
+    let (mut eng, _) = engine_with_pages(3);
+    let prog = extraction_program();
+    eng.run(&prog).unwrap();
+    eng.limits.degrade = false;
+    eng.fault.arm(
+        fault::site::MEMO_LOOKUP,
+        Trigger::Nth(0),
+        Fault::TooLarge,
+        7,
+    );
+    match eng.run(&prog) {
+        Err(EngineError::TooLarge(_)) => {}
+        other => panic!("expected TooLarge from the lookup site, got {other:?}"),
+    }
+}

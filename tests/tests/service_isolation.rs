@@ -1,0 +1,178 @@
+//! Cross-session bulkhead isolation: N concurrent sessions on one host,
+//! one of them armed with always-firing faults. The victim degrades or
+//! errors; every sibling's result table stays byte-identical to a solo
+//! run on a fault-free host, and nothing degraded ever reaches a later
+//! session through the shared caches.
+
+use iflex_service::{fixture, Host, Json, Request, ServiceConfig};
+use iflex_engine::{fault, Fault, Trigger};
+use std::time::Duration;
+
+fn cfg() -> ServiceConfig {
+    ServiceConfig {
+        max_sessions: 8,
+        watchdog_interval: Duration::from_millis(10),
+        stuck_limit: Duration::from_secs(2),
+        ..ServiceConfig::default()
+    }
+}
+
+fn create(host: &Host) -> u64 {
+    host.handle(Request::CreateSession { id: None, program: None })
+        .get("session")
+        .and_then(Json::as_u64)
+        .expect("session admitted")
+}
+
+/// The canonical workload; the `get-results` response is the comparison
+/// unit (no ids, no timestamps — equal runs render byte-identically).
+fn workload(host: &Host, session: u64) -> Json {
+    let answer = host.handle(Request::Answer {
+        id: None,
+        session,
+        attr: fixture::ANSWER_ATTR.into(),
+        feature: "bold-font".into(),
+        value: "yes".into(),
+    });
+    assert!(answer.get("ok").is_some());
+    host.handle(Request::GetResults { id: None, session, limit: 16 })
+}
+
+fn solo_baseline() -> String {
+    let host = Host::new(fixture::tiny_core(), fixture::PROGRAM, cfg());
+    let resp = workload(&host, create(&host));
+    assert_eq!(resp.get("degraded"), Some(&Json::Bool(false)));
+    resp.render()
+}
+
+#[test]
+fn concurrent_victim_panics_never_leak_into_siblings() {
+    let baseline = solo_baseline();
+    let host = Host::new(fixture::tiny_core(), fixture::PROGRAM, cfg());
+    let victim = create(&host);
+    let siblings: Vec<u64> = (0..3).map(|_| create(&host)).collect();
+    assert!(host.arm_session(
+        victim,
+        fault::site::EVAL_RULE,
+        Trigger::Always,
+        Fault::Panic("tenant zero is hostile".into()),
+        42,
+    ));
+
+    let host_ref = &host;
+    let (victim_resp, sibling_resps) = std::thread::scope(|scope| {
+        let v = scope.spawn(move || workload(host_ref, victim));
+        let joins: Vec<_> = siblings
+            .iter()
+            .map(|&s| scope.spawn(move || workload(host_ref, s)))
+            .collect();
+        (
+            v.join().expect("victim thread survives"),
+            joins.into_iter().map(|j| j.join().expect("sibling thread survives")).collect::<Vec<_>>(),
+        )
+    });
+
+    // The victim is contained: its run completes degraded (superset-safe
+    // widening), it does not abort the process or hang.
+    assert_eq!(victim_resp.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(victim_resp.get("degraded"), Some(&Json::Bool(true)));
+    assert_ne!(victim_resp.render(), baseline);
+
+    // Every sibling matches the solo run byte for byte.
+    for (i, resp) in sibling_resps.iter().enumerate() {
+        assert_eq!(resp.render(), baseline, "sibling {i} diverged");
+    }
+}
+
+#[test]
+fn degraded_results_never_travel_through_the_shared_cache() {
+    let baseline = solo_baseline();
+    let host = Host::new(fixture::tiny_core(), fixture::PROGRAM, cfg());
+
+    // A victim degrades on every rule, runs, and closes — publishing
+    // whatever its cache holds back to the core.
+    let victim = create(&host);
+    assert!(host.arm_session(
+        victim,
+        fault::site::EVAL_RULE,
+        Trigger::Always,
+        Fault::TooLarge,
+        7,
+    ));
+    let resp = workload(&host, victim);
+    assert_eq!(resp.get("degraded"), Some(&Json::Bool(true)));
+    let closed = host.handle(Request::CloseSession { id: None, session: victim });
+    assert_eq!(closed.get("closed"), Some(&Json::Bool(true)));
+
+    // A fresh session forked from the (possibly warmed) core still
+    // produces the exact solo result: degraded tables are never cached,
+    // so nothing widened can be published or shared.
+    let fresh = create(&host);
+    let resp = workload(&host, fresh);
+    assert_eq!(resp.render(), baseline);
+}
+
+#[test]
+fn poisoned_worker_is_quarantined_and_its_slot_is_reclaimed() {
+    let host = Host::new(
+        fixture::tiny_core(),
+        fixture::PROGRAM,
+        ServiceConfig { max_sessions: 2, ..cfg() },
+    );
+    let victim = create(&host);
+    let sibling = create(&host);
+    // An always-firing panic makes the victim degrade on every rule of
+    // every run; the sibling on the same host must stay exact, and the
+    // victim's admission slot must still be reclaimable.
+    assert!(host.arm_session(
+        victim,
+        fault::site::EVAL_RULE,
+        Trigger::Always,
+        Fault::Panic("poison".into()),
+        3,
+    ));
+    let v = workload(&host, victim);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "contained, degraded");
+    assert_eq!(v.get("degraded"), Some(&Json::Bool(true)));
+    let s = workload(&host, sibling);
+    assert_eq!(s.get("degraded"), Some(&Json::Bool(false)));
+
+    // Admission is at the cap; closing the victim frees its slot even
+    // after all that abuse.
+    let rejected = host.handle(Request::CreateSession { id: None, program: None });
+    assert_eq!(rejected.get("retryable"), Some(&Json::Bool(true)));
+    host.handle(Request::CloseSession { id: None, session: victim });
+    let admitted = host.handle(Request::CreateSession { id: None, program: None });
+    assert_eq!(admitted.get("ok"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn memo_lookup_chaos_in_one_session_leaves_siblings_exact() {
+    let baseline = solo_baseline();
+    let host = Host::new(fixture::tiny_core(), fixture::PROGRAM, cfg());
+    let victim = create(&host);
+    let sibling = create(&host);
+    // Seeded probabilistic chaos on the victim's shared-cache lookups.
+    assert!(host.arm_session(
+        victim,
+        fault::site::MEMO_LOOKUP,
+        Trigger::PerMille(500),
+        Fault::Panic("flaky cache".into()),
+        1729,
+    ));
+    let host_ref = &host;
+    let (v, s) = std::thread::scope(|scope| {
+        let v = scope.spawn(move || {
+            // Several runs so the per-mille trigger gets chances to fire.
+            let mut last = workload(host_ref, victim);
+            for _ in 0..4 {
+                last = host_ref.handle(Request::GetResults { id: None, session: victim, limit: 16 });
+            }
+            last
+        });
+        let s = scope.spawn(move || workload(host_ref, sibling));
+        (v.join().unwrap(), s.join().unwrap())
+    });
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(s.render(), baseline, "sibling unaffected by victim cache chaos");
+}
