@@ -5,24 +5,33 @@
 //!
 //! Modes:
 //! * no arguments — the original scaling table;
+//! * `--scale <f>` (repeatable) — run the scaling table at the given
+//!   corpus scale(s) instead of the default ladder; factors ≥10× the
+//!   paper's sizes are supported (the corpus generators stay injective
+//!   at any scale);
 //! * `--parallel-report [path]` — sweeps the parallel-execution knobs
 //!   (serial baseline without the feature memo, serial with it, threaded
 //!   with it) and writes a `BENCH_parallel.json` report;
 //! * `--smoke [path]` — the same sweep on one tiny workload, for the
-//!   tier-1 gate.
+//!   tier-1 gate;
+//! * `--plan-report [path] [--smoke] [--scale f]...` — the logical-plan
+//!   optimizer ablation (DESIGN.md §11): serial / +feature-memo /
+//!   +optimizer, single-threaded with sampling and the incremental cache
+//!   off so plan-execution cost is isolated, writing `BENCH_plan.json`
+//!   and asserting all three configurations produce identical results.
 
 use iflex_bench::{run_session, run_session_configured, ExecConfig, RunResult, Strat};
 use iflex_corpus::{Corpus, CorpusConfig, TaskId};
 use iflex_engine::default_threads;
 use std::time::Instant;
 
-fn scaling_table() {
+fn scaling_table(scales: &[f64]) {
     println!("Scaling: session wall clock (seconds) vs corpus scale");
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>10}",
         "scale", "T1", "T5", "T8", "Panel"
     );
-    for scale in [0.1, 0.25, 0.5, 1.0] {
+    for &scale in scales {
         let corpus = Corpus::build(CorpusConfig::scaled(scale));
         let mut row = format!("{scale:>6}");
         for id in [TaskId::T1, TaskId::T5, TaskId::T8, TaskId::Panel] {
@@ -342,6 +351,139 @@ fn incremental_report(path: &str, smoke: bool) {
     println!("wrote {path}");
 }
 
+/// One workload of the optimizer ablation: the same single-threaded
+/// session under three plans-and-caches configurations, asserting all
+/// three converge to the identical result.
+struct PlanRow {
+    task: String,
+    scale: f64,
+    serial_secs: f64,
+    memo_secs: f64,
+    optimized_secs: f64,
+    result_tuples: usize,
+}
+
+fn render_plan_json(rows: &[PlanRow]) -> String {
+    let mut out = String::from("{\n");
+    out += &format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    out += "  \"strategy\": \"Simulation\",\n";
+    out += "  \"regime\": \"threads=1, sampling off, incremental off\",\n";
+    out += "  \"workloads\": [\n";
+    for (i, r) in rows.iter().enumerate() {
+        out += "    {\n";
+        out += &format!("      \"task\": \"{}\",\n", r.task);
+        out += &format!("      \"scale\": {},\n", r.scale);
+        out += &format!("      \"serial_secs\": {:.4},\n", r.serial_secs);
+        out += &format!("      \"serial_memo_secs\": {:.4},\n", r.memo_secs);
+        out += &format!("      \"optimized_secs\": {:.4},\n", r.optimized_secs);
+        out += &format!(
+            "      \"speedup_vs_serial\": {:.2},\n",
+            r.serial_secs / r.optimized_secs.max(1e-9)
+        );
+        out += &format!(
+            "      \"speedup_vs_serial_memo\": {:.2},\n",
+            r.memo_secs / r.optimized_secs.max(1e-9)
+        );
+        out += &format!("      \"result_tuples\": {}\n", r.result_tuples);
+        out += if i + 1 == rows.len() { "    }\n" } else { "    },\n" };
+    }
+    out += "  ]\n}\n";
+    out
+}
+
+/// The logical-plan optimizer sweep (`--plan-report`): three
+/// configurations per workload — `serial` (no feature memo, no
+/// optimizer), `memo` (feature memo, no optimizer), `optimized` (both).
+/// Single-threaded, sampling and the incremental cache off, so the
+/// comparison isolates plan-execution cost; the binary asserts every
+/// configuration converges to the identical result (tuple-for-tuple
+/// count and recall — the optimizer is byte-exact, see the `prop_opt`
+/// property suite for the byte-level ablation).
+fn plan_report(path: &str, smoke: bool, scales: &[f64]) {
+    let base = ExecConfig {
+        threads: Some(1),
+        use_incremental: false,
+        use_sampling: false,
+        ..ExecConfig::default()
+    };
+    let serial = ExecConfig {
+        use_feature_memo: false,
+        use_optimizer: false,
+        ..base
+    };
+    let memo = ExecConfig {
+        use_optimizer: false,
+        ..base
+    };
+    let optimized = base;
+    let (scales, tasks): (Vec<f64>, Vec<TaskId>) = if smoke {
+        (vec![0.1], vec![TaskId::T1])
+    } else {
+        let scales = if scales.is_empty() {
+            vec![1.0, 10.0]
+        } else {
+            scales.to_vec()
+        };
+        (scales, vec![TaskId::T1, TaskId::T5, TaskId::T8, TaskId::Panel])
+    };
+    let mut rows = Vec::new();
+    for &scale in &scales {
+        let corpus = Corpus::build(CorpusConfig::scaled(scale));
+        for &id in &tasks {
+            let (serial_secs, s) = timed(&corpus, id, serial);
+            let (memo_secs, m) = timed(&corpus, id, memo);
+            let (optimized_secs, o) = timed(&corpus, id, optimized);
+            for run in [&m, &o] {
+                assert_eq!(
+                    run.quality.result_tuples, s.quality.result_tuples,
+                    "{id:?} scale {scale}: configuration changed the result"
+                );
+                assert!((run.quality.recall - s.quality.recall).abs() < 1e-12);
+            }
+            let r = PlanRow {
+                task: format!("{id:?}"),
+                scale,
+                serial_secs,
+                memo_secs,
+                optimized_secs,
+                result_tuples: o.quality.result_tuples,
+            };
+            println!(
+                "{:>6} @{}: serial {:.2}s  serial+memo {:.2}s  optimized {:.2}s  ({:.2}x vs serial+memo)",
+                r.task,
+                r.scale,
+                r.serial_secs,
+                r.memo_secs,
+                r.optimized_secs,
+                r.memo_secs / r.optimized_secs.max(1e-9),
+            );
+            rows.push(r);
+        }
+    }
+    std::fs::write(path, render_plan_json(&rows)).expect("write report");
+    println!("wrote {path}");
+}
+
+/// Collects every value following a `--scale` flag.
+fn scale_args(args: &[String]) -> Vec<f64> {
+    let mut scales = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            let v = it
+                .next()
+                .and_then(|s| s.parse::<f64>().ok())
+                .expect("--scale takes a positive number");
+            assert!(v > 0.0, "--scale takes a positive number");
+            scales.push(v);
+        }
+    }
+    scales
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
@@ -367,6 +509,27 @@ fn main() {
                 .unwrap_or(default);
             incremental_report(path, smoke);
         }
-        _ => scaling_table(),
+        Some("--plan-report") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let default = if smoke {
+                "BENCH_plan_smoke.json"
+            } else {
+                "BENCH_plan.json"
+            };
+            let mut skip_next = false;
+            let path = args[1..]
+                .iter()
+                .filter(|a| {
+                    let keep = !skip_next;
+                    skip_next = *a == "--scale";
+                    keep && !a.starts_with("--")
+                })
+                .map(|s| s.as_str())
+                .next()
+                .unwrap_or(default);
+            plan_report(path, smoke, &scale_args(&args));
+        }
+        Some("--scale") => scaling_table(&scale_args(&args)),
+        _ => scaling_table(&[0.1, 0.25, 0.5, 1.0]),
     }
 }

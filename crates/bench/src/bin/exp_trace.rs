@@ -10,7 +10,9 @@
 //!   dump, validate span nesting, and render the report. Exits non-zero
 //!   on any malformed output — the tier-1 gate.
 
-use iflex_bench::trace_report::{iteration_timeline, render_report, rule_self_time};
+use iflex_bench::trace_report::{
+    iteration_timeline, optimizer_notes, render_report, rule_self_time,
+};
 use iflex_bench::{run_session_configured, ExecConfig, Strat};
 use iflex_corpus::{Corpus, CorpusConfig, TaskId};
 use iflex_engine::obs::{parse_jsonl, validate_nesting};
@@ -45,6 +47,11 @@ fn smoke(path: &str) -> Result<(), String> {
     let timeline = iteration_timeline(&spans);
     if timeline.is_empty() {
         return Err("trace contains no iteration spans".into());
+    }
+    // the optimizer runs by default; its per-rule rewrite summaries and
+    // estimated-vs-actual selectivities must surface in the report
+    if optimizer_notes(&spans, &events).is_empty() {
+        return Err("trace contains no optimizer instants".into());
     }
     print!("{}", render_report(&spans, &events));
     println!(

@@ -92,6 +92,9 @@ pub struct ExecConfig {
     /// probes run at full scale — the regime where redundant
     /// re-execution, not subset approximation, is the cost being measured.
     pub use_sampling: bool,
+    /// Whether the logical-plan optimizer (DESIGN.md §11) rewrites
+    /// compiled rules; `false` is the ablation arm of the plan report.
+    pub use_optimizer: bool,
 }
 
 impl Default for ExecConfig {
@@ -101,6 +104,7 @@ impl Default for ExecConfig {
             use_feature_memo: true,
             use_incremental: true,
             use_sampling: true,
+            use_optimizer: true,
         }
     }
 }
@@ -124,6 +128,7 @@ pub fn run_session_configured(
     let mut engine = task.engine(corpus);
     engine.limits.use_feature_memo = exec.use_feature_memo;
     engine.limits.use_incremental = exec.use_incremental;
+    engine.limits.use_optimizer = exec.use_optimizer;
     let mut session = iflex::Session::new(
         engine,
         task.program.clone(),

@@ -77,38 +77,74 @@ const PROJECT_NAME: &[&str] = &[
     "Proton",
 ];
 
-/// Deterministic, injective movie title for `i` (valid for `i < 16384`).
+/// Alphabetic tag for overflow blocks ("A", "B", …, "Z", "AA", …): how
+/// the title generators stay injective past their word-pool products,
+/// so corpora can scale ≥10× the paper's sizes. Digit-free on purpose —
+/// a numeric suffix would add spurious candidates to numeric-extraction
+/// tasks.
+fn series_tag(mut block: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.insert(0, (b'A' + (block % 26) as u8) as char);
+        block /= 26;
+        if block == 0 {
+            break;
+        }
+        block -= 1;
+    }
+    s
+}
+
+/// Wraps a pool-product generator: identical output inside the injective
+/// range (existing corpora are byte-stable), a distinct `Volume <tag>`
+/// suffix per overflow block beyond it ("Volume" appears in no pool, so
+/// suffixed titles never collide with base titles).
+fn extend_range(i: usize, range: usize, base: impl Fn(usize) -> String) -> String {
+    if i < range {
+        base(i)
+    } else {
+        format!("{} Volume {}", base(i % range), series_tag(i / range - 1))
+    }
+}
+
+/// Deterministic, injective movie title (any `i`; pool product 16 384).
 pub fn movie_title(i: usize) -> String {
-    let a = ADJ[i % ADJ.len()];
-    let n = NOUN[(i / ADJ.len()) % NOUN.len()];
-    let block = i / (ADJ.len() * NOUN.len());
-    match block % 3 {
-        0 => format!("{a} {n}"),
-        1 => format!("The {a} {n}"),
-        _ => format!("{a} {n} of {}", NOUN2[block % NOUN2.len()]),
-    }
+    extend_range(i, 16_384, |i| {
+        let a = ADJ[i % ADJ.len()];
+        let n = NOUN[(i / ADJ.len()) % NOUN.len()];
+        let block = i / (ADJ.len() * NOUN.len());
+        match block % 3 {
+            0 => format!("{a} {n}"),
+            1 => format!("The {a} {n}"),
+            _ => format!("{a} {n} of {}", NOUN2[block % NOUN2.len()]),
+        }
+    })
 }
 
-/// Deterministic, injective paper title (`i < 12288`).
+/// Deterministic, injective paper title (any `i`; pool product 12 288).
 pub fn paper_title(i: usize) -> String {
-    let t = TOPIC[i % TOPIC.len()];
-    let m = METHOD[(i / TOPIC.len()) % METHOD.len()];
-    let o = OBJECT[(i / (TOPIC.len() * METHOD.len())) % OBJECT.len()];
-    match (i / (TOPIC.len() * METHOD.len() * OBJECT.len())) % 2 {
-        0 => format!("{m} {t} for {o}"),
-        _ => format!("{t} over {o} the {m} Way"),
-    }
+    extend_range(i, 12_288, |i| {
+        let t = TOPIC[i % TOPIC.len()];
+        let m = METHOD[(i / TOPIC.len()) % METHOD.len()];
+        let o = OBJECT[(i / (TOPIC.len() * METHOD.len())) % OBJECT.len()];
+        match (i / (TOPIC.len() * METHOD.len() * OBJECT.len())) % 2 {
+            0 => format!("{m} {t} for {o}"),
+            _ => format!("{t} over {o} the {m} Way"),
+        }
+    })
 }
 
-/// Deterministic, injective book title (`i < 12288`).
+/// Deterministic, injective book title (any `i`; pool product 12 288).
 pub fn book_title(i: usize) -> String {
-    let t = TOPIC[i % TOPIC.len()];
-    let m = METHOD[(i / TOPIC.len()) % METHOD.len()];
-    let o = OBJECT[(i / (TOPIC.len() * METHOD.len())) % OBJECT.len()];
-    match (i / (TOPIC.len() * METHOD.len() * OBJECT.len())) % 2 {
-        0 => format!("{m} Database {t} with {o}"),
-        _ => format!("{m} {t} Handbook for {o}"),
-    }
+    extend_range(i, 12_288, |i| {
+        let t = TOPIC[i % TOPIC.len()];
+        let m = METHOD[(i / TOPIC.len()) % METHOD.len()];
+        let o = OBJECT[(i / (TOPIC.len() * METHOD.len())) % OBJECT.len()];
+        match (i / (TOPIC.len() * METHOD.len() * OBJECT.len())) % 2 {
+            0 => format!("{m} Database {t} with {o}"),
+            _ => format!("{m} {t} Handbook for {o}"),
+        }
+    })
 }
 
 /// Deterministic person name (`i < 1024` distinct).
@@ -162,6 +198,29 @@ mod tests {
             let set: BTreeSet<String> = (0..3000).map(gen).collect();
             assert_eq!(set.len(), 3000);
         }
+    }
+
+    #[test]
+    fn titles_stay_injective_past_the_pool_product() {
+        // 10× the paper's largest table (Barnes, 5 000) crosses every
+        // generator's pool product; sample densely across the boundary.
+        for gen in [movie_title as fn(usize) -> String, paper_title, book_title] {
+            let set: BTreeSet<String> = (0..60_000).step_by(7).map(gen).collect();
+            assert_eq!(set.len(), (0..60_000).step_by(7).count());
+        }
+        // overflow titles carry the digit-free series tag
+        assert!(book_title(12_288).contains("Volume A"), "{}", book_title(12_288));
+        assert!(!book_title(50_000).chars().any(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn series_tags_walk_the_alphabet() {
+        assert_eq!(series_tag(0), "A");
+        assert_eq!(series_tag(25), "Z");
+        assert_eq!(series_tag(26), "AA");
+        assert_eq!(series_tag(27), "AB");
+        assert_eq!(series_tag(26 * 27 - 1), "ZZ");
+        assert_eq!(series_tag(26 * 27), "AAA");
     }
 
     #[test]

@@ -36,6 +36,9 @@ fn verify_memo(
     let ok = f.verify_value(store, v, &k.arg)?;
     if let (Some(m), Some(h)) = (memo, hash) {
         m.insert(h, &q, MemoValue::Verified(ok));
+        // Selectivity signal for the plan optimizer (DESIGN.md §11):
+        // recorded on the miss path only, where the feature actually ran.
+        m.note_verify(&k.feature, ok);
     }
     Ok(ok)
 }
@@ -67,6 +70,7 @@ fn refine_memo(
     let refined = Arc::new(f.refine(store, span, &k.arg)?);
     if let (Some(m), Some(h)) = (memo, hash) {
         m.insert(h, &q, MemoValue::Refined(Arc::clone(&refined)));
+        m.note_refine(&k.feature, refined.len());
     }
     Ok(refined)
 }
@@ -120,7 +124,9 @@ pub fn apply_constraint_cached(
         .iter()
         .any(|a| matches!(a, Assignment::Contain(_)));
     if !refinable {
-        return apply_constraint_memo(cell, new, priors, store, features, None);
+        let out = apply_constraint_memo(cell, new, priors, store, features, None)?;
+        memo.note_verify(&new.feature, !out.is_empty());
+        return Ok(out);
     }
     let (hash, found) = memo.get_cell(ctx, cell);
     if let Some(out) = found {
@@ -134,6 +140,11 @@ pub fn apply_constraint_cached(
     // feature call can still thread the memo through
     // [`apply_constraint_memo`] directly.
     let out = apply_constraint_memo(cell, new, priors, store, features, None)?;
+    // Cell-granularity selectivity signal for the plan optimizer: did the
+    // chain drop this cell, and how many assignments survived? Recorded
+    // on the miss path only (hits carry no new information).
+    memo.note_verify(&new.feature, !out.is_empty());
+    memo.note_refine(&new.feature, out.assignments().len());
     memo.insert_cell(hash, ctx, cell, out.clone());
     Ok(out)
 }

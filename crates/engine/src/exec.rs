@@ -21,7 +21,7 @@ use crate::budget::{DegradeCause, RunBudget, RunClock};
 use crate::eval::{candidates_budgeted, cells_may_equal, compare_cands, filter_cands, Cands};
 use crate::fault::{self, Fault, FaultPlan};
 use crate::pfunc::{builtin_procs, ProcRegistry, Procedure};
-use crate::plan::{compile_rule, CompileEnv, Operand, Plan, PlanError};
+use crate::plan::{compile_rule, CompileEnv, FusedOp, Operand, Plan, PlanError};
 use crate::sample::Sample;
 use iflex_alog::{
     evaluation_order, unfold, validate, Program, Rule, ValidateEnv, ValidateError,
@@ -86,6 +86,14 @@ pub struct Limits {
     /// [`Engine::tracer`]; this flag exists so embedding code can opt in
     /// without touching the environment.
     pub trace: bool,
+    /// Run each compiled rule plan through the logical-plan optimizer
+    /// (DESIGN.md §11): σ pushdown below joins, selectivity-driven
+    /// reordering, join orientation, and fusion of adjacent selection /
+    /// projection operators into single batch passes. Every rewrite
+    /// preserves results byte-for-byte, so this is a pure ablation knob;
+    /// incremental-cache fingerprints hash the *pre-optimization* rule and
+    /// stay valid either way.
+    pub use_optimizer: bool,
 }
 
 impl Default for Limits {
@@ -104,6 +112,7 @@ impl Default for Limits {
             use_feature_memo: true,
             use_incremental: true,
             trace: false,
+            use_optimizer: true,
         }
     }
 }
@@ -156,6 +165,27 @@ pub(crate) fn parse_threads_value(v: &str) -> Option<usize> {
 fn warn_knob_once(msg: &str) {
     static WARNED: std::sync::Once = std::sync::Once::new();
     WARNED.call_once(|| eprintln!("{msg}"));
+}
+
+/// Warns once per process when the optimizer is ablated while the
+/// incremental cache stays on. The combination is *valid* — rule
+/// fingerprints hash the pre-optimization unfolded rule (see
+/// [`crate::plan::rule_fingerprint`]), and every optimizer rewrite is
+/// byte-exact, so cache entries remain shareable between optimized and
+/// unoptimized executions — but a warm shared cache can serve results
+/// that were computed by an optimized engine, which skews A/B *timing*
+/// comparisons. Its own `Once`: [`warn_knob_once`] fires for the first
+/// knob warning of any kind and would swallow this one.
+fn warn_optimizer_off_incremental_on() {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "iflex: use_optimizer=false with use_incremental=true — cache entries \
+             stay valid and shareable (fingerprints hash the pre-optimization rule), \
+             but warm entries may have been produced by an optimized engine; disable \
+             use_incremental too for a clean ablation timing"
+        );
+    });
 }
 
 /// One graceful-degradation event: a rule whose evaluation could not be
@@ -369,7 +399,7 @@ impl From<FeatureError> for EngineError {
 /// Stable operator names for spans and per-operator metrics
 /// (`engine.op.<name>.us` / `engine.op.<name>.tuples_out`), indexed by
 /// [`op_idx`]. Static so the hot path never formats a name.
-const OP_NAMES: [&str; 11] = [
+const OP_NAMES: [&str; 12] = [
     "scan_ext",
     "scan_rel",
     "from_extract",
@@ -381,6 +411,7 @@ const OP_NAMES: [&str; 11] = [
     "cross_join",
     "project",
     "annotate",
+    "fused",
 ];
 
 /// The [`OP_NAMES`] index of a plan node.
@@ -397,6 +428,7 @@ fn op_idx(plan: &Plan) -> usize {
         Plan::CrossJoin { .. } => 8,
         Plan::Project { .. } => 9,
         Plan::Annotate { .. } => 10,
+        Plan::Fused { .. } => 11,
     }
 }
 
@@ -421,6 +453,16 @@ struct EngineCounters {
     op_us: Vec<Histogram>,
     /// Per-operator output tuples, indexed by [`op_idx`].
     op_tuples: Vec<Counter>,
+    /// Logical-plan optimizer activity (DESIGN.md §11).
+    opt_plans: Counter,
+    opt_pushdowns: Counter,
+    opt_reorders: Counter,
+    opt_join_flips: Counter,
+    opt_fused_nodes: Counter,
+    opt_fused_steps: Counter,
+    /// Estimated vs. actual per-rule selectivity, in basis points.
+    opt_est_sel_bp: Histogram,
+    opt_act_sel_bp: Histogram,
 }
 
 impl EngineCounters {
@@ -451,6 +493,14 @@ impl EngineCounters {
                     ))
                 })
                 .collect(),
+            opt_plans: reg.counter(names::OPT_PLANS),
+            opt_pushdowns: reg.counter(names::OPT_PUSHDOWNS),
+            opt_reorders: reg.counter(names::OPT_REORDERS),
+            opt_join_flips: reg.counter(names::OPT_JOIN_FLIPS),
+            opt_fused_nodes: reg.counter(names::OPT_FUSED_NODES),
+            opt_fused_steps: reg.counter(names::OPT_FUSED_STEPS),
+            opt_est_sel_bp: reg.histogram(names::OPT_EST_SEL_BP),
+            opt_act_sel_bp: reg.histogram(names::OPT_ACT_SEL_BP),
         }
     }
 }
@@ -818,13 +868,41 @@ impl Engine {
             intensional: &int_arity,
             procedures: proc_sigs.as_ref(),
         };
+        // Relation sizes for the optimizer's cardinality model:
+        // extensional tables report their actual row counts; intensional
+        // relations are unknown before a run and modeled as empty (the
+        // rewrites still show, only size-driven choices stay neutral).
+        let mut rels: BTreeMap<String, (usize, usize)> = self
+            .ext
+            .iter()
+            .map(|(k, v)| (k.clone(), (v.arity(), v.len())))
+            .collect();
+        for (k, a) in &int_arity {
+            rels.entry(k.clone()).or_insert((*a, 0));
+        }
+        let stats = self.memo.feature_stats();
+        let octx = crate::lplan::OptCtx {
+            relations: &rels,
+            stats: &stats,
+        };
         let mut out = String::new();
         use std::fmt::Write as _;
         for name in &order {
             for rule in unfolded.rules_for(name) {
                 let plan = compile_rule(rule, &cenv)?;
                 let _ = writeln!(out, "-- {rule}");
-                out.push_str(&plan.explain());
+                match self
+                    .limits
+                    .use_optimizer
+                    .then(|| crate::lplan::optimize(&plan, &octx))
+                    .flatten()
+                {
+                    Some((optimized, report)) => {
+                        out.push_str(&optimized.explain());
+                        let _ = writeln!(out, "-- opt: {}", report.summary());
+                    }
+                    None => out.push_str(&plan.explain()),
+                }
             }
         }
         Ok(out)
@@ -860,6 +938,9 @@ impl Engine {
     ) -> Result<Arc<CompactTable>, EngineError> {
         self.metrics.reset();
         self.stats = ExecStats::default();
+        if !self.limits.use_optimizer && self.limits.use_incremental {
+            warn_optimizer_off_incremental_on();
+        }
         // Clear stale fault-site attribution from a previous run so a
         // degradation this run is never blamed on last run's injection.
         self.fault.take_last_fired();
@@ -1051,6 +1132,12 @@ impl Engine {
                     }
                 }
                 let plan = compile_rule(rule, &cenv)?;
+                // Logical-plan optimization (DESIGN.md §11). Runs *after*
+                // fingerprinting — `rule_fingerprint` hashes the rendered
+                // rule, so cache identities are optimizer-invariant — and
+                // rewrites only byte-exactly, so a cached unoptimized
+                // result and a fresh optimized one are interchangeable.
+                let (plan, opt_report) = self.maybe_optimize(plan, &computed);
                 let rule_span = match self.tracer.ctx(run_span) {
                     Some((t, parent)) => t.begin(parent, SpanKind::Rule, &rule.to_string()),
                     None => SpanId::NONE,
@@ -1068,6 +1155,29 @@ impl Engine {
                             .get()
                             .saturating_sub(before) as usize;
                         self.counters.rules_evaluated.inc();
+                        // Close the estimate/actual loop: the modeled
+                        // whole-rule selectivity vs. what the rule really
+                        // let through, for `exp_trace`'s optimizer report.
+                        if let Some(rep) = &opt_report {
+                            if rep.est_in_rows > 0.0 {
+                                let act = (result.len() as f64 / rep.est_in_rows)
+                                    .clamp(0.0, 1.0);
+                                self.counters
+                                    .opt_act_sel_bp
+                                    .observe((act * 10_000.0) as u64);
+                                if let Some((t, parent)) = self.tracer.ctx(rule_span) {
+                                    t.instant(
+                                        parent,
+                                        SpanKind::Mark,
+                                        "opt",
+                                        Some(&format!(
+                                            "{} act_sel={act:.4}",
+                                            rep.summary()
+                                        )),
+                                    );
+                                }
+                            }
+                        }
                         self.tracer
                             .end_with(rule_span, &[("tuples_out", result.len() as u64)]);
                         parts.push(Part::Table(Arc::clone(&result)));
@@ -1145,6 +1255,49 @@ impl Engine {
         computed
             .remove(&prog.query)
             .ok_or_else(|| EngineError::MissingTable(prog.query.clone()))
+    }
+
+    /// Runs one compiled plan through the logical-plan optimizer when
+    /// [`Limits::use_optimizer`] is on, feeding it actual relation sizes
+    /// (extensional tables plus every intensional relation computed so
+    /// far) and the feature memo's measured per-feature pass rates. A
+    /// plan the optimizer cannot model runs unchanged.
+    fn maybe_optimize(
+        &self,
+        plan: Plan,
+        computed: &BTreeMap<String, Arc<CompactTable>>,
+    ) -> (Plan, Option<crate::lplan::OptReport>) {
+        if !self.limits.use_optimizer {
+            return (plan, None);
+        }
+        let mut rels: BTreeMap<String, (usize, usize)> = self
+            .ext
+            .iter()
+            .map(|(k, v)| (k.clone(), (v.arity(), v.len())))
+            .collect();
+        for (k, v) in computed {
+            rels.insert(k.clone(), (v.arity(), v.len()));
+        }
+        let stats = self.memo.feature_stats();
+        let octx = crate::lplan::OptCtx {
+            relations: &rels,
+            stats: &stats,
+        };
+        match crate::lplan::optimize(&plan, &octx) {
+            Some((optimized, report)) => {
+                let c = &self.counters;
+                c.opt_plans.inc();
+                c.opt_pushdowns.add(u64::from(report.pushdowns));
+                c.opt_reorders.add(u64::from(report.reorders));
+                c.opt_join_flips.add(u64::from(report.join_flips));
+                c.opt_fused_nodes.add(u64::from(report.fused_nodes));
+                c.opt_fused_steps.add(u64::from(report.fused_steps));
+                c.opt_est_sel_bp
+                    .observe((report.est_selectivity() * 10_000.0) as u64);
+                (optimized, Some(report))
+            }
+            None => (plan, None),
+        }
     }
 
     /// Looks up a rule's cached result behind the fault-containment
@@ -1720,6 +1873,20 @@ impl Engine {
                 );
                 Ok(Arc::new(out))
             }
+            Plan::Fused {
+                input,
+                ops,
+                project,
+                outer_right,
+            } => self.eval_fused(
+                input,
+                ops,
+                project.as_ref(),
+                *outer_right,
+                computed,
+                sample,
+                span,
+            ),
         }
     }
 
@@ -1909,6 +2076,459 @@ impl Engine {
             Operand::Const(v) => Cands::Full(vec![v.clone()]),
         }
     }
+
+    /// Interprets a [`Plan::Fused`] batch pass: one streaming sweep that
+    /// replays the folded selection steps per tuple (per *pair* over a
+    /// cross-join input) and applies the trailing projection, so the
+    /// interpreter materializes no intermediate table per operator.
+    /// Results are byte-identical to the standalone operator chain by
+    /// construction — the per-tuple bodies are the standalone operators'
+    /// exact code paths, applied in the same order.
+    ///
+    /// Pure pipelines (no p-predicate filter steps, whose procedures are
+    /// arbitrary host code) are additionally served from the memo's
+    /// tuple-level cache when [`Limits::use_feature_memo`] is on:
+    /// iterative sessions re-run near-identical rules against unchanged
+    /// tables hundreds of times, and a tuple hit skips the entire
+    /// pipeline. Entries are only read or written while the run clock has
+    /// not tripped — past the deadline, candidate budgeting degrades
+    /// conservatively, and degraded outcomes must never enter (or leave)
+    /// the shared cache.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_fused(
+        &mut self,
+        input: &Plan,
+        ops: &[FusedOp],
+        project: Option<&(Vec<usize>, Vec<String>)>,
+        outer_right: bool,
+        computed: &BTreeMap<String, Arc<CompactTable>>,
+        sample: Option<Sample>,
+        span: SpanId,
+    ) -> Result<Arc<CompactTable>, EngineError> {
+        // Resolve every filter step's procedure once, up front.
+        let mut filters: BTreeMap<String, crate::pfunc::FilterFn> = BTreeMap::new();
+        for op in ops {
+            if let FusedOp::FilterProc { name, .. } = op {
+                let Some(Procedure::Filter(f)) = self.procs.get(name) else {
+                    return Err(EngineError::BadProcedure(name.clone()));
+                };
+                filters.insert(name.clone(), f.clone());
+            }
+        }
+        let memo_on = self.limits.use_feature_memo;
+        // Per-constraint chain identities (feature-memo keys), aligned
+        // with `ops` — computed once, not per tuple.
+        let ctxs: Vec<Option<crate::memo::CellCtx>> = ops
+            .iter()
+            .map(|op| match op {
+                FusedOp::Constraint {
+                    constraint, priors, ..
+                } if memo_on => Some(crate::constraint::chain_ctx(constraint, priors)),
+                _ => None,
+            })
+            .collect();
+
+        // Streaming mode: the fused pass sits directly on a cross join —
+        // pairs are filtered as they are generated and the product is
+        // never materialized.
+        if let Plan::CrossJoin { left, right } = input {
+            return self.eval_fused_join(
+                left,
+                right,
+                ops,
+                &ctxs,
+                &filters,
+                project,
+                outer_right,
+                computed,
+                sample,
+                span,
+            );
+        }
+
+        // Linear mode: one pass over the input table.
+        let t = self.eval_plan(input, computed, sample, span)?;
+        let out_cols: Vec<String> = match project {
+            Some((_, names)) => names.clone(),
+            None => t.columns().to_vec(),
+        };
+        let pure = ops
+            .iter()
+            .all(|op| !matches!(op, FusedOp::FilterProc { .. }));
+        let tctx = (memo_on && pure)
+            .then(|| crate::memo::CellCtx::new(fused_cache_ctx(ops, project, &self.limits)));
+        let sr = {
+            let eng: &Engine = self;
+            let (ctxs, filters, tctx) = (&ctxs, &filters, &tctx);
+            let proj = project.map(|(cols, _)| cols.as_slice());
+            crate::par::scatter(eng.limits.threads, t.tuples(), eng.tracer.ctx(span), |tups| {
+                let mut out: Vec<(CompactTuple, u64)> = Vec::new();
+                for tup in tups {
+                    eng.clock.tick().map_err(EngineError::from)?;
+                    let mut insert_hash = None;
+                    if let Some(ctx) = tctx {
+                        if !eng.clock.tripped() {
+                            let (h, hit) = eng.memo.get_tuple(ctx, &tup.cells);
+                            if let Some(o) = hit {
+                                if let Some(cells) = &o.cells {
+                                    out.push((
+                                        CompactTuple {
+                                            cells: (**cells).clone(),
+                                            maybe: tup.maybe || o.extra_maybe,
+                                        },
+                                        o.volume,
+                                    ));
+                                }
+                                continue;
+                            }
+                            insert_hash = Some(h);
+                        }
+                    }
+                    let mut cells = tup.cells.clone();
+                    let mut extra = false;
+                    if !eng.fused_apply(ops, ctxs, filters, &mut cells, &mut extra)? {
+                        if let (Some(ctx), Some(h)) = (tctx, insert_hash) {
+                            if !eng.clock.tripped() {
+                                eng.memo.insert_tuple(
+                                    h,
+                                    ctx,
+                                    &tup.cells,
+                                    crate::memo::TupleOutcome {
+                                        cells: None,
+                                        extra_maybe: false,
+                                        volume: 0,
+                                    },
+                                );
+                            }
+                        }
+                        continue;
+                    }
+                    let volume = if proj.is_some() {
+                        eng.cells_volume(&cells)
+                    } else {
+                        0
+                    };
+                    let final_cells: Vec<Cell> = match proj {
+                        Some(cols) => cols.iter().map(|&c| cells[c].clone()).collect(),
+                        None => cells,
+                    };
+                    if let (Some(ctx), Some(h)) = (tctx, insert_hash) {
+                        // Re-check: a trip *during* the pipeline means a
+                        // budgeted enumeration may have degraded this
+                        // outcome — never cache it.
+                        if !eng.clock.tripped() {
+                            eng.memo.insert_tuple(
+                                h,
+                                ctx,
+                                &tup.cells,
+                                crate::memo::TupleOutcome {
+                                    cells: Some(Arc::new(final_cells.clone())),
+                                    extra_maybe: extra,
+                                    volume,
+                                },
+                            );
+                        }
+                    }
+                    out.push((
+                        CompactTuple {
+                            cells: final_cells,
+                            maybe: tup.maybe || extra,
+                        },
+                        volume,
+                    ));
+                }
+                Ok(out)
+            })
+        };
+        self.note_shards(&sr.shard_micros, sr.went_parallel);
+        let mut out = CompactTable::new(out_cols);
+        let mut volume = 0u64;
+        for (tup, v) in sr.merge()? {
+            volume = volume.saturating_add(v);
+            out.push(tup);
+        }
+        if project.is_some() {
+            self.counters.assignments_produced.add(volume);
+        }
+        Ok(Arc::new(out))
+    }
+
+    /// The streaming (join-input) mode of [`Engine::eval_fused`]: the
+    /// whole pipeline runs as the pair predicate of a fused join, with the
+    /// projection applied to surviving pairs on the way out. With
+    /// `outer_right` the (larger) right side is the sharded outer loop;
+    /// tagging every emitted pair with its (left, right) indices and
+    /// sorting afterwards restores left-major output order exactly, so a
+    /// flipped join is byte-identical to an unflipped one.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_fused_join(
+        &mut self,
+        left: &Plan,
+        right: &Plan,
+        ops: &[FusedOp],
+        ctxs: &[Option<crate::memo::CellCtx>],
+        filters: &BTreeMap<String, crate::pfunc::FilterFn>,
+        project: Option<&(Vec<usize>, Vec<String>)>,
+        outer_right: bool,
+        computed: &BTreeMap<String, Arc<CompactTable>>,
+        sample: Option<Sample>,
+        span: SpanId,
+    ) -> Result<Arc<CompactTable>, EngineError> {
+        let l = self.eval_plan(left, computed, sample, span)?;
+        let r = self.eval_plan(right, computed, sample, span)?;
+        let mut cols = l.columns().to_vec();
+        cols.extend(r.columns().iter().cloned());
+        let out_cols: Vec<String> = match project {
+            Some((_, names)) => names.clone(),
+            None => cols,
+        };
+        let cap = self.limits.max_result_tuples;
+        let proj = project.map(|(c, _)| c.as_slice());
+
+        // One pair: tick, fault probe, concatenate, pipeline, project.
+        let eval_pair = |eng: &Engine,
+                         lt: &CompactTuple,
+                         rt: &CompactTuple|
+         -> Result<Option<(CompactTuple, u64)>, EngineError> {
+            eng.clock.tick().map_err(EngineError::from)?;
+            if let Some(f) = eng.fault.hit(fault::site::JOIN_TUPLE) {
+                return Err(injected(f));
+            }
+            let mut cells = Vec::with_capacity(lt.cells.len() + rt.cells.len());
+            cells.extend(lt.cells.iter().cloned());
+            cells.extend(rt.cells.iter().cloned());
+            let mut extra = false;
+            if !eng.fused_apply(ops, ctxs, filters, &mut cells, &mut extra)? {
+                return Ok(None);
+            }
+            let volume = if proj.is_some() {
+                eng.cells_volume(&cells)
+            } else {
+                0
+            };
+            let final_cells: Vec<Cell> = match proj {
+                Some(cols) => cols.iter().map(|&c| cells[c].clone()).collect(),
+                None => cells,
+            };
+            Ok(Some((
+                CompactTuple {
+                    cells: final_cells,
+                    maybe: lt.maybe || rt.maybe || extra,
+                },
+                volume,
+            )))
+        };
+
+        let rows: Vec<(CompactTuple, u64)> = if outer_right {
+            let routed: Vec<(usize, &CompactTuple)> = r.tuples().iter().enumerate().collect();
+            let sr = {
+                let eng: &Engine = self;
+                let (l, eval_pair) = (&l, &eval_pair);
+                crate::par::scatter(eng.limits.threads, &routed, eng.tracer.ctx(span), |chunk| {
+                    let mut out = Vec::new();
+                    for (ri, rt) in chunk {
+                        for (li, lt) in l.tuples().iter().enumerate() {
+                            if let Some(row) = eval_pair(eng, lt, rt)? {
+                                if out.len() >= cap {
+                                    return Err(EngineError::TooLarge(
+                                        "fused join result".into(),
+                                    ));
+                                }
+                                out.push(((li, *ri), row));
+                            }
+                        }
+                    }
+                    Ok(out)
+                })
+            };
+            self.note_shards(&sr.shard_micros, sr.went_parallel);
+            let mut tagged = sr.merge()?;
+            tagged.sort_by_key(|(k, _)| *k);
+            tagged.into_iter().map(|(_, row)| row).collect()
+        } else {
+            let sr = {
+                let eng: &Engine = self;
+                let (r, eval_pair) = (&r, &eval_pair);
+                crate::par::scatter(eng.limits.threads, l.tuples(), eng.tracer.ctx(span), |lts| {
+                    let mut out = Vec::new();
+                    for lt in lts {
+                        for rt in r.tuples() {
+                            if let Some(row) = eval_pair(eng, lt, rt)? {
+                                if out.len() >= cap {
+                                    return Err(EngineError::TooLarge(
+                                        "fused join result".into(),
+                                    ));
+                                }
+                                out.push(row);
+                            }
+                        }
+                    }
+                    Ok(out)
+                })
+            };
+            self.note_shards(&sr.shard_micros, sr.went_parallel);
+            sr.merge()?
+        };
+
+        let mut out = CompactTable::new(out_cols);
+        let mut volume = 0u64;
+        for (tup, v) in rows {
+            if out.len() >= cap {
+                return Err(EngineError::TooLarge("fused join result".into()));
+            }
+            volume = volume.saturating_add(v);
+            out.push(tup);
+        }
+        if project.is_some() {
+            self.counters.assignments_produced.add(volume);
+        }
+        Ok(Arc::new(out))
+    }
+
+    /// Replays the fused selection steps against one tuple's cells, in
+    /// order, using the standalone operators' exact per-tuple bodies.
+    /// Returns `Ok(false)` when a step drops the tuple; `extra` collects
+    /// the may/must widening (`maybe |= extra` at emission).
+    fn fused_apply(
+        &self,
+        ops: &[FusedOp],
+        ctxs: &[Option<crate::memo::CellCtx>],
+        filters: &BTreeMap<String, crate::pfunc::FilterFn>,
+        cells: &mut [Cell],
+        extra: &mut bool,
+    ) -> Result<bool, EngineError> {
+        let memo = self.limits.use_feature_memo.then_some(self.memo.as_ref());
+        for (op, ctx) in ops.iter().zip(ctxs) {
+            match op {
+                FusedOp::Constraint {
+                    col,
+                    constraint,
+                    priors,
+                } => {
+                    let new_cell = match (memo, ctx.as_ref()) {
+                        (Some(m), Some(c)) => crate::constraint::apply_constraint_cached(
+                            &cells[*col],
+                            constraint,
+                            priors,
+                            &self.store,
+                            &self.features,
+                            m,
+                            c,
+                        )?,
+                        _ => crate::constraint::apply_constraint_memo(
+                            &cells[*col],
+                            constraint,
+                            priors,
+                            &self.store,
+                            &self.features,
+                            None,
+                        )?,
+                    };
+                    if new_cell.is_empty() {
+                        return Ok(false);
+                    }
+                    cells[*col] = new_cell;
+                }
+                FusedOp::Compare {
+                    left,
+                    op,
+                    right,
+                    offset,
+                } => {
+                    let lc = self.fused_operand_cands(left, cells);
+                    let rc = shift_cands(
+                        self.fused_operand_cands(right, cells),
+                        *offset,
+                        &self.store,
+                    );
+                    let mm = compare_cands(&lc, *op, &rc, &self.store);
+                    if !mm.may {
+                        return Ok(false);
+                    }
+                    *extra |= !mm.must;
+                }
+                FusedOp::VarUnify { col_a, col_b } => {
+                    let mm = cells_may_equal(
+                        &cells[*col_a],
+                        &cells[*col_b],
+                        &self.store,
+                        self.limits.cmp_enum_cap,
+                    );
+                    if !mm.may {
+                        return Ok(false);
+                    }
+                    *extra |= !mm.must;
+                }
+                FusedOp::FilterProc { name, cols } => {
+                    let f = filters
+                        .get(name)
+                        .ok_or_else(|| EngineError::BadProcedure(name.clone()))?;
+                    let cands: Vec<Cands> = cols
+                        .iter()
+                        .map(|&c| {
+                            candidates_budgeted(
+                                &cells[c],
+                                &self.store,
+                                self.limits.enum_cap,
+                                self.clock.tripped(),
+                            )
+                        })
+                        .collect();
+                    let mm = filter_cands(
+                        &cands,
+                        &|args: &[Value]| f(&self.store, args),
+                        self.limits.combo_cap,
+                    );
+                    if !mm.may {
+                        return Ok(false);
+                    }
+                    *extra |= !mm.must;
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// [`Engine::operand_cands`] over a bare cell slice (a fused pass
+    /// carries cells, not a built tuple).
+    fn fused_operand_cands(&self, op: &Operand, cells: &[Cell]) -> Cands {
+        match op {
+            Operand::Col(c) => candidates_budgeted(
+                &cells[*c],
+                &self.store,
+                self.limits.cmp_enum_cap,
+                self.clock.tripped(),
+            ),
+            Operand::Const(v) => Cands::Full(vec![v.clone()]),
+        }
+    }
+
+    /// One tuple's contribution to the pre-projection convergence-signal
+    /// volume — exactly the [`Plan::Project`] accounting, applied per
+    /// tuple so a fused π feeds the §5.1 convergence monitor the same
+    /// number the standalone π would.
+    fn cells_volume(&self, cells: &[Cell]) -> u64 {
+        cells.iter().fold(0u64, |acc, c| {
+            acc.saturating_add(c.value_count(&self.store).min(1 << 20))
+        })
+    }
+}
+
+/// Injective identity of a fused pipeline for the memo's tuple-level
+/// cache: the ops and projection via their `Debug` rendering (Rust
+/// renders floats as shortest-round-trip strings, so distinct pipelines
+/// render distinctly), salted with every limit that changes a budgeted
+/// candidate enumeration — cache entries are shared across sessions of
+/// one [`EngineCore`], and sessions may run with different budgets.
+fn fused_cache_ctx(
+    ops: &[FusedOp],
+    project: Option<&(Vec<usize>, Vec<String>)>,
+    limits: &Limits,
+) -> String {
+    format!(
+        "fused|{ops:?}|{project:?}|cmp{}|enum{}|combo{}",
+        limits.cmp_enum_cap, limits.enum_cap, limits.combo_cap
+    )
 }
 
 /// Adds a constant offset to the numeric values of a candidate set (the

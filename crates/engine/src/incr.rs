@@ -33,6 +33,18 @@
 //! inserted here (the next run must retry the rule exactly), and entries
 //! are pure functions of their key — absorbing a snapshot's entries via
 //! first-writer-wins cannot change results.
+//!
+//! Fingerprint-stability rule (DESIGN.md §11): fingerprints hash the
+//! **pre-optimization** unfolded rule — the logical-plan optimizer runs
+//! *after* fingerprinting (`Engine::maybe_optimize` in `exec.rs`), and
+//! its rewrites are byte-exact, so cache identities are
+//! optimizer-invariant and entries stay valid and shareable whether a
+//! run optimizes or not. Any future pass that is only
+//! worlds-equivalent (not byte-exact) must salt the fingerprint
+//! instead. The engine warns once when `use_optimizer` is off while
+//! `use_incremental` is on: entries remain *valid*, but warm entries
+//! may have been produced by optimized runs, which muddies ablation
+//! timing.
 
 use iflex_ctable::CompactTable;
 use std::collections::{BTreeMap, BTreeSet};

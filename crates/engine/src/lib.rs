@@ -22,6 +22,7 @@ pub mod eval;
 pub mod exec;
 pub mod fault;
 pub mod incr;
+pub mod lplan;
 pub mod memo;
 pub mod par;
 pub mod pfunc;
@@ -38,10 +39,12 @@ pub use exec::{
 };
 pub use fault::{Fault, FaultPlan, Trigger};
 pub use incr::IncrCache;
-pub use memo::FeatureMemo;
+pub use lplan::{optimize, OptCtx, OptReport};
+pub use memo::{FeatStats, FeatureMemo};
 pub use pfunc::{builtin_procs, ProcRegistry, Procedure};
 pub use plan::{
-    compile_rule, rule_fingerprint, CompileEnv, CompiledConstraint, Operand, Plan, PlanError,
+    compile_rule, rule_fingerprint, CompileEnv, CompiledConstraint, FusedOp, Operand, Plan,
+    PlanError,
 };
 pub use sample::Sample;
 

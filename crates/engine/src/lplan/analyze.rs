@@ -1,0 +1,134 @@
+//! Plan analysis: arity, cardinality, and selectivity estimation.
+//!
+//! Leaf cardinalities are exact (the engine hands the optimizer actual
+//! table sizes); everything above is modeled. Selectivities come from
+//! two sources: measured per-feature pass rates from the feature memo
+//! ([`FeatStats`], collected on every cache-miss feature invocation) and
+//! closed-form defaults for operators with no measured signal. The
+//! estimates only steer *which* byte-exact rewrite fires — a bad
+//! estimate can cost speed, never correctness.
+
+use super::node::LNode;
+use super::OptCtx;
+use crate::memo::FeatStats;
+use crate::plan::{FusedOp, Operand, Plan};
+use iflex_alog::CmpOp;
+use std::collections::HashMap;
+
+/// Arity (column count) of a node's output schema. `None` when a scanned
+/// relation is unknown to the context.
+pub fn arity(n: &LNode, ctx: &OptCtx<'_>) -> Option<usize> {
+    Some(match n {
+        LNode::Leaf { plan } => match plan {
+            Plan::ScanExt { name } | Plan::ScanRel { name } => ctx.relations.get(name)?.0,
+            _ => return None,
+        },
+        LNode::FromExtract { input, .. } => arity(input, ctx)? + 1,
+        LNode::GenerateProc {
+            input, out_arity, ..
+        } => arity(input, ctx)? + out_arity,
+        LNode::Select { input, .. } => arity(input, ctx)?,
+        LNode::Join { left, right, .. } => arity(left, ctx)? + arity(right, ctx)?,
+        LNode::Project { cols, .. } => cols.len(),
+        LNode::Annotate { input, .. } => arity(input, ctx)?,
+    })
+}
+
+/// Product of leaf cardinalities: the rows the rule would touch with no
+/// selection at all (denominator of the whole-rule selectivity figure).
+pub fn input_rows(n: &LNode, ctx: &OptCtx<'_>) -> Option<f64> {
+    Some(match n {
+        LNode::Leaf { plan } => match plan {
+            Plan::ScanExt { name } | Plan::ScanRel { name } => ctx.relations.get(name)?.1 as f64,
+            _ => return None,
+        },
+        LNode::FromExtract { input, .. }
+        | LNode::GenerateProc { input, .. }
+        | LNode::Select { input, .. }
+        | LNode::Project { input, .. }
+        | LNode::Annotate { input, .. } => input_rows(input, ctx)?,
+        LNode::Join { left, right, .. } => input_rows(left, ctx)? * input_rows(right, ctx)?,
+    })
+}
+
+/// Estimated output cardinality under the selectivity model.
+pub fn est_rows(n: &LNode, ctx: &OptCtx<'_>, model: &SelModel<'_>) -> Option<f64> {
+    Some(match n {
+        LNode::Leaf { plan } => match plan {
+            Plan::ScanExt { name } | Plan::ScanRel { name } => ctx.relations.get(name)?.1 as f64,
+            _ => return None,
+        },
+        LNode::FromExtract { input, .. } | LNode::GenerateProc { input, .. } => {
+            est_rows(input, ctx, model)?
+        }
+        LNode::Select { input, op } => est_rows(input, ctx, model)? * model.selectivity(op),
+        LNode::Join { left, right, .. } => {
+            est_rows(left, ctx, model)? * est_rows(right, ctx, model)?
+        }
+        LNode::Project { input, .. } | LNode::Annotate { input, .. } => {
+            est_rows(input, ctx, model)?
+        }
+    })
+}
+
+/// The selectivity / cost model behind the reordering and orientation
+/// passes.
+pub struct SelModel<'a> {
+    stats: &'a HashMap<String, FeatStats>,
+}
+
+impl<'a> SelModel<'a> {
+    /// A model over one memo-stats snapshot.
+    pub fn new(stats: &'a HashMap<String, FeatStats>) -> Self {
+        SelModel { stats }
+    }
+
+    /// Estimated fraction of tuples the step lets through.
+    pub fn selectivity(&self, op: &FusedOp) -> f64 {
+        match op {
+            FusedOp::Constraint { constraint, .. } => self
+                .stats
+                .get(&constraint.feature)
+                .and_then(FeatStats::pass_rate)
+                // Constraints mostly shrink cells rather than drop whole
+                // tuples; default near-neutral until measured.
+                .unwrap_or(0.8),
+            FusedOp::Compare { op, left, right, .. } => {
+                let const_side = matches!(left, Operand::Const(_))
+                    || matches!(right, Operand::Const(_));
+                match op {
+                    // Superset semantics keep a pair unless it *must*
+                    // fail, so equality against a constant is the most
+                    // selective shape; column-column equality less so.
+                    CmpOp::Eq => {
+                        if const_side {
+                            0.1
+                        } else {
+                            0.25
+                        }
+                    }
+                    CmpOp::Ne => 0.9,
+                    _ => 0.5,
+                }
+            }
+            FusedOp::VarUnify { .. } => 0.25,
+            FusedOp::FilterProc { .. } => 0.5,
+        }
+    }
+
+    /// Relative per-tuple cost of the step.
+    pub fn cost(&self, op: &FusedOp) -> f64 {
+        match op {
+            // Refinement worklists re-check the whole prior chain.
+            FusedOp::Constraint { priors, .. } => 8.0 + 2.0 * priors.len() as f64,
+            FusedOp::FilterProc { .. } => 4.0,
+            FusedOp::Compare { .. } | FusedOp::VarUnify { .. } => 1.0,
+        }
+    }
+
+    /// Scheduling rank: classic `(selectivity − 1) / cost`, most
+    /// negative first — cheap, highly selective steps run earliest.
+    pub fn rank(&self, op: &FusedOp) -> f64 {
+        (self.selectivity(op) - 1.0) / self.cost(op)
+    }
+}

@@ -1,0 +1,157 @@
+//! Pass 4 + lowering: turns the rewritten [`LNode`] tree back into a
+//! physical [`Plan`], folding each run of adjacent selections (plus a
+//! directly-above projection) into one [`Plan::Fused`] batch pass. A
+//! fused pass over a cross join streams the product pairwise — the
+//! interpreter never materializes the un-filtered product table.
+
+use super::analyze;
+use super::node::{peel, LNode};
+use super::rewrite::straddling_similar;
+use super::{OptCtx, OptReport};
+use crate::plan::{FusedOp, Plan};
+
+/// Lowers a logical node tree to a physical plan.
+pub fn lower(n: LNode, ctx: &OptCtx<'_>, report: &mut OptReport) -> Option<Plan> {
+    Some(match n {
+        LNode::Leaf { plan } => plan,
+        LNode::FromExtract { input, in_col } => Plan::FromExtract {
+            input: Box::new(lower(*input, ctx, report)?),
+            in_col,
+        },
+        LNode::GenerateProc {
+            input,
+            name,
+            in_cols,
+            out_arity,
+        } => Plan::GenerateProc {
+            input: Box::new(lower(*input, ctx, report)?),
+            name,
+            in_cols,
+            out_arity,
+        },
+        LNode::Annotate {
+            input,
+            existence,
+            annotated,
+        } => Plan::Annotate {
+            input: Box::new(lower(*input, ctx, report)?),
+            existence,
+            annotated,
+        },
+        LNode::Project { input, cols, names } => {
+            let (ops, base) = peel(*input);
+            lower_run(ops, base, Some((cols, names)), ctx, report)?
+        }
+        n @ LNode::Select { .. } => {
+            let (ops, base) = peel(n);
+            lower_run(ops, base, None, ctx, report)?
+        }
+        LNode::Join { left, right, .. } => Plan::CrossJoin {
+            left: Box::new(lower(*left, ctx, report)?),
+            right: Box::new(lower(*right, ctx, report)?),
+        },
+    })
+}
+
+/// Lowers one selection run (ops in application order) over `base`,
+/// optionally capped by a projection.
+fn lower_run(
+    mut ops: Vec<FusedOp>,
+    base: LNode,
+    project: Option<(Vec<usize>, Vec<String>)>,
+    ctx: &OptCtx<'_>,
+    report: &mut OptReport,
+) -> Option<Plan> {
+    // Lower the base, keeping track of whether the fused pass would sit
+    // directly on a cross join (streaming mode).
+    let (base_plan, join_input, outer_right) = match base {
+        LNode::Join {
+            left,
+            right,
+            outer_right,
+        } => {
+            let la = analyze::arity(&left, ctx)?;
+            let cj = Plan::CrossJoin {
+                left: Box::new(lower(*left, ctx, report)?),
+                right: Box::new(lower(*right, ctx, report)?),
+            };
+            // Keep the interpreter's token-prefilter similarity join: the
+            // straddling filter stays a standalone FilterProc directly
+            // above the CrossJoin, and the rest of the run fuses above it.
+            if ops.first().is_some_and(|op| straddling_similar(op, la)) {
+                match ops.remove(0) {
+                    FusedOp::FilterProc { name, cols } => (
+                        Plan::FilterProc {
+                            input: Box::new(cj),
+                            name,
+                            cols,
+                        },
+                        false,
+                        false,
+                    ),
+                    _ => unreachable!("straddling_similar only matches FilterProc"),
+                }
+            } else {
+                (cj, true, outer_right)
+            }
+        }
+        other => (lower(other, ctx, report)?, false, false),
+    };
+
+    let weight = ops.len() + usize::from(project.is_some());
+    if (join_input && weight >= 1) || weight >= 2 {
+        report.fused_nodes += 1;
+        report.fused_steps += ops.len() as u32;
+        return Some(Plan::Fused {
+            input: Box::new(base_plan),
+            ops,
+            project,
+            outer_right,
+        });
+    }
+    // Nothing worth fusing: re-emit standalone operators.
+    let mut out = base_plan;
+    for op in ops {
+        out = standalone(op, out);
+    }
+    if let Some((cols, names)) = project {
+        out = Plan::Project {
+            input: Box::new(out),
+            cols,
+            names,
+        };
+    }
+    Some(out)
+}
+
+/// The standalone physical operator for one selection step (inverse of
+/// [`super::node::build`]'s Select mapping).
+fn standalone(op: FusedOp, input: Plan) -> Plan {
+    let input = Box::new(input);
+    match op {
+        FusedOp::Constraint {
+            col,
+            constraint,
+            priors,
+        } => Plan::Constraint {
+            input,
+            col,
+            constraint,
+            priors,
+        },
+        FusedOp::Compare {
+            left,
+            op,
+            right,
+            offset,
+        } => Plan::Compare {
+            input,
+            left,
+            op,
+            right,
+            offset,
+        },
+        FusedOp::VarUnify { col_a, col_b } => Plan::VarUnify { input, col_a, col_b },
+        FusedOp::FilterProc { name, cols } => Plan::FilterProc { input, name, cols },
+    }
+}

@@ -1,0 +1,169 @@
+//! The logical plan-node tree: a rewrite-friendly mirror of
+//! [`Plan`](crate::plan::Plan) in which every selection operator is one
+//! uniform [`Select`](LNode::Select) node carrying its per-tuple body as
+//! a [`FusedOp`], so the passes can peel, sink, and reschedule selection
+//! chains without matching four node shapes each time.
+
+use crate::plan::{FusedOp, Plan};
+
+/// One logical plan node. Built 1:1 from a compiled [`Plan`] by
+/// [`build`]; lowered back (with fusion) by [`super::lower`].
+#[derive(Debug, Clone)]
+pub enum LNode {
+    /// A scan leaf — keeps the original `ScanExt` / `ScanRel` node.
+    Leaf {
+        /// The scan.
+        plan: Plan,
+    },
+    /// `from(#x, y)` expansion; appends one column.
+    FromExtract {
+        /// Child node.
+        input: Box<LNode>,
+        /// Column holding the source spans.
+        in_col: usize,
+    },
+    /// Generating p-predicate; appends `out_arity` columns.
+    GenerateProc {
+        /// Child node.
+        input: Box<LNode>,
+        /// Procedure name.
+        name: String,
+        /// Input-argument columns.
+        in_cols: Vec<usize>,
+        /// Number of appended output columns.
+        out_arity: usize,
+    },
+    /// Any selection (σ, constraint, unification, filter).
+    Select {
+        /// Child node.
+        input: Box<LNode>,
+        /// The per-tuple selection body.
+        op: FusedOp,
+    },
+    /// Cross join.
+    Join {
+        /// Left input.
+        left: Box<LNode>,
+        /// Right input.
+        right: Box<LNode>,
+        /// Orientation chosen by the join-ordering pass: iterate the
+        /// right side as the outer loop (output order is compensated).
+        outer_right: bool,
+    },
+    /// Projection.
+    Project {
+        /// Child node.
+        input: Box<LNode>,
+        /// Projected columns.
+        cols: Vec<usize>,
+        /// Output column names.
+        names: Vec<String>,
+    },
+    /// ψ annotation.
+    Annotate {
+        /// Child node.
+        input: Box<LNode>,
+        /// Existence annotation flag.
+        existence: bool,
+        /// Attribute-annotated column indices.
+        annotated: Vec<usize>,
+    },
+}
+
+/// Rebuilds a compiled plan as a logical node tree. Returns `None` for
+/// shapes the optimizer does not model (an already-`Fused` plan).
+pub fn build(p: &Plan) -> Option<LNode> {
+    Some(match p {
+        Plan::ScanExt { .. } | Plan::ScanRel { .. } => LNode::Leaf { plan: p.clone() },
+        Plan::FromExtract { input, in_col } => LNode::FromExtract {
+            input: Box::new(build(input)?),
+            in_col: *in_col,
+        },
+        Plan::Constraint {
+            input,
+            col,
+            constraint,
+            priors,
+        } => LNode::Select {
+            input: Box::new(build(input)?),
+            op: FusedOp::Constraint {
+                col: *col,
+                constraint: constraint.clone(),
+                priors: priors.clone(),
+            },
+        },
+        Plan::Compare {
+            input,
+            left,
+            op,
+            right,
+            offset,
+        } => LNode::Select {
+            input: Box::new(build(input)?),
+            op: FusedOp::Compare {
+                left: left.clone(),
+                op: *op,
+                right: right.clone(),
+                offset: *offset,
+            },
+        },
+        Plan::VarUnify { input, col_a, col_b } => LNode::Select {
+            input: Box::new(build(input)?),
+            op: FusedOp::VarUnify {
+                col_a: *col_a,
+                col_b: *col_b,
+            },
+        },
+        Plan::FilterProc { input, name, cols } => LNode::Select {
+            input: Box::new(build(input)?),
+            op: FusedOp::FilterProc {
+                name: name.clone(),
+                cols: cols.clone(),
+            },
+        },
+        Plan::GenerateProc {
+            input,
+            name,
+            in_cols,
+            out_arity,
+        } => LNode::GenerateProc {
+            input: Box::new(build(input)?),
+            name: name.clone(),
+            in_cols: in_cols.clone(),
+            out_arity: *out_arity,
+        },
+        Plan::CrossJoin { left, right } => LNode::Join {
+            left: Box::new(build(left)?),
+            right: Box::new(build(right)?),
+            outer_right: false,
+        },
+        Plan::Project { input, cols, names } => LNode::Project {
+            input: Box::new(build(input)?),
+            cols: cols.clone(),
+            names: names.clone(),
+        },
+        Plan::Annotate {
+            input,
+            existence,
+            annotated,
+        } => LNode::Annotate {
+            input: Box::new(build(input)?),
+            existence: *existence,
+            annotated: annotated.clone(),
+        },
+        Plan::Fused { .. } => return None,
+    })
+}
+
+/// Peels the maximal selection chain off the top of `n`, returning the
+/// chain's ops in **application order** (innermost first) and the base
+/// node below the chain.
+pub fn peel(mut n: LNode) -> (Vec<FusedOp>, LNode) {
+    let mut ops = Vec::new();
+    while let LNode::Select { input, op } = n {
+        ops.push(op);
+        n = *input;
+    }
+    ops.reverse();
+    (ops, n)
+}

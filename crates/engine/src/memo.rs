@@ -317,6 +317,40 @@ impl CellCtx {
     }
 }
 
+/// Per-feature call statistics, recorded on the memo's *miss* path (the
+/// actual feature invocations). The optimizer's selectivity model
+/// (`lplan::analyze`) reads these to rank constraints: a feature whose
+/// `Verify` mostly returns false, or whose `Refine` shrinks its input a
+/// lot, is *selective* and worth running early.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FeatStats {
+    /// `Verify` invocations.
+    pub verify_calls: u64,
+    /// `Verify` invocations that returned true.
+    pub verify_true: u64,
+    /// `Refine` invocations.
+    pub refine_calls: u64,
+    /// Total assignments produced across all `Refine` calls.
+    pub refine_out: u64,
+}
+
+impl FeatStats {
+    /// Estimated pass rate in `[0, 1]`: fraction of probes this feature
+    /// lets through. `None` until enough calls have been observed to
+    /// trust the estimate.
+    pub fn pass_rate(&self) -> Option<f64> {
+        let calls = self.verify_calls + self.refine_calls;
+        if calls < 8 {
+            return None;
+        }
+        // A refine call "passes" to the extent it produces output; cap
+        // the per-call contribution at 1 so prolific refines don't look
+        // anti-selective.
+        let passed = self.verify_true as f64 + (self.refine_out as f64).min(self.refine_calls as f64);
+        Some((passed / calls as f64).clamp(0.0, 1.0))
+    }
+}
+
 /// Stored key of the cell-level cache: the full input cell contents plus
 /// the constraint-chain identity. Equality is exact — the hash only
 /// routes to a bucket.
@@ -345,14 +379,62 @@ fn cell_hash(ctx: &CellCtx, cell: &Cell) -> u64 {
     h.finish()
 }
 
+/// Stored key of the tuple-level cache: one fused σ-pipeline identity
+/// plus the *entire* input tuple's cells.
+#[derive(Debug, Clone)]
+struct TupleKey {
+    ctx: Arc<str>,
+    cells: Vec<Cell>,
+}
+
+impl TupleKey {
+    fn matches(&self, ctx: &CellCtx, cells: &[Cell]) -> bool {
+        self.cells.as_slice() == cells
+            && (Arc::ptr_eq(&self.ctx, &ctx.text) || *self.ctx == *ctx.text)
+    }
+}
+
+/// Cached outcome of running one tuple through a fused σ/π pipeline
+/// (`exec`'s `Plan::Fused` interpreter). Deterministic given the input
+/// cells, the pipeline identity, and the immutable document store, so it
+/// can be replayed for every identical tuple across rules, iterations,
+/// and simulation probes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleOutcome {
+    /// Output cells (post-projection when the pipeline ends in π);
+    /// `None` when the tuple was dropped by a selection.
+    pub cells: Option<Arc<Vec<Cell>>>,
+    /// Whether the pipeline's may/must comparisons widened the tuple
+    /// (`maybe |= extra_maybe`); meaningless when dropped.
+    pub extra_maybe: bool,
+    /// The convergence-signal volume this tuple contributes (§ Project's
+    /// assignments-produced accounting); 0 when dropped.
+    pub volume: u64,
+}
+
+fn tuple_hash(ctx: &CellCtx, cells: &[Cell]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(ctx.hash);
+    h.write_usize(cells.len());
+    for c in cells {
+        h.write_u8(u8::from(c.is_expand()));
+        for a in c.assignments() {
+            a.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
 type Bucket<K, V> = HashMap<u64, Vec<(K, V)>, FxBuild>;
 
 /// The sharded, thread-safe memo table. See the module docs.
 ///
-/// Two levels share the hit/miss counters:
+/// Three levels share the hit/miss counters:
 /// * **feature level** — one entry per `Verify`/`Refine` invocation;
 /// * **cell level** — one entry per (cell contents, constraint chain)
-///   pair, so a hit skips the whole §4.2 refinement worklist.
+///   pair, so a hit skips the whole §4.2 refinement worklist;
+/// * **tuple level** — one entry per (tuple cells, fused pipeline) pair,
+///   so a hit skips an entire fused σ/π pass (DESIGN.md §11).
 ///
 /// Entries live in per-shard buckets keyed by a precomputed 64-bit hash;
 /// collisions fall back to exact key comparison, so a hit is always a
@@ -361,6 +443,8 @@ type Bucket<K, V> = HashMap<u64, Vec<(K, V)>, FxBuild>;
 pub struct FeatureMemo {
     feat: Vec<Mutex<Bucket<MemoKey, MemoValue>>>,
     cells: Vec<Mutex<Bucket<CellKey, Cell>>>,
+    tuples: Vec<Mutex<Bucket<TupleKey, TupleOutcome>>>,
+    stats: Mutex<HashMap<String, FeatStats>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -370,6 +454,8 @@ impl Default for FeatureMemo {
         FeatureMemo {
             feat: (0..SHARDS).map(|_| Mutex::new(HashMap::default())).collect(),
             cells: (0..SHARDS).map(|_| Mutex::new(HashMap::default())).collect(),
+            tuples: (0..SHARDS).map(|_| Mutex::new(HashMap::default())).collect(),
+            stats: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -445,6 +531,60 @@ impl FeatureMemo {
         }
     }
 
+    /// Looks up a fused-pipeline outcome for one tuple, counting the hit
+    /// or miss. Returns the hash for the paired insert.
+    pub fn get_tuple(&self, ctx: &CellCtx, cells: &[Cell]) -> (u64, Option<TupleOutcome>) {
+        let h = tuple_hash(ctx, cells);
+        let shard = self.tuples[h as usize % SHARDS].lock().unwrap();
+        let found = shard
+            .get(&h)
+            .and_then(|b| b.iter().find(|(k, _)| k.matches(ctx, cells)))
+            .map(|(_, v)| v.clone());
+        drop(shard);
+        self.count(found.is_some());
+        (h, found)
+    }
+
+    /// Stores the outcome of running one tuple through a fused pipeline.
+    pub fn insert_tuple(&self, hash: u64, ctx: &CellCtx, cells: &[Cell], out: TupleOutcome) {
+        let mut shard = self.tuples[hash as usize % SHARDS].lock().unwrap();
+        let bucket = shard.entry(hash).or_default();
+        if !bucket.iter().any(|(k, _)| k.matches(ctx, cells)) {
+            bucket.push((
+                TupleKey {
+                    ctx: Arc::clone(&ctx.text),
+                    cells: cells.to_vec(),
+                },
+                out,
+            ));
+        }
+    }
+
+    /// Records one `Verify` invocation (miss path only — hits never call
+    /// the feature, so they carry no new selectivity signal).
+    pub fn note_verify(&self, feature: &str, passed: bool) {
+        let mut stats = self.stats.lock().unwrap();
+        let s = stats.entry(feature.to_string()).or_default();
+        s.verify_calls += 1;
+        s.verify_true += u64::from(passed);
+    }
+
+    /// Records one `Refine` invocation and how many assignments it
+    /// produced (miss path only).
+    pub fn note_refine(&self, feature: &str, out_len: usize) {
+        let mut stats = self.stats.lock().unwrap();
+        let s = stats.entry(feature.to_string()).or_default();
+        s.refine_calls += 1;
+        s.refine_out = s.refine_out.saturating_add(out_len as u64);
+    }
+
+    /// A snapshot of per-feature call statistics, for the optimizer's
+    /// selectivity model. Cheap: the stats map has one entry per feature
+    /// name, not per call.
+    pub fn feature_stats(&self) -> HashMap<String, FeatStats> {
+        self.stats.lock().unwrap().clone()
+    }
+
     /// Drops every entry (feature registry changed).
     pub fn clear(&self) {
         for s in &self.feat {
@@ -453,9 +593,13 @@ impl FeatureMemo {
         for s in &self.cells {
             s.lock().unwrap().clear();
         }
+        for s in &self.tuples {
+            s.lock().unwrap().clear();
+        }
+        self.stats.lock().unwrap().clear();
     }
 
-    /// Total entries across shards (both levels).
+    /// Total entries across shards (all levels).
     pub fn len(&self) -> usize {
         let feat: usize = self
             .feat
@@ -467,7 +611,12 @@ impl FeatureMemo {
             .iter()
             .map(|s| s.lock().unwrap().values().map(Vec::len).sum::<usize>())
             .sum();
-        feat + cells
+        let tuples: usize = self
+            .tuples
+            .iter()
+            .map(|s| s.lock().unwrap().values().map(Vec::len).sum::<usize>())
+            .sum();
+        feat + cells + tuples
     }
 
     /// Whether the memo holds no entries.
@@ -586,6 +735,61 @@ mod tests {
         let (h, _) = memo.get(&q);
         memo.insert(h, &q, MemoValue::Verified(false));
         assert_eq!(other.len(), 1);
+    }
+
+    #[test]
+    fn tuple_cache_round_trips_and_distinguishes_pipelines() {
+        let memo = FeatureMemo::new();
+        let ctx = CellCtx::new("numeric\u{1}|π[0]".into());
+        let cells = vec![Cell::contain(span(0, 0, 12)), Cell::contain(span(0, 4, 8))];
+        let out = TupleOutcome {
+            cells: Some(Arc::new(vec![Cell::of(vec![Assignment::Exact(Value::Num(7.0))])])),
+            extra_maybe: true,
+            volume: 3,
+        };
+        let (h, found) = memo.get_tuple(&ctx, &cells);
+        assert!(found.is_none());
+        memo.insert_tuple(h, &ctx, &cells, out.clone());
+        assert_eq!(memo.get_tuple(&ctx, &cells).1, Some(out));
+        // dropped tuples cache too
+        let other_ctx = CellCtx::new("bold-font\u{1}".into());
+        let (h2, found) = memo.get_tuple(&other_ctx, &cells);
+        assert!(found.is_none());
+        memo.insert_tuple(
+            h2,
+            &other_ctx,
+            &cells,
+            TupleOutcome {
+                cells: None,
+                extra_maybe: false,
+                volume: 0,
+            },
+        );
+        let hit = memo.get_tuple(&other_ctx, &cells).1.unwrap();
+        assert!(hit.cells.is_none());
+        memo.clear();
+        assert!(memo.get_tuple(&ctx, &cells).1.is_none());
+    }
+
+    #[test]
+    fn feature_stats_accumulate_and_rate() {
+        let memo = FeatureMemo::new();
+        for i in 0..10 {
+            memo.note_verify("picky", i == 0);
+        }
+        for _ in 0..10 {
+            memo.note_verify("lenient", true);
+        }
+        memo.note_refine("picky", 0);
+        let stats = memo.feature_stats();
+        let picky = stats["picky"];
+        assert_eq!(picky.verify_calls, 10);
+        assert_eq!(picky.verify_true, 1);
+        assert!(picky.pass_rate().unwrap() < 0.2);
+        assert!(stats["lenient"].pass_rate().unwrap() > 0.9);
+        // too few observations → no estimate
+        memo.note_verify("rare", true);
+        assert!(memo.feature_stats()["rare"].pass_rate().is_none());
     }
 
     #[test]

@@ -26,6 +26,93 @@ pub struct CompiledConstraint {
     pub arg: FeatureArg,
 }
 
+/// One selection step of a fused batch pipeline ([`Plan::Fused`]). Each
+/// step is the per-tuple body of the corresponding standalone operator;
+/// the fused interpreter replays them in order against one tuple without
+/// materializing intermediate tables. Column indices refer to the fused
+/// node's input schema (selections never change the schema).
+#[derive(Debug, Clone)]
+pub enum FusedOp {
+    /// Per-tuple body of [`Plan::Constraint`].
+    Constraint {
+        /// Column the constraint applies to.
+        col: usize,
+        /// The newly applied constraint.
+        constraint: CompiledConstraint,
+        /// Constraints applied earlier to the same attribute.
+        priors: Vec<CompiledConstraint>,
+    },
+    /// Per-tuple body of [`Plan::Compare`].
+    Compare {
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Operand,
+        /// Constant added to the right operand.
+        offset: f64,
+    },
+    /// Per-tuple body of [`Plan::VarUnify`].
+    VarUnify {
+        /// First unified column.
+        col_a: usize,
+        /// Second unified column.
+        col_b: usize,
+    },
+    /// Per-tuple body of [`Plan::FilterProc`].
+    FilterProc {
+        /// Procedure name.
+        name: String,
+        /// Argument columns.
+        cols: Vec<usize>,
+    },
+}
+
+impl FusedOp {
+    /// The input columns this step reads (used by the optimizer's
+    /// dependency analysis; steps touching disjoint column sets commute
+    /// byte-exactly).
+    pub fn cols(&self) -> Vec<usize> {
+        match self {
+            FusedOp::Constraint { col, .. } => vec![*col],
+            FusedOp::Compare { left, right, .. } => {
+                let mut v = Vec::new();
+                if let Operand::Col(c) = left {
+                    v.push(*c);
+                }
+                if let Operand::Col(c) = right {
+                    v.push(*c);
+                }
+                v
+            }
+            FusedOp::VarUnify { col_a, col_b } => vec![*col_a, *col_b],
+            FusedOp::FilterProc { cols, .. } => cols.clone(),
+        }
+    }
+
+    /// Short σ-style rendering for EXPLAIN output.
+    pub fn render(&self) -> String {
+        match self {
+            FusedOp::Constraint { col, constraint, priors } => format!(
+                "σ[{}(col {col}) = {}]{}",
+                constraint.feature,
+                constraint.arg,
+                if priors.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (+{} priors)", priors.len())
+                }
+            ),
+            FusedOp::Compare { left, op, right, offset } => {
+                format!("σ[{left:?} {op} {right:?} + {offset}]")
+            }
+            FusedOp::VarUnify { col_a, col_b } => format!("σ[col {col_a} == col {col_b}]"),
+            FusedOp::FilterProc { name, cols } => format!("σ[{name}{cols:?}]"),
+        }
+    }
+}
+
 /// A plan node. Column indices refer to the node's *input* schema; nodes
 /// that add columns append them on the right.
 #[derive(Debug, Clone)]
@@ -128,6 +215,28 @@ pub enum Plan {
         /// Attribute-annotated column indices.
         annotated: Vec<usize>,
     },
+    /// A fused batch pass (DESIGN.md §11): a run of adjacent selections —
+    /// optionally capped by a projection — executed as **one** pass over
+    /// the input's tuples, with no intermediate table per operator. Only
+    /// ever produced by the `lplan` optimizer; the compiler emits the
+    /// standalone operators.
+    ///
+    /// When `input` is a [`Plan::CrossJoin`], the pass streams over the
+    /// cross product directly (like the interpreter's ad-hoc fused join)
+    /// instead of materializing it.
+    Fused {
+        /// Child plan.
+        input: Box<Plan>,
+        /// Selection steps, in application order.
+        ops: Vec<FusedOp>,
+        /// Trailing projection folded into the same pass, if any.
+        project: Option<(Vec<usize>, Vec<String>)>,
+        /// For a cross-join input: iterate the *right* side as the sharded
+        /// outer loop (cardinality orientation). Output order and column
+        /// layout remain left-major / left++right — the interpreter
+        /// compensates by index-sorting, so results stay byte-identical.
+        outer_right: bool,
+    },
 }
 
 impl Plan {
@@ -209,6 +318,24 @@ impl Plan {
                 annotated,
             } => {
                 let _ = writeln!(out, "{pad}ψ[existence={existence}, attrs={annotated:?}]");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Fused {
+                input,
+                ops,
+                project,
+                outer_right,
+            } => {
+                let mode = if *outer_right { ", outer=right" } else { "" };
+                let _ = writeln!(out, "{pad}Fused[{} steps{mode}]", ops.len());
+                if let Some((cols, names)) = project {
+                    let _ = writeln!(out, "{pad}  π[{cols:?} as {names:?}]");
+                }
+                // Steps print outermost-last like standalone operators
+                // would: the last-applied step first.
+                for op in ops.iter().rev() {
+                    let _ = writeln!(out, "{pad}  {}", op.render());
+                }
                 input.explain_into(out, depth + 1);
             }
         }

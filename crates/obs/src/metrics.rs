@@ -48,6 +48,24 @@ pub mod names {
     pub const OP_US_PREFIX: &str = "engine.op.";
     /// Per-operator output-tuple counters are `engine.op.<name>.tuples_out`.
     pub const OP_TUPLES_SUFFIX: &str = ".tuples_out";
+    /// Rules rewritten by the logical-plan optimizer this run (DESIGN.md §11).
+    pub const OPT_PLANS: &str = "engine.opt.plans";
+    /// Selections sunk below a join by the σ-pushdown pass.
+    pub const OPT_PUSHDOWNS: &str = "engine.opt.pushdowns";
+    /// Selection steps moved by the selectivity-reordering pass.
+    pub const OPT_REORDERS: &str = "engine.opt.reorders";
+    /// Cross joins whose outer loop was flipped to the larger input.
+    pub const OPT_JOIN_FLIPS: &str = "engine.opt.join_flips";
+    /// `Fused` batch nodes emitted by the fusion pass.
+    pub const OPT_FUSED_NODES: &str = "engine.opt.fused_nodes";
+    /// Selection steps folded into `Fused` nodes.
+    pub const OPT_FUSED_STEPS: &str = "engine.opt.fused_steps";
+    /// Histogram of per-rule *estimated* whole-rule selectivity, in basis
+    /// points (0–10000); pairs with [`OPT_ACT_SEL_BP`] for model accuracy.
+    pub const OPT_EST_SEL_BP: &str = "engine.opt.est_sel_bp";
+    /// Histogram of per-rule *actual* whole-rule selectivity (output rows
+    /// over the product of leaf cardinalities), in basis points.
+    pub const OPT_ACT_SEL_BP: &str = "engine.opt.act_sel_bp";
 }
 
 /// A monotonically increasing (or `set`-overwritten gauge-style) metric.

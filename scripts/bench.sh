@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Benchmark driver: regenerates the parallel-execution report committed
-# as BENCH_parallel.json and the incremental-iteration report committed
-# as BENCH_incremental.json, plus the Table 1 inventory as a sanity
+# as BENCH_parallel.json, the incremental-iteration report committed as
+# BENCH_incremental.json, and the logical-plan-optimizer report
+# committed as BENCH_plan.json, plus the Table 1 inventory as a sanity
 # anchor. Run from the repository root:
-#   scripts/bench.sh [parallel-report-path] [incremental-report-path]
+#   scripts/bench.sh [parallel-report-path] [incremental-report-path] [plan-report-path]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REPORT="${1:-BENCH_parallel.json}"
 INCR_REPORT="${2:-BENCH_incremental.json}"
+PLAN_REPORT="${3:-BENCH_plan.json}"
 
 echo "== build (release) =="
 cargo build --release -p iflex-bench
@@ -24,6 +26,15 @@ echo "== exp_scaling --incremental-report =="
 # asserts identical results and reports the session wall-clock speedup.
 ./target/release/exp_scaling --incremental-report "$INCR_REPORT"
 
+echo "== exp_scaling --plan-report =="
+# The DESIGN.md §11 optimizer ablation: serial / +feature-memo /
+# +optimizer over T1/T5/T8/Panel at corpus scale 1 and 10, single-
+# threaded with sampling and the incremental cache off. The binary
+# asserts all three configurations produce identical results. The
+# scale-10 sweep is long; pass extra scales via the binary directly
+# (e.g. `exp_scaling --plan-report out.json --scale 1`) for quick runs.
+./target/release/exp_scaling --plan-report "$PLAN_REPORT"
+
 echo "== trace overhead smoke =="
 # Observability must be free when off: the same tiny workload with the
 # tracer disabled (IFLEX_TRACE unset) is the number the <2% acceptance
@@ -32,4 +43,4 @@ echo "== trace overhead smoke =="
 env -u IFLEX_TRACE ./target/release/exp_scaling --smoke target/BENCH_parallel_smoke.json
 ./target/release/exp_trace --smoke target/BENCH_trace_smoke.jsonl
 
-echo "bench OK ($REPORT, $INCR_REPORT)"
+echo "bench OK ($REPORT, $INCR_REPORT, $PLAN_REPORT)"

@@ -20,6 +20,13 @@ echo "== parallel smoke =="
 # inside the binary check that every configuration yields the same table.
 ./target/release/exp_scaling --smoke target/BENCH_parallel_smoke.json
 
+echo "== plan-optimizer smoke =="
+# One tiny workload through the serial / memo / optimized sweep; asserts
+# inside the binary check that the optimized configuration produces
+# results identical to the unoptimized ones (the DESIGN.md §11 ablation
+# gate; the byte-level version lives in the prop_opt property suite).
+./target/release/exp_scaling --plan-report target/BENCH_plan_smoke.json --smoke
+
 echo "== incremental smoke =="
 # One tiny session pair (incremental on vs off); asserts inside the
 # binary check the result tables and recall are identical, so the cache

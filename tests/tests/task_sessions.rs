@@ -328,3 +328,43 @@ fn iteration_records_cover_the_whole_session() {
     let q_sum: usize = out.records.iter().map(|r| r.questions_this_iter).sum();
     assert_eq!(q_sum, out.questions_asked);
 }
+
+/// Optimizer ablation at session level: a full iFlex session (subset
+/// iterations, questions, refinement, convergence, final full run) must
+/// be **observationally identical** with `Limits::use_optimizer` on or
+/// off — same final table bytes, same [`iflex::StopReason`], same
+/// iteration and question counts. Plan rewriting is invisible to the
+/// whole interactive loop, not just to single executions.
+#[test]
+fn session_stop_reason_and_table_survive_optimizer_ablation() {
+    let c = corpus();
+    for id in [TaskId::T1, TaskId::T5] {
+        let run = |use_optimizer: bool| {
+            let task = c.task(id, Some(20));
+            let mut engine = task.engine(&c);
+            engine.limits.use_optimizer = use_optimizer;
+            // ablate the incremental cache too, per the engine's own
+            // warn-once guidance, so both runs are cold
+            engine.limits.use_incremental = false;
+            let mut session = iflex::Session::new(
+                engine,
+                task.program.clone(),
+                Box::new(Sequential),
+                Box::new(SimulatedDeveloper::new(task.oracle.clone())),
+            );
+            if task.needs_type_cleanup {
+                session.clock.charge_cleanup(session.cost.write_cleanup_secs);
+            }
+            let out = session.run().expect("session runs");
+            (
+                format!("{:?}", out.table),
+                out.stop,
+                out.iterations,
+                out.questions_asked,
+            )
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on, off, "session ablation diverged for {id:?}");
+    }
+}
