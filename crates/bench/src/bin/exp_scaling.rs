@@ -18,7 +18,12 @@
 //!   optimizer ablation (DESIGN.md §11): serial / +feature-memo /
 //!   +optimizer, single-threaded with sampling and the incremental cache
 //!   off so plan-execution cost is isolated, writing `BENCH_plan.json`
-//!   and asserting all three configurations produce identical results.
+//!   and asserting all three configurations produce identical results;
+//! * `--telemetry-report [path] [--smoke]` — the live-telemetry overhead
+//!   gate (DESIGN.md §12): the same session with the engine's window /
+//!   sketch / flight-recorder instrumentation off vs on, asserting the
+//!   results are identical and (in full mode) that the enabled arm costs
+//!   under 5% extra wall clock on T1, writing `BENCH_telemetry.json`.
 
 use iflex_bench::{run_session, run_session_configured, ExecConfig, RunResult, Strat};
 use iflex_corpus::{Corpus, CorpusConfig, TaskId};
@@ -467,6 +472,151 @@ fn plan_report(path: &str, smoke: bool, scales: &[f64]) {
     println!("wrote {path}");
 }
 
+/// One workload of the telemetry-overhead comparison: the identical
+/// session with live telemetry off and on.
+struct TelRow {
+    task: String,
+    scale: f64,
+    off_secs: f64,
+    on_secs: f64,
+    result_tuples: usize,
+}
+
+impl TelRow {
+    /// Extra wall clock of the enabled arm, as a percentage of the
+    /// disabled arm.
+    fn overhead_pct(&self) -> f64 {
+        (self.on_secs / self.off_secs.max(1e-9) - 1.0) * 100.0
+    }
+}
+
+fn render_telemetry_json(rows: &[TelRow], trials: usize, budget_pct: f64) -> String {
+    let mut out = String::from("{\n");
+    out += &format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    out += "  \"strategy\": \"Simulation\",\n";
+    out += "  \"regime\": \"threads=1, best-of-N trials per arm\",\n";
+    out += &format!("  \"trials_per_arm\": {trials},\n");
+    out += &format!("  \"overhead_budget_pct\": {budget_pct},\n");
+    out += "  \"workloads\": [\n";
+    for (i, r) in rows.iter().enumerate() {
+        out += "    {\n";
+        out += &format!("      \"task\": \"{}\",\n", r.task);
+        out += &format!("      \"scale\": {},\n", r.scale);
+        out += &format!("      \"telemetry_off_secs\": {:.4},\n", r.off_secs);
+        out += &format!("      \"telemetry_on_secs\": {:.4},\n", r.on_secs);
+        out += &format!("      \"overhead_pct\": {:.2},\n", r.overhead_pct());
+        out += &format!("      \"result_tuples\": {}\n", r.result_tuples);
+        out += if i + 1 == rows.len() { "    }\n" } else { "    },\n" };
+    }
+    out += "  ]\n}\n";
+    out
+}
+
+/// Best-of-N session wall clock under one configuration (the minimum is
+/// the standard noise-robust estimator for a deterministic workload; the
+/// last run's result is returned for the identity check — every run
+/// produces the same tuples).
+fn best_of(corpus: &Corpus, id: TaskId, exec: ExecConfig, trials: usize) -> (f64, RunResult) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..trials {
+        let (secs, run) = timed(corpus, id, exec);
+        best = best.min(secs);
+        last = Some(run);
+    }
+    (best, last.expect("at least one trial"))
+}
+
+/// The live-telemetry overhead sweep (`--telemetry-report`): the same
+/// single-threaded session with the engine's windows, quantile sketches
+/// and flight recorder disabled (the default — one relaxed atomic load
+/// per observation site) and enabled. The binary asserts both arms
+/// converge to the identical result, and in full mode that T1's enabled
+/// arm stays within the 5% overhead budget the telemetry design promises
+/// (smoke mode reports the number without asserting — one 0.1-scale run
+/// is too noisy to gate on).
+fn telemetry_report(path: &str, smoke: bool) {
+    const BUDGET_PCT: f64 = 5.0;
+    let (workloads, trials): (Vec<Workload>, usize) = if smoke {
+        (
+            vec![Workload {
+                id: TaskId::T1,
+                scale: 0.1,
+            }],
+            1,
+        )
+    } else {
+        (
+            vec![
+                Workload {
+                    id: TaskId::T1,
+                    scale: 1.0,
+                },
+                Workload {
+                    id: TaskId::T5,
+                    scale: 1.0,
+                },
+            ],
+            3,
+        )
+    };
+    let off = ExecConfig {
+        threads: Some(1),
+        ..ExecConfig::default()
+    };
+    let on = ExecConfig {
+        threads: Some(1),
+        telemetry: true,
+        ..ExecConfig::default()
+    };
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let corpus = Corpus::build(CorpusConfig::scaled(w.scale));
+        let (off_secs, o) = best_of(&corpus, w.id, off, trials);
+        let (on_secs, t) = best_of(&corpus, w.id, on, trials);
+        assert_eq!(
+            t.quality.result_tuples, o.quality.result_tuples,
+            "{:?} scale {}: telemetry changed the result",
+            w.id, w.scale
+        );
+        assert!((t.quality.recall - o.quality.recall).abs() < 1e-12);
+        rows.push(TelRow {
+            task: format!("{:?}", w.id),
+            scale: w.scale,
+            off_secs,
+            on_secs,
+            result_tuples: t.quality.result_tuples,
+        });
+    }
+    for r in &rows {
+        println!(
+            "{:>6} @{}: telemetry off {:.3}s  on {:.3}s  (overhead {:+.2}%)",
+            r.task,
+            r.scale,
+            r.off_secs,
+            r.on_secs,
+            r.overhead_pct(),
+        );
+    }
+    if !smoke {
+        let t1 = rows.iter().find(|r| r.task == "T1").expect("T1 row");
+        assert!(
+            t1.overhead_pct() < BUDGET_PCT,
+            "telemetry overhead on T1 is {:.2}%, over the {BUDGET_PCT}% budget",
+            t1.overhead_pct()
+        );
+        println!(
+            "telemetry overhead on T1: {:+.2}% (budget {BUDGET_PCT}%) — OK",
+            t1.overhead_pct()
+        );
+    }
+    std::fs::write(path, render_telemetry_json(&rows, trials, BUDGET_PCT)).expect("write report");
+    println!("wrote {path}");
+}
+
 /// Collects every value following a `--scale` flag.
 fn scale_args(args: &[String]) -> Vec<f64> {
     let mut scales = Vec::new();
@@ -528,6 +678,20 @@ fn main() {
                 .next()
                 .unwrap_or(default);
             plan_report(path, smoke, &scale_args(&args));
+        }
+        Some("--telemetry-report") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let default = if smoke {
+                "BENCH_telemetry_smoke.json"
+            } else {
+                "BENCH_telemetry.json"
+            };
+            let path = args[1..]
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .map(|s| s.as_str())
+                .unwrap_or(default);
+            telemetry_report(path, smoke);
         }
         Some("--scale") => scaling_table(&scale_args(&args)),
         _ => scaling_table(&[0.1, 0.25, 0.5, 1.0]),

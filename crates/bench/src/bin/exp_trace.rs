@@ -11,7 +11,8 @@
 //!   on any malformed output — the tier-1 gate.
 
 use iflex_bench::trace_report::{
-    iteration_timeline, optimizer_notes, render_report, rule_self_time,
+    iteration_timeline, latency_quantiles, optimizer_notes, render_report, rule_self_time,
+    run_rates, truncation,
 };
 use iflex_bench::{run_session_configured, ExecConfig, Strat};
 use iflex_corpus::{Corpus, CorpusConfig, TaskId};
@@ -52,6 +53,18 @@ fn smoke(path: &str) -> Result<(), String> {
     // estimated-vs-actual selectivities must surface in the report
     if optimizer_notes(&spans, &events).is_empty() {
         return Err("trace contains no optimizer instants".into());
+    }
+    // the telemetry sections reconstruct from the same spans: per-rule
+    // latency quantiles and trailing run rates must populate, and a
+    // default-cap journal must not have truncated
+    if latency_quantiles(&spans, iflex_engine::obs::SpanKind::Rule).is_empty() {
+        return Err("trace yields no rule latency quantiles".into());
+    }
+    if run_rates(&spans).runs == 0 {
+        return Err("trace yields no run spans for the rate window".into());
+    }
+    if let Some(dropped) = truncation(&events) {
+        return Err(format!("smoke trace truncated ({dropped} events dropped)"));
     }
     print!("{}", render_report(&spans, &events));
     println!(

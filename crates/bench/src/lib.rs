@@ -95,6 +95,10 @@ pub struct ExecConfig {
     /// Whether the logical-plan optimizer (DESIGN.md §11) rewrites
     /// compiled rules; `false` is the ablation arm of the plan report.
     pub use_optimizer: bool,
+    /// Whether live telemetry (the engine's per-run window/sketch series
+    /// and flight recorder) records during the session — the axis
+    /// `exp_scaling --telemetry-report` measures the overhead of.
+    pub telemetry: bool,
 }
 
 impl Default for ExecConfig {
@@ -105,6 +109,7 @@ impl Default for ExecConfig {
             use_incremental: true,
             use_sampling: true,
             use_optimizer: true,
+            telemetry: false,
         }
     }
 }
@@ -129,6 +134,10 @@ pub fn run_session_configured(
     engine.limits.use_feature_memo = exec.use_feature_memo;
     engine.limits.use_incremental = exec.use_incremental;
     engine.limits.use_optimizer = exec.use_optimizer;
+    if exec.telemetry {
+        engine.live = iflex_engine::obs::LiveSet::enabled();
+        engine.flight = iflex_engine::obs::FlightRecorder::new(0);
+    }
     let mut session = iflex::Session::new(
         engine,
         task.program.clone(),

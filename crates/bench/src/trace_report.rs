@@ -5,7 +5,7 @@
 //! test. Input is the validated span list from
 //! [`iflex_engine::obs::replay`].
 
-use iflex_engine::obs::{Span, SpanKind};
+use iflex_engine::obs::{QuantileSketch, Span, SpanKind, Window};
 use std::collections::BTreeMap;
 
 /// Aggregated cost of one rule (by rule text) across every run in the
@@ -222,6 +222,124 @@ pub fn iteration_timeline(spans: &[Span]) -> Vec<IterationRow> {
     rows
 }
 
+/// Per-name latency quantiles of span duration — the offline replay
+/// analogue of the live `run_us` sketch series the service exposes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyRow {
+    /// Span name (rule text or operator name).
+    pub name: String,
+    /// Span count feeding the sketch.
+    pub count: u64,
+    /// Median duration, µs.
+    pub p50_us: f64,
+    /// 95th-percentile duration, µs.
+    pub p95_us: f64,
+    /// 99th-percentile duration, µs.
+    pub p99_us: f64,
+}
+
+/// Builds p50/p95/p99 duration rows for every span of `kind`, sorted by
+/// p99 (descending), ties broken by name. Each name gets its own
+/// [`QuantileSketch`], so the numbers carry the same relative-error
+/// guarantee as the live endpoint.
+pub fn latency_quantiles(spans: &[Span], kind: SpanKind) -> Vec<LatencyRow> {
+    let mut agg: BTreeMap<&str, QuantileSketch> = BTreeMap::new();
+    for s in spans.iter().filter(|s| s.kind == kind) {
+        agg.entry(&s.name).or_default().observe(s.dur_us());
+    }
+    let mut rows: Vec<LatencyRow> = agg
+        .into_iter()
+        .map(|(name, sk)| LatencyRow {
+            name: name.to_string(),
+            count: sk.count(),
+            p50_us: sk.quantile(0.50).unwrap_or(0.0),
+            p95_us: sk.quantile(0.95).unwrap_or(0.0),
+            p99_us: sk.quantile(0.99).unwrap_or(0.0),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.p99_us.total_cmp(&a.p99_us).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// Renders the latency-quantile table for one span kind.
+pub fn render_latency(rows: &[LatencyRow], what: &str) -> String {
+    let mut out = format!("{what} latency quantiles\n");
+    out += &format!(
+        "{:>6} {:>10} {:>10} {:>10}  {}\n",
+        "spans", "p50 ms", "p95 ms", "p99 ms", what.to_lowercase()
+    );
+    for r in rows {
+        out += &format!(
+            "{:>6} {:>10.2} {:>10.2} {:>10.2}  {}\n",
+            r.count,
+            r.p50_us / 1000.0,
+            r.p95_us / 1000.0,
+            r.p99_us / 1000.0,
+            r.name
+        );
+    }
+    out
+}
+
+/// Trailing engine-run rates reconstructed from the trace: run spans
+/// replayed through a [`Window`] via `observe_at`, read at the last
+/// run's start — the same 1s/10s/60s horizons the live endpoint serves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunRates {
+    /// Total run spans in the trace.
+    pub runs: u64,
+    /// Runs per second over the trailing 1s / 10s / 60s windows.
+    pub rates: [f64; 3],
+    /// Mean run duration (µs) over the trailing 60s window.
+    pub mean_us_60s: f64,
+}
+
+/// Replays run-span start times into a sliding window and reads the
+/// trailing rates at trace end.
+pub fn run_rates(spans: &[Span]) -> RunRates {
+    let w = Window::new();
+    let mut runs = 0;
+    let mut end = 0;
+    for s in spans.iter().filter(|s| s.kind == SpanKind::Run) {
+        w.observe_at(s.t0, s.dur_us());
+        runs += 1;
+        end = end.max(s.t0);
+    }
+    let rate = |secs: u64| w.stats_at(end, secs).rate();
+    RunRates {
+        runs,
+        rates: [rate(1), rate(10), rate(60)],
+        mean_us_60s: w.stats_at(end, 60).mean(),
+    }
+}
+
+/// Renders the windowed run-rate summary.
+pub fn render_run_rates(r: &RunRates) -> String {
+    format!(
+        "Engine run rate (trailing windows at trace end)\n  \
+         {} runs — {:.1}/s over 1s, {:.1}/s over 10s, {:.1}/s over 60s; \
+         mean run {:.2} ms (60s)\n",
+        r.runs,
+        r.rates[0],
+        r.rates[1],
+        r.rates[2],
+        r.mean_us_60s / 1000.0
+    )
+}
+
+/// The `dropped` count from the journal's truncation marker, when the
+/// tracer hit its event cap while recording ([`Tracer::to_jsonl`]
+/// appends the marker); `None` for a complete journal.
+pub fn truncation(events: &[iflex_engine::obs::trace::TraceEvent]) -> Option<u64> {
+    events.iter().find(|e| e.name == "journal_truncated").map(|e| {
+        e.args
+            .iter()
+            .find(|(k, _)| *k == "dropped")
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    })
+}
+
 fn fmt_ms(us: u64) -> String {
     format!("{:.2}", us as f64 / 1000.0)
 }
@@ -285,13 +403,27 @@ pub fn render_timeline(rows: &[IterationRow]) -> String {
     out
 }
 
-/// The full report: rule table, operator table, iteration timeline, and
-/// the degradation instants (rule + cause/site notes), when any.
+/// The full report: a truncation warning when the journal overflowed,
+/// then the rule table, operator table, latency quantiles, windowed run
+/// rates, iteration timeline, and the degradation instants (rule +
+/// cause/site notes), when any.
 pub fn render_report(spans: &[Span], events: &[iflex_engine::obs::trace::TraceEvent]) -> String {
     let mut out = String::new();
+    if let Some(dropped) = truncation(events) {
+        out += &format!(
+            "WARNING: trace truncated — {dropped} events dropped at the journal \
+             cap; every table below under-reports.\n\n"
+        );
+    }
     out += &render_rule_table(&rule_self_time(spans));
     out += "\n";
     out += &render_operator_table(&operator_self_time(spans));
+    out += "\n";
+    out += &render_latency(&latency_quantiles(spans, SpanKind::Rule), "Per-rule");
+    out += "\n";
+    out += &render_latency(&latency_quantiles(spans, SpanKind::Operator), "Per-operator");
+    out += "\n";
+    out += &render_run_rates(&run_rates(spans));
     out += "\n";
     out += &render_optimizer(&optimizer_notes(spans, events));
     out += "\n";
@@ -382,5 +514,38 @@ mod tests {
         assert!(report.contains("q(x) :- p(x)."));
         assert!(report.contains("Assistant iteration timeline"));
         assert!(report.contains("iteration1"));
+        assert!(report.contains("Per-rule latency quantiles"));
+        assert!(report.contains("Engine run rate"));
+        // A complete journal renders no truncation warning.
+        assert!(!report.contains("WARNING: trace truncated"));
+    }
+
+    #[test]
+    fn latency_quantiles_and_run_rates_aggregate() {
+        let t = sample_trace();
+        let spans = validate_nesting(&t.events()).expect("well-formed");
+        let rules = latency_quantiles(&spans, SpanKind::Rule);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].count, 1);
+        assert!(rules[0].p50_us <= rules[0].p99_us);
+        let r = run_rates(&spans);
+        assert_eq!(r.runs, 1);
+        // A single run at t0 lands inside every trailing horizon.
+        assert!(r.rates.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn truncated_journal_surfaces_a_warning() {
+        let t = iflex_engine::obs::Tracer::with_cap(2);
+        let a = t.begin(SpanId::NONE, SpanKind::Run, "run");
+        let b = t.begin(a, SpanKind::Rule, "r");
+        t.end(b);
+        t.end(a);
+        let events = parse_jsonl(&t.to_jsonl()).expect("parse");
+        assert_eq!(truncation(&events), Some(2));
+        // The dropped End events orphan the spans, so skip nesting
+        // validation and render against the open-span-free view.
+        let report = render_report(&[], &events);
+        assert!(report.contains("WARNING: trace truncated — 2 events dropped"));
     }
 }

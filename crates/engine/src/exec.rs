@@ -29,7 +29,10 @@ use iflex_alog::{
 
 use iflex_ctable::{Assignment, Cell, CompactTable, CompactTuple, Value};
 use iflex_features::{FeatureError, FeatureRegistry};
-use iflex_obs::{metrics::names, Counter, Histogram, Registry, SpanId, SpanKind, Tracer};
+use iflex_obs::{
+    metrics::names, Counter, FlightRecorder, Histogram, LiveSet, Registry, SpanId, SpanKind,
+    Tracer,
+};
 use iflex_text::{DocId, DocumentStore};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -566,6 +569,8 @@ impl EngineCore {
             tracer: Tracer::disabled(),
             trace_parent: SpanId::NONE,
             counters,
+            live: LiveSet::disabled(),
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -652,6 +657,18 @@ pub struct Engine {
     pub trace_parent: SpanId,
     /// Cached metric handles (see [`EngineCounters`]).
     counters: EngineCounters,
+    /// Live windowed/quantile telemetry that **survives the per-run
+    /// registry reset**: run latency (window + p50/p95/p99 sketch under
+    /// [`names::RUN_US`]), a degradation-rate window, and per-shard busy
+    /// windows. Disabled by default — one relaxed atomic load per probe;
+    /// the service wires a per-session set in so every engine run feeds
+    /// that tenant's scoped metrics.
+    pub live: LiveSet,
+    /// Always-on bounded flight recorder. Disabled by default; the
+    /// service shares its per-session ring so degradations inside engine
+    /// runs land next to the session's request history when a dump
+    /// triggers.
+    pub flight: FlightRecorder,
 }
 
 impl Engine {
@@ -678,6 +695,8 @@ impl Engine {
             tracer: Tracer::disabled(),
             trace_parent: SpanId::NONE,
             counters,
+            live: LiveSet::disabled(),
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -711,6 +730,10 @@ impl Engine {
             tracer: self.tracer.clone(),
             trace_parent: self.trace_parent,
             counters,
+            // Live telemetry and the flight ring are shared: a snapshot's
+            // runs belong to the same tenant's timeline.
+            live: self.live.clone(),
+            flight: self.flight.clone(),
         }
     }
 
@@ -938,6 +961,7 @@ impl Engine {
     ) -> Result<Arc<CompactTable>, EngineError> {
         self.metrics.reset();
         self.stats = ExecStats::default();
+        let live_t0 = std::time::Instant::now();
         if !self.limits.use_optimizer && self.limits.use_incremental {
             warn_optimizer_off_incremental_on();
         }
@@ -979,6 +1003,29 @@ impl Engine {
                 ("degradations", self.stats.degradations.len() as u64),
             ],
         );
+        // Live telemetry outlives the per-run registry reset above: run
+        // latency feeds both a sliding window and a quantile sketch, and
+        // degradations feed a rate window, all under the tenant this
+        // engine is scoped to. One relaxed load when disabled.
+        if self.live.is_enabled() {
+            let run_us = live_t0.elapsed().as_micros() as u64;
+            self.live.window(names::RUN_US).observe(run_us);
+            self.live.sketch(names::RUN_US).observe(run_us);
+            self.live
+                .window(names::DEGRADATIONS)
+                .add_count(self.stats.degradations.len() as u64);
+        }
+        if self.flight.is_enabled() {
+            self.flight.record(
+                "run",
+                if sample.is_some() { "run:sampled" } else { "run:full" },
+                format!(
+                    "tuples={} degradations={}",
+                    result.as_ref().map(|t| t.len()).unwrap_or(0),
+                    self.stats.degradations.len()
+                ),
+            );
+        }
         result
     }
 
@@ -1213,6 +1260,16 @@ impl Engine {
                             t.instant(parent, SpanKind::Mark, "degradation", Some(&note));
                         }
                         self.tracer.end(rule_span);
+                        if self.flight.is_enabled() {
+                            self.flight.record(
+                                "degradation",
+                                rule.to_string(),
+                                match site {
+                                    Some(s) => format!("{} @ {s}", cause.slug()),
+                                    None => cause.slug().to_string(),
+                                },
+                            );
+                        }
                         self.stats.degradations.push(Degradation {
                             rule: rule.to_string(),
                             cause,
@@ -1899,10 +1956,17 @@ impl Engine {
         if went_parallel {
             self.counters.par_sections.inc();
         }
+        let live = self.live.is_enabled();
         for (i, us) in shard_micros.iter().enumerate() {
             self.metrics
                 .counter(&format!("{}{}", names::SHARD_BUSY_PREFIX, i))
                 .add(*us);
+            // Windowed companion (ROADMAP item 2: imbalance over the last
+            // few seconds is what a scheduler can act on, not lifetime
+            // sums).
+            if live {
+                self.live.shard_busy(i).observe(*us);
+            }
         }
     }
 

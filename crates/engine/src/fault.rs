@@ -31,6 +31,11 @@ pub mod site {
     /// Per session-spawn attempt in the multi-session service (worker
     /// thread creation + engine fork).
     pub const SESSION_SPAWN: &str = "service.session_spawn";
+    /// Per job taken off a session worker's queue, inside the bulkhead's
+    /// `catch_unwind`. Arming [`crate::Fault::Panic`] here kills the job
+    /// from the worker's own frame — the hard-crash case the bulkhead
+    /// and the flight recorder exist for.
+    pub const WORKER_JOB: &str = "service.worker_job";
     /// Per protocol request decoded from the wire by the service.
     pub const REQUEST_DECODE: &str = "service.request_decode";
     /// Per protocol response written to the wire by the service.

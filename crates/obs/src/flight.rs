@@ -1,0 +1,214 @@
+//! Always-on bounded flight recorder.
+//!
+//! A [`FlightRecorder`] keeps the last `cap` noteworthy events (requests,
+//! runs, degradations, cancels) in a ring buffer so that when something
+//! goes wrong — the watchdog cancels a run, a worker panics, a rule
+//! degrades — the service can dump the victim session's recent history to
+//! JSONL **after the fact**, replacing "re-run with `IFLEX_TRACE` set and
+//! hope it reproduces". It is deliberately not a [`crate::trace::Tracer`]
+//! mode: the tracer's disabled path guarantees zero allocation, while the
+//! recorder is always on and pays one small allocation per recorded event.
+//!
+//! Recording takes a mutex, but only around a `VecDeque` push — events are
+//! rare (per request / per run, never per tuple), so contention is nil.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json_escape;
+
+/// Default ring capacity: enough to hold a session's recent request
+/// history without ever mattering for memory (~a few KiB).
+pub const DEFAULT_FLIGHT_CAP: usize = 64;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Microseconds since the recorder's epoch.
+    pub t_us: u64,
+    /// Event class: `"request"`, `"run"`, `"degradation"`, `"cancel"`,
+    /// `"panic"`, …
+    pub kind: &'static str,
+    /// What the event names (a request command, a rule, …).
+    pub name: String,
+    /// Free-form detail (empty when there is none).
+    pub note: String,
+}
+
+impl FlightEvent {
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"t_us\":{},\"kind\":\"{}\",\"name\":\"{}\",\"note\":\"{}\"}}",
+            self.t_us,
+            json_escape(self.kind),
+            json_escape(&self.name),
+            json_escape(&self.note)
+        )
+    }
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    enabled: AtomicBool,
+    epoch: Instant,
+    cap: usize,
+    ring: Mutex<VecDeque<FlightEvent>>,
+    /// Lifetime total, including events the ring has since evicted.
+    total: AtomicU64,
+}
+
+/// A cheap cloneable handle to one bounded event ring.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// A recording ring holding the last `cap` events (`cap == 0` falls
+    /// back to [`DEFAULT_FLIGHT_CAP`]).
+    pub fn new(cap: usize) -> FlightRecorder {
+        let cap = if cap == 0 { DEFAULT_FLIGHT_CAP } else { cap };
+        FlightRecorder {
+            inner: Arc::new(FlightInner {
+                enabled: AtomicBool::new(true),
+                epoch: Instant::now(),
+                cap,
+                ring: Mutex::new(VecDeque::with_capacity(cap.min(256))),
+                total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A recorder that drops everything after one relaxed load — the
+    /// default wired into engines outside a service.
+    pub fn disabled() -> FlightRecorder {
+        let r = FlightRecorder::new(1);
+        r.inner.enabled.store(false, Ordering::Relaxed);
+        r
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one event. Disabled recorders return after a single
+    /// relaxed load; callers should guard any expensive formatting with
+    /// [`FlightRecorder::is_enabled`].
+    pub fn record(&self, kind: &'static str, name: impl Into<String>, note: impl Into<String>) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let ev = FlightEvent {
+            t_us: self.inner.epoch.elapsed().as_micros() as u64,
+            kind,
+            name: name.into(),
+            note: note.into(),
+        };
+        self.inner.total.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.inner.ring.lock().expect("flight lock");
+        if ring.len() == self.inner.cap {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// Events currently held (oldest first).
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.inner
+            .ring
+            .lock()
+            .expect("flight lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.ring.lock().expect("flight lock").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime events recorded, including evicted ones.
+    pub fn total(&self) -> u64 {
+        self.inner.total.load(Ordering::Relaxed)
+    }
+
+    /// Renders the ring as a JSONL dump: a header line naming the session
+    /// and trigger, then one line per retained event (oldest first).
+    pub fn dump_jsonl(&self, session: u64, reason: &str) -> String {
+        let events = self.snapshot();
+        let mut out = format!(
+            "{{\"flight\":\"v1\",\"session\":{},\"reason\":\"{}\",\"events\":{},\"total\":{}}}\n",
+            session,
+            json_escape(reason),
+            events.len(),
+            self.total()
+        );
+        for ev in &events {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let f = FlightRecorder::new(4);
+        for i in 0..10 {
+            f.record("request", format!("r{i}"), "");
+        }
+        let snap = f.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].name, "r6");
+        assert_eq!(snap[3].name, "r9");
+        assert_eq!(f.total(), 10);
+    }
+
+    #[test]
+    fn disabled_recorder_drops() {
+        let f = FlightRecorder::disabled();
+        f.record("request", "x", "");
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0);
+    }
+
+    #[test]
+    fn dump_is_parseable_jsonl() {
+        let f = FlightRecorder::new(8);
+        f.record("run", "ask", "tuples=5");
+        f.record("degradation", "extractV", "timeout @ eval_rule");
+        let dump = f.dump_jsonl(3, "watchdog_cancel");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"session\":3"));
+        assert!(lines[0].contains("\"reason\":\"watchdog_cancel\""));
+        assert!(lines[1].contains("\"kind\":\"run\""));
+        assert!(lines[2].contains("\"note\":\"timeout @ eval_rule\""));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn events_are_monotonic() {
+        let f = FlightRecorder::new(8);
+        f.record("a", "1", "");
+        f.record("b", "2", "");
+        let snap = f.snapshot();
+        assert!(snap[0].t_us <= snap[1].t_us);
+    }
+}

@@ -13,6 +13,15 @@
 //!   hand-threaded struct.
 //! * [`replay`] — a parser + validator for the JSONL trace dumps, used by
 //!   the `exp_trace` report tool and the span-nesting tests.
+//! * [`window`] — lock-cheap **sliding-window aggregators** (a ring of
+//!   250 ms buckets) answering rate/mean/max over the trailing 1 s / 10 s
+//!   / 60 s, grouped per tenant in a [`window::LiveSet`].
+//! * [`quantile`] — a mergeable **log-scale quantile sketch** so
+//!   per-operator and per-request latencies report p50/p95/p99 within a
+//!   configured relative accuracy.
+//! * [`flight`] — an always-on bounded **flight recorder** of recent
+//!   events, dumped to JSONL when the watchdog cancels a run, a worker
+//!   panics, or a rule degrades.
 //!
 //! Export formats are hand-rendered JSON (the workspace deliberately
 //! carries no JSON dependency): one JSON object per line for traces
@@ -22,13 +31,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod metrics;
+pub mod quantile;
 pub mod replay;
 pub mod trace;
+pub mod window;
 
+pub use flight::{FlightEvent, FlightRecorder};
 pub use metrics::{Counter, Histogram, HistogramSummary, MetricsSnapshot, Registry};
+pub use quantile::{QuantileSketch, QuantileSummary};
 pub use replay::{build_spans, parse_jsonl, validate_nesting, Span};
 pub use trace::{trace_path_from_env, Phase, SpanId, SpanKind, TraceEvent, Tracer};
+pub use window::{LiveSet, Window, WindowStats};
 
 /// Escapes a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {

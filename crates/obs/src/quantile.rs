@@ -1,0 +1,292 @@
+//! A small mergeable quantile sketch over `u64` samples.
+//!
+//! Fixed-bin **log-scale histogram** (the DDSketch construction): bucket
+//! `i` covers the value range `(γ^(i-1), γ^i]` with `γ = (1+α)/(1-α)` for
+//! a configured relative accuracy `α`. Every reported quantile `q̂`
+//! satisfies `|q̂ − x_q| ≤ α·x_q` where `x_q` is the exact sample at that
+//! rank — the bound the property tests in `tests/prop_quantile.rs` pin
+//! down under adversarial streams.
+//!
+//! Chosen over CKMS for two properties the service needs: recording is a
+//! handful of relaxed atomic adds (safe from any worker thread with no
+//! lock), and `merge` is a bucket-wise addition, so per-operator sketches
+//! roll up into per-session and per-host views exactly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default relative accuracy: reported quantiles are within 2 % of the
+/// exact sample value. ~1.1k buckets ≈ 9 KiB per sketch.
+pub const DEFAULT_ALPHA: f64 = 0.02;
+
+#[derive(Debug)]
+struct SketchInner {
+    enabled: Arc<AtomicBool>,
+    alpha: f64,
+    gamma: f64,
+    inv_ln_gamma: f64,
+    /// Exact-zero samples get their own bucket (log scale can't hold 0).
+    zero: AtomicU64,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A cheap cloneable handle to one quantile sketch.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    inner: Arc<SketchInner>,
+}
+
+/// The rendered p50/p95/p99 view of a sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileSummary {
+    /// Total samples.
+    pub count: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+impl QuantileSketch {
+    /// An always-enabled sketch with the default accuracy.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch::with_alpha(DEFAULT_ALPHA)
+    }
+
+    /// An always-enabled sketch with relative accuracy `alpha`
+    /// (`0 < alpha < 1`).
+    pub fn with_alpha(alpha: f64) -> QuantileSketch {
+        QuantileSketch::build(alpha, Arc::new(AtomicBool::new(true)))
+    }
+
+    /// A default-accuracy sketch sharing an external enabled flag — how
+    /// [`crate::window::LiveSet`] builds its members.
+    pub fn with_flag(enabled: Arc<AtomicBool>) -> QuantileSketch {
+        QuantileSketch::build(DEFAULT_ALPHA, enabled)
+    }
+
+    fn build(alpha: f64, enabled: Arc<AtomicBool>) -> QuantileSketch {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha out of range");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        let inv_ln_gamma = 1.0 / gamma.ln();
+        // Highest index any u64 can map to, plus slack for rounding.
+        let len = ((u64::MAX as f64).ln() * inv_ln_gamma).ceil() as usize + 2;
+        QuantileSketch {
+            inner: Arc::new(SketchInner {
+                enabled,
+                alpha,
+                gamma,
+                inv_ln_gamma,
+                zero: AtomicU64::new(0),
+                buckets: (0..len).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configured relative accuracy.
+    pub fn alpha(&self) -> f64 {
+        self.inner.alpha
+    }
+
+    fn index(&self, v: u64) -> usize {
+        // Bucket i covers (γ^(i-1), γ^i]: i = ceil(log_γ v), so v = 1
+        // lands in bucket 0.
+        let i = ((v as f64).ln() * self.inner.inv_ln_gamma).ceil();
+        (i.max(0.0) as usize).min(self.inner.buckets.len() - 1)
+    }
+
+    /// Midpoint estimate for bucket `i`, within `±α` of any value in it.
+    fn value(&self, i: usize) -> f64 {
+        2.0 * self.inner.gamma.powi(i as i32) / (self.inner.gamma + 1.0)
+    }
+
+    /// Records one sample. Disabled sketches return after a single
+    /// relaxed load.
+    pub fn observe(&self, v: u64) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+        if v == 0 {
+            self.inner.zero.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.buckets[self.index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample (exact, not an estimate).
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimated value at quantile `q ∈ [0, 1]`; `None` on an empty
+    /// sketch. The estimate is within relative `α` of the exact sample at
+    /// rank `⌈q·n⌉`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = self.inner.zero.load(Ordering::Relaxed);
+        if cum >= rank {
+            return Some(0.0);
+        }
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return Some(self.value(i));
+            }
+        }
+        // Racing writers can leave count ahead of the bucket totals for a
+        // moment; fall back to the exact max.
+        Some(self.max() as f64)
+    }
+
+    /// Folds `other` into `self` (bucket-wise add). Panics if the two
+    /// sketches were built with different accuracies.
+    pub fn merge(&self, other: &QuantileSketch) {
+        assert_eq!(
+            self.inner.buckets.len(),
+            other.inner.buckets.len(),
+            "merging sketches with different accuracies"
+        );
+        self.inner
+            .zero
+            .fetch_add(other.inner.zero.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.inner
+            .count
+            .fetch_add(other.count(), Ordering::Relaxed);
+        self.inner.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.inner.max.fetch_max(other.max(), Ordering::Relaxed);
+        for (a, b) in self.inner.buckets.iter().zip(other.inner.buckets.iter()) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// The standard p50/p95/p99 rendering (zeros when empty).
+    pub fn summary(&self) -> QuantileSummary {
+        QuantileSummary {
+            count: self.count(),
+            max: self.max(),
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact quantile under the same rank convention the sketch uses.
+    fn exact(sorted: &[u64], q: f64) -> u64 {
+        let n = sorted.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        sorted[(rank - 1) as usize]
+    }
+
+    #[test]
+    fn uniform_stream_within_bound() {
+        let s = QuantileSketch::new();
+        let mut vals: Vec<u64> = (1..=10_000).collect();
+        for &v in &vals {
+            s.observe(v);
+        }
+        vals.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            let est = s.quantile(q).unwrap();
+            let x = exact(&vals, q) as f64;
+            assert!(
+                (est - x).abs() <= s.alpha() * x + 1e-9,
+                "q={q}: est {est} vs exact {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeros_and_max_are_exact() {
+        let s = QuantileSketch::new();
+        for _ in 0..90 {
+            s.observe(0);
+        }
+        for _ in 0..10 {
+            s.observe(u64::MAX);
+        }
+        assert_eq!(s.quantile(0.5), Some(0.0));
+        assert_eq!(s.max(), u64::MAX);
+        let p99 = s.quantile(0.99).unwrap();
+        assert!((p99 - u64::MAX as f64).abs() <= s.alpha() * u64::MAX as f64 * 1.001);
+    }
+
+    #[test]
+    fn merge_equals_concat() {
+        let a = QuantileSketch::new();
+        let b = QuantileSketch::new();
+        let c = QuantileSketch::new();
+        for v in 1..=1000u64 {
+            a.observe(v);
+            c.observe(v);
+        }
+        for v in 500..=5000u64 {
+            b.observe(v * 3);
+            c.observe(v * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), c.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.quantile(0.5), None);
+        let sum = s.summary();
+        assert_eq!(sum.count, 0);
+        assert_eq!(sum.p99, 0.0);
+    }
+
+    #[test]
+    fn summary_orders_quantiles() {
+        let s = QuantileSketch::new();
+        for v in [1u64, 10, 100, 1000, 10_000] {
+            for _ in 0..20 {
+                s.observe(v);
+            }
+        }
+        let sum = s.summary();
+        assert!(sum.p50 <= sum.p95 && sum.p95 <= sum.p99);
+        assert!(sum.p99 <= sum.max as f64 * (1.0 + s.alpha()));
+    }
+}

@@ -207,6 +207,7 @@ const ARG_KEYS: &[&str] = &[
     "degradations",
     "sample_pct",
     "busy_us",
+    "dropped",
 ];
 
 fn intern_arg_key(key: &str) -> Option<&'static str> {

@@ -156,6 +156,17 @@ impl Default for Tracer {
 
 impl Tracer {
     fn with_enabled(enabled: bool) -> Self {
+        Tracer::with_enabled_cap(enabled, DEFAULT_CAP)
+    }
+
+    /// An enabled tracer with an explicit journal cap — lets tests (and
+    /// the truncation-warning path in `exp_trace`) exercise the cap
+    /// without journaling four million events.
+    pub fn with_cap(cap: usize) -> Self {
+        Tracer::with_enabled_cap(true, cap)
+    }
+
+    fn with_enabled_cap(enabled: bool, cap: usize) -> Self {
         Tracer {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(enabled),
@@ -164,7 +175,7 @@ impl Tracer {
                 events: Mutex::new(Vec::new()),
                 recorded: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
-                cap: DEFAULT_CAP,
+                cap,
             }),
         }
     }
@@ -296,12 +307,30 @@ impl Tracer {
         self.inner.events.lock().expect("trace journal lock").clone()
     }
 
-    /// Renders the journal as JSONL (one event object per line).
+    /// Renders the journal as JSONL (one event object per line). When the
+    /// journal overflowed its cap, a final `journal_truncated` instant
+    /// (parent 0, `dropped` arg) marks the loss so replay tooling can
+    /// warn instead of silently under-reporting spans.
     pub fn to_jsonl(&self) -> String {
         let events = self.inner.events.lock().expect("trace journal lock");
         let mut out = String::with_capacity(events.len() * 64);
         for ev in events.iter() {
             render_event(&mut out, ev);
+            out.push('\n');
+        }
+        let dropped = self.inner.dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            let marker = TraceEvent {
+                ph: Phase::Instant,
+                id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+                parent: 0,
+                kind: SpanKind::Mark,
+                name: "journal_truncated".to_string(),
+                t_us: events.last().map(|e| e.t_us).unwrap_or(0),
+                args: vec![("dropped", dropped)],
+                note: Some("journal hit its event cap; span tables under-report".to_string()),
+            };
+            render_event(&mut out, &marker);
             out.push('\n');
         }
         out
@@ -448,6 +477,24 @@ mod tests {
         assert!(lines[0].contains("\\\"x\\\""));
         assert!(lines[1].contains("\"note\":\"budget\""));
         assert!(lines[2].contains("\"tuples_out\":42"));
+    }
+
+    #[test]
+    fn capped_journal_marks_truncation() {
+        let t = Tracer::with_cap(2);
+        let a = t.begin(SpanId::NONE, SpanKind::Run, "run");
+        let b = t.begin(a, SpanKind::Rule, "r");
+        t.end(b); // over cap: dropped
+        t.end(a); // over cap: dropped
+        assert_eq!(t.dropped(), 2);
+        let jsonl = t.to_jsonl();
+        let last = jsonl.lines().last().unwrap();
+        assert!(last.contains("journal_truncated"), "{last}");
+        assert!(last.contains("\"dropped\":2"), "{last}");
+        // An un-truncated journal carries no marker.
+        let clean = Tracer::enabled();
+        clean.instant(SpanId::NONE, SpanKind::Mark, "x", None);
+        assert!(!clean.to_jsonl().contains("journal_truncated"));
     }
 
     #[test]

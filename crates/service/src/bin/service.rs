@@ -76,6 +76,96 @@ fn smoke() -> Result<(), String> {
     expect(6, "sessions", &Json::num(2))?;
     expect(7, "published", &Json::Bool(true))?;
     expect(8, "drained_sessions", &Json::num(1))?;
+    telemetry_smoke()
+}
+
+/// Scrapes one exposition via the server's `GET /metrics` path and
+/// returns the parsed `(name-with-labels, value)` samples.
+fn scrape(host: &Host) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    serve_lines(host, "GET /metrics HTTP/1.1\n".as_bytes(), &mut out)
+        .map_err(|e| format!("scrape failed: {e}"))?;
+    let text = String::from_utf8(out).map_err(|e| format!("non-utf8 scrape: {e}"))?;
+    if !text.starts_with("HTTP/1.1 200 OK\r\n") {
+        return Err(format!("scrape is not an HTTP 200: {text}"));
+    }
+    let body = text
+        .split("\r\n\r\n")
+        .nth(1)
+        .ok_or_else(|| format!("scrape has no body: {text}"))?;
+    let mut samples = Vec::new();
+    for line in body.lines().filter(|l| !l.starts_with('#') && !l.trim().is_empty()) {
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("exposition line has no value: {line:?}"))?;
+        let value: f64 =
+            value.parse().map_err(|_| format!("non-numeric sample: {line:?}"))?;
+        samples.push((name.to_string(), value));
+    }
+    Ok(samples)
+}
+
+/// The live-telemetry smoke gate: with telemetry on (the default), the
+/// exposition endpoint must parse, carry per-session quantile and
+/// window series, and visibly change between two scrapes separated by
+/// traffic.
+fn telemetry_smoke() -> Result<(), String> {
+    let host = Host::new(fixture::tiny_core(), fixture::PROGRAM, ServiceConfig::default());
+    let drive = |n: usize| -> Result<(), String> {
+        for _ in 0..n {
+            let r = host.handle_line("{\"cmd\":\"get-results\",\"session\":1,\"limit\":4}");
+            if r.get("ok") != Some(&Json::Bool(true)) {
+                return Err(format!("get-results failed: {}", r.render()));
+            }
+        }
+        Ok(())
+    };
+    let created = host.handle_line("{\"cmd\":\"create-session\"}");
+    if created.get("session").and_then(Json::as_u64) != Some(1) {
+        return Err(format!("create failed: {}", created.render()));
+    }
+    drive(2)?;
+    let first = scrape(&host)?;
+    drive(3)?;
+    let second = scrape(&host)?;
+    let find = |samples: &[(String, f64)], name: &str| -> Result<f64, String> {
+        samples
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("exposition misses {name}"))
+    };
+    // Per-session p99 and window series exist and parse.
+    let p99 = find(&first, "iflex_session_ask_to_answer_us{session=\"1\",quantile=\"0.99\"}")?;
+    if p99 <= 0.0 {
+        return Err(format!("session p99 not populated: {p99}"));
+    }
+    find(&first, "iflex_session_requests_rate{session=\"1\",window=\"10s\"}")?;
+    find(&first, "iflex_session_run_us{session=\"1\",quantile=\"0.99\"}")?;
+    // Traffic between scrapes moves the lifetime and sketch counts.
+    let c1 = find(&first, "iflex_service_requests")?;
+    let c2 = find(&second, "iflex_service_requests")?;
+    if c2 <= c1 {
+        return Err(format!("request counter frozen across scrapes: {c1} → {c2}"));
+    }
+    let s1 = find(&first, "iflex_service_ask_to_answer_us_count")?;
+    let s2 = find(&second, "iflex_service_ask_to_answer_us_count")?;
+    if s2 <= s1 {
+        return Err(format!("latency sketch frozen across scrapes: {s1} → {s2}"));
+    }
+    // The protocol-side surface agrees: scoped stats, health, metrics.
+    let stats = host.handle_line("{\"cmd\":\"stats\",\"session\":1}");
+    if stats.get("requests_60s").and_then(Json::as_f64).unwrap_or(0.0) <= 0.0 {
+        return Err(format!("scoped stats has no live rate: {}", stats.render()));
+    }
+    let health = host.handle_line("{\"cmd\":\"health\"}");
+    if health.get("healthy") != Some(&Json::Bool(true)) {
+        return Err(format!("fresh host must be healthy: {}", health.render()));
+    }
+    let metrics = host.handle_line("{\"cmd\":\"metrics\"}");
+    if metrics.get("ok") != Some(&Json::Bool(true)) {
+        return Err(format!("metrics command failed: {}", metrics.render()));
+    }
     Ok(())
 }
 

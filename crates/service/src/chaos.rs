@@ -335,6 +335,121 @@ fn service_scenarios(report: &mut ChaosReport, baseline: &str, seed: u64) {
     }
 }
 
+/// Flight-recorder scenarios: the two hard-failure triggers — a worker
+/// panic inside the bulkhead and a watchdog cancel of a stuck run —
+/// must each leave a JSONL dump holding the victim session's recent
+/// events, while sibling sessions keep answering byte-identically to
+/// the solo baseline. (Invariant 2 extended with the observability
+/// contract: a post-mortem exists, and capturing it perturbs nobody.)
+fn flight_scenarios(report: &mut ChaosReport, baseline: &str, seed: u64) {
+    // Worker panic: the injected panic fires on the victim's first job.
+    {
+        report.scenarios += 1;
+        let host = Host::new(fixture::tiny_core(), fixture::PROGRAM, chaos_cfg());
+        let victim = create(&host).expect("victim create");
+        let siblings: Vec<u64> = (0..2).filter_map(|_| create(&host).ok()).collect();
+        assert!(host.arm_session(
+            victim,
+            fault::site::WORKER_JOB,
+            Trigger::Nth(0),
+            Fault::Panic("chaos".into()),
+            seed,
+        ));
+        let host_ref = &host;
+        let (victim_resp, sibling_resps) = std::thread::scope(|scope| {
+            let v = scope.spawn(move || workload(host_ref, victim));
+            let s: Vec<_> =
+                siblings.iter().map(|&s| scope.spawn(move || workload(host_ref, s))).collect();
+            (
+                v.join().expect("victim thread"),
+                s.into_iter().map(|j| j.join().expect("sibling thread")).collect::<Vec<_>>(),
+            )
+        });
+        if victim_resp.get("ok") != Some(&Json::Bool(false)) {
+            report.failures.push(format!(
+                "flight/panic: victim should be poisoned, got {}",
+                victim_resp.render()
+            ));
+        }
+        for (i, resp) in sibling_resps.iter().enumerate() {
+            if resp.render() != baseline {
+                report
+                    .failures
+                    .push(format!("flight/panic: sibling {i} diverged: {}", resp.render()));
+            }
+        }
+        let dumps = host.flight_dumps();
+        match dumps.iter().find(|d| d.reason == "worker_panic" && d.session == victim) {
+            Some(d) => {
+                // The ring must hold the victim's history up to the blast:
+                // its create event precedes the panic-killed job.
+                if !d.jsonl.contains("\"kind\":\"session\"") {
+                    report.failures.push(format!(
+                        "flight/panic: dump misses the victim's prior events: {}",
+                        d.jsonl
+                    ));
+                }
+            }
+            None => report
+                .failures
+                .push(format!("flight/panic: no worker_panic dump for victim (have {:?})",
+                    dumps.iter().map(|d| (&d.reason, d.session)).collect::<Vec<_>>())),
+        }
+        host.shutdown();
+    }
+    // Watchdog cancel: a stuck victim is cancelled and dumped; siblings
+    // running the real workload concurrently stay on the baseline.
+    {
+        report.scenarios += 1;
+        let cfg = ServiceConfig {
+            watchdog_interval: Duration::from_millis(5),
+            stuck_limit: Duration::from_millis(40),
+            ..chaos_cfg()
+        };
+        let host = Host::new(fixture::tiny_core(), fixture::PROGRAM, cfg);
+        let victim = create(&host).expect("victim create");
+        let siblings: Vec<u64> = (0..2).filter_map(|_| create(&host).ok()).collect();
+        let host_ref = &host;
+        let (victim_resp, sibling_resps) = std::thread::scope(|scope| {
+            let v = scope.spawn(move || {
+                host_ref.handle(Request::Sleep { id: None, session: victim, ms: 400 })
+            });
+            let s: Vec<_> =
+                siblings.iter().map(|&s| scope.spawn(move || workload(host_ref, s))).collect();
+            (
+                v.join().expect("victim thread"),
+                s.into_iter().map(|j| j.join().expect("sibling thread")).collect::<Vec<_>>(),
+            )
+        });
+        if victim_resp.get("cancelled") != Some(&Json::Bool(true)) {
+            report.failures.push(format!(
+                "flight/watchdog: stuck run not cancelled: {}",
+                victim_resp.render()
+            ));
+        }
+        for (i, resp) in sibling_resps.iter().enumerate() {
+            if resp.render() != baseline {
+                report
+                    .failures
+                    .push(format!("flight/watchdog: sibling {i} diverged: {}", resp.render()));
+            }
+        }
+        let dumps = host.flight_dumps();
+        match dumps.iter().find(|d| d.reason == "watchdog_cancel" && d.session == victim) {
+            Some(d) => {
+                if !d.jsonl.contains("\"kind\":\"cancel\"") || !d.jsonl.contains("watchdog") {
+                    report.failures.push(format!(
+                        "flight/watchdog: dump misses the cancel event: {}",
+                        d.jsonl
+                    ));
+                }
+            }
+            None => report.failures.push("flight/watchdog: no watchdog_cancel dump".into()),
+        }
+        host.shutdown();
+    }
+}
+
 /// Installs (once, process-wide) a panic hook that suppresses the
 /// backtrace spam of *injected* panics — they are expected and contained
 /// — while leaving every real panic's diagnostics intact.
@@ -396,6 +511,7 @@ pub fn run_matrix(seed: u64, quick: bool) -> ChaosReport {
         }
     }
     service_scenarios(&mut report, &baseline, seed);
+    flight_scenarios(&mut report, &baseline, seed);
     report
 }
 
@@ -407,8 +523,9 @@ mod tests {
     fn quick_matrix_holds_every_invariant() {
         let report = run_matrix(7, true);
         assert!(report.passed(), "chaos failures:\n{}", report.failures.join("\n"));
-        // 5 engine sites x 2 faults x 1 trigger + 6 service scenarios.
-        assert_eq!(report.scenarios, 16);
+        // 5 engine sites x 2 faults x 1 trigger + 6 service scenarios
+        // + 2 flight-recorder scenarios.
+        assert_eq!(report.scenarios, 18);
         // Always-triggered faults must actually bite the victim.
         assert!(
             report.victim_degraded + report.victim_errors > 0,

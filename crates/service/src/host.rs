@@ -24,6 +24,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -34,9 +35,15 @@ use crate::json::Json;
 use crate::protocol::{decode, err_response, ok_response, Request};
 use iflex_alog::{parse_program, Program};
 use iflex_assistant::{add_constraint, attributes, ordered_questions, AssistContext};
-use iflex_engine::obs::{Registry, SpanId, SpanKind, Tracer};
+use iflex_engine::obs::metrics::names;
+use iflex_engine::obs::{
+    Counter, FlightRecorder, LiveSet, QuantileSketch, Registry, SpanId, SpanKind, Tracer, Window,
+};
 use iflex_engine::{fault, CancelToken, Engine, EngineCore, Fault, FaultPlan, Sample, Trigger};
 use iflex_features::{FeatureArg, FeatureValue};
+
+/// Bound on retained flight-recorder dumps (oldest evicted first).
+const MAX_FLIGHT_DUMPS: usize = 32;
 
 /// Host tuning knobs.
 #[derive(Debug, Clone)]
@@ -59,6 +66,19 @@ pub struct ServiceConfig {
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_cap: Duration,
+    /// Whether live telemetry (sliding windows, quantile sketches, the
+    /// flight recorder) records. Off, every probe is one relaxed atomic
+    /// load.
+    pub telemetry: bool,
+    /// Per-session flight-recorder ring capacity (0 = library default).
+    pub flight_capacity: usize,
+    /// When set, every flight dump is also written to this directory as
+    /// `flight-<session>-<seq>-<reason>.jsonl`. Dumps are always kept
+    /// in memory regardless (see [`Host::flight_dumps`]).
+    pub flight_dir: Option<PathBuf>,
+    /// SLO threshold the `health` verdict holds the host to: p99
+    /// ask-to-answer latency must stay under this many milliseconds.
+    pub slo_p99_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -73,8 +93,131 @@ impl Default for ServiceConfig {
             spawn_retries: 3,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(100),
+            telemetry: true,
+            flight_capacity: 0,
+            flight_dir: None,
+            slo_p99_ms: 1_000,
         }
     }
+}
+
+/// Cached handles to every service-layer counter, resolved once at host
+/// construction — the request hot path never re-resolves a counter by
+/// name (the same pattern the engine's internal counter cache uses).
+pub(crate) struct ServiceCounters {
+    pub requests: Counter,
+    pub decode_errors: Counter,
+    pub sessions_created: Counter,
+    pub rejected_admission: Counter,
+    pub rejected_backpressure: Counter,
+    pub spawn_failures: Counter,
+    pub cancels: Counter,
+    pub worker_panics: Counter,
+    pub watchdog_cancels: Counter,
+    pub publishes: Counter,
+    pub publish_skipped: Counter,
+    pub cache_share_faults: Counter,
+    pub decode_faults: Counter,
+    pub write_faults: Counter,
+    pub responses_lost: Counter,
+    pub flight_dumps: Counter,
+}
+
+impl ServiceCounters {
+    fn new(reg: &Registry) -> ServiceCounters {
+        ServiceCounters {
+            requests: reg.counter("service.requests"),
+            decode_errors: reg.counter("service.decode_errors"),
+            sessions_created: reg.counter("service.sessions_created"),
+            rejected_admission: reg.counter("service.rejected_admission"),
+            rejected_backpressure: reg.counter("service.rejected_backpressure"),
+            spawn_failures: reg.counter("service.spawn_failures"),
+            cancels: reg.counter("service.cancels"),
+            worker_panics: reg.counter("service.worker_panics"),
+            watchdog_cancels: reg.counter("service.watchdog_cancels"),
+            publishes: reg.counter("service.publishes"),
+            publish_skipped: reg.counter("service.publish_skipped"),
+            cache_share_faults: reg.counter("service.cache_share_faults"),
+            decode_faults: reg.counter("service.decode_faults"),
+            write_faults: reg.counter("service.write_faults"),
+            responses_lost: reg.counter("service.responses_lost"),
+            flight_dumps: reg.counter("service.flight_dumps"),
+        }
+    }
+}
+
+/// Host-wide live-telemetry surface: request rate and ask-to-answer
+/// latency across every session, plus the watchdog-cancel window the
+/// `health` verdict reads.
+struct HostTelemetry {
+    requests: Window,
+    latency_us_win: Window,
+    latency_us: QuantileSketch,
+    watchdog_cancels: Window,
+}
+
+impl HostTelemetry {
+    fn new(on: bool) -> HostTelemetry {
+        // The handles keep the set's shared enabled flag alive; the set
+        // itself need not outlive construction.
+        let live = if on { LiveSet::enabled() } else { LiveSet::disabled() };
+        HostTelemetry {
+            requests: live.window("service.requests"),
+            latency_us_win: live.window("service.ask_to_answer_us"),
+            latency_us: live.sketch("service.ask_to_answer_us"),
+            watchdog_cancels: live.window("service.watchdog_cancels"),
+        }
+    }
+}
+
+/// One session's live-telemetry surface. Every handle is resolved once
+/// at spawn and shared with the worker; `live` is the *same* set the
+/// session's engine records its run latency, degradation, and
+/// shard-busy series into, so the scoped `stats` view reads engine-side
+/// telemetry without crossing the bulkhead.
+pub(crate) struct SessionTelemetry {
+    live: LiveSet,
+    requests: Window,
+    latency_us_win: Window,
+    latency_us: QuantileSketch,
+    cache_hits: Window,
+    cache_misses: Window,
+    degradations: Window,
+    /// Jobs accepted but not yet picked up by the worker.
+    queued: AtomicU64,
+    flight: FlightRecorder,
+}
+
+impl SessionTelemetry {
+    fn new(on: bool, flight_cap: usize) -> SessionTelemetry {
+        let live = if on { LiveSet::enabled() } else { LiveSet::disabled() };
+        let flight =
+            if on { FlightRecorder::new(flight_cap) } else { FlightRecorder::disabled() };
+        SessionTelemetry {
+            requests: live.window("service.requests"),
+            latency_us_win: live.window("service.ask_to_answer_us"),
+            latency_us: live.sketch("service.ask_to_answer_us"),
+            cache_hits: live.window("service.cache_hits"),
+            cache_misses: live.window("service.cache_misses"),
+            degradations: live.window(names::DEGRADATIONS),
+            queued: AtomicU64::new(0),
+            flight,
+            live,
+        }
+    }
+}
+
+/// One captured flight-recorder dump — the post-mortem record of a
+/// watchdog cancel, worker panic, or degraded run.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// The victim session.
+    pub session: u64,
+    /// What triggered the dump (`"watchdog_cancel"`, `"worker_panic"`,
+    /// `"degradation"`).
+    pub reason: String,
+    /// The JSONL payload: a header line, then one line per event.
+    pub jsonl: String,
 }
 
 /// One queued unit of session work: the request plus its reply slot.
@@ -92,6 +235,7 @@ struct SessionHandle {
     running_since: Arc<Mutex<Option<Instant>>>,
     published: Arc<AtomicBool>,
     span: SpanId,
+    telemetry: Arc<SessionTelemetry>,
 }
 
 struct Inner {
@@ -105,6 +249,12 @@ struct Inner {
     /// response-write, cache-share probes.
     fault: Arc<FaultPlan>,
     metrics: Registry,
+    counters: ServiceCounters,
+    telemetry: HostTelemetry,
+    /// Retained flight dumps, oldest first, capped at
+    /// [`MAX_FLIGHT_DUMPS`].
+    dumps: Mutex<Vec<FlightDump>>,
+    dump_seq: AtomicU64,
     tracer: Tracer,
     default_program: String,
 }
@@ -127,6 +277,9 @@ struct SessionState {
 impl Host {
     /// Builds a host over a shared core with the given default program.
     pub fn new(core: EngineCore, default_program: &str, cfg: ServiceConfig) -> Host {
+        let metrics = Registry::new();
+        let counters = ServiceCounters::new(&metrics);
+        let telemetry = HostTelemetry::new(cfg.telemetry);
         let inner = Arc::new(Inner {
             core: Arc::new(core),
             cfg,
@@ -135,7 +288,11 @@ impl Host {
             accepting: AtomicBool::new(true),
             stop: AtomicBool::new(false),
             fault: Arc::new(FaultPlan::disarmed()),
-            metrics: Registry::new(),
+            metrics,
+            counters,
+            telemetry,
+            dumps: Mutex::new(Vec::new()),
+            dump_seq: AtomicU64::new(0),
             tracer: Tracer::disabled(),
             default_program: default_program.to_string(),
         });
@@ -158,6 +315,18 @@ impl Host {
     /// The service metrics registry.
     pub fn metrics(&self) -> &Registry {
         &self.inner.metrics
+    }
+
+    /// The cached service counter handles (hot-path increments go
+    /// through these, never through a by-name registry lookup).
+    pub(crate) fn counters(&self) -> &ServiceCounters {
+        &self.inner.counters
+    }
+
+    /// Flight-recorder dumps captured so far (watchdog cancels, worker
+    /// panics, degraded runs), oldest first.
+    pub fn flight_dumps(&self) -> Vec<FlightDump> {
+        self.inner.dumps.lock().expect("dumps lock").clone()
     }
 
     /// Enables per-session tracing spans on the host tracer.
@@ -204,7 +373,7 @@ impl Host {
         match decode(line) {
             Ok(req) => self.handle(req),
             Err(e) => {
-                self.inner.metrics.counter("service.decode_errors").inc();
+                self.inner.counters.decode_errors.inc();
                 err_response(e.id.as_deref(), &e.msg, None)
             }
         }
@@ -212,7 +381,8 @@ impl Host {
 
     /// Handles one decoded request.
     pub fn handle(&self, req: Request) -> Json {
-        self.inner.metrics.counter("service.requests").inc();
+        self.inner.counters.requests.inc();
+        self.inner.telemetry.requests.add_count(1);
         let id = req.id().map(str::to_string);
         let id = id.as_deref();
         match req {
@@ -222,14 +392,20 @@ impl Host {
                 match sessions.get(&session) {
                     Some(h) => {
                         h.cancel.cancel();
-                        self.inner.metrics.counter("service.cancels").inc();
+                        self.inner.counters.cancels.inc();
+                        if h.telemetry.flight.is_enabled() {
+                            h.telemetry.flight.record("cancel", "client", "");
+                        }
                         ok_response(id, vec![("cancelled", Json::Bool(true))])
                     }
                     None => err_response(id, &format!("no such session {session}"), None),
                 }
             }
             Request::CloseSession { session, .. } => self.close_session(id, session),
-            Request::Stats { .. } => self.stats(id),
+            Request::Stats { session: Some(session), .. } => self.session_stats(id, session),
+            Request::Stats { session: None, .. } => self.stats(id),
+            Request::Metrics { format, .. } => self.metrics_cmd(id, format.as_deref()),
+            Request::Health { .. } => self.health(id),
             Request::Shutdown { .. } => {
                 let drained = self.shutdown();
                 ok_response(id, vec![("drained_sessions", Json::num(drained as u64))])
@@ -260,10 +436,10 @@ impl Host {
     /// session, or queue full — the backpressure path).
     pub fn submit(&self, session: u64, req: Request) -> Result<Receiver<Json>, Json> {
         let id = req.id().map(str::to_string);
-        let tx = {
+        let (tx, tel) = {
             let sessions = self.inner.sessions.lock().expect("sessions lock");
             match sessions.get(&session) {
-                Some(h) => h.tx.clone(),
+                Some(h) => (h.tx.clone(), Arc::clone(&h.telemetry)),
                 None => {
                     return Err(err_response(
                         id.as_deref(),
@@ -274,10 +450,17 @@ impl Host {
             }
         };
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        // The queue-depth gauge rises before the send so the worker's
+        // matching decrement (at dequeue) can never race it below zero.
+        tel.queued.fetch_add(1, Ordering::Relaxed);
         match tx.try_send(Job { req, reply: reply_tx }) {
             Ok(()) => Ok(reply_rx),
             Err(TrySendError::Full(_)) => {
-                self.inner.metrics.counter("service.rejected_backpressure").inc();
+                tel.queued.fetch_sub(1, Ordering::Relaxed);
+                self.inner.counters.rejected_backpressure.inc();
+                if tel.flight.is_enabled() {
+                    tel.flight.record("reject", "backpressure", "queue full");
+                }
                 Err(err_response(
                     id.as_deref(),
                     &format!("session {session} queue full"),
@@ -285,6 +468,7 @@ impl Host {
                 ))
             }
             Err(TrySendError::Disconnected(_)) => {
+                tel.queued.fetch_sub(1, Ordering::Relaxed);
                 Err(err_response(id.as_deref(), &format!("session {session} worker died"), None))
             }
         }
@@ -305,7 +489,7 @@ impl Host {
         {
             let sessions = inner.sessions.lock().expect("sessions lock");
             if sessions.len() >= inner.cfg.max_sessions {
-                inner.metrics.counter("service.rejected_admission").inc();
+                inner.counters.rejected_admission.inc();
                 return err_response(
                     id,
                     &format!("session table full ({} live)", sessions.len()),
@@ -321,7 +505,7 @@ impl Host {
             match self.try_spawn(parsed.clone()) {
                 Ok(s) => break Some(s),
                 Err(transient) => {
-                    inner.metrics.counter("service.spawn_failures").inc();
+                    inner.counters.spawn_failures.inc();
                     if !transient || attempt >= inner.cfg.spawn_retries {
                         break None;
                     }
@@ -342,7 +526,7 @@ impl Host {
                 Some(inner.cfg.retry_after_ms),
             );
         };
-        inner.metrics.counter("service.sessions_created").inc();
+        inner.counters.sessions_created.inc();
         ok_response(
             id,
             vec![
@@ -365,7 +549,7 @@ impl Host {
         // a cold cache instead of failing the spawn — the bulkhead keeps
         // working, it just recomputes.
         if inner.fault.hit(fault::site::CACHE_SHARE).is_some() {
-            inner.metrics.counter("service.cache_share_faults").inc();
+            inner.counters.cache_share_faults.inc();
             engine.clear_cache();
             warm = 0;
         }
@@ -376,6 +560,19 @@ impl Host {
         let span = inner.tracer.begin(SpanId::NONE, SpanKind::Session, &format!("tenant{session_id}"));
         engine.tracer = inner.tracer.clone();
         engine.trace_parent = span;
+        // The session's telemetry surface shares its live set and flight
+        // recorder with the engine: the engine's run-latency, degradation,
+        // and shard-busy series land in the same per-tenant scope the
+        // `stats {session}` view reads.
+        let telemetry = Arc::new(SessionTelemetry::new(
+            inner.cfg.telemetry,
+            inner.cfg.flight_capacity,
+        ));
+        engine.live = telemetry.live.clone();
+        engine.flight = telemetry.flight.clone();
+        if telemetry.flight.is_enabled() {
+            telemetry.flight.record("session", "create", format!("warm_entries={warm}"));
+        }
         let running_since = Arc::new(Mutex::new(None));
         let published = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::sync_channel::<Job>(inner.cfg.queue_depth);
@@ -385,9 +582,22 @@ impl Host {
             let running_since = Arc::clone(&running_since);
             let published = Arc::clone(&published);
             let cancel = cancel.clone();
+            let telemetry = Arc::clone(&telemetry);
             std::thread::Builder::new()
                 .name(format!("iflex-session-{session_id}"))
-                .spawn(move || worker_loop(&inner, state, rx, &running_since, &published, &cancel, span))
+                .spawn(move || {
+                    worker_loop(
+                        &inner,
+                        session_id,
+                        state,
+                        rx,
+                        &running_since,
+                        &published,
+                        &cancel,
+                        span,
+                        &telemetry,
+                    )
+                })
                 .map_err(|_| true)?
         };
         let handle = SessionHandle {
@@ -398,6 +608,7 @@ impl Host {
             running_since,
             published,
             span,
+            telemetry,
         };
         inner.sessions.lock().expect("sessions lock").insert(session_id, handle);
         Ok((session_id, warm))
@@ -430,25 +641,209 @@ impl Host {
     fn stats(&self, id: Option<&str>) -> Json {
         let inner = &self.inner;
         let live = self.active_sessions() as u64;
-        let c = |name: &str| Json::num(inner.metrics.counter_value(name).unwrap_or(0));
+        let c = |c: &Counter| Json::num(c.get());
+        let k = &inner.counters;
+        let [r1, r10, r60] = inner.telemetry.requests.horizons();
+        let lat = inner.telemetry.latency_us.summary();
         ok_response(
             id,
             vec![
                 ("sessions", Json::num(live)),
                 ("max_sessions", Json::num(inner.cfg.max_sessions as u64)),
                 ("accepting", Json::Bool(self.is_accepting())),
-                ("created", c("service.sessions_created")),
-                ("rejected_admission", c("service.rejected_admission")),
-                ("rejected_backpressure", c("service.rejected_backpressure")),
-                ("spawn_failures", c("service.spawn_failures")),
-                ("decode_errors", c("service.decode_errors")),
-                ("worker_panics", c("service.worker_panics")),
-                ("watchdog_cancels", c("service.watchdog_cancels")),
-                ("publishes", c("service.publishes")),
-                ("publish_skipped", c("service.publish_skipped")),
+                ("created", c(&k.sessions_created)),
+                ("rejected_admission", c(&k.rejected_admission)),
+                ("rejected_backpressure", c(&k.rejected_backpressure)),
+                ("spawn_failures", c(&k.spawn_failures)),
+                ("decode_errors", c(&k.decode_errors)),
+                ("worker_panics", c(&k.worker_panics)),
+                ("watchdog_cancels", c(&k.watchdog_cancels)),
+                ("publishes", c(&k.publishes)),
+                ("publish_skipped", c(&k.publish_skipped)),
                 ("warm_entries", Json::num(inner.core.warm_entries() as u64)),
+                ("requests", c(&k.requests)),
+                ("flight_dumps", c(&k.flight_dumps)),
+                ("requests_1s", Json::Num(r1.rate())),
+                ("requests_10s", Json::Num(r10.rate())),
+                ("requests_60s", Json::Num(r60.rate())),
+                ("latency_p50_us", Json::Num(lat.p50)),
+                ("latency_p95_us", Json::Num(lat.p95)),
+                ("latency_p99_us", Json::Num(lat.p99)),
             ],
         )
+    }
+
+    /// The scoped live view of one tenant.
+    fn session_stats(&self, id: Option<&str>, session: u64) -> Json {
+        let tel = {
+            let sessions = self.inner.sessions.lock().expect("sessions lock");
+            match sessions.get(&session) {
+                Some(h) => Arc::clone(&h.telemetry),
+                None => return err_response(id, &format!("no such session {session}"), None),
+            }
+        };
+        let mut fields = vec![("session", Json::num(session))];
+        fields.extend(session_view(&tel));
+        ok_response(id, fields)
+    }
+
+    /// The `metrics` command: lifetime counters plus every per-session
+    /// live series, as JSON or Prometheus text exposition.
+    fn metrics_cmd(&self, id: Option<&str>, format: Option<&str>) -> Json {
+        match format {
+            Some("prometheus") => ok_response(
+                id,
+                vec![
+                    ("format", Json::str("prometheus")),
+                    ("exposition", Json::str(self.render_prometheus())),
+                ],
+            ),
+            Some("json") | None => {
+                let snap = self.inner.metrics.snapshot();
+                let counters = Json::Obj(
+                    snap.counters.iter().map(|(k, v)| (k.clone(), Json::num(*v))).collect(),
+                );
+                let sessions: Vec<Json> = {
+                    let table = self.inner.sessions.lock().expect("sessions lock");
+                    table
+                        .iter()
+                        .map(|(sid, h)| {
+                            let mut fields = vec![("session", Json::num(*sid))];
+                            fields.extend(session_view(&h.telemetry));
+                            Json::obj(fields)
+                        })
+                        .collect()
+                };
+                let [r1, r10, r60] = self.inner.telemetry.requests.horizons();
+                let lat = self.inner.telemetry.latency_us.summary();
+                ok_response(
+                    id,
+                    vec![
+                        ("telemetry", Json::Bool(self.inner.cfg.telemetry)),
+                        ("counters", counters),
+                        ("requests_1s", Json::Num(r1.rate())),
+                        ("requests_10s", Json::Num(r10.rate())),
+                        ("requests_60s", Json::Num(r60.rate())),
+                        ("latency_p50_us", Json::Num(lat.p50)),
+                        ("latency_p95_us", Json::Num(lat.p95)),
+                        ("latency_p99_us", Json::Num(lat.p99)),
+                        ("sessions", Json::Arr(sessions)),
+                    ],
+                )
+            }
+            Some(other) => err_response(id, &format!("unknown metrics format {other:?}"), None),
+        }
+    }
+
+    /// The `health` command: one SLO verdict over the live windows.
+    fn health(&self, id: Option<&str>) -> Json {
+        let inner = &self.inner;
+        let lat = inner.telemetry.latency_us.summary();
+        let cancels_60s = inner.telemetry.watchdog_cancels.stats(60).count;
+        let slo_us = inner.cfg.slo_p99_ms.saturating_mul(1_000);
+        let p99_within_slo = lat.p99 <= slo_us as f64;
+        let accepting = self.is_accepting();
+        let healthy = accepting && cancels_60s == 0 && p99_within_slo;
+        ok_response(
+            id,
+            vec![
+                ("healthy", Json::Bool(healthy)),
+                ("accepting", Json::Bool(accepting)),
+                ("sessions", Json::num(self.active_sessions() as u64)),
+                ("p99_ask_to_answer_us", Json::Num(lat.p99)),
+                ("slo_p99_us", Json::num(slo_us)),
+                ("p99_within_slo", Json::Bool(p99_within_slo)),
+                ("watchdog_cancels_60s", Json::num(cancels_60s)),
+                ("flight_dumps", Json::num(inner.counters.flight_dumps.get())),
+            ],
+        )
+    }
+
+    /// Renders the whole telemetry surface as Prometheus text
+    /// exposition: every registry counter and histogram, the host-wide
+    /// windows and latency quantiles, then one labelled series set per
+    /// live session.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let snap = self.inner.metrics.snapshot();
+        for (name, v) in &snap.counters {
+            let m = prom_name(name);
+            out.push_str("# TYPE ");
+            out.push_str(&m);
+            out.push_str(" counter\n");
+            out.push_str(&format!("{m} {v}\n"));
+        }
+        for (name, h) in &snap.histograms {
+            let m = prom_name(name);
+            out.push_str("# TYPE ");
+            out.push_str(&m);
+            out.push_str(" summary\n");
+            out.push_str(&format!("{m}_count {}\n{m}_sum {}\n{m}_max {}\n", h.count, h.sum, h.max));
+        }
+        let t = &self.inner.telemetry;
+        for s in t.requests.horizons() {
+            out.push_str(&format!(
+                "iflex_service_requests_rate{{window=\"{}s\"}} {}\n",
+                s.secs,
+                fmt_sample(s.rate())
+            ));
+        }
+        let lat = t.latency_us.summary();
+        for (q, v) in [("0.5", lat.p50), ("0.95", lat.p95), ("0.99", lat.p99)] {
+            out.push_str(&format!(
+                "iflex_service_ask_to_answer_us{{quantile=\"{q}\"}} {}\n",
+                fmt_sample(v)
+            ));
+        }
+        out.push_str(&format!("iflex_service_ask_to_answer_us_count {}\n", lat.count));
+        let sessions = self.inner.sessions.lock().expect("sessions lock");
+        for (sid, h) in sessions.iter() {
+            let tel = &h.telemetry;
+            for s in tel.requests.horizons() {
+                out.push_str(&format!(
+                    "iflex_session_requests_rate{{session=\"{sid}\",window=\"{}s\"}} {}\n",
+                    s.secs,
+                    fmt_sample(s.rate())
+                ));
+            }
+            let lat = tel.latency_us.summary();
+            for (q, v) in [("0.5", lat.p50), ("0.95", lat.p95), ("0.99", lat.p99)] {
+                out.push_str(&format!(
+                    "iflex_session_ask_to_answer_us{{session=\"{sid}\",quantile=\"{q}\"}} {}\n",
+                    fmt_sample(v)
+                ));
+            }
+            let run = tel.live.sketch(names::RUN_US).summary();
+            for (q, v) in [("0.5", run.p50), ("0.95", run.p95), ("0.99", run.p99)] {
+                out.push_str(&format!(
+                    "iflex_session_run_us{{session=\"{sid}\",quantile=\"{q}\"}} {}\n",
+                    fmt_sample(v)
+                ));
+            }
+            out.push_str(&format!(
+                "iflex_session_queue_depth{{session=\"{sid}\"}} {}\n",
+                tel.queued.load(Ordering::Relaxed)
+            ));
+            let hits = tel.cache_hits.stats(60);
+            let misses = tel.cache_misses.stats(60);
+            out.push_str(&format!(
+                "iflex_session_cache_hit_ratio{{session=\"{sid}\"}} {}\n",
+                fmt_sample(hit_ratio(hits.count, misses.count))
+            ));
+            let deg = tel.degradations.stats(60);
+            out.push_str(&format!(
+                "iflex_session_degradations_rate{{session=\"{sid}\",window=\"60s\"}} {}\n",
+                fmt_sample(deg.rate())
+            ));
+            for (i, w) in tel.live.shard_busy_windows().iter().enumerate() {
+                let s = w.stats(10);
+                out.push_str(&format!(
+                    "iflex_session_shard_busy_us{{session=\"{sid}\",shard=\"{i}\",window=\"10s\"}} {}\n",
+                    s.sum
+                ));
+            }
+        }
+        out
     }
 
     /// Stops admitting, drains every session (queued jobs complete, then
@@ -483,11 +878,103 @@ impl Drop for Host {
     }
 }
 
+/// The live-series fields of one session, shared between the scoped
+/// `stats` view and the JSON `metrics` rendering.
+fn session_view(tel: &SessionTelemetry) -> Vec<(&'static str, Json)> {
+    let [r1, r10, r60] = tel.requests.horizons();
+    let lat = tel.latency_us.summary();
+    let run = tel.live.sketch(names::RUN_US).summary();
+    let hits = tel.cache_hits.stats(60);
+    let misses = tel.cache_misses.stats(60);
+    let deg = tel.degradations.stats(60);
+    vec![
+        ("requests_1s", Json::Num(r1.rate())),
+        ("requests_10s", Json::Num(r10.rate())),
+        ("requests_60s", Json::Num(r60.rate())),
+        ("queue_depth", Json::num(tel.queued.load(Ordering::Relaxed))),
+        ("latency_p50_us", Json::Num(lat.p50)),
+        ("latency_p95_us", Json::Num(lat.p95)),
+        ("latency_p99_us", Json::Num(lat.p99)),
+        ("run_p99_us", Json::Num(run.p99)),
+        ("cache_hit_ratio_60s", Json::Num(hit_ratio(hits.count, misses.count))),
+        ("degradations_60s", Json::num(deg.count)),
+        ("degradation_rate_60s", Json::Num(deg.rate())),
+        ("flight_events", Json::num(tel.flight.total())),
+    ]
+}
+
+fn hit_ratio(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Prometheus sample formatting: integers stay integral, fractions get
+/// a fixed six decimal places (the exposition format takes any float;
+/// fixed width keeps scrapes byte-stable for a given value).
+fn fmt_sample(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// `service.requests` → `iflex_service_requests`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("iflex_");
+    for ch in name.chars() {
+        out.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
+    }
+    out
+}
+
+/// Captures `flight`'s current ring as a dump: kept in memory (bounded)
+/// and, when configured, written to `flight_dir` as one JSONL file.
+fn record_flight_dump(inner: &Inner, session: u64, reason: &str, flight: &FlightRecorder) {
+    if !flight.is_enabled() {
+        return;
+    }
+    let jsonl = flight.dump_jsonl(session, reason);
+    inner.counters.flight_dumps.inc();
+    if let Some(dir) = &inner.cfg.flight_dir {
+        let seq = inner.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(dir.join(format!("flight-{session}-{seq}-{reason}.jsonl")), &jsonl);
+    }
+    let mut dumps = inner.dumps.lock().expect("dumps lock");
+    if dumps.len() >= MAX_FLIGHT_DUMPS {
+        dumps.remove(0);
+    }
+    dumps.push(FlightDump { session, reason: reason.to_string(), jsonl });
+}
+
+/// The wire verb of a request, for flight-recorder event names.
+fn cmd_name(req: &Request) -> &'static str {
+    match req {
+        Request::CreateSession { .. } => "create-session",
+        Request::AskQuestion { .. } => "ask-question",
+        Request::Answer { .. } => "answer",
+        Request::GetResults { .. } => "get-results",
+        Request::Sleep { .. } => "sleep",
+        Request::Cancel { .. } => "cancel",
+        Request::CloseSession { .. } => "close-session",
+        Request::Stats { .. } => "stats",
+        Request::Metrics { .. } => "metrics",
+        Request::Health { .. } => "health",
+        Request::Shutdown { .. } => "shutdown",
+    }
+}
+
 fn watchdog_loop(inner: &Inner) {
     while !inner.stop.load(Ordering::Acquire) {
         std::thread::sleep(inner.cfg.watchdog_interval);
         let sessions = inner.sessions.lock().expect("sessions lock");
-        for h in sessions.values() {
+        for (sid, h) in sessions.iter() {
             let stuck = h
                 .running_since
                 .lock()
@@ -496,33 +983,54 @@ fn watchdog_loop(inner: &Inner) {
                 .unwrap_or(false);
             if stuck && !h.cancel.is_cancelled() {
                 h.cancel.cancel();
-                inner.metrics.counter("service.watchdog_cancels").inc();
+                inner.counters.watchdog_cancels.inc();
+                inner.telemetry.watchdog_cancels.add_count(1);
+                if h.telemetry.flight.is_enabled() {
+                    h.telemetry.flight.record(
+                        "cancel",
+                        "watchdog",
+                        format!("stuck beyond {:?}", inner.cfg.stuck_limit),
+                    );
+                }
+                record_flight_dump(inner, *sid, "watchdog_cancel", &h.telemetry.flight);
             }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     inner: &Inner,
+    session_id: u64,
     mut state: SessionState,
     rx: Receiver<Job>,
     running_since: &Mutex<Option<Instant>>,
     published: &AtomicBool,
     cancel: &CancelToken,
     span: SpanId,
+    tel: &SessionTelemetry,
 ) {
     while let Ok(job) = rx.recv() {
-        *running_since.lock().expect("running_since lock") = Some(Instant::now());
+        tel.queued.fetch_sub(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        *running_since.lock().expect("running_since lock") = Some(t0);
         let id = job.req.id().map(str::to_string);
         // The bulkhead wall: a panic anywhere in job handling poisons
         // this session only. The engine already contains rule panics;
         // this catches everything else (assistant code, render, bugs).
+        // The worker-job fault site sits inside the wall so chaos can
+        // drive the real containment path from the worker's own frame.
+        let mut panicked = false;
         let resp = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(Fault::Panic(msg)) = state.engine.fault.hit(fault::site::WORKER_JOB) {
+                panic!("injected fault: {msg}");
+            }
             handle_job(&mut state, cancel, &job.req)
         }))
         .unwrap_or_else(|payload| {
             state.poisoned = true;
-            inner.metrics.counter("service.worker_panics").inc();
+            panicked = true;
+            inner.counters.worker_panics.inc();
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
@@ -531,6 +1039,33 @@ fn worker_loop(
             err_response(id.as_deref(), &format!("session poisoned by panic: {msg}"), None)
         });
         *running_since.lock().expect("running_since lock") = None;
+        let us = t0.elapsed().as_micros() as u64;
+        tel.requests.add_count(1);
+        tel.latency_us_win.observe(us);
+        tel.latency_us.observe(us);
+        inner.telemetry.latency_us_win.observe(us);
+        inner.telemetry.latency_us.observe(us);
+        if tel.flight.is_enabled() {
+            tel.flight.record("request", cmd_name(&job.req), format!("us={us}"));
+        }
+        if panicked {
+            record_flight_dump(inner, session_id, "worker_panic", &tel.flight);
+        } else if !state.poisoned {
+            // Engine-side per-run deltas: the incremental-cache hit/miss
+            // windows behind the scoped cache-hit ratio, and a flight
+            // dump whenever the run degraded (the engine has already
+            // recorded each degradation event into the shared recorder).
+            let ran_engine =
+                matches!(job.req, Request::AskQuestion { .. } | Request::GetResults { .. });
+            if ran_engine {
+                let st = &state.engine.stats;
+                tel.cache_hits.add_count(st.incr_hits as u64);
+                tel.cache_misses.add_count(st.incr_misses as u64);
+                if !st.degradations.is_empty() {
+                    record_flight_dump(inner, session_id, "degradation", &tel.flight);
+                }
+            }
+        }
         let _ = job.reply.send(resp);
     }
     // Drain: hand clean cache entries back to the shared core so the
@@ -539,12 +1074,12 @@ fn worker_loop(
     // stays correct either way — degraded results are never cached, and
     // `publish` refuses diverged forks by epoch).
     if state.poisoned || inner.fault.hit(fault::site::CACHE_SHARE).is_some() {
-        inner.metrics.counter("service.publish_skipped").inc();
+        inner.counters.publish_skipped.inc();
     } else if inner.core.publish(&state.engine) {
-        inner.metrics.counter("service.publishes").inc();
+        inner.counters.publishes.inc();
         published.store(true, Ordering::Release);
     } else {
-        inner.metrics.counter("service.publish_skipped").inc();
+        inner.counters.publish_skipped.inc();
     }
     inner.tracer.end(span);
 }
@@ -843,5 +1378,192 @@ mod tests {
         assert_eq!(parse_feature_arg("distinct-yes"), FeatureArg::Tri(FeatureValue::DistinctYes));
         assert_eq!(parse_feature_arg("1000000"), FeatureArg::Num(1_000_000.0));
         assert_eq!(parse_feature_arg("Price:"), FeatureArg::Text("Price:".into()));
+    }
+
+    #[test]
+    fn scoped_stats_expose_live_windows_and_quantiles() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        let sid = create(&host);
+        for _ in 0..3 {
+            let r = host.handle(Request::GetResults { id: None, session: sid, limit: 4 });
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        }
+        let s = host.handle(Request::Stats { id: None, session: Some(sid) });
+        assert_eq!(s.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(s.get("session").and_then(Json::as_u64), Some(sid));
+        let req60 = s.get("requests_60s").and_then(Json::as_f64).unwrap();
+        assert!(req60 > 0.0, "windowed request rate must be live: {req60}");
+        let p99 = s.get("latency_p99_us").and_then(Json::as_f64).unwrap();
+        assert!(p99 > 0.0, "latency quantile must be populated");
+        assert_eq!(s.get("queue_depth").and_then(Json::as_u64), Some(0));
+        // The second and third runs hit the incremental cache.
+        let ratio = s.get("cache_hit_ratio_60s").and_then(Json::as_f64).unwrap();
+        assert!(ratio > 0.0, "warm reruns must register cache hits: {ratio}");
+        // The engine's run-latency sketch lands in the same scope.
+        let run_p99 = s.get("run_p99_us").and_then(Json::as_f64).unwrap();
+        assert!(run_p99 >= 0.0);
+        // Scoped stats for a missing session fail cleanly.
+        let missing = host.handle(Request::Stats { id: None, session: Some(999) });
+        assert_eq!(missing.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn quantiles_move_across_scrapes() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        let sid = create(&host);
+        host.handle(Request::GetResults { id: None, session: sid, limit: 4 });
+        let first = host.handle(Request::Stats { id: None, session: Some(sid) });
+        let c1 = {
+            let sessions = host.inner.sessions.lock().unwrap();
+            sessions[&sid].telemetry.latency_us.count()
+        };
+        // A visibly slower request shifts the sketch population.
+        host.handle(Request::Sleep { id: None, session: sid, ms: 15 });
+        let second = host.handle(Request::Stats { id: None, session: Some(sid) });
+        let c2 = {
+            let sessions = host.inner.sessions.lock().unwrap();
+            sessions[&sid].telemetry.latency_us.count()
+        };
+        assert!(c2 > c1, "sketch population must grow between scrapes");
+        let p99_a = first.get("latency_p99_us").and_then(Json::as_f64).unwrap();
+        let p99_b = second.get("latency_p99_us").and_then(Json::as_f64).unwrap();
+        assert!(p99_b >= p99_a, "a 15ms outlier cannot lower p99");
+        assert!(p99_b >= 10_000.0, "p99 must reflect the slow request: {p99_b}");
+    }
+
+    #[test]
+    fn watchdog_cancel_dumps_the_flight_recorder() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        let sid = create(&host);
+        let resp = host.handle(Request::Sleep { id: None, session: sid, ms: 400 });
+        assert_eq!(resp.get("cancelled"), Some(&Json::Bool(true)));
+        let dumps = host.flight_dumps();
+        assert!(!dumps.is_empty(), "watchdog cancel must capture a dump");
+        let d = dumps.iter().find(|d| d.reason == "watchdog_cancel").expect("reason");
+        assert_eq!(d.session, sid);
+        assert!(d.jsonl.lines().next().unwrap().contains("\"flight\":\"v1\""));
+        assert!(d.jsonl.contains("\"kind\":\"cancel\""), "dump: {}", d.jsonl);
+        assert!(d.jsonl.contains("\"name\":\"create-session\"") || d.jsonl.contains("\"kind\":\"session\""));
+    }
+
+    #[test]
+    fn worker_panic_dumps_the_flight_recorder() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        let sid = create(&host);
+        host.handle(Request::GetResults { id: None, session: sid, limit: 4 });
+        assert!(host.arm_session(
+            sid,
+            fault::site::WORKER_JOB,
+            Trigger::Nth(0),
+            Fault::Panic("chaos".into()),
+            1,
+        ));
+        let r = host.handle(Request::GetResults { id: None, session: sid, limit: 4 });
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        assert!(host.metrics().counter_value("service.worker_panics").unwrap_or(0) >= 1);
+        let dumps = host.flight_dumps();
+        let d = dumps.iter().find(|d| d.reason == "worker_panic").expect("panic dump");
+        assert_eq!(d.session, sid);
+        // The victim's preceding healthy request is in the ring.
+        assert!(d.jsonl.contains("\"name\":\"get-results\""), "dump: {}", d.jsonl);
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let cfg = ServiceConfig { telemetry: false, ..fast_cfg() };
+        let host = Host::new(tiny_core(), PROGRAM, cfg);
+        let sid = create(&host);
+        host.handle(Request::GetResults { id: None, session: sid, limit: 4 });
+        // Force a watchdog cancel; with telemetry off there is no dump.
+        host.handle(Request::Sleep { id: None, session: sid, ms: 400 });
+        assert!(host.flight_dumps().is_empty());
+        let s = host.handle(Request::Stats { id: None, session: Some(sid) });
+        assert_eq!(s.get("requests_60s").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(s.get("latency_p99_us").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(s.get("flight_events").and_then(Json::as_u64), Some(0));
+        // Lifetime counters still work — only live series are gated.
+        assert!(host.metrics().counter_value("service.requests").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn health_reflects_watchdog_cancels_and_slo() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        let sid = create(&host);
+        host.handle(Request::GetResults { id: None, session: sid, limit: 4 });
+        let h = host.handle(Request::Health { id: Some("h1".into()) });
+        assert_eq!(h.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(h.get("healthy"), Some(&Json::Bool(true)));
+        assert_eq!(h.get("watchdog_cancels_60s").and_then(Json::as_u64), Some(0));
+        // A stuck run turns the verdict red via the cancel window.
+        host.handle(Request::Sleep { id: None, session: sid, ms: 400 });
+        let h = host.handle(Request::Health { id: None });
+        assert_eq!(h.get("healthy"), Some(&Json::Bool(false)));
+        assert!(h.get("watchdog_cancels_60s").and_then(Json::as_u64).unwrap() >= 1);
+    }
+
+    #[test]
+    fn metrics_command_renders_json_and_prometheus() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        let sid = create(&host);
+        host.handle(Request::GetResults { id: None, session: sid, limit: 4 });
+        let m = host.handle(Request::Metrics { id: None, format: None });
+        assert_eq!(m.get("ok"), Some(&Json::Bool(true)));
+        let counters = m.get("counters").expect("counters object");
+        assert!(counters.get("service.requests").and_then(Json::as_u64).unwrap() > 0);
+        let Json::Arr(sessions) = m.get("sessions").unwrap() else { panic!("sessions array") };
+        assert_eq!(sessions.len(), 1);
+        assert!(sessions[0].get("latency_p99_us").and_then(Json::as_f64).unwrap() > 0.0);
+
+        let p = host.handle(Request::Metrics { id: None, format: Some("prometheus".into()) });
+        let text = p.get("exposition").and_then(Json::as_str).unwrap();
+        assert!(text.contains("# TYPE iflex_service_requests counter"));
+        assert!(text.contains(&format!("iflex_session_ask_to_answer_us{{session=\"{sid}\",quantile=\"0.99\"}}")));
+        assert!(text.contains(&format!("iflex_session_requests_rate{{session=\"{sid}\",window=\"10s\"}}")));
+        // Every sample line parses as `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            value.parse::<f64>().unwrap_or_else(|_| panic!("bad sample: {line}"));
+        }
+        let bad = host.handle(Request::Metrics { id: None, format: Some("xml".into()) });
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn degraded_run_dumps_the_flight_recorder() {
+        let host = Host::new(tiny_core(), PROGRAM, fast_cfg());
+        let sid = create(&host);
+        assert!(host.arm_session(
+            sid,
+            fault::site::EVAL_RULE,
+            Trigger::Nth(0),
+            Fault::TooLarge,
+            1,
+        ));
+        let r = host.handle(Request::GetResults { id: None, session: sid, limit: 4 });
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("degraded"), Some(&Json::Bool(true)));
+        let dumps = host.flight_dumps();
+        let d = dumps.iter().find(|d| d.reason == "degradation").expect("degradation dump");
+        assert!(d.jsonl.contains("\"kind\":\"degradation\""), "dump: {}", d.jsonl);
+    }
+
+    #[test]
+    fn flight_dir_writes_dump_files() {
+        let dir = std::env::temp_dir().join(format!("iflex-flight-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServiceConfig { flight_dir: Some(dir.clone()), ..fast_cfg() };
+        let host = Host::new(tiny_core(), PROGRAM, cfg);
+        let sid = create(&host);
+        host.handle(Request::Sleep { id: None, session: sid, ms: 400 });
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("flight dir created")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            files.iter().any(|f| f.starts_with(&format!("flight-{sid}-")) && f.ends_with("watchdog_cancel.jsonl")),
+            "files: {files:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

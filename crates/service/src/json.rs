@@ -61,6 +61,14 @@ impl Json {
         }
     }
 
+    /// The numeric value, when this is a number (integral or not).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// Builds an object from pairs — the ergonomic constructor for
     /// responses.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {

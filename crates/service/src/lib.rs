@@ -24,7 +24,7 @@ pub mod protocol;
 pub mod server;
 
 pub use chaos::{run_matrix, ChaosReport};
-pub use host::{Host, ServiceConfig};
+pub use host::{FlightDump, Host, ServiceConfig};
 pub use json::Json;
 pub use protocol::{decode, Request};
 pub use server::{serve_lines, serve_stdio, serve_tcp};

@@ -82,8 +82,28 @@ pub enum Request {
         /// Target session.
         session: u64,
     },
-    /// `stats`: service-level counters.
+    /// `stats`: service-level counters, or — with `"session"` — the
+    /// scoped live view of one tenant (windowed request rate, queue
+    /// depth, p99 ask-to-answer latency, cache hit ratio, degradation
+    /// rate).
     Stats {
+        /// Client correlation id.
+        id: Option<String>,
+        /// Scope the view to this session instead of the whole host.
+        session: Option<u64>,
+    },
+    /// `metrics`: the full telemetry surface — lifetime counters plus
+    /// every per-session windowed/quantile series — as JSON, or as
+    /// Prometheus text exposition with `"format":"prometheus"`.
+    Metrics {
+        /// Client correlation id.
+        id: Option<String>,
+        /// `"json"` (default) or `"prometheus"`.
+        format: Option<String>,
+    },
+    /// `health`: one-line SLO summary (p99 under threshold, no watchdog
+    /// cancels in the last 60 s, still accepting).
+    Health {
         /// Client correlation id.
         id: Option<String>,
     },
@@ -105,7 +125,9 @@ impl Request {
             | Request::Sleep { id, .. }
             | Request::Cancel { id, .. }
             | Request::CloseSession { id, .. }
-            | Request::Stats { id }
+            | Request::Stats { id, .. }
+            | Request::Metrics { id, .. }
+            | Request::Health { id }
             | Request::Shutdown { id } => id.as_deref(),
         }
     }
@@ -175,7 +197,15 @@ pub fn decode(line: &str) -> Result<Request, DecodeError> {
         }),
         "cancel" => Ok(Request::Cancel { session: session()?, id }),
         "close-session" => Ok(Request::CloseSession { session: session()?, id }),
-        "stats" => Ok(Request::Stats { id }),
+        "stats" => Ok(Request::Stats {
+            session: v.get("session").and_then(Json::as_u64),
+            id,
+        }),
+        "metrics" => Ok(Request::Metrics {
+            format: v.get("format").and_then(Json::as_str).map(str::to_string),
+            id,
+        }),
+        "health" => Ok(Request::Health { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(fail(&format!("unknown cmd {other:?}"))),
     }
@@ -255,7 +285,23 @@ mod tests {
             decode(r#"{"cmd":"close-session","session":2}"#).unwrap(),
             Request::CloseSession { id: None, session: 2 }
         );
-        assert_eq!(decode(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats { id: None });
+        assert_eq!(
+            decode(r#"{"cmd":"stats"}"#).unwrap(),
+            Request::Stats { id: None, session: None }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"stats","session":3}"#).unwrap(),
+            Request::Stats { id: None, session: Some(3) }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"metrics"}"#).unwrap(),
+            Request::Metrics { id: None, format: None }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"metrics","format":"prometheus"}"#).unwrap(),
+            Request::Metrics { id: None, format: Some("prometheus".into()) }
+        );
+        assert_eq!(decode(r#"{"cmd":"health"}"#).unwrap(), Request::Health { id: None });
         assert_eq!(decode(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown { id: None });
     }
 

@@ -29,11 +29,18 @@ pub fn serve_lines<R: BufRead, W: Write>(host: &Host, input: R, mut out: W) -> i
         if line.trim().is_empty() {
             continue;
         }
+        // A Prometheus scraper speaks HTTP, not JSON-lines: answer a
+        // raw `GET /metrics` request line with one complete HTTP
+        // response and close the connection (scrapes are one-shot).
+        if line.starts_with("GET /metrics") {
+            write_exposition(host, &mut out)?;
+            return Ok(false);
+        }
         let resp = if host.fault().hit(fault::site::REQUEST_DECODE).is_some() {
             // The read "corrupted" this request: report it as retryable
             // so the client resends; the request itself is never
             // executed (no partial effects to undo).
-            host.metrics().counter("service.decode_faults").inc();
+            host.counters().decode_faults.inc();
             err_response(None, "transient decode failure, resend", Some(10))
         } else {
             host.handle_line(&line)
@@ -47,6 +54,18 @@ pub fn serve_lines<R: BufRead, W: Write>(host: &Host, input: R, mut out: W) -> i
     Ok(false)
 }
 
+/// Writes the Prometheus text exposition as one HTTP/1.1 response.
+fn write_exposition<W: Write>(host: &Host, out: &mut W) -> io::Result<()> {
+    let body = host.render_prometheus();
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    out.write_all(header.as_bytes())?;
+    out.write_all(body.as_bytes())?;
+    out.flush()
+}
+
 /// Writes one response line, retrying injected transient write faults
 /// with exponential backoff (1ms, 2ms, 4ms). Real `io::Error`s from the
 /// sink still propagate — a closed pipe is not transient.
@@ -54,11 +73,11 @@ fn write_response<W: Write>(host: &Host, out: &mut W, resp: &Json) -> io::Result
     let mut backoff = Duration::from_millis(1);
     for attempt in 0..WRITE_ATTEMPTS {
         if host.fault().hit(fault::site::RESPONSE_WRITE).is_some() {
-            host.metrics().counter("service.write_faults").inc();
+            host.counters().write_faults.inc();
             if attempt + 1 == WRITE_ATTEMPTS {
                 // Response lost; the connection survives. Clients match
                 // replies by id and re-ask after a timeout.
-                host.metrics().counter("service.responses_lost").inc();
+                host.counters().responses_lost.inc();
                 return Ok(());
             }
             std::thread::sleep(backoff);
@@ -197,7 +216,9 @@ mod tests {
         let responses = run_transcript(&host, "{\"cmd\":\"stats\"}\n");
         assert_eq!(responses.len(), 1, "retry must deliver the response");
         assert_eq!(host.metrics().counter_value("service.write_faults"), Some(1));
-        assert_eq!(host.metrics().counter_value("service.responses_lost"), None);
+        // Counters are pre-registered at host construction, so an
+        // untouched one reads zero rather than absent.
+        assert_eq!(host.metrics().counter_value("service.responses_lost"), Some(0));
     }
 
     #[test]
@@ -217,6 +238,33 @@ mod tests {
         plan.disarm_all();
         let responses = run_transcript(&host, "{\"cmd\":\"stats\"}\n");
         assert_eq!(responses.len(), 1);
+    }
+
+    #[test]
+    fn get_metrics_line_answers_with_http_exposition() {
+        let host = host();
+        let mut out = Vec::new();
+        serve_lines(
+            &host,
+            "{\"cmd\":\"create-session\"}\n".as_bytes(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let done = serve_lines(&host, "GET /metrics HTTP/1.1\n".as_bytes(), &mut out).unwrap();
+        assert!(!done, "a scrape is not a shutdown");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "got: {text}");
+        assert!(text.contains("Content-Type: text/plain"));
+        let body = text.split("\r\n\r\n").nth(1).expect("body");
+        assert!(body.contains("iflex_service_requests"));
+        assert!(body.contains("iflex_session_ask_to_answer_us{session=\"1\",quantile=\"0.99\"}"));
+        // The advertised length matches the body exactly.
+        let len: usize = text
+            .lines()
+            .find(|l| l.starts_with("Content-Length: "))
+            .and_then(|l| l.trim_start_matches("Content-Length: ").trim().parse().ok())
+            .unwrap();
+        assert_eq!(len, body.len());
     }
 
     #[test]

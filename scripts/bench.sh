@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Benchmark driver: regenerates the parallel-execution report committed
 # as BENCH_parallel.json, the incremental-iteration report committed as
-# BENCH_incremental.json, and the logical-plan-optimizer report
-# committed as BENCH_plan.json, plus the Table 1 inventory as a sanity
-# anchor. Run from the repository root:
-#   scripts/bench.sh [parallel-report-path] [incremental-report-path] [plan-report-path]
+# BENCH_incremental.json, the logical-plan-optimizer report committed as
+# BENCH_plan.json, and the live-telemetry overhead report committed as
+# BENCH_telemetry.json, plus the Table 1 inventory as a sanity anchor.
+# Run from the repository root:
+#   scripts/bench.sh [parallel-report-path] [incremental-report-path] \
+#                    [plan-report-path] [telemetry-report-path]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REPORT="${1:-BENCH_parallel.json}"
 INCR_REPORT="${2:-BENCH_incremental.json}"
 PLAN_REPORT="${3:-BENCH_plan.json}"
+TEL_REPORT="${4:-BENCH_telemetry.json}"
 
 echo "== build (release) =="
 cargo build --release -p iflex-bench
@@ -35,6 +38,12 @@ echo "== exp_scaling --plan-report =="
 # (e.g. `exp_scaling --plan-report out.json --scale 1`) for quick runs.
 ./target/release/exp_scaling --plan-report "$PLAN_REPORT"
 
+echo "== exp_scaling --telemetry-report =="
+# DESIGN.md §12: full-scale T1/T5 sessions with live telemetry off vs
+# on, best-of-3 per arm. The binary asserts identical results and that
+# T1's enabled arm stays under the 5% overhead budget.
+./target/release/exp_scaling --telemetry-report "$TEL_REPORT"
+
 echo "== trace overhead smoke =="
 # Observability must be free when off: the same tiny workload with the
 # tracer disabled (IFLEX_TRACE unset) is the number the <2% acceptance
@@ -43,4 +52,4 @@ echo "== trace overhead smoke =="
 env -u IFLEX_TRACE ./target/release/exp_scaling --smoke target/BENCH_parallel_smoke.json
 ./target/release/exp_trace --smoke target/BENCH_trace_smoke.jsonl
 
-echo "bench OK ($REPORT, $INCR_REPORT, $PLAN_REPORT)"
+echo "bench OK ($REPORT, $INCR_REPORT, $PLAN_REPORT, $TEL_REPORT)"

@@ -44,4 +44,12 @@ echo "== trace smoke =="
 # it, validate span nesting, and render the run report.
 ./target/release/exp_trace --smoke target/BENCH_trace_smoke.jsonl
 
+echo "== telemetry smoke =="
+# The same tiny session with live telemetry (windows, quantile sketches,
+# flight recorder) off vs on; asserts inside the binary check both arms
+# produce identical results. The service smoke above already scraped the
+# exposition endpoint and asserted the per-session p99 and window series
+# parse; the <5% overhead bound is asserted by the full bench.sh run.
+./target/release/exp_scaling --telemetry-report target/BENCH_telemetry_smoke.json --smoke
+
 echo "tier-1 OK"
