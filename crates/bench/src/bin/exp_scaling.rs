@@ -9,11 +9,16 @@
 //!   corpus scale(s) instead of the default ladder; factors ≥10× the
 //!   paper's sizes are supported (the corpus generators stay injective
 //!   at any scale);
-//! * `--parallel-report [path]` — sweeps the parallel-execution knobs
-//!   (serial baseline without the feature memo, serial with it, threaded
-//!   with it) and writes a `BENCH_parallel.json` report;
-//! * `--smoke [path]` — the same sweep on one tiny workload, for the
-//!   tier-1 gate;
+//! * `--parallel-report [path] [--smoke]` — sweeps the parallel-execution
+//!   knobs (serial baseline without the feature memo, serial with it,
+//!   threaded with it) at corpus scales 1 and 10, asserts the threaded
+//!   result is byte-identical to serial, and — on hosts with ≥4 cores —
+//!   asserts the morsel executor actually beats serial+memo at scale 10;
+//!   writes a `BENCH_parallel.json` report. With `--smoke` the sweep is
+//!   the speedup gate alone (or, on smaller hosts, a tiny identity-only
+//!   sweep with a skip notice);
+//! * `--smoke [path]` — alias for `--parallel-report [path] --smoke`,
+//!   kept for the tier-1 gate;
 //! * `--plan-report [path] [--smoke] [--scale f]...` — the logical-plan
 //!   optimizer ablation (DESIGN.md §11): serial / +feature-memo /
 //!   +optimizer, single-threaded with sampling and the incremental cache
@@ -63,8 +68,14 @@ struct Row {
     threaded_secs: f64,
     memo_hits: usize,
     memo_misses: usize,
-    /// min/max/imbalance summary of the threaded final run's per-shard
-    /// busy time; `None` when the run had no parallel sections.
+    /// Morsels dispensed by the threaded final run's work-stealing
+    /// executor, and how many of them were stolen from another
+    /// participant's segment.
+    par_morsels: u64,
+    par_steals: u64,
+    /// min/max/imbalance summary of the threaded final run's
+    /// per-participant busy time; `None` when the run had no parallel
+    /// sections.
     shard_balance: Option<ShardBalance>,
 }
 
@@ -99,7 +110,7 @@ fn timed(corpus: &Corpus, id: TaskId, exec: ExecConfig) -> (f64, RunResult) {
 }
 
 /// Sweeps one workload across the three configurations, checking that
-/// every configuration converges to the same result quality (parallel
+/// every configuration produces the byte-identical result table (parallel
 /// execution and memoization are performance levers, not semantics).
 fn sweep(workload: &Workload, threads: usize) -> Row {
     let corpus = Corpus::build(CorpusConfig::scaled(workload.scale));
@@ -119,6 +130,7 @@ fn sweep(workload: &Workload, threads: usize) -> Row {
     let (baseline_secs, b) = timed(&corpus, workload.id, baseline);
     let (serial_secs, s) = timed(&corpus, workload.id, serial);
     let (threaded_secs, t) = timed(&corpus, workload.id, threaded);
+    let b_table = format!("{:?}", b.outcome.table);
     for run in [&s, &t] {
         assert_eq!(
             run.quality.result_tuples, b.quality.result_tuples,
@@ -126,8 +138,16 @@ fn sweep(workload: &Workload, threads: usize) -> Row {
             workload.id, workload.scale
         );
         assert!((run.quality.recall - b.quality.recall).abs() < 1e-12);
+        // The determinism contract is byte-level, not just count-level:
+        // morsel-parallel execution must fold to the exact serial table.
+        assert_eq!(
+            format!("{:?}", run.outcome.table),
+            b_table,
+            "{:?} scale {}: config changed the result bytes",
+            workload.id, workload.scale
+        );
     }
-    let shard_busy = &t.outcome.final_stats.shard_busy_us;
+    let stats = &t.outcome.final_stats;
     Row {
         task: format!("{:?}", workload.id),
         scale: workload.scale,
@@ -136,7 +156,9 @@ fn sweep(workload: &Workload, threads: usize) -> Row {
         threaded_secs,
         memo_hits: t.memo_hits,
         memo_misses: t.memo_misses,
-        shard_balance: shard_balance(shard_busy),
+        par_morsels: stats.par_morsels,
+        par_steals: stats.par_steals,
+        shard_balance: shard_balance(&stats.shard_busy_us),
     }
 }
 
@@ -145,6 +167,7 @@ fn sweep(workload: &Workload, threads: usize) -> Row {
 fn render_json(rows: &[Row], threads: usize) -> String {
     let mut out = String::from("{\n");
     out += &format!("  \"threads\": {threads},\n");
+    out += &format!("  \"requested_threads\": {threads},\n");
     out += &format!(
         "  \"host_parallelism\": {},\n",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -173,6 +196,8 @@ fn render_json(rows: &[Row], threads: usize) -> String {
         out += &format!("      \"feature_cache_hits\": {},\n", r.memo_hits);
         out += &format!("      \"feature_cache_misses\": {},\n", r.memo_misses);
         out += &format!("      \"feature_cache_hit_rate\": {hit_rate:.4},\n");
+        out += &format!("      \"par_morsels\": {},\n", r.par_morsels);
+        out += &format!("      \"par_steals\": {},\n", r.par_steals);
         match r.shard_balance {
             Some(b) => {
                 out += &format!("      \"shard_busy_us_min\": {},\n", b.min_us);
@@ -187,13 +212,56 @@ fn render_json(rows: &[Row], threads: usize) -> String {
     out
 }
 
+/// Warns (once per process) when the requested worker count exceeds the
+/// host's available parallelism. The sweep still runs — the output stays
+/// correct by construction — but threaded timings on an oversubscribed
+/// host mostly measure scheduler churn, so the report records both
+/// counts and the console says so up front. Returns the host count.
+fn warn_if_oversubscribed(requested: usize) -> usize {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if requested > host {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "exp_scaling: warning: {requested} worker threads requested on a host \
+                 with {host} available core(s); threaded timings will be dominated by \
+                 oversubscription (both counts are recorded in the report)"
+            );
+        });
+    }
+    host
+}
+
+/// The corpus scale at which the morsel executor must demonstrably beat
+/// serial+memo (per-tuple work is deep enough to amortize dispatch).
+const GATE_SCALE: f64 = 10.0;
+/// Required threaded speedup over serial+memo at [`GATE_SCALE`].
+const GATE_SPEEDUP: f64 = 1.3;
+
 fn parallel_report(path: &str, smoke: bool) {
     let threads = default_threads().max(4);
+    let host = warn_if_oversubscribed(threads);
+    // A host without ≥4 real cores cannot show a 4-thread speedup; the
+    // gate is skipped there (with a notice), never silently weakened.
+    let gate = host >= 4;
     let workloads: Vec<Workload> = if smoke {
-        vec![Workload {
-            id: TaskId::T1,
-            scale: 0.1,
-        }]
+        if gate {
+            vec![Workload {
+                id: TaskId::T1,
+                scale: GATE_SCALE,
+            }]
+        } else {
+            println!(
+                "parallel speedup gate SKIPPED: host has {host} core(s), the gate \
+                 needs >= 4; running the tiny identity-only sweep instead"
+            );
+            vec![Workload {
+                id: TaskId::T1,
+                scale: 0.1,
+            }]
+        }
     } else {
         vec![
             Workload {
@@ -212,6 +280,18 @@ fn parallel_report(path: &str, smoke: bool) {
                 id: TaskId::Panel,
                 scale: 1.0,
             },
+            Workload {
+                id: TaskId::T1,
+                scale: GATE_SCALE,
+            },
+            Workload {
+                id: TaskId::T5,
+                scale: GATE_SCALE,
+            },
+            Workload {
+                id: TaskId::T8,
+                scale: GATE_SCALE,
+            },
         ]
     };
     let rows: Vec<Row> = workloads.iter().map(|w| sweep(w, threads)).collect();
@@ -226,7 +306,8 @@ fn parallel_report(path: &str, smoke: bool) {
             None => "no parallel sections".to_string(),
         };
         println!(
-            "{:>6} @{}: baseline {:.2}s  serial+memo {:.2}s  {}-threads+memo {:.2}s  ({:.2}x vs baseline)  {balance}",
+            "{:>6} @{}: baseline {:.2}s  serial+memo {:.2}s  {}-threads+memo {:.2}s  \
+             ({:.2}x vs baseline)  morsels {} (stolen {})  {balance}",
             r.task,
             r.scale,
             r.baseline_secs,
@@ -234,6 +315,40 @@ fn parallel_report(path: &str, smoke: bool) {
             threads,
             r.threaded_secs,
             r.baseline_secs / r.threaded_secs.max(1e-9),
+            r.par_morsels,
+            r.par_steals,
+        );
+    }
+    if gate {
+        // The perf gate proper: threads must not lose to serial+memo at
+        // scale 1, and must beat it by GATE_SPEEDUP at GATE_SCALE (Panel
+        // is excluded — its sessions are dominated by question rounds,
+        // not engine runs).
+        for r in rows.iter().filter(|r| r.task != "Panel") {
+            let speedup = r.serial_secs / r.threaded_secs.max(1e-9);
+            if r.scale >= GATE_SCALE {
+                let need = if smoke { 1.0 } else { GATE_SPEEDUP };
+                assert!(
+                    speedup >= need,
+                    "{} @{}: threaded speedup vs serial+memo is {speedup:.2}x, \
+                     below the {need:.1}x gate",
+                    r.task,
+                    r.scale
+                );
+            } else if (r.scale - 1.0).abs() < f64::EPSILON {
+                assert!(
+                    speedup >= 1.0,
+                    "{} @{}: threads lose to serial+memo ({speedup:.2}x)",
+                    r.task,
+                    r.scale
+                );
+            }
+        }
+        println!("parallel speedup gate: OK");
+    } else if !smoke {
+        println!(
+            "parallel speedup gate SKIPPED: host has {host} core(s), the gate needs >= 4 \
+             (byte-identity was still asserted on every row)"
         );
     }
     std::fs::write(path, render_json(&rows, threads)).expect("write report");
@@ -637,10 +752,20 @@ fn scale_args(args: &[String]) -> Vec<f64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
-        Some("--parallel-report") => parallel_report(
-            args.get(1).map(|s| s.as_str()).unwrap_or("BENCH_parallel.json"),
-            false,
-        ),
+        Some("--parallel-report") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            let default = if smoke {
+                "BENCH_parallel_smoke.json"
+            } else {
+                "BENCH_parallel.json"
+            };
+            let path = args[1..]
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .map(|s| s.as_str())
+                .unwrap_or(default);
+            parallel_report(path, smoke);
+        }
         Some("--smoke") => parallel_report(
             args.get(1).map(|s| s.as_str()).unwrap_or("BENCH_parallel_smoke.json"),
             true,

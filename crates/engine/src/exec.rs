@@ -55,6 +55,13 @@ pub struct Limits {
     pub max_result_tuples: usize,
     /// Worker threads for the large join operators (1 = sequential).
     pub threads: usize,
+    /// `(min, max)` clamp, in tuples, for the auto-tuned morsel size of
+    /// the work-stealing executor (see [`crate::par`]). Each parallel
+    /// section calibrates on its first `min` tuples and sizes later
+    /// morsels to ~1ms of work within this clamp. `min` doubles as the
+    /// serial threshold: inputs of at most `2 * min` tuples never engage
+    /// the pool.
+    pub morsel_tuples: (usize, usize),
     /// Which ψ implementation to use (ablation knob).
     pub annotate_policy: AnnotatePolicy,
     /// Disable to re-execute every rule on every run (ablation knob for
@@ -109,6 +116,7 @@ impl Default for Limits {
             max_result_tuples: 2_000_000,
             cmp_enum_cap: 64,
             threads: default_threads(),
+            morsel_tuples: (16, 65_536),
             annotate_policy: AnnotatePolicy::default(),
             reuse_enabled: true,
             degrade: true,
@@ -252,10 +260,20 @@ pub struct ExecStats {
     /// threads this run (small inputs fall back to in-thread shards and
     /// are not counted).
     pub par_sections: usize,
-    /// Accumulated per-shard busy wall-clock (µs), indexed by shard
-    /// position. Shard `i` aggregates the `i`-th chunk of every parallel
-    /// section, so a skewed distribution shows up as a lopsided vector.
+    /// Accumulated per-participant busy wall-clock (µs), indexed by
+    /// participant position (0 = the calling thread). Participant `i`
+    /// aggregates its busy time across every parallel section, so a
+    /// skewed distribution shows up as a lopsided vector. Panicked
+    /// participants still report the time burned up to the panic.
     pub shard_busy_us: Vec<u64>,
+    /// Morsels (index ranges) dispensed by the work-stealing executor
+    /// this run, including each section's calibration morsel.
+    pub par_morsels: u64,
+    /// Morsels a participant stole from another participant's segment
+    /// this run.
+    pub par_steals: u64,
+    /// Wall-clock spent claiming/stealing morsel ranges this run, in µs.
+    pub par_dispense_us: u64,
     /// Incremental-cache hits this run (equals `cache_hits` while the
     /// incremental engine is on; zero when `use_incremental` is off).
     pub incr_hits: usize,
@@ -378,7 +396,7 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Converts an injected engine-site fault into its error (panics for
 /// [`Fault::Panic`] — deliberately, so the real containment path runs).
-fn injected(f: Fault) -> EngineError {
+pub(crate) fn injected(f: Fault) -> EngineError {
     match f {
         Fault::TooLarge => EngineError::TooLarge("injected fault".into()),
         Fault::DeadlineExpired => EngineError::Deadline,
@@ -447,6 +465,9 @@ struct EngineCounters {
     feature_cache_hits: Counter,
     feature_cache_misses: Counter,
     par_sections: Counter,
+    par_morsels: Counter,
+    par_steals: Counter,
+    par_dispense_us: Counter,
     incr_hits: Counter,
     incr_misses: Counter,
     incr_invalidations: Counter,
@@ -479,6 +500,9 @@ impl EngineCounters {
             feature_cache_hits: reg.counter(names::FEATURE_CACHE_HITS),
             feature_cache_misses: reg.counter(names::FEATURE_CACHE_MISSES),
             par_sections: reg.counter(names::PAR_SECTIONS),
+            par_morsels: reg.counter(names::PAR_MORSELS),
+            par_steals: reg.counter(names::PAR_STEALS),
+            par_dispense_us: reg.counter(names::PAR_DISPENSE_US),
             incr_hits: reg.counter(names::INCR_HITS),
             incr_misses: reg.counter(names::INCR_MISSES),
             incr_invalidations: reg.counter(names::INCR_INVALIDATIONS),
@@ -571,6 +595,7 @@ impl EngineCore {
             counters,
             live: LiveSet::disabled(),
             flight: FlightRecorder::disabled(),
+            pool: None,
         }
     }
 
@@ -669,6 +694,12 @@ pub struct Engine {
     /// runs land next to the session's request history when a dump
     /// triggers.
     pub flight: FlightRecorder,
+    /// The current run's worker pool: created (cheap, no threads yet) at
+    /// the start of every run, spawned lazily by the first
+    /// parallel-worthy section, reused by every later section of the run,
+    /// and joined at run end. `None` between runs; snapshots and forks
+    /// build their own.
+    pool: Option<crate::par::RunPool>,
 }
 
 impl Engine {
@@ -697,6 +728,7 @@ impl Engine {
             counters,
             live: LiveSet::disabled(),
             flight: FlightRecorder::disabled(),
+            pool: None,
         }
     }
 
@@ -734,6 +766,7 @@ impl Engine {
             // runs belong to the same tenant's timeline.
             live: self.live.clone(),
             flight: self.flight.clone(),
+            pool: None,
         }
     }
 
@@ -970,6 +1003,10 @@ impl Engine {
         self.fault.take_last_fired();
         let (memo_hits0, memo_misses0) = self.memo.counters();
         self.clock = Arc::new(self.budget.start());
+        // Arm the run's worker pool. Creation is free — threads spawn
+        // lazily on the first parallel-worthy section and are reused by
+        // every later section of this run.
+        self.pool = Some(crate::par::RunPool::new(self.limits.threads));
         let run_span = self.tracer.begin(
             self.trace_parent,
             SpanKind::Run,
@@ -977,6 +1014,8 @@ impl Engine {
         );
 
         let result = self.run_body(prog, sample, run_span);
+        // Join (and drop) the pool on every exit path.
+        self.pool = None;
 
         let c = &self.counters;
         self.stats.rules_evaluated = c.rules_evaluated.get() as usize;
@@ -984,6 +1023,9 @@ impl Engine {
         self.stats.tuples_scanned = c.tuples_scanned.get() as usize;
         self.stats.assignments_produced = c.assignments_produced.get() as usize;
         self.stats.par_sections = c.par_sections.get() as usize;
+        self.stats.par_morsels = c.par_morsels.get();
+        self.stats.par_steals = c.par_steals.get();
+        self.stats.par_dispense_us = c.par_dispense_us.get();
         self.stats.incr_hits = c.incr_hits.get() as usize;
         self.stats.incr_misses = c.incr_misses.get() as usize;
         self.stats.incr_invalidations = c.incr_invalidations.get() as usize;
@@ -1513,35 +1555,37 @@ impl Engine {
             } => {
                 // Domain-constraint selection fans out across worker
                 // threads: tuples are independent, and the feature memo
-                // dedups repeated `Verify`/`Refine` calls across shards.
+                // dedups repeated `Verify`/`Refine` calls across morsels.
                 let t = self.eval_plan(input, computed, sample, span)?;
                 let col = *col;
-                let sr = {
-                    let store = &self.store;
-                    let features = &self.features;
-                    let memo = self.limits.use_feature_memo.then_some(self.memo.as_ref());
-                    let ctx = memo.map(|_| crate::constraint::chain_ctx(constraint, priors));
-                    let clock = &self.clock;
-                    crate::par::scatter(self.limits.threads, t.tuples(), self.tracer.ctx(span), |tups| {
+                let mr = {
+                    let ec = self.eval_ctx();
+                    let constraint = constraint.clone();
+                    let priors = priors.clone();
+                    let ctx = ec
+                        .memo_opt()
+                        .map(|_| crate::constraint::chain_ctx(&constraint, &priors));
+                    let t = Arc::clone(&t);
+                    crate::par::scatter(&self.section_ctx(span), t.len(), move |range| {
                         let mut out = Vec::new();
-                        for tup in tups {
-                            clock.tick().map_err(EngineError::from)?;
-                            let new_cell = match (memo, ctx.as_ref()) {
+                        for tup in &t.tuples()[range] {
+                            ec.clock.tick().map_err(EngineError::from)?;
+                            let new_cell = match (ec.memo_opt(), ctx.as_ref()) {
                                 (Some(m), Some(c)) => crate::constraint::apply_constraint_cached(
                                     &tup.cells[col],
-                                    constraint,
-                                    priors,
-                                    store,
-                                    features,
+                                    &constraint,
+                                    &priors,
+                                    &ec.store,
+                                    &ec.features,
                                     m,
                                     c,
                                 )?,
                                 _ => crate::constraint::apply_constraint_memo(
                                     &tup.cells[col],
-                                    constraint,
-                                    priors,
-                                    store,
-                                    features,
+                                    &constraint,
+                                    &priors,
+                                    &ec.store,
+                                    &ec.features,
                                     None,
                                 )?,
                             };
@@ -1558,9 +1602,9 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_section(&mr.stats);
                 let mut out = CompactTable::new(t.columns().to_vec());
-                for tup in sr.merge()? {
+                for tup in mr.merge()? {
                     out.push(tup);
                 }
                 Ok(Arc::new(out))
@@ -1579,28 +1623,30 @@ impl Engine {
                     let offset = *offset;
                     let left = left.clone();
                     let right = right.clone();
-                    return self.fused_join(jl, jr, computed, sample, span, move |eng, cells| {
-                        let lc = eng.cell_operand_cands(&left, cells);
+                    return self.fused_join(jl, jr, computed, sample, span, move |ec, cells| {
+                        let lc = ec.cell_operand_cands(&left, cells);
                         let rc = shift_cands(
-                            eng.cell_operand_cands(&right, cells),
+                            ec.cell_operand_cands(&right, cells),
                             offset,
-                            &eng.store,
+                            &ec.store,
                         );
-                        compare_cands(&lc, op, &rc, &eng.store)
+                        compare_cands(&lc, op, &rc, &ec.store)
                     });
                 }
                 let t = self.eval_plan(input, computed, sample, span)?;
                 let (op, offset) = (*op, *offset);
-                let sr = {
-                    let eng: &Engine = self;
-                    crate::par::scatter(eng.limits.threads, t.tuples(), eng.tracer.ctx(span), |tups| {
+                let mr = {
+                    let ec = self.eval_ctx();
+                    let (left, right) = (left.clone(), right.clone());
+                    let t = Arc::clone(&t);
+                    crate::par::scatter(&self.section_ctx(span), t.len(), move |range| {
                         let mut out = Vec::new();
-                        for tup in tups {
-                            eng.clock.tick().map_err(EngineError::from)?;
-                            let lc = eng.operand_cands(left, tup);
+                        for tup in &t.tuples()[range] {
+                            ec.clock.tick().map_err(EngineError::from)?;
+                            let lc = ec.operand_cands(&left, tup);
                             let rc =
-                                shift_cands(eng.operand_cands(right, tup), offset, &eng.store);
-                            let mm = compare_cands(&lc, op, &rc, &eng.store);
+                                shift_cands(ec.operand_cands(&right, tup), offset, &ec.store);
+                            let mm = compare_cands(&lc, op, &rc, &ec.store);
                             if !mm.may {
                                 continue;
                             }
@@ -1611,9 +1657,9 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_section(&mr.stats);
                 let mut out = CompactTable::new(t.columns().to_vec());
-                for tup in sr.merge()? {
+                for tup in mr.merge()? {
                     out.push(tup);
                 }
                 Ok(Arc::new(out))
@@ -1621,23 +1667,24 @@ impl Engine {
             Plan::VarUnify { input, col_a, col_b } => {
                 if let Plan::CrossJoin { left: jl, right: jr } = input.as_ref() {
                     let (a, b) = (*col_a, *col_b);
-                    return self.fused_join(jl, jr, computed, sample, span, move |eng, cells| {
-                        cells_may_equal(cells[a], cells[b], &eng.store, eng.limits.cmp_enum_cap)
+                    return self.fused_join(jl, jr, computed, sample, span, move |ec, cells| {
+                        cells_may_equal(cells[a], cells[b], &ec.store, ec.limits.cmp_enum_cap)
                     });
                 }
                 let t = self.eval_plan(input, computed, sample, span)?;
                 let (a, b) = (*col_a, *col_b);
-                let sr = {
-                    let eng: &Engine = self;
-                    crate::par::scatter(eng.limits.threads, t.tuples(), eng.tracer.ctx(span), |tups| {
+                let mr = {
+                    let ec = self.eval_ctx();
+                    let t = Arc::clone(&t);
+                    crate::par::scatter(&self.section_ctx(span), t.len(), move |range| {
                         let mut out = Vec::new();
-                        for tup in tups {
-                            eng.clock.tick().map_err(EngineError::from)?;
+                        for tup in &t.tuples()[range] {
+                            ec.clock.tick().map_err(EngineError::from)?;
                             let mm = cells_may_equal(
                                 &tup.cells[a],
                                 &tup.cells[b],
-                                &eng.store,
-                                eng.limits.cmp_enum_cap,
+                                &ec.store,
+                                ec.limits.cmp_enum_cap,
                             );
                             if !mm.may {
                                 continue;
@@ -1649,9 +1696,9 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_section(&mr.stats);
                 let mut out = CompactTable::new(t.columns().to_vec());
-                for tup in sr.merge()? {
+                for tup in mr.merge()? {
                     out.push(tup);
                 }
                 Ok(Arc::new(out))
@@ -1673,7 +1720,8 @@ impl Engine {
                     let l = self.eval_plan(jl, computed, sample, span)?;
                     let r = self.eval_plan(jr, computed, sample, span)?;
                     if *ca < l.arity() && *cb >= l.arity() {
-                        return self.similar_join(&l, &r, *ca, *cb - l.arity(), span);
+                        let rcol = *cb - l.arity();
+                        return self.similar_join(l, r, *ca, rcol, span);
                     }
                 }
                 if let Plan::CrossJoin { left: jl, right: jr } = input.as_ref() {
@@ -1681,45 +1729,47 @@ impl Engine {
                     let combo_cap = self.limits.combo_cap;
                     let enum_cap = self.limits.enum_cap;
                     let ff = f.clone();
-                    return self.fused_join(jl, jr, computed, sample, span, move |eng, cells| {
+                    return self.fused_join(jl, jr, computed, sample, span, move |ec, cells| {
                         let cands: Vec<Cands> = cols
                             .iter()
                             .map(|&c| {
                                 candidates_budgeted(
                                     cells[c],
-                                    &eng.store,
+                                    &ec.store,
                                     enum_cap,
-                                    eng.clock.tripped(),
+                                    ec.clock.tripped(),
                                 )
                             })
                             .collect();
-                        let store = &eng.store;
+                        let store: &DocumentStore = &ec.store;
                         filter_cands(&cands, &|args: &[Value]| ff(store, args), combo_cap)
                     });
                 }
                 let t = self.eval_plan(input, computed, sample, span)?;
-                let sr = {
-                    let eng: &Engine = self;
-                    let f = &f;
-                    crate::par::scatter(eng.limits.threads, t.tuples(), eng.tracer.ctx(span), |tups| {
+                let mr = {
+                    let ec = self.eval_ctx();
+                    let cols = cols.clone();
+                    let t = Arc::clone(&t);
+                    crate::par::scatter(&self.section_ctx(span), t.len(), move |range| {
                         let mut out = Vec::new();
-                        for tup in tups {
-                            eng.clock.tick().map_err(EngineError::from)?;
+                        for tup in &t.tuples()[range] {
+                            ec.clock.tick().map_err(EngineError::from)?;
                             let cands: Vec<Cands> = cols
                                 .iter()
                                 .map(|&c| {
                                     candidates_budgeted(
                                         &tup.cells[c],
-                                        &eng.store,
-                                        eng.limits.enum_cap,
-                                        eng.clock.tripped(),
+                                        &ec.store,
+                                        ec.limits.enum_cap,
+                                        ec.clock.tripped(),
                                     )
                                 })
                                 .collect();
+                            let store: &DocumentStore = &ec.store;
                             let mm = filter_cands(
                                 &cands,
-                                &|args: &[Value]| f(&eng.store, args),
-                                eng.limits.combo_cap,
+                                &|args: &[Value]| f(store, args),
+                                ec.limits.combo_cap,
                             );
                             if !mm.may {
                                 continue;
@@ -1731,9 +1781,9 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_section(&mr.stats);
                 let mut out = CompactTable::new(t.columns().to_vec());
-                for tup in sr.merge()? {
+                for tup in mr.merge()? {
                     out.push(tup);
                 }
                 Ok(Arc::new(out))
@@ -1755,18 +1805,20 @@ impl Engine {
                 for k in 0..out_arity {
                     cols.push(format!("_g{}", cols.len() + k));
                 }
-                let sr = {
-                    let eng: &Engine = self;
-                    let f = &f;
-                    crate::par::scatter(eng.limits.threads, t.tuples(), eng.tracer.ctx(span), |tups| {
-                        let store = &eng.store;
+                let mr = {
+                    let ec = self.eval_ctx();
+                    let name = name.clone();
+                    let in_cols = in_cols.clone();
+                    let t = Arc::clone(&t);
+                    crate::par::scatter(&self.section_ctx(span), t.len(), move |range| {
+                        let store: &DocumentStore = &ec.store;
                         let mut out = Vec::new();
-                        for tup in tups {
-                            if let Some(f) = eng.fault.hit(fault::site::GENERATOR) {
+                        for tup in &t.tuples()[range] {
+                            if let Some(f) = ec.fault.hit(fault::site::GENERATOR) {
                                 return Err(injected(f));
                             }
                             let flats = tup
-                                .expand_fully(store, eng.limits.expand_limit)
+                                .expand_fully(store, ec.limits.expand_limit)
                                 .ok_or_else(|| {
                                     EngineError::TooLarge(format!("expansion in generator {name}"))
                                 })?;
@@ -1779,7 +1831,7 @@ impl Engine {
                                 let total: u64 = sets
                                     .iter()
                                     .fold(1u64, |acc, s| acc.saturating_mul(s.len() as u64));
-                                if total > eng.limits.combo_cap {
+                                if total > ec.limits.combo_cap {
                                     return Err(EngineError::TooLarge(format!(
                                         "input enumeration in generator {name}"
                                     )));
@@ -1790,7 +1842,7 @@ impl Engine {
                                 let uncertain_input = total > 1;
                                 let mut idx = vec![0usize; sets.len()];
                                 loop {
-                                    eng.clock.tick().map_err(EngineError::from)?;
+                                    ec.clock.tick().map_err(EngineError::from)?;
                                     let args: Vec<Value> = idx
                                         .iter()
                                         .zip(&sets)
@@ -1833,9 +1885,9 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_section(&mr.stats);
                 let mut out = CompactTable::new(cols);
-                for tup in sr.merge()? {
+                for tup in mr.merge()? {
                     out.push(tup);
                 }
                 Ok(Arc::new(out))
@@ -1846,17 +1898,20 @@ impl Engine {
                 let mut cols = l.columns().to_vec();
                 cols.extend(r.columns().iter().cloned());
                 let cap = self.limits.max_result_tuples;
-                let sr = {
-                    let eng: &Engine = self;
-                    let r = &r;
-                    crate::par::scatter(eng.limits.threads, l.tuples(), eng.tracer.ctx(span), |lts| {
+                let mr = {
+                    let ec = self.eval_ctx();
+                    let l = Arc::clone(&l);
+                    let r = Arc::clone(&r);
+                    crate::par::scatter(&self.section_ctx(span), l.len(), move |range| {
                         let mut out = Vec::new();
-                        for lt in lts {
+                        for lt in &l.tuples()[range] {
                             for rt in r.tuples() {
-                                eng.clock.tick().map_err(EngineError::from)?;
-                                if let Some(f) = eng.fault.hit(fault::site::JOIN_TUPLE) {
+                                ec.clock.tick().map_err(EngineError::from)?;
+                                if let Some(f) = ec.fault.hit(fault::site::JOIN_TUPLE) {
                                     return Err(injected(f));
                                 }
+                                // Per-morsel heuristic; the authoritative cap
+                                // check happens again at merge time below.
                                 if out.len() >= cap {
                                     return Err(EngineError::TooLarge("cross join result".into()));
                                 }
@@ -1871,9 +1926,9 @@ impl Engine {
                         Ok(out)
                     })
                 };
-                self.note_shards(&sr.shard_micros, sr.went_parallel);
+                self.note_section(&mr.stats);
                 let mut out = CompactTable::new(cols);
-                for tup in sr.merge()? {
+                for tup in mr.merge()? {
                     if out.len() >= cap {
                         return Err(EngineError::TooLarge("cross join result".into()));
                     }
@@ -1947,17 +2002,21 @@ impl Engine {
         }
     }
 
-    /// Records a scatter section in the metrics registry: bumps
-    /// `engine.par_sections` when the section actually went parallel and
-    /// accumulates per-shard busy time into the indexed
+    /// Records a morsel section in the metrics registry: bumps
+    /// `engine.par_sections` when the section actually fanned out, adds
+    /// the morsel / steal / dispense totals, and accumulates
+    /// per-participant busy time into the indexed
     /// `engine.shard_busy_us.<i>` counters. `ExecStats` reads these back
     /// at the end of the run.
-    fn note_shards(&self, shard_micros: &[u64], went_parallel: bool) {
-        if went_parallel {
+    fn note_section(&self, stats: &crate::par::SectionStats) {
+        if stats.went_parallel {
             self.counters.par_sections.inc();
         }
+        self.counters.par_morsels.add(stats.morsels);
+        self.counters.par_steals.add(stats.steals);
+        self.counters.par_dispense_us.add(stats.dispense_us);
         let live = self.live.is_enabled();
-        for (i, us) in shard_micros.iter().enumerate() {
+        for (i, us) in stats.busy_micros.iter().enumerate() {
             self.metrics
                 .counter(&format!("{}{}", names::SHARD_BUSY_PREFIX, i))
                 .add(*us);
@@ -1968,13 +2027,18 @@ impl Engine {
                 self.live.shard_busy(i).observe(*us);
             }
         }
+        if live {
+            // Windowed steal pressure: a scheduler watching the live set
+            // can spot skewed operators (many steals) as they happen.
+            self.live.window(names::PAR_STEALS).add_count(stats.steals);
+        }
     }
 
     /// Streams the cross product of two sub-plans, keeping only pairs the
     /// predicate admits (may = true). The full product is never
     /// materialized — essential for the large similarity joins. With
-    /// `Limits::threads > 1` the outer side is processed in parallel
-    /// (the predicate only reads the engine).
+    /// `Limits::threads > 1` the outer side is morsel-scattered across
+    /// the run's worker pool (the predicate only reads the [`EvalCtx`]).
     fn fused_join(
         &mut self,
         left: &Plan,
@@ -1982,7 +2046,7 @@ impl Engine {
         computed: &BTreeMap<String, Arc<CompactTable>>,
         sample: Option<Sample>,
         span: SpanId,
-        pred: impl Fn(&Engine, &[&Cell]) -> crate::eval::MayMust + Sync,
+        pred: impl Fn(&EvalCtx, &[&Cell]) -> crate::eval::MayMust + Send + Sync + 'static,
     ) -> Result<Arc<CompactTable>, EngineError> {
         let l = self.eval_plan(left, computed, sample, span)?;
         let r = self.eval_plan(right, computed, sample, span)?;
@@ -1990,25 +2054,28 @@ impl Engine {
         cols.extend(r.columns().iter().cloned());
         let cap = self.limits.max_result_tuples;
 
-        let sr = {
-            let eng: &Engine = self;
-            let (r, pred) = (&r, &pred);
-            crate::par::scatter(eng.limits.threads, l.tuples(), eng.tracer.ctx(span), |lts| {
+        let mr = {
+            let ec = self.eval_ctx();
+            let l = Arc::clone(&l);
+            let r = Arc::clone(&r);
+            crate::par::scatter(&self.section_ctx(span), l.len(), move |range| {
                 let mut out = Vec::new();
                 let mut cells_ref: Vec<&Cell> = Vec::new();
-                for lt in lts {
+                for lt in &l.tuples()[range] {
                     for rt in r.tuples() {
-                        eng.clock.tick().map_err(EngineError::from)?;
-                        if let Some(f) = eng.fault.hit(fault::site::JOIN_TUPLE) {
+                        ec.clock.tick().map_err(EngineError::from)?;
+                        if let Some(f) = ec.fault.hit(fault::site::JOIN_TUPLE) {
                             return Err(injected(f));
                         }
                         cells_ref.clear();
                         cells_ref.extend(lt.cells.iter());
                         cells_ref.extend(rt.cells.iter());
-                        let mm = pred(eng, &cells_ref);
+                        let mm = pred(&ec, &cells_ref);
                         if !mm.may {
                             continue;
                         }
+                        // Per-morsel heuristic; the authoritative cap check
+                        // happens again at merge time below.
                         if out.len() >= cap {
                             return Err(EngineError::TooLarge("fused join result".into()));
                         }
@@ -2024,9 +2091,9 @@ impl Engine {
                 Ok(out)
             })
         };
-        self.note_shards(&sr.shard_micros, sr.went_parallel);
+        self.note_section(&mr.stats);
         let mut out = CompactTable::new(cols);
-        for t in sr.merge()? {
+        for t in mr.merge()? {
             if out.len() >= cap {
                 return Err(EngineError::TooLarge("fused join result".into()));
             }
@@ -2040,8 +2107,8 @@ impl Engine {
     /// both cells are singletons.
     fn similar_join(
         &mut self,
-        l: &CompactTable,
-        r: &CompactTable,
+        l: Arc<CompactTable>,
+        r: Arc<CompactTable>,
         lcol: usize,
         rcol: usize,
         span: SpanId,
@@ -2065,31 +2132,35 @@ impl Engine {
                 .map(|v| v.as_text(&self.store).to_string());
             crate::similarity::SimProfile { tokens, singleton }
         };
-        let lprof: Vec<_> = l.tuples().iter().map(|t| profile(&t.cells[lcol])).collect();
-        let rprof: Vec<_> = r.tuples().iter().map(|t| profile(&t.cells[rcol])).collect();
+        let lprof: Arc<Vec<_>> =
+            Arc::new(l.tuples().iter().map(|t| profile(&t.cells[lcol])).collect());
+        let rprof: Arc<Vec<_>> =
+            Arc::new(r.tuples().iter().map(|t| profile(&t.cells[rcol])).collect());
         let mut cols = l.columns().to_vec();
         cols.extend(r.columns().iter().cloned());
         let cap = self.limits.max_result_tuples;
 
-        // Shard the outer side; profiles travel with their tuples by
-        // pairing them up front so a shard is a contiguous slice of pairs.
-        let pairs: Vec<(&CompactTuple, &crate::similarity::SimProfile)> =
-            l.tuples().iter().zip(&lprof).collect();
-        let sr = {
-            let clock = &self.clock;
-            let fplan = &self.fault;
-            let (r, rprof) = (&r, &rprof);
-            crate::par::scatter(self.limits.threads, &pairs, self.tracer.ctx(span), |chunk| {
+        // Morsel-scatter the outer side; profiles are index-aligned with
+        // their tuples, so a morsel is a contiguous index range into both.
+        let mr = {
+            let ec = self.eval_ctx();
+            let l = Arc::clone(&l);
+            let r = Arc::clone(&r);
+            let (lprof, rprof) = (Arc::clone(&lprof), Arc::clone(&rprof));
+            crate::par::scatter(&self.section_ctx(span), l.len(), move |range| {
                 let mut out = Vec::new();
-                for (lt, lp) in chunk {
+                for i in range {
+                    let lt = &l.tuples()[i];
+                    let lp = &lprof[i];
                     for (rt, rp) in r.tuples().iter().zip(rprof.iter()) {
-                        clock.tick().map_err(EngineError::from)?;
-                        if let Some(f) = fplan.hit(fault::site::JOIN_TUPLE) {
+                        ec.clock.tick().map_err(EngineError::from)?;
+                        if let Some(f) = ec.fault.hit(fault::site::JOIN_TUPLE) {
                             return Err(injected(f));
                         }
                         if !lp.may_match(rp) {
                             continue;
                         }
+                        // Per-morsel heuristic; re-checked at merge time.
                         if out.len() >= cap {
                             return Err(EngineError::TooLarge("similarity join result".into()));
                         }
@@ -2106,9 +2177,9 @@ impl Engine {
                 Ok(out)
             })
         };
-        self.note_shards(&sr.shard_micros, sr.went_parallel);
+        self.note_section(&mr.stats);
         let mut out = CompactTable::new(cols);
-        for t in sr.merge()? {
+        for t in mr.merge()? {
             if out.len() >= cap {
                 return Err(EngineError::TooLarge("similarity join result".into()));
             }
@@ -2117,27 +2188,36 @@ impl Engine {
         Ok(Arc::new(out))
     }
 
-    fn cell_operand_cands(&self, op: &Operand, cells: &[&Cell]) -> Cands {
-        match op {
-            Operand::Col(c) => candidates_budgeted(
-                cells[*c],
-                &self.store,
-                self.limits.cmp_enum_cap,
-                self.clock.tripped(),
-            ),
-            Operand::Const(v) => Cands::Full(vec![v.clone()]),
+    /// Snapshots the engine's shared read-only handles for use inside a
+    /// `'static` morsel closure. Pool workers outlive any one operator's
+    /// stack frame, so per-tuple bodies cannot borrow `&Engine` — they
+    /// capture an [`EvalCtx`] by value instead (all handles are `Arc`s or
+    /// `Copy`, so a snapshot is a few refcount bumps).
+    fn eval_ctx(&self) -> EvalCtx {
+        EvalCtx {
+            store: Arc::clone(&self.store),
+            features: self.features.clone(),
+            memo: Arc::clone(&self.memo),
+            clock: Arc::clone(&self.clock),
+            fault: Arc::clone(&self.fault),
+            limits: self.limits,
         }
     }
 
-    fn operand_cands(&self, op: &Operand, tup: &CompactTuple) -> Cands {
-        match op {
-            Operand::Col(c) => candidates_budgeted(
-                &tup.cells[*c],
-                &self.store,
-                self.limits.cmp_enum_cap,
-                self.clock.tripped(),
-            ),
-            Operand::Const(v) => Cands::Full(vec![v.clone()]),
+    /// The morsel-scatter context for one operator section under `span`:
+    /// the run's pool, the configured morsel bounds, and the handles the
+    /// dispenser itself needs (cooperative clock, steal-site fault probe,
+    /// per-morsel tracing).
+    fn section_ctx(&self, span: SpanId) -> crate::par::SectionCtx<'_> {
+        crate::par::SectionCtx {
+            pool: self.pool.as_ref(),
+            cfg: crate::par::MorselCfg {
+                min: self.limits.morsel_tuples.0,
+                max: self.limits.morsel_tuples.1,
+            },
+            clock: Some(Arc::clone(&self.clock)),
+            fault: Some((*self.fault).clone()),
+            trace: self.tracer.ctx(span).map(|(t, s)| (t.clone(), s)),
         }
     }
 
@@ -2221,18 +2301,22 @@ impl Engine {
             .all(|op| !matches!(op, FusedOp::FilterProc { .. }));
         let tctx = (memo_on && pure)
             .then(|| crate::memo::CellCtx::new(fused_cache_ctx(ops, project, &self.limits)));
-        let sr = {
-            let eng: &Engine = self;
-            let (ctxs, filters, tctx) = (&ctxs, &filters, &tctx);
-            let proj = project.map(|(cols, _)| cols.as_slice());
-            crate::par::scatter(eng.limits.threads, t.tuples(), eng.tracer.ctx(span), |tups| {
+        let mr = {
+            let ec = self.eval_ctx();
+            let ops = ops.to_vec();
+            let ctxs = ctxs.clone();
+            let filters = filters.clone();
+            let tctx = tctx.clone();
+            let proj: Option<Vec<usize>> = project.map(|(cols, _)| cols.clone());
+            let t = Arc::clone(&t);
+            crate::par::scatter(&self.section_ctx(span), t.len(), move |range| {
                 let mut out: Vec<(CompactTuple, u64)> = Vec::new();
-                for tup in tups {
-                    eng.clock.tick().map_err(EngineError::from)?;
+                for tup in &t.tuples()[range] {
+                    ec.clock.tick().map_err(EngineError::from)?;
                     let mut insert_hash = None;
-                    if let Some(ctx) = tctx {
-                        if !eng.clock.tripped() {
-                            let (h, hit) = eng.memo.get_tuple(ctx, &tup.cells);
+                    if let Some(ctx) = &tctx {
+                        if !ec.clock.tripped() {
+                            let (h, hit) = ec.memo.get_tuple(ctx, &tup.cells);
                             if let Some(o) = hit {
                                 if let Some(cells) = &o.cells {
                                     out.push((
@@ -2250,10 +2334,10 @@ impl Engine {
                     }
                     let mut cells = tup.cells.clone();
                     let mut extra = false;
-                    if !eng.fused_apply(ops, ctxs, filters, &mut cells, &mut extra)? {
-                        if let (Some(ctx), Some(h)) = (tctx, insert_hash) {
-                            if !eng.clock.tripped() {
-                                eng.memo.insert_tuple(
+                    if !ec.fused_apply(&ops, &ctxs, &filters, &mut cells, &mut extra)? {
+                        if let (Some(ctx), Some(h)) = (&tctx, insert_hash) {
+                            if !ec.clock.tripped() {
+                                ec.memo.insert_tuple(
                                     h,
                                     ctx,
                                     &tup.cells,
@@ -2268,20 +2352,20 @@ impl Engine {
                         continue;
                     }
                     let volume = if proj.is_some() {
-                        eng.cells_volume(&cells)
+                        ec.cells_volume(&cells)
                     } else {
                         0
                     };
-                    let final_cells: Vec<Cell> = match proj {
+                    let final_cells: Vec<Cell> = match proj.as_deref() {
                         Some(cols) => cols.iter().map(|&c| cells[c].clone()).collect(),
                         None => cells,
                     };
-                    if let (Some(ctx), Some(h)) = (tctx, insert_hash) {
+                    if let (Some(ctx), Some(h)) = (&tctx, insert_hash) {
                         // Re-check: a trip *during* the pipeline means a
                         // budgeted enumeration may have degraded this
                         // outcome — never cache it.
-                        if !eng.clock.tripped() {
-                            eng.memo.insert_tuple(
+                        if !ec.clock.tripped() {
+                            ec.memo.insert_tuple(
                                 h,
                                 ctx,
                                 &tup.cells,
@@ -2304,10 +2388,10 @@ impl Engine {
                 Ok(out)
             })
         };
-        self.note_shards(&sr.shard_micros, sr.went_parallel);
+        self.note_section(&mr.stats);
         let mut out = CompactTable::new(out_cols);
         let mut volume = 0u64;
-        for (tup, v) in sr.merge()? {
+        for (tup, v) in mr.merge()? {
             volume = volume.saturating_add(v);
             out.push(tup);
         }
@@ -2347,77 +2431,89 @@ impl Engine {
             None => cols,
         };
         let cap = self.limits.max_result_tuples;
-        let proj = project.map(|(c, _)| c.as_slice());
 
         // One pair: tick, fault probe, concatenate, pipeline, project.
-        let eval_pair = |eng: &Engine,
-                         lt: &CompactTuple,
-                         rt: &CompactTuple|
-         -> Result<Option<(CompactTuple, u64)>, EngineError> {
-            eng.clock.tick().map_err(EngineError::from)?;
-            if let Some(f) = eng.fault.hit(fault::site::JOIN_TUPLE) {
-                return Err(injected(f));
-            }
-            let mut cells = Vec::with_capacity(lt.cells.len() + rt.cells.len());
-            cells.extend(lt.cells.iter().cloned());
-            cells.extend(rt.cells.iter().cloned());
-            let mut extra = false;
-            if !eng.fused_apply(ops, ctxs, filters, &mut cells, &mut extra)? {
-                return Ok(None);
-            }
-            let volume = if proj.is_some() {
-                eng.cells_volume(&cells)
-            } else {
-                0
-            };
-            let final_cells: Vec<Cell> = match proj {
-                Some(cols) => cols.iter().map(|&c| cells[c].clone()).collect(),
-                None => cells,
-            };
-            Ok(Some((
-                CompactTuple {
-                    cells: final_cells,
-                    maybe: lt.maybe || rt.maybe || extra,
-                },
-                volume,
-            )))
+        // `Arc`'d so both morsel branches can own a handle to it.
+        type PairResult = Result<Option<(CompactTuple, u64)>, EngineError>;
+        type PairFn =
+            Arc<dyn Fn(&EvalCtx, &CompactTuple, &CompactTuple) -> PairResult + Send + Sync>;
+        let eval_pair: PairFn = {
+            let ops = ops.to_vec();
+            let ctxs = ctxs.to_vec();
+            let filters = filters.clone();
+            let proj: Option<Vec<usize>> = project.map(|(c, _)| c.clone());
+            Arc::new(move |ec, lt, rt| {
+                ec.clock.tick().map_err(EngineError::from)?;
+                if let Some(f) = ec.fault.hit(fault::site::JOIN_TUPLE) {
+                    return Err(injected(f));
+                }
+                let mut cells = Vec::with_capacity(lt.cells.len() + rt.cells.len());
+                cells.extend(lt.cells.iter().cloned());
+                cells.extend(rt.cells.iter().cloned());
+                let mut extra = false;
+                if !ec.fused_apply(&ops, &ctxs, &filters, &mut cells, &mut extra)? {
+                    return Ok(None);
+                }
+                let volume = if proj.is_some() {
+                    ec.cells_volume(&cells)
+                } else {
+                    0
+                };
+                let final_cells: Vec<Cell> = match proj.as_deref() {
+                    Some(cols) => cols.iter().map(|&c| cells[c].clone()).collect(),
+                    None => cells,
+                };
+                Ok(Some((
+                    CompactTuple {
+                        cells: final_cells,
+                        maybe: lt.maybe || rt.maybe || extra,
+                    },
+                    volume,
+                )))
+            })
         };
 
         let rows: Vec<(CompactTuple, u64)> = if outer_right {
-            let routed: Vec<(usize, &CompactTuple)> = r.tuples().iter().enumerate().collect();
-            let sr = {
-                let eng: &Engine = self;
-                let (l, eval_pair) = (&l, &eval_pair);
-                crate::par::scatter(eng.limits.threads, &routed, eng.tracer.ctx(span), |chunk| {
+            let mr = {
+                let ec = self.eval_ctx();
+                let l = Arc::clone(&l);
+                let r = Arc::clone(&r);
+                let eval_pair = Arc::clone(&eval_pair);
+                crate::par::scatter(&self.section_ctx(span), r.len(), move |range| {
                     let mut out = Vec::new();
-                    for (ri, rt) in chunk {
+                    for ri in range {
+                        let rt = &r.tuples()[ri];
                         for (li, lt) in l.tuples().iter().enumerate() {
-                            if let Some(row) = eval_pair(eng, lt, rt)? {
+                            if let Some(row) = eval_pair(&ec, lt, rt)? {
+                                // Per-morsel heuristic; re-checked at merge.
                                 if out.len() >= cap {
                                     return Err(EngineError::TooLarge(
                                         "fused join result".into(),
                                     ));
                                 }
-                                out.push(((li, *ri), row));
+                                out.push(((li, ri), row));
                             }
                         }
                     }
                     Ok(out)
                 })
             };
-            self.note_shards(&sr.shard_micros, sr.went_parallel);
-            let mut tagged = sr.merge()?;
+            self.note_section(&mr.stats);
+            let mut tagged = mr.merge()?;
             tagged.sort_by_key(|(k, _)| *k);
             tagged.into_iter().map(|(_, row)| row).collect()
         } else {
-            let sr = {
-                let eng: &Engine = self;
-                let (r, eval_pair) = (&r, &eval_pair);
-                crate::par::scatter(eng.limits.threads, l.tuples(), eng.tracer.ctx(span), |lts| {
+            let mr = {
+                let ec = self.eval_ctx();
+                let l = Arc::clone(&l);
+                let r = Arc::clone(&r);
+                let eval_pair = Arc::clone(&eval_pair);
+                crate::par::scatter(&self.section_ctx(span), l.len(), move |range| {
                     let mut out = Vec::new();
-                    for lt in lts {
+                    for lt in &l.tuples()[range] {
                         for rt in r.tuples() {
-                            if let Some(row) = eval_pair(eng, lt, rt)? {
+                            if let Some(row) = eval_pair(&ec, lt, rt)? {
+                                // Per-morsel heuristic; re-checked at merge.
                                 if out.len() >= cap {
                                     return Err(EngineError::TooLarge(
                                         "fused join result".into(),
@@ -2430,8 +2526,8 @@ impl Engine {
                     Ok(out)
                 })
             };
-            self.note_shards(&sr.shard_micros, sr.went_parallel);
-            sr.merge()?
+            self.note_section(&mr.stats);
+            mr.merge()?
         };
 
         let mut out = CompactTable::new(out_cols);
@@ -2449,6 +2545,54 @@ impl Engine {
         Ok(Arc::new(out))
     }
 
+}
+
+/// Everything an operator's per-tuple body needs from the engine, as
+/// owned (`Arc`-shared) handles. Morsel closures run on the run's
+/// worker pool, whose threads outlive any one operator's stack frame —
+/// so the bodies capture this snapshot by value instead of borrowing
+/// `&Engine`. All handles alias the engine's own (the memo, clock, and
+/// fault plan share state with the engine that built the snapshot).
+#[derive(Clone)]
+struct EvalCtx {
+    store: Arc<DocumentStore>,
+    features: FeatureRegistry,
+    memo: Arc<crate::memo::FeatureMemo>,
+    clock: Arc<RunClock>,
+    fault: Arc<FaultPlan>,
+    limits: Limits,
+}
+
+impl EvalCtx {
+    /// The feature memo, when [`Limits::use_feature_memo`] is on.
+    fn memo_opt(&self) -> Option<&crate::memo::FeatureMemo> {
+        self.limits.use_feature_memo.then_some(self.memo.as_ref())
+    }
+
+    fn cell_operand_cands(&self, op: &Operand, cells: &[&Cell]) -> Cands {
+        match op {
+            Operand::Col(c) => candidates_budgeted(
+                cells[*c],
+                &self.store,
+                self.limits.cmp_enum_cap,
+                self.clock.tripped(),
+            ),
+            Operand::Const(v) => Cands::Full(vec![v.clone()]),
+        }
+    }
+
+    fn operand_cands(&self, op: &Operand, tup: &CompactTuple) -> Cands {
+        match op {
+            Operand::Col(c) => candidates_budgeted(
+                &tup.cells[*c],
+                &self.store,
+                self.limits.cmp_enum_cap,
+                self.clock.tripped(),
+            ),
+            Operand::Const(v) => Cands::Full(vec![v.clone()]),
+        }
+    }
+
     /// Replays the fused selection steps against one tuple's cells, in
     /// order, using the standalone operators' exact per-tuple bodies.
     /// Returns `Ok(false)` when a step drops the tuple; `extra` collects
@@ -2461,7 +2605,7 @@ impl Engine {
         cells: &mut [Cell],
         extra: &mut bool,
     ) -> Result<bool, EngineError> {
-        let memo = self.limits.use_feature_memo.then_some(self.memo.as_ref());
+        let memo = self.memo_opt();
         for (op, ctx) in ops.iter().zip(ctxs) {
             match op {
                 FusedOp::Constraint {
@@ -2553,7 +2697,7 @@ impl Engine {
         Ok(true)
     }
 
-    /// [`Engine::operand_cands`] over a bare cell slice (a fused pass
+    /// [`EvalCtx::operand_cands`] over a bare cell slice (a fused pass
     /// carries cells, not a built tuple).
     fn fused_operand_cands(&self, op: &Operand, cells: &[Cell]) -> Cands {
         match op {

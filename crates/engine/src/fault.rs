@@ -23,6 +23,12 @@ pub mod site {
     pub const ANNOTATE: &str = "engine.annotate";
     /// Per file read by the corpus loader.
     pub const IO_READ: &str = "core.io.read";
+    /// Per stolen morsel in the work-stealing executor, probed at the
+    /// moment a participant begins a range it took from another
+    /// participant's segment. A panic here unwinds the thief mid-steal —
+    /// the worst spot for the dispenser's bookkeeping — and must still be
+    /// contained as a per-rule degradation.
+    pub const PAR_STEAL: &str = "engine.par_steal";
     /// Per rule-result lookup in the shared memo/incremental-cache path
     /// (`Engine::run` consults the [`crate::IncrCache`] before evaluating
     /// a rule; a fault here degrades just that rule, exactly like an

@@ -9,6 +9,17 @@
 //! memo. Invalidation follows the rule cache: any mutation of the
 //! feature registry clears it (see `Engine::features_mut`).
 //!
+//! Interplay with the morsel executor: which thread computes a tuple is
+//! timing-dependent (a stolen morsel runs on the thief), so two runs may
+//! populate shards in a different order and interleave hits and misses
+//! differently. That is safe by construction — entries are pure values
+//! keyed only by their inputs, an insert race just recomputes one value,
+//! and a hit is byte-identical to a recompute — so the cache can never
+//! break `par`'s serial-identity guarantee; only `feature_cache_hits` /
+//! `feature_cache_misses` totals may drift between runs. Degraded
+//! results are never inserted, so a morsel that failed mid-fault cannot
+//! poison later runs.
+//!
 //! [`DocumentStore`]: iflex_text::DocumentStore
 
 use std::collections::HashMap;

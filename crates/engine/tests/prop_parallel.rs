@@ -11,7 +11,13 @@ use iflex_text::DocumentStore;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-/// Every named injection site, in a fixed order the generator indexes.
+/// Every named injection site that fires identically under serial and
+/// parallel execution, in a fixed order the generator indexes.
+/// `fault::site::PAR_STEAL` is deliberately absent: it is probed only
+/// when a participant begins a *stolen* morsel, which never happens in a
+/// serial run, so it cannot satisfy a serial-identity property. Its
+/// containment guarantee is covered by [`steal_faults_degrade_not_corrupt`]
+/// below and by the deterministic forced-steal unit tests in `par.rs`.
 const SITES: &[&str] = &[
     fault::site::EVAL_RULE,
     fault::site::JOIN_TUPLE,
@@ -65,9 +71,21 @@ fn program(kind: u8) -> Program {
     parse_program(src).unwrap()
 }
 
-/// One full run: the result table plus which rules degraded, in order.
-fn observe(n: usize, threads: usize, kind: u8, arm: Option<(usize, u64, bool)>) -> (String, Vec<String>) {
+/// One full run: the result table plus the full degradation records
+/// (cause, rule, truncated error, site), in order. `morsel` overrides
+/// `Limits::morsel_tuples` so the sweep can force many tiny morsels
+/// (maximum dispenser traffic) or one huge one (serial-like).
+fn observe_morsel(
+    n: usize,
+    threads: usize,
+    kind: u8,
+    arm: Option<(usize, u64, bool)>,
+    morsel: Option<(usize, usize)>,
+) -> (String, Vec<String>) {
     let mut eng = build_engine(n, threads);
+    if let Some(m) = morsel {
+        eng.limits.morsel_tuples = m;
+    }
     if let Some((site_idx, nth, panic_not_budget)) = arm {
         let f = if panic_not_budget {
             Fault::Panic("prop-parallel".into())
@@ -81,11 +99,16 @@ fn observe(n: usize, threads: usize, kind: u8, arm: Option<(usize, u64, bool)>) 
         .stats
         .degradations
         .iter()
-        .map(|d| d.rule.clone())
+        .map(|d| d.to_string())
         .collect();
     // Debug output is a faithful structural rendering; comparing it keeps
     // the assertion byte-level without requiring tables to be Ord.
     (format!("{table:?}"), degraded)
+}
+
+/// [`observe_morsel`] with the default morsel bounds.
+fn observe(n: usize, threads: usize, kind: u8, arm: Option<(usize, u64, bool)>) -> (String, Vec<String>) {
+    observe_morsel(n, threads, kind, arm, None)
 }
 
 proptest! {
@@ -136,6 +159,52 @@ proptest! {
         let warm = format!("{:?}", eng.run(&prog).unwrap());
         prop_assert_eq!(&warm, &first);
         prop_assert_eq!(&observe(n, 8, kind, None).0, &first);
+    }
+
+    /// Morsel-size sweep (exact runs): from pathological 1-tuple morsels
+    /// (maximum dispenser and steal traffic) to morsels larger than the
+    /// input (serial-like), every configuration folds to the serial
+    /// table at every thread count.
+    #[test]
+    fn morsel_sizes_preserve_exact_results(
+        n in 1usize..24,
+        kind in 0u8..4,
+        min_idx in 0usize..4,
+    ) {
+        let min = [1usize, 2, 4, 64][min_idx];
+        let serial = observe(n, 1, kind, None);
+        for threads in [1usize, 2, 4, 8] {
+            prop_assert_eq!(
+                &observe_morsel(n, threads, kind, None, Some((min, min * 4))),
+                &serial,
+                "threads={} morsel_min={}", threads, min
+            );
+        }
+    }
+
+    /// Morsel-size × threads × fault-site sweep: a single armed Nth fault
+    /// at any serial-reachable site degrades the same rule with the
+    /// identical record and leaves the identical widened table, no matter
+    /// how the index space was morselized.
+    #[test]
+    fn morsel_sizes_degrade_identically(
+        n in 4usize..24,
+        kind in 0u8..4,
+        site_idx in 0usize..5,
+        nth in 0u64..6,
+        panic_not_budget in any::<bool>(),
+        min_idx in 0usize..3,
+    ) {
+        let min = [1usize, 2, 16][min_idx];
+        let armed = Some((site_idx, nth, panic_not_budget));
+        let serial = observe(n, 1, kind, armed);
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(
+                &observe_morsel(n, threads, kind, armed, Some((min, min * 4))),
+                &serial,
+                "threads={} morsel_min={}", threads, min
+            );
+        }
     }
 }
 
@@ -198,4 +267,42 @@ fn traced_degradation_names_site_and_rule() {
     let note = inst.note.as_deref().unwrap_or("");
     assert!(note.contains("budget"), "{note}");
     assert!(note.contains("engine.eval_rule"), "{note}");
+}
+
+/// A fault injected at the steal site — the thief panicking the moment it
+/// begins someone else's morsel — must be contained exactly like any rule
+/// failure: the run still completes, the affected rule degrades (never
+/// corrupts), and the record names `engine.par_steal`. Steals are
+/// timing-dependent (this probe only fires on a real steal), so the run
+/// is retried with pathological 1-tuple morsels until one fires; if the
+/// scheduler never interleaves (possible on a single-core host), the
+/// deterministic forced-steal coverage in `par.rs` stands in.
+#[test]
+fn steal_faults_degrade_not_corrupt() {
+    for attempt in 0..32 {
+        let mut eng = build_engine(48, 4);
+        eng.limits.morsel_tuples = (1, 2);
+        eng.fault.arm(
+            fault::site::PAR_STEAL,
+            Trigger::Always,
+            Fault::Panic("mid-steal".into()),
+            attempt,
+        );
+        let table = eng.run(&program(1)).expect("steal fault must not abort the run");
+        if eng.fault.fired_count(fault::site::PAR_STEAL) == 0 {
+            continue; // no steal happened this run; try again
+        }
+        let d = eng
+            .stats
+            .degradations
+            .iter()
+            .find(|d| d.site.as_deref() == Some(fault::site::PAR_STEAL))
+            .expect("a fired steal fault must be recorded as a degradation");
+        assert!(d.truncated.contains("mid-steal"), "{d}");
+        // Degraded, not corrupted: the widened table still has the rule's
+        // declared columns.
+        assert_eq!(table.columns(), &["x", "y"], "{table:?}");
+        return;
+    }
+    eprintln!("steal never fired in 32 attempts (single-core scheduler); covered by par.rs unit tests");
 }

@@ -34,6 +34,13 @@ pub mod names {
     pub const FEATURE_CACHE_MISSES: &str = "engine.feature_cache_misses";
     /// Parallel operator sections that fanned out to worker threads.
     pub const PAR_SECTIONS: &str = "engine.par_sections";
+    /// Morsels (index ranges) dispensed by the work-stealing executor,
+    /// including each section's calibration morsel.
+    pub const PAR_MORSELS: &str = "engine.par.morsels";
+    /// Morsels a participant stole from another participant's segment.
+    pub const PAR_STEALS: &str = "engine.par.steals";
+    /// Wall-clock spent claiming/stealing morsel ranges, in µs.
+    pub const PAR_DISPENSE_US: &str = "engine.par.dispense_us";
     /// Incremental-cache lookups served from a prior run (DESIGN.md §9).
     pub const INCR_HITS: &str = "engine.incr.hits";
     /// Incremental-cache lookups that fell through to evaluation.

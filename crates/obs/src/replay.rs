@@ -208,6 +208,9 @@ const ARG_KEYS: &[&str] = &[
     "sample_pct",
     "busy_us",
     "dropped",
+    "start",
+    "len",
+    "stolen",
 ];
 
 fn intern_arg_key(key: &str) -> Option<&'static str> {

@@ -54,8 +54,11 @@ pub enum SpanKind {
     Rule,
     /// One plan operator (scan, join, constraint, ψ, …).
     Operator,
-    /// One scatter shard on a worker thread.
+    /// One scatter shard on a worker thread (legacy journals; the
+    /// morsel-driven executor emits [`SpanKind::Morsel`] instead).
     Shard,
+    /// One dispensed morsel (index range) of a parallel operator section.
+    Morsel,
     /// Anything else (instant markers, degradations, retries).
     Mark,
 }
@@ -72,6 +75,7 @@ impl SpanKind {
             SpanKind::Rule => "rule",
             SpanKind::Operator => "operator",
             SpanKind::Shard => "shard",
+            SpanKind::Morsel => "morsel",
             SpanKind::Mark => "mark",
         }
     }
@@ -87,6 +91,7 @@ impl SpanKind {
             "rule" => SpanKind::Rule,
             "operator" => SpanKind::Operator,
             "shard" => SpanKind::Shard,
+            "morsel" => SpanKind::Morsel,
             "mark" => SpanKind::Mark,
             _ => return None,
         })

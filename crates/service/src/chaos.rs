@@ -130,6 +130,7 @@ fn classify(report: &mut ChaosReport, baseline: &str, resp: &Json) {
 fn engine_scenario(
     report: &mut ChaosReport,
     baseline: &str,
+    core: iflex_engine::EngineCore,
     site: &'static str,
     trigger: Trigger,
     fault_kind: &Fault,
@@ -137,7 +138,7 @@ fn engine_scenario(
 ) {
     report.scenarios += 1;
     let label = format!("{site}/{trigger:?}/{fault_kind:?}");
-    let host = Host::new(fixture::tiny_core(), fixture::PROGRAM, chaos_cfg());
+    let host = Host::new(core, fixture::PROGRAM, chaos_cfg());
     let victim = match create(&host) {
         Ok(s) => s,
         Err(resp) => {
@@ -506,10 +507,28 @@ pub fn run_matrix(seed: u64, quick: bool) -> ChaosReport {
         for f in &faults {
             for t in &triggers {
                 scenario_seed = scenario_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-                engine_scenario(&mut report, &baseline, site, *t, f, scenario_seed);
+                engine_scenario(&mut report, &baseline, fixture::tiny_core(), site, *t, f, scenario_seed);
             }
         }
     }
+    // Worker-steal victim: the thief panics the instant it begins a
+    // stolen morsel (`engine.par_steal`) — the worst spot for the
+    // dispenser's bookkeeping. Only reachable with a worker pool, so this
+    // scenario runs on a core with threads and one-tuple morsels. Steals
+    // are timing-dependent; a run where none happens leaves the victim
+    // exact, which the invariants accept — either way the siblings and a
+    // fresh post-chaos session must match the *serial* solo baseline
+    // byte-for-byte, proving the parallel core computes the same bytes.
+    scenario_seed = scenario_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    engine_scenario(
+        &mut report,
+        &baseline,
+        fixture::stealing_core(),
+        fault::site::PAR_STEAL,
+        Trigger::Always,
+        &Fault::Panic("mid-steal".into()),
+        scenario_seed,
+    );
     service_scenarios(&mut report, &baseline, seed);
     flight_scenarios(&mut report, &baseline, seed);
     report
@@ -523,9 +542,9 @@ mod tests {
     fn quick_matrix_holds_every_invariant() {
         let report = run_matrix(7, true);
         assert!(report.passed(), "chaos failures:\n{}", report.failures.join("\n"));
-        // 5 engine sites x 2 faults x 1 trigger + 6 service scenarios
-        // + 2 flight-recorder scenarios.
-        assert_eq!(report.scenarios, 18);
+        // 5 engine sites x 2 faults x 1 trigger + 1 worker-steal victim
+        // + 6 service scenarios + 2 flight-recorder scenarios.
+        assert_eq!(report.scenarios, 19);
         // Always-triggered faults must actually bite the victim.
         assert!(
             report.victim_degraded + report.victim_errors > 0,

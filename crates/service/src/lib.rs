@@ -47,6 +47,22 @@ pub mod fixture {
 
     /// Five small marked-up pages behind a shared core.
     pub fn tiny_core() -> EngineCore {
+        tiny_engine().into_core()
+    }
+
+    /// [`tiny_core`] configured to maximize work-stealing: a worker pool
+    /// and pathological one-tuple morsels, so the `engine.par_steal`
+    /// fault site is actually reachable. Results must still be
+    /// byte-identical to the serial [`tiny_core`] — parallelism is a
+    /// pure performance lever, never a semantic one.
+    pub fn stealing_core() -> EngineCore {
+        let mut engine = tiny_engine();
+        engine.limits.threads = 4;
+        engine.limits.morsel_tuples = (1, 2);
+        engine.into_core()
+    }
+
+    fn tiny_engine() -> Engine {
         let mut store = DocumentStore::new();
         let mut ids = Vec::new();
         for i in 0..5 {
@@ -59,6 +75,6 @@ pub mod fixture {
         }
         let mut engine = Engine::new(Arc::new(store));
         engine.add_doc_table("pages", &ids);
-        engine.into_core()
+        engine
     }
 }

@@ -22,6 +22,11 @@ echo "== exp_table1 (inventory sanity) =="
 ./target/release/exp_table1
 
 echo "== exp_scaling --parallel-report =="
+# The morsel-executor report (DESIGN.md §13): serial / serial+memo /
+# threads+memo over T1/T5/T8/Panel at corpus scale 1 plus T1/T5/T8 at
+# scale 10, with morsel and steal counts per row. On a ≥4-core host the
+# binary asserts the speedup gate: threads=4 ≥ serial+memo at scale 1
+# and > 1.3x at scale 10; smaller hosts print a skip notice.
 ./target/release/exp_scaling --parallel-report "$REPORT"
 
 echo "== exp_scaling --incremental-report =="

@@ -20,6 +20,14 @@ echo "== parallel smoke =="
 # inside the binary check that every configuration yields the same table.
 ./target/release/exp_scaling --smoke target/BENCH_parallel_smoke.json
 
+echo "== parallel speedup smoke =="
+# The morsel-executor gate (DESIGN.md §13): one T1 workload at the gate
+# scale; asserts inside the binary check that threads=4 with the memo
+# beats serial-with-memo, plus the usual byte-identity sweep. On hosts
+# with fewer than 4 cores the speedup assertion is skipped with a
+# notice (the identity sweep still runs at a tiny scale).
+./target/release/exp_scaling --parallel-report target/BENCH_parallel_speedup_smoke.json --smoke
+
 echo "== plan-optimizer smoke =="
 # One tiny workload through the serial / memo / optimized sweep; asserts
 # inside the binary check that the optimized configuration produces
