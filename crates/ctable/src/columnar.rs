@@ -1,0 +1,438 @@
+//! Columnar (struct-of-arrays) form of a [`CompactTable`] (DESIGN.md §14).
+//!
+//! The row form is pointer-heavy: every tuple owns a `Vec<Cell>`, every
+//! cell owns a `Vec<Assignment>`, and string constants are owned
+//! `String`s — so the fused σ/constraint operators and the morsel
+//! executor chase three levels of pointers per tuple. The columnar form
+//! stores one table as:
+//!
+//! * a [`SpanInterner`] pool — every distinct string constant is interned
+//!   once and referenced by a small id (spans are already three machine
+//!   words and stay inline);
+//! * per-column **distinct-cell dictionaries**: duplicated cells (the
+//!   common case — e.g. every tuple of a doc-table column carries the
+//!   same `contain(full-span)` cell) are stored once as a [`CellMeta`]
+//!   run into a per-column contiguous [`CAssign`] arena;
+//! * per-row side arrays: the `maybe` flags, and per column the
+//!   distinct-cell id plus the assignment multiplicity of each row.
+//!
+//! A batch operator walks one column's contiguous id run, evaluates each
+//! *distinct* cell once, and scatters results back by id — instead of
+//! re-walking (and re-hashing) every row's boxed cells. The conversion is
+//! lossless and order-preserving: `to_rows(from_rows(t)) == t` holds
+//! byte-for-byte (`Debug`, `Display`, [`TableStats`], serde derives), which
+//! `crates/ctable/tests/prop_columnar.rs` pins property-style and the
+//! engine's `Limits::use_columnar` ablation relies on end to end.
+
+use crate::cell::Cell;
+use crate::table::{CompactTable, TableStats};
+use crate::tuple::CompactTuple;
+use crate::value::Value;
+use crate::assignment::Assignment;
+use iflex_text::Span;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interns string constants so columnar cells carry small ids instead of
+/// owned `String`s. Interning is a bijection under dedup: distinct
+/// strings get distinct ids, and `resolve(intern(s)) == s` for every
+/// string (pinned by `prop_columnar`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanInterner {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl SpanInterner {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id. Identical strings share one id.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("string pool exceeds u32 ids");
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    /// The string behind an id.
+    ///
+    /// # Panics
+    /// On an id this pool never issued.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// One assignment in columnar form: spans stay inline (`Copy`, three
+/// machine words), string constants are replaced by [`SpanInterner`] ids,
+/// and numbers are stored by raw IEEE bit pattern so `-0.0` and NaN
+/// payloads round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CAssign {
+    /// `Exact(Value::Span(s))`.
+    ExactSpan(Span),
+    /// `Exact(Value::Str(_))`, by pool id.
+    ExactStr(u32),
+    /// `Exact(Value::Num(_))`, by raw bit pattern.
+    ExactNum(u64),
+    /// `Exact(Value::Bool(_))`.
+    ExactBool(bool),
+    /// `Exact(Value::Null)`.
+    ExactNull,
+    /// `Contain(s)`.
+    Contain(Span),
+}
+
+impl CAssign {
+    fn encode(a: &Assignment, pool: &mut SpanInterner) -> CAssign {
+        match a {
+            Assignment::Exact(Value::Span(s)) => CAssign::ExactSpan(*s),
+            Assignment::Exact(Value::Str(s)) => CAssign::ExactStr(pool.intern(s)),
+            Assignment::Exact(Value::Num(n)) => CAssign::ExactNum(n.to_bits()),
+            Assignment::Exact(Value::Bool(b)) => CAssign::ExactBool(*b),
+            Assignment::Exact(Value::Null) => CAssign::ExactNull,
+            Assignment::Contain(s) => CAssign::Contain(*s),
+        }
+    }
+
+    fn decode(self, pool: &SpanInterner) -> Assignment {
+        match self {
+            CAssign::ExactSpan(s) => Assignment::Exact(Value::Span(s)),
+            CAssign::ExactStr(id) => Assignment::Exact(Value::Str(pool.resolve(id).to_string())),
+            CAssign::ExactNum(bits) => Assignment::Exact(Value::Num(f64::from_bits(bits))),
+            CAssign::ExactBool(b) => Assignment::Exact(Value::Bool(b)),
+            CAssign::ExactNull => Assignment::Exact(Value::Null),
+            CAssign::Contain(s) => Assignment::Contain(s),
+        }
+    }
+}
+
+/// One distinct cell of a column: a contiguous run `[start, start+len)`
+/// into the column's [`CAssign`] arena plus the expansion flag.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellMeta {
+    /// First assignment in the column arena.
+    pub start: u32,
+    /// Run length (the cell's assignment multiplicity).
+    pub len: u32,
+    /// The §3 expansion flag.
+    pub expand: bool,
+}
+
+/// One column in struct-of-arrays form: a per-row id run over a
+/// dictionary of distinct cells whose assignments live contiguously in
+/// one arena.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Per-row distinct-cell id (`rows.len()` == table length). This is
+    /// the contiguous run batch operators (and morsel slices) walk.
+    rows: Vec<u32>,
+    /// Per-row assignment multiplicity — `mult[i] == cells[rows[i]].len`,
+    /// kept as a side array so volume accounting never touches the
+    /// dictionary.
+    mult: Vec<u32>,
+    /// The distinct cells, in first-appearance order.
+    cells: Vec<CellMeta>,
+    /// Contiguous assignment arena shared by every cell of this column.
+    assigns: Vec<CAssign>,
+}
+
+impl Column {
+    /// The distinct-cell id of `row`.
+    #[inline]
+    pub fn cell_id(&self, row: usize) -> u32 {
+        self.rows[row]
+    }
+
+    /// The per-row id run (a morsel's column-run slice is `ids()[range]`).
+    #[inline]
+    pub fn ids(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Per-row assignment multiplicities.
+    #[inline]
+    pub fn multiplicities(&self) -> &[u32] {
+        &self.mult
+    }
+
+    /// Number of distinct cells in this column.
+    pub fn distinct_len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The distinct-cell metadata for `id`.
+    pub fn meta(&self, id: u32) -> CellMeta {
+        self.cells[id as usize]
+    }
+
+    /// The arena run backing distinct cell `id`.
+    pub fn assign_run(&self, id: u32) -> &[CAssign] {
+        let m = self.cells[id as usize];
+        &self.assigns[m.start as usize..(m.start + m.len) as usize]
+    }
+}
+
+/// A [`CompactTable`] in columnar struct-of-arrays form. Immutable once
+/// built; the engine shares one conversion per row table behind an `Arc`
+/// (see `iflex_engine::incr::ColumnarShare`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ColumnarTable {
+    cols: Vec<String>,
+    len: usize,
+    maybe: Vec<bool>,
+    columns: Vec<Column>,
+    pool: SpanInterner,
+}
+
+impl ColumnarTable {
+    /// Converts a row table. Lossless and order-preserving; duplicate
+    /// cells within a column are stored once.
+    pub fn from_rows(t: &CompactTable) -> ColumnarTable {
+        let n = t.len();
+        let arity = t.arity();
+        let mut pool = SpanInterner::new();
+        let mut columns: Vec<Column> = (0..arity)
+            .map(|_| Column {
+                rows: Vec::with_capacity(n),
+                mult: Vec::with_capacity(n),
+                cells: Vec::new(),
+                assigns: Vec::new(),
+            })
+            .collect();
+        // Per-column dedup: cell contents -> distinct id. Keys clone the
+        // cell once per *distinct* cell, not per row.
+        let mut seen: Vec<HashMap<Cell, u32>> = (0..arity).map(|_| HashMap::new()).collect();
+        for tup in t.tuples() {
+            for (c, cell) in tup.cells.iter().enumerate() {
+                let col = &mut columns[c];
+                let id = match seen[c].get(cell) {
+                    Some(&id) => id,
+                    None => {
+                        let id = u32::try_from(col.cells.len())
+                            .expect("distinct cells exceed u32 ids");
+                        let start = u32::try_from(col.assigns.len())
+                            .expect("assignment arena exceeds u32 offsets");
+                        col.assigns
+                            .extend(cell.assignments().iter().map(|a| CAssign::encode(a, &mut pool)));
+                        col.cells.push(CellMeta {
+                            start,
+                            len: cell.assignments().len() as u32,
+                            expand: cell.is_expand(),
+                        });
+                        seen[c].insert(cell.clone(), id);
+                        id
+                    }
+                };
+                col.rows.push(id);
+                col.mult.push(col.cells[id as usize].len);
+            }
+        }
+        ColumnarTable {
+            cols: t.columns().to_vec(),
+            len: n,
+            maybe: t.tuples().iter().map(|tup| tup.maybe).collect(),
+            columns,
+            pool,
+        }
+    }
+
+    /// Converts back to the row form. Exact inverse of
+    /// [`ColumnarTable::from_rows`].
+    pub fn to_rows(&self) -> CompactTable {
+        let mut out = CompactTable::new(self.cols.clone());
+        for row in 0..self.len {
+            out.push(CompactTuple {
+                cells: (0..self.columns.len())
+                    .map(|c| self.materialize(c, self.columns[c].rows[row]))
+                    .collect(),
+                maybe: self.maybe[row],
+            });
+        }
+        out
+    }
+
+    /// Materializes one distinct cell of column `col` back into row form.
+    pub fn materialize(&self, col: usize, id: u32) -> Cell {
+        let column = &self.columns[col];
+        let meta = column.meta(id);
+        let assigns: Vec<Assignment> = column
+            .assign_run(id)
+            .iter()
+            .map(|ca| ca.decode(&self.pool))
+            .collect();
+        if meta.expand {
+            Cell::expansion(assigns)
+        } else {
+            Cell::of(assigns)
+        }
+    }
+
+    /// Materializes one full row (used when an operator emits a survivor).
+    pub fn row_cells(&self, row: usize) -> Vec<Cell> {
+        (0..self.columns.len())
+            .map(|c| self.materialize(c, self.columns[c].rows[row]))
+            .collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Column names, in schema order.
+    pub fn columns(&self) -> &[String] {
+        &self.cols
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// One column's struct-of-arrays storage.
+    pub fn col(&self, c: usize) -> &Column {
+        &self.columns[c]
+    }
+
+    /// The per-row maybe flags side array.
+    pub fn maybe_flags(&self) -> &[bool] {
+        &self.maybe
+    }
+
+    /// The maybe flag of one row.
+    #[inline]
+    pub fn maybe(&self, row: usize) -> bool {
+        self.maybe[row]
+    }
+
+    /// The shared string pool.
+    pub fn interner(&self) -> &SpanInterner {
+        &self.pool
+    }
+
+    /// The same summary the row form reports — `stats()` must agree with
+    /// `CompactTable::stats()` on the round-tripped table (assignments are
+    /// counted per row, with multiplicity, via the side arrays alone).
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            tuples: self.len,
+            maybe_tuples: self.maybe.iter().filter(|&&m| m).count(),
+            assignments: self
+                .columns
+                .iter()
+                .map(|c| c.mult.iter().map(|&m| m as usize).sum::<usize>())
+                .sum(),
+        }
+    }
+}
+
+impl From<&CompactTable> for ColumnarTable {
+    fn from(t: &CompactTable) -> Self {
+        ColumnarTable::from_rows(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iflex_text::{DocId, Span};
+
+    fn sample_table() -> CompactTable {
+        let d = DocId(0);
+        let mut t = CompactTable::new(vec!["x".into(), "p".into()]);
+        let shared = Cell::contain(Span::new(d, 0, 40));
+        t.push(CompactTuple {
+            cells: vec![shared.clone(), Cell::exact(Value::Str("a".into()))],
+            maybe: false,
+        });
+        t.push(CompactTuple {
+            cells: vec![shared.clone(), Cell::exact(Value::Num(-0.0))],
+            maybe: true,
+        });
+        t.push(CompactTuple {
+            cells: vec![
+                Cell::expansion(vec![
+                    Assignment::Contain(Span::new(d, 3, 9)),
+                    Assignment::Exact(Value::Null),
+                ]),
+                Cell::exact(Value::Str("a".into())),
+            ],
+            maybe: false,
+        });
+        t
+    }
+
+    #[test]
+    fn round_trip_is_identical() {
+        let t = sample_table();
+        let ct = ColumnarTable::from_rows(&t);
+        let back = ct.to_rows();
+        assert_eq!(t, back);
+        assert_eq!(format!("{t:?}"), format!("{back:?}"));
+        assert_eq!(t.to_string(), back.to_string());
+        assert_eq!(t.stats(), ct.stats());
+    }
+
+    #[test]
+    fn duplicate_cells_are_stored_once() {
+        let t = sample_table();
+        let ct = ColumnarTable::from_rows(&t);
+        // Column 0: the shared contain cell dedups; column 1: "a" dedups.
+        assert_eq!(ct.col(0).distinct_len(), 2);
+        assert_eq!(ct.col(1).distinct_len(), 2);
+        assert_eq!(ct.col(1).cell_id(0), ct.col(1).cell_id(2));
+        // The string pool interned "a" exactly once.
+        assert_eq!(ct.interner().len(), 1);
+    }
+
+    #[test]
+    fn interner_bijection() {
+        let mut pool = SpanInterner::new();
+        let a = pool.intern("alpha");
+        let b = pool.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(pool.intern("alpha"), a);
+        assert_eq!(pool.resolve(a), "alpha");
+        assert_eq!(pool.resolve(b), "beta");
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn side_arrays_track_multiplicity_and_maybe() {
+        let t = sample_table();
+        let ct = ColumnarTable::from_rows(&t);
+        assert_eq!(ct.maybe_flags(), &[false, true, false]);
+        assert_eq!(ct.col(0).multiplicities(), &[1, 1, 2]);
+        assert_eq!(ct.stats().assignments, 7);
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = CompactTable::new(vec!["x".into()]);
+        let ct = ColumnarTable::from_rows(&t);
+        assert!(ct.is_empty());
+        assert_eq!(ct.to_rows(), t);
+    }
+}

@@ -44,6 +44,7 @@
 pub mod assignment;
 pub mod atable;
 pub mod cell;
+pub mod columnar;
 pub mod table;
 pub mod tuple;
 pub mod value;
@@ -52,6 +53,7 @@ pub mod worlds;
 pub use assignment::Assignment;
 pub use atable::{condense_values, ATable, ATuple, TooLarge};
 pub use cell::Cell;
+pub use columnar::{CAssign, CellMeta, Column, ColumnarTable, SpanInterner};
 pub use table::{CompactTable, TableStats};
 pub use tuple::CompactTuple;
 pub use value::Value;

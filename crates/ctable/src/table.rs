@@ -51,7 +51,11 @@ impl CompactTable {
         &self.cols
     }
 
-    /// Index of column `name`.
+    /// Index of column `name`. An O(arity) scan — **cold-path only**: the
+    /// engine resolves every column reference to a `usize` index at plan
+    /// compile / lowering time (`iflex_engine::plan`), so per-tuple
+    /// operator loops never call this (pinned by the `project_by_index`
+    /// regression tests below).
     pub fn col_index(&self, name: &str) -> Option<usize> {
         self.cols.iter().position(|c| c == name)
     }
@@ -108,11 +112,22 @@ impl CompactTable {
 
     /// Projection onto the named columns (duplicates kept: bag semantics).
     pub fn project(&self, names: &[&str]) -> Option<CompactTable> {
+        // Resolve every name exactly once, before the tuple loop.
         let idxs: Vec<usize> = names
             .iter()
             .map(|n| self.col_index(n))
             .collect::<Option<_>>()?;
-        let cols = names.iter().map(|n| n.to_string()).collect();
+        Some(self.project_idx(&idxs, names.iter().map(|n| n.to_string()).collect()))
+    }
+
+    /// Projection by pre-resolved column indices (bag semantics), renaming
+    /// to `cols` — the hot path callers with lowering-time-resolved
+    /// indices use directly, bypassing name resolution entirely.
+    ///
+    /// # Panics
+    /// When an index is out of bounds for this table's arity.
+    pub fn project_idx(&self, idxs: &[usize], cols: Vec<String>) -> CompactTable {
+        debug_assert_eq!(idxs.len(), cols.len());
         let tuples = self
             .tuples
             .iter()
@@ -121,7 +136,7 @@ impl CompactTable {
                 maybe: t.maybe,
             })
             .collect();
-        Some(CompactTable { cols, tuples })
+        CompactTable { cols, tuples }
     }
 
     /// Number of result tuples after expanding all expansion cells — the
@@ -287,6 +302,46 @@ mod tests {
         assert_eq!(p.columns(), &["c".to_string(), "a".to_string()]);
         assert!(p.tuples()[0].maybe);
         assert!(t.project(&["nope"]).is_none());
+    }
+
+    /// Pins the hot-path contract `col_index` documents: projection by
+    /// pre-resolved indices equals name-based projection (which resolves
+    /// each name exactly once, outside the tuple loop) — so operator
+    /// loops can carry `usize` indices from plan lowering and never pay
+    /// the O(arity) name scan per tuple.
+    #[test]
+    fn project_by_index_equals_project_by_name() {
+        let mut t = CompactTable::from_exact_rows(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![vnum(1.0), vnum(2.0), vnum(3.0)],
+                vec![vnum(4.0), vnum(5.0), vnum(6.0)],
+            ],
+        );
+        t.tuples_mut()[1].maybe = true;
+        let names = ["c", "a", "c"];
+        let idxs: Vec<usize> = names.iter().map(|n| t.col_index(n).unwrap()).collect();
+        assert_eq!(idxs, vec![2, 0, 2]);
+        let by_name = t.project(&names).unwrap();
+        let by_idx = t.project_idx(&idxs, names.iter().map(|n| n.to_string()).collect());
+        assert_eq!(by_name, by_idx);
+        assert_eq!(format!("{by_name:?}"), format!("{by_idx:?}"));
+        assert!(by_idx.tuples()[1].maybe);
+    }
+
+    /// Index projection renames freely — the lowering layer aliases
+    /// head columns without round-tripping through `col_index`.
+    #[test]
+    fn project_by_index_renames_without_name_resolution() {
+        let t = CompactTable::from_exact_rows(
+            vec!["a".into(), "b".into()],
+            vec![vec![vnum(1.0), vnum(2.0)]],
+        );
+        let p = t.project_idx(&[1], vec!["renamed".into()]);
+        assert_eq!(p.columns(), &["renamed".to_string()]);
+        assert_eq!(p.tuples()[0].cells, vec![Cell::exact(vnum(2.0))]);
+        // The rename is invisible to the source table.
+        assert_eq!(t.col_index("renamed"), None);
     }
 
     #[test]

@@ -62,6 +62,17 @@ fn lower_run(
     ctx: &OptCtx<'_>,
     report: &mut OptReport,
 ) -> Option<Plan> {
+    // Column references are resolved to `usize` indices at compile time
+    // and carried through rewriting untouched; re-check them against the
+    // base arity here, once, so the interpreter's per-run bodies (row and
+    // columnar alike) index cells without a per-access name lookup —
+    // `CompactTable::col_index`'s linear scan stays off every hot path.
+    if let Some(arity) = analyze::arity(&base, ctx) {
+        debug_assert!(
+            fused_in_bounds(&ops, project.as_ref(), arity),
+            "lowering produced an out-of-bounds column index (arity {arity})"
+        );
+    }
     // Lower the base, keeping track of whether the fused pass would sit
     // directly on a cross join (streaming mode).
     let (base_plan, join_input, outer_right) = match base {
@@ -124,6 +135,18 @@ fn lower_run(
     Some(out)
 }
 
+/// True when every column index a selection run (and its projection)
+/// references is inside the base arity. Lowering asserts this once per
+/// run — the interpreter then indexes cells directly.
+fn fused_in_bounds(
+    ops: &[FusedOp],
+    project: Option<&(Vec<usize>, Vec<String>)>,
+    arity: usize,
+) -> bool {
+    ops.iter().all(|op| op.cols().iter().all(|&c| c < arity))
+        && project.is_none_or(|(cols, _)| cols.iter().all(|&c| c < arity))
+}
+
 /// The standalone physical operator for one selection step (inverse of
 /// [`super::node::build`]'s Select mapping).
 fn standalone(op: FusedOp, input: Plan) -> Plan {
@@ -153,5 +176,56 @@ fn standalone(op: FusedOp, input: Plan) -> Plan {
         },
         FusedOp::VarUnify { col_a, col_b } => Plan::VarUnify { input, col_a, col_b },
         FusedOp::FilterProc { name, cols } => Plan::FilterProc { input, name, cols },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Operand;
+    use iflex_alog::CmpOp;
+    use iflex_ctable::Value;
+
+    fn cmp(l: usize, r: usize) -> FusedOp {
+        FusedOp::Compare {
+            left: Operand::Col(l),
+            op: CmpOp::Eq,
+            right: Operand::Col(r),
+            offset: 0.0,
+        }
+    }
+
+    #[test]
+    fn bounds_check_accepts_resolved_indices() {
+        let ops = vec![
+            cmp(0, 2),
+            FusedOp::VarUnify { col_a: 1, col_b: 2 },
+            FusedOp::FilterProc {
+                name: "p".into(),
+                cols: vec![0, 1, 2],
+            },
+        ];
+        let project = (vec![2, 0], vec!["a".into(), "b".into()]);
+        assert!(fused_in_bounds(&ops, Some(&project), 3));
+        // Constants reference no column and never fail the check.
+        let const_only = vec![FusedOp::Compare {
+            left: Operand::Const(Value::Num(1.0)),
+            op: CmpOp::Lt,
+            right: Operand::Const(Value::Num(2.0)),
+            offset: 0.0,
+        }];
+        assert!(fused_in_bounds(&const_only, None, 0));
+    }
+
+    #[test]
+    fn bounds_check_rejects_out_of_range() {
+        assert!(!fused_in_bounds(&[cmp(0, 3)], None, 3));
+        assert!(!fused_in_bounds(
+            &[FusedOp::VarUnify { col_a: 5, col_b: 0 }],
+            None,
+            2
+        ));
+        let project = (vec![4], vec!["x".into()]);
+        assert!(!fused_in_bounds(&[], Some(&project), 3));
     }
 }

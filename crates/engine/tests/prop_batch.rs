@@ -1,0 +1,387 @@
+//! Property tests of the columnar compact-table core and the batch
+//! `Verify`/`Refine` entry points (DESIGN.md §14): for any program
+//! shape, thread count, optimizer setting, and fault arm, executing
+//! over column runs (`Limits::use_columnar`, the default) must produce
+//! a result **byte-identical** to the row core — same table rendering,
+//! same stop behavior, same degradation records. The columnar core is a
+//! pure performance lever, exactly like the optimizer and the morsel
+//! executor before it.
+//!
+//! The suite also pins the batch entry points directly: the `Feature`
+//! trait's `verify_run`/`verify_value_run`/`refine_run` over a random
+//! contiguous run must equal the per-span scalar calls for **every**
+//! registered feature, and the engine's `apply_constraint_run` must
+//! equal per-cell `apply_constraint_memo` over random cell runs — cold,
+//! under a shared memo, and on a warm second pass (the borrowed-key
+//! batch-hit path).
+//!
+//! Fault arms use `Trigger::Always`, mirroring `prop_opt`: an
+//! always-armed site fires on its first visit in both modes whenever
+//! the site is visited at all, so the same rules degrade for the same
+//! cause regardless of how much per-tuple work each core saves.
+
+use iflex_alog::{parse_program, Program};
+use iflex_ctable::{Assignment, Cell, Value};
+use iflex_engine::constraint::{apply_constraint_memo, apply_constraint_run, chain_ctx};
+use iflex_engine::memo::FeatureMemo;
+use iflex_engine::{fault, CompiledConstraint, Engine, Fault, Trigger};
+use iflex_features::{Feature, FeatureArg, FeatureRegistry};
+use iflex_text::{DocumentStore, Span};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Every engine-side injection site the columnar rewrite touches or
+/// skirts, in a fixed order the generator indexes.
+const SITES: &[&str] = &[
+    fault::site::EVAL_RULE,
+    fault::site::MEMO_LOOKUP,
+    fault::site::JOIN_TUPLE,
+    fault::site::GENERATOR,
+    fault::site::ANNOTATE,
+];
+
+/// An engine over `n` markup documents plus a 3×-larger second corpus
+/// (so join shapes exercise the row-based fused join under both cores)
+/// and a pass-through generator. Duplicate-heavy on purpose: every
+/// third page repeats the same bold value, so column runs actually
+/// contain repeated cells and the per-distinct-cell batch paths do
+/// strictly less work than the row core.
+fn build_engine(n: usize, threads: usize, use_columnar: bool, use_optimizer: bool) -> Engine {
+    let mut store = DocumentStore::new();
+    let mut pages = Vec::new();
+    for i in 0..n {
+        pages.push(store.add_markup(&format!(
+            "row {} val <b>{}</b> extra {}",
+            i,
+            (i / 3 + 1) * 10,
+            i % 7
+        )));
+    }
+    let mut big = Vec::new();
+    for i in 0..3 * n {
+        big.push(store.add_markup(&format!("item {} cost <b>{}</b>", i, i + 5)));
+    }
+    let r2_rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            let d = store.add_plain(format!("{}", i * 3));
+            vec![Value::Num(i as f64), Value::Span(store.doc(d).full_span())]
+        })
+        .collect();
+    let mut eng = Engine::new(Arc::new(store));
+    eng.add_doc_table("pages", &pages);
+    eng.add_doc_table("big", &big);
+    eng.add_table(
+        "r2",
+        iflex_ctable::CompactTable::from_exact_rows(vec!["a".to_string(), "b".to_string()], r2_rows),
+    );
+    eng.procs_mut().register_generator("gen", 1, |_, args| {
+        let Some(Value::Span(x)) = args.first() else {
+            return vec![];
+        };
+        vec![vec![Value::Span(*x)]]
+    });
+    eng.limits.threads = threads;
+    eng.limits.use_columnar = use_columnar;
+    eng.limits.use_optimizer = use_optimizer;
+    eng
+}
+
+/// Program shapes covering both columnar entry points and the paths the
+/// rewrite must leave untouched: a constraint chain (standalone σ with
+/// the optimizer off, one fused pass with it on), a skewed cross join
+/// (row-based fused join), a post-join selection with a numeric
+/// constraint, a generator, and an annotated head.
+fn program(kind: u8) -> Program {
+    let src = match kind % 5 {
+        0 => {
+            "q(x, v) :- pages(x), e(#x, v), v > 20.\n\
+             e(#x, v) :- from(#x, v), numeric(v) = yes."
+        }
+        1 => "q(x, y) :- pages(x), big(y).",
+        2 => "q(x, a, b) :- pages(x), r2(a, b), x < a, numeric(b) = yes.",
+        3 => "q(v) :- pages(x), gen(#x, v).",
+        _ => {
+            "q(x, <v>) :- pages(x), e(#x, v).\n\
+             e(#x, v) :- from(#x, v), numeric(v) = yes."
+        }
+    };
+    parse_program(src).unwrap()
+}
+
+/// One full run: the result table plus which rules degraded (with their
+/// cause and site), in order.
+fn observe(
+    n: usize,
+    threads: usize,
+    kind: u8,
+    use_columnar: bool,
+    use_optimizer: bool,
+    arm: Option<(usize, bool)>,
+) -> (String, Vec<String>) {
+    let mut eng = build_engine(n, threads, use_columnar, use_optimizer);
+    if let Some((site_idx, panic_not_budget)) = arm {
+        let f = if panic_not_budget {
+            Fault::Panic("prop-batch".into())
+        } else {
+            Fault::TooLarge
+        };
+        eng.fault
+            .arm(SITES[site_idx % SITES.len()], Trigger::Always, f, 17);
+    }
+    let table = eng.run(&program(kind)).unwrap();
+    let degraded: Vec<String> = eng
+        .stats
+        .degradations
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    (format!("{table:?}"), degraded)
+}
+
+/// A document store with enough structure (bold, title, list, labels)
+/// that the built-in features return a mix of yes/no answers over
+/// random spans instead of uniformly failing.
+fn feature_store() -> (DocumentStore, Vec<Span>) {
+    let mut store = DocumentStore::new();
+    let mut full = Vec::new();
+    for i in 0..3 {
+        let id = store.add_markup(&format!(
+            "Price: <b>{}</b> and label {} plus <i>Deluxe Item</i> total {} end",
+            (i + 1) * 100,
+            i,
+            i * 7 + 2
+        ));
+        full.push(store.doc(id).full_span());
+    }
+    (store, full)
+}
+
+/// The argument type a feature accepts, found by probing (tri-state,
+/// then numeric, then text) — robust to future feature additions.
+fn arg_for(f: &Arc<dyn Feature>, store: &DocumentStore, probe: Span) -> FeatureArg {
+    for arg in [
+        FeatureArg::yes(),
+        FeatureArg::Num(3.0),
+        FeatureArg::Text("Price".to_string()),
+    ] {
+        if f.verify(store, probe, &arg).is_ok() {
+            return arg;
+        }
+    }
+    panic!("feature {} accepted no probe argument", f.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact runs: columnar ≡ row, byte for byte, at one and four worker
+    /// threads, with the optimizer on (fused columnar passes) and off
+    /// (standalone columnar σ).
+    #[test]
+    fn columnar_ablation_is_byte_identical(
+        n in 3usize..20,
+        kind in 0u8..5,
+        use_optimizer in any::<bool>(),
+    ) {
+        for threads in [1usize, 4] {
+            let row = observe(n, threads, kind, false, use_optimizer, None);
+            let col = observe(n, threads, kind, true, use_optimizer, None);
+            prop_assert_eq!(
+                &col, &row,
+                "threads={} optimizer={}", threads, use_optimizer
+            );
+        }
+    }
+
+    /// Faulted runs: an always-armed fault at any named site degrades
+    /// the same rules for the same cause and leaves the same widened
+    /// table, columnar or row, at either thread count.
+    #[test]
+    fn faults_degrade_identically_with_columnar_on_or_off(
+        n in 3usize..20,
+        kind in 0u8..5,
+        site_idx in 0usize..5,
+        panic_not_budget in any::<bool>(),
+    ) {
+        let armed = Some((site_idx, panic_not_budget));
+        for threads in [1usize, 4] {
+            let row = observe(n, threads, kind, false, true, armed);
+            let col = observe(n, threads, kind, true, true, armed);
+            prop_assert_eq!(&col, &row, "threads={} site={}", threads, SITES[site_idx]);
+        }
+    }
+
+    /// Warm vs cold incremental cache across cores: entries warmed by a
+    /// columnar run serve a row run byte-identically (and vice versa) —
+    /// the cache stores row tables, the columnar form rides along behind
+    /// the same `Arc` sharing and never leaks into cached bytes.
+    #[test]
+    fn warm_incremental_cache_is_invisible_across_cores(
+        n in 3usize..16,
+        kind in 0u8..5,
+    ) {
+        let prog = program(kind);
+        let mut eng = build_engine(n, 4, true, true);
+        let cold = format!("{:?}", eng.run(&prog).unwrap());
+        let warm = format!("{:?}", eng.run(&prog).unwrap());
+        prop_assert_eq!(&warm, &cold);
+        eng.limits.use_columnar = false;
+        let row_served = format!("{:?}", eng.run(&prog).unwrap());
+        prop_assert_eq!(&row_served, &cold);
+        // A fresh row-core engine (fully cold) agrees too.
+        prop_assert_eq!(&observe(n, 4, kind, false, true, None).0, &cold);
+    }
+
+    /// The `Feature` trait's batch entry points equal the scalar loops
+    /// for every registered feature over a random contiguous run of
+    /// spans — positionally aligned, including errors.
+    #[test]
+    fn batch_verify_refine_equal_scalar_for_all_features(
+        raw in proptest::collection::vec((0u32..40, 1u32..24), 1..12),
+    ) {
+        let (store, full) = feature_store();
+        let spans: Vec<Span> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, len))| {
+                let base = full[i % full.len()];
+                let s = base.start + (start % base.len().max(1)).min(base.len() - 1);
+                let e = (s + len).min(base.end);
+                Span::new(base.doc, s, e.max(s + 1))
+            })
+            .collect();
+        let values: Vec<Value> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| match i % 3 {
+                0 => Value::Span(s),
+                1 => Value::Num(i as f64 * 10.0),
+                _ => Value::Str(format!("v{i}")),
+            })
+            .collect();
+        let reg = FeatureRegistry::default();
+        for name in reg.names() {
+            let f = reg.get(name).unwrap();
+            let arg = arg_for(f, &store, full[0]);
+            let batch = f.verify_run(&store, &spans, &arg);
+            let scalar: Result<Vec<bool>, _> =
+                spans.iter().map(|&s| f.verify(&store, s, &arg)).collect();
+            prop_assert_eq!(
+                format!("{batch:?}"), format!("{scalar:?}"),
+                "verify_run diverges for {}", name
+            );
+            let batch = f.refine_run(&store, &spans, &arg);
+            let scalar: Result<Vec<Vec<Assignment>>, _> =
+                spans.iter().map(|&s| f.refine(&store, s, &arg)).collect();
+            prop_assert_eq!(
+                format!("{batch:?}"), format!("{scalar:?}"),
+                "refine_run diverges for {}", name
+            );
+            let batch = f.verify_value_run(&store, &values, &arg);
+            let scalar: Result<Vec<bool>, _> = values
+                .iter()
+                .map(|v| f.verify_value(&store, v, &arg))
+                .collect();
+            prop_assert_eq!(
+                format!("{batch:?}"), format!("{scalar:?}"),
+                "verify_value_run diverges for {}", name
+            );
+        }
+    }
+
+    /// The engine's batch constraint entry point equals per-cell scalar
+    /// application over a random run of cells — cold, under a shared
+    /// memo (cold then warm, exercising the borrowed-key batch-hit
+    /// path), with a prior chained on top.
+    #[test]
+    fn apply_constraint_run_equals_per_cell(
+        raw in proptest::collection::vec((0u32..40, 1u32..24, 0u8..4), 1..10),
+        with_prior in any::<bool>(),
+    ) {
+        let (store, full) = feature_store();
+        let cells: Vec<Cell> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, len, shape))| {
+                let base = full[i % full.len()];
+                let s = base.start + (start % base.len().max(1)).min(base.len() - 1);
+                let e = (s + len).min(base.end).max(s + 1);
+                let span = Span::new(base.doc, s, e);
+                match shape {
+                    0 => Cell::contain(span),
+                    1 => Cell::exact(Value::Span(span)),
+                    2 => Cell::exact(Value::Num((i as f64) * 10.0)),
+                    _ => Cell::of(vec![
+                        Assignment::Contain(span),
+                        Assignment::Exact(Value::Num(30.0)),
+                    ]),
+                }
+            })
+            .collect();
+        let new = CompiledConstraint {
+            feature: "numeric".to_string(),
+            arg: FeatureArg::yes(),
+        };
+        let priors: Vec<CompiledConstraint> = if with_prior {
+            vec![CompiledConstraint {
+                feature: "bold-font".to_string(),
+                arg: FeatureArg::yes(),
+            }]
+        } else {
+            Vec::new()
+        };
+        let features = FeatureRegistry::default();
+        let refs: Vec<&Cell> = cells.iter().collect();
+        let scalar: Vec<Cell> = cells
+            .iter()
+            .map(|c| apply_constraint_memo(c, &new, &priors, &store, &features, None).unwrap())
+            .collect();
+        // Cold, no memo.
+        let batch = apply_constraint_run(&refs, &new, &priors, &store, &features, None, None)
+            .unwrap();
+        prop_assert_eq!(format!("{batch:?}"), format!("{scalar:?}"));
+        // Shared memo: a cold pass fills it, a warm pass must serve the
+        // identical cells from the batch lookup.
+        let memo = FeatureMemo::new();
+        let ctx = chain_ctx(&new, &priors);
+        let cold = apply_constraint_run(
+            &refs, &new, &priors, &store, &features, Some(&memo), Some(&ctx),
+        )
+        .unwrap();
+        prop_assert_eq!(format!("{cold:?}"), format!("{scalar:?}"));
+        let warm = apply_constraint_run(
+            &refs, &new, &priors, &store, &features, Some(&memo), Some(&ctx),
+        )
+        .unwrap();
+        prop_assert_eq!(format!("{warm:?}"), format!("{scalar:?}"));
+    }
+}
+
+/// The columnar path actually runs (this guards against the ablation
+/// tests passing vacuously because every plan skipped the columnar
+/// branch): a constraint directly over a stable extensional table is
+/// converted on its second sight — both standalone (optimizer off) and
+/// fused (optimizer on) — while the row core performs no conversions.
+/// The incremental cache is disabled so the second run re-evaluates
+/// instead of serving the first run's results.
+#[test]
+fn columnar_path_actually_runs() {
+    let prog = parse_program("q(x) :- pages(x), numeric(x) = yes.").unwrap();
+    for use_optimizer in [true, false] {
+        let mut eng = build_engine(8, 1, true, use_optimizer);
+        eng.limits.use_incremental = false;
+        // Second-sight policy: one warm-up run notes the allocation, the
+        // second converts it.
+        eng.run(&prog).unwrap();
+        eng.run(&prog).unwrap();
+        assert!(
+            eng.columnar_conversions() > 0,
+            "no columnar conversion happened (optimizer={use_optimizer})"
+        );
+    }
+    let mut row = build_engine(8, 1, false, true);
+    row.limits.use_incremental = false;
+    row.run(&prog).unwrap();
+    row.run(&prog).unwrap();
+    assert_eq!(row.columnar_conversions(), 0);
+}

@@ -51,7 +51,7 @@ fn build_engine(n: usize, threads: usize, use_optimizer: bool) -> Engine {
     // post-join-selection shape.
     let r2_rows: Vec<Vec<iflex_ctable::Value>> = (0..n)
         .map(|i| {
-            let d = store.add_plain(&format!("{}", i * 3));
+            let d = store.add_plain(format!("{}", i * 3));
             vec![
                 Value::Num(i as f64),
                 Value::Span(store.doc(d).full_span()),

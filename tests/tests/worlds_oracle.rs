@@ -50,6 +50,36 @@ fn assert_worlds_contain(
     }
 }
 
+/// Runs `prog_src` under both table cores (`Limits::use_columnar` on and
+/// off) against the same input tables, asserts the two results have
+/// identical possible-world sets, and returns the columnar result for
+/// the oracle check — so every σ/π/⋈/constraint case below exercises
+/// the row core and the columnar core in one pass (DESIGN.md §14).
+fn run_both_cores(
+    store: &Arc<DocumentStore>,
+    tables: &[(&str, CompactTable)],
+    prog_src: &str,
+) -> CompactTable {
+    let prog = parse_program(prog_src).unwrap();
+    let mut results = Vec::new();
+    for use_columnar in [true, false] {
+        let mut eng = Engine::new(Arc::clone(store));
+        eng.limits.use_columnar = use_columnar;
+        for (name, t) in tables {
+            eng.add_table(name, t.clone());
+        }
+        results.push(eng.run(&prog).unwrap());
+    }
+    let row = results.pop().unwrap();
+    let col = results.pop().unwrap();
+    assert_eq!(
+        worlds::worlds_of_compact(&col, store, BUDGET).unwrap(),
+        worlds::worlds_of_compact(&row, store, BUDGET).unwrap(),
+        "columnar and row cores disagree on world sets: {prog_src}"
+    );
+    (*col).clone()
+}
+
 /// σ: `q(a) :- t(a), a < 10.` over a table mixing a certain exact tuple, a
 /// choice cell (two candidate spans), and a maybe tuple. Every σ(W) must
 /// be a world of the output.
@@ -72,10 +102,7 @@ fn selection_contains_every_world_result() {
     let input_worlds = worlds::worlds_of_compact(&t, &store, BUDGET).unwrap();
     assert!(input_worlds.len() > 1, "inputs must be genuinely uncertain");
 
-    let mut eng = Engine::new(Arc::clone(&store));
-    eng.add_table("t", t);
-    let prog = parse_program("q(a) :- t(a), a < 10.").unwrap();
-    let result = eng.run(&prog).unwrap();
+    let result = run_both_cores(&store, &[("t", t)], "q(a) :- t(a), a < 10.");
 
     let expected: BTreeSet<Relation> = input_worlds
         .iter()
@@ -109,10 +136,7 @@ fn projection_contains_every_world_result() {
 
     let input_worlds = worlds::worlds_of_compact(&t, &store, BUDGET).unwrap();
 
-    let mut eng = Engine::new(Arc::clone(&store));
-    eng.add_table("t", t);
-    let prog = parse_program("q(a) :- t(a, b).").unwrap();
-    let result = eng.run(&prog).unwrap();
+    let result = run_both_cores(&store, &[("t", t)], "q(a) :- t(a, b).");
 
     let expected: BTreeSet<Relation> = input_worlds
         .iter()
@@ -139,11 +163,11 @@ fn join_contains_every_world_result() {
     let r_worlds = worlds::worlds_of_compact(&r, &store, BUDGET).unwrap();
     let s_worlds = worlds::worlds_of_compact(&s, &store, BUDGET).unwrap();
 
-    let mut eng = Engine::new(Arc::clone(&store));
-    eng.add_table("r", r);
-    eng.add_table("s", s);
-    let prog = parse_program("q(a, b, c) :- r(a, b), s(b2, c), b = b2.").unwrap();
-    let result = eng.run(&prog).unwrap();
+    let result = run_both_cores(
+        &store,
+        &[("r", r), ("s", s)],
+        "q(a, b, c) :- r(a, b), s(b2, c), b = b2.",
+    );
 
     let mut expected: BTreeSet<Relation> = BTreeSet::new();
     for wr in &r_worlds {
@@ -218,8 +242,7 @@ fn constraint_selection_contains_every_world_result() {
     let expected = worlds::worlds_of_compact(&refined, &store, BUDGET).unwrap();
     assert!(expected.len() > 1, "refined input must stay uncertain");
 
-    let prog = parse_program("q(v) :- t(v), numeric(v) = yes.").unwrap();
-    let result = eng.run(&prog).unwrap();
+    let result = run_both_cores(&store, &[("t", t)], "q(v) :- t(v), numeric(v) = yes.");
     assert_worlds_contain(&result, &store, &expected, "σ_numeric(v)=yes");
 
     // Differential form: the same containment stated through the library's
@@ -274,9 +297,10 @@ fn optimizer_ablation_is_byte_identical_on_oracle_shapes() {
     ];
     for maybe in [false, true] {
         for prog_src in programs {
-            let run = |use_optimizer: bool| {
+            let run = |use_optimizer: bool, use_columnar: bool| {
                 let mut eng = Engine::new(Arc::clone(&store));
                 eng.limits.use_optimizer = use_optimizer;
+                eng.limits.use_columnar = use_columnar;
                 eng.add_table("t", uncertain(maybe));
                 let mut s = CompactTable::new(vec!["b2".into(), "c".into()]);
                 s.push(CompactTuple::new(vec![
@@ -291,11 +315,24 @@ fn optimizer_ablation_is_byte_identical_on_oracle_shapes() {
                 let prog = parse_program(prog_src).unwrap();
                 format!("{:?}", eng.run(&prog).unwrap())
             };
+            // Optimizer ablation (columnar at its default)…
             assert_eq!(
-                run(true),
-                run(false),
-                "ablation diverged: {prog_src} (maybe={maybe})"
+                run(true, true),
+                run(false, true),
+                "optimizer ablation diverged: {prog_src} (maybe={maybe})"
             );
+            // …and the columnar ablation under both optimizer settings —
+            // the columnar core must be byte-invisible whether the
+            // constraint ran standalone or inside a fused pipeline
+            // (DESIGN.md §14).
+            for use_optimizer in [true, false] {
+                assert_eq!(
+                    run(use_optimizer, true),
+                    run(use_optimizer, false),
+                    "columnar ablation diverged: {prog_src} \
+                     (maybe={maybe}, optimizer={use_optimizer})"
+                );
+            }
         }
     }
 }
